@@ -1,0 +1,144 @@
+// Command ptstatic runs the static analyses of Section 5 on transducer
+// specs:
+//
+//	ptstatic classify    -spec view.pt
+//	ptstatic emptiness   -spec view.pt
+//	ptstatic membership  -spec view.pt -tree 'r(a,b)'
+//	ptstatic equivalence -spec view.pt -spec2 other.pt
+//	ptstatic ucq         -spec view.pt -label a
+//	ptstatic typecheck   -spec view.pt -dtd schema.dtd
+//
+// Decidable analyses (Theorems 1 and 2) run the real procedures;
+// analyses that are undecidable for the spec's class report that fact
+// with the class, mirroring Table II. Typechecking uses the sound
+// (incomplete) checker of internal/typecheck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ptx/internal/decide"
+	"ptx/internal/parser"
+	"ptx/internal/pt"
+	"ptx/internal/typecheck"
+	"ptx/internal/xmltree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	specPath := fs.String("spec", "", "transducer spec file")
+	spec2Path := fs.String("spec2", "", "second transducer spec (equivalence)")
+	treeSrc := fs.String("tree", "", "target tree in canonical form (membership)")
+	label := fs.String("label", "", "output label (ucq)")
+	dtdPath := fs.String("dtd", "", "DTD file (typecheck)")
+	fs.Parse(os.Args[2:])
+
+	tr := load(*specPath)
+	switch cmd {
+	case "classify":
+		cl := tr.Classify()
+		fmt.Printf("%s: %s\n", tr.Name, cl)
+		fmt.Printf("  recursive: %v\n", cl.Recursive)
+		fmt.Printf("  dependency graph: %d nodes\n", len(tr.DependencyGraph().Nodes()))
+	case "emptiness":
+		nonempty, err := decide.Emptiness(tr)
+		report(err)
+		if nonempty {
+			fmt.Println("NONEMPTY: some instance yields a nontrivial tree")
+		} else {
+			fmt.Println("EMPTY: every instance yields the bare root")
+		}
+	case "membership":
+		if *treeSrc == "" {
+			usage()
+		}
+		target, err := xmltree.Parse(*treeSrc)
+		report(err)
+		ok, err := decide.Membership(tr, target, decide.DefaultMembershipOptions(tr, target))
+		report(err)
+		if ok {
+			fmt.Println("MEMBER: some instance produces the tree")
+		} else {
+			fmt.Println("NOT A MEMBER: no instance produces the tree")
+		}
+	case "equivalence":
+		if *spec2Path == "" {
+			usage()
+		}
+		tr2 := load(*spec2Path)
+		eq, err := decide.Equivalence(tr, tr2)
+		report(err)
+		if eq {
+			fmt.Println("EQUIVALENT: the transducers agree on every instance")
+		} else {
+			fmt.Println("NOT EQUIVALENT: some instance separates them")
+		}
+	case "ucq":
+		if *label == "" {
+			usage()
+		}
+		u, err := decide.OutputUCQ(tr, *label)
+		report(err)
+		fmt.Printf("output relation on %q as a union of %d conjunctive queries:\n", *label, len(u))
+		for _, q := range u {
+			fmt.Printf("  %s\n", q)
+		}
+	case "typecheck":
+		if *dtdPath == "" {
+			usage()
+		}
+		src, err := os.ReadFile(*dtdPath)
+		report(err)
+		d, err := parser.ParseDTD(string(src))
+		report(err)
+		v, err := typecheck.Check(tr, d)
+		report(err)
+		if v == nil {
+			fmt.Println("WELL-TYPED: every output tree conforms to the DTD (sound check)")
+		} else {
+			fmt.Printf("POSSIBLE VIOLATION: %v\n", v)
+		}
+	default:
+		usage()
+	}
+}
+
+func load(path string) *pt.Transducer {
+	if path == "" {
+		usage()
+	}
+	src, err := os.ReadFile(path)
+	report(err)
+	tr, err := parser.ParseTransducer(string(src))
+	report(err)
+	return tr
+}
+
+func report(err error) {
+	if err == nil {
+		return
+	}
+	if ue, ok := err.(*decide.ErrUndecidable); ok {
+		fmt.Printf("UNDECIDABLE: %s has no algorithm for %s (Table II)\n", ue.Problem, ue.Class)
+		os.Exit(3)
+	}
+	fmt.Fprintln(os.Stderr, "ptstatic:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ptstatic classify    -spec view.pt
+  ptstatic emptiness   -spec view.pt
+  ptstatic membership  -spec view.pt -tree 'r(a,b)'
+  ptstatic equivalence -spec view.pt -spec2 other.pt
+  ptstatic ucq         -spec view.pt -label a
+  ptstatic typecheck   -spec view.pt -dtd schema.dtd`)
+	os.Exit(2)
+}

@@ -1,0 +1,66 @@
+// Command ptxml runs a publishing transducer over a relational instance
+// and prints the resulting XML document.
+//
+// Usage:
+//
+//	ptxml -spec view.pt -data facts.db [-canonical] [-stats] [-workers N] [-max N]
+//
+// The spec syntax is documented in internal/parser; the data file holds
+// one fact per line, e.g. course(CS401, Compilers, CS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ptx/internal/parser"
+	"ptx/internal/pt"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "transducer spec file")
+	dataPath := flag.String("data", "", "relational data file")
+	canonical := flag.Bool("canonical", false, "print the canonical one-line form instead of XML")
+	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	workers := flag.Int("workers", 1, "parallel subtree expansion workers")
+	maxNodes := flag.Int("max", 1_000_000, "node budget (0 = unlimited)")
+	flag.Parse()
+
+	if *specPath == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: ptxml -spec view.pt -data facts.db")
+		os.Exit(2)
+	}
+	spec, err := os.ReadFile(*specPath)
+	fatal(err)
+	tr, err := parser.ParseTransducer(string(spec))
+	fatal(err)
+	data, err := os.ReadFile(*dataPath)
+	fatal(err)
+	inst, err := parser.ParseInstance(string(data), tr.Schema)
+	fatal(err)
+
+	opts := pt.Options{MaxNodes: *maxNodes, Workers: *workers}
+	res, err := tr.Run(inst, opts)
+	fatal(err)
+	out := res.Xi.Clone().Strip()
+	out.SpliceVirtual(tr.Virtual)
+
+	if *canonical {
+		fmt.Println(out.Canonical())
+	} else {
+		fmt.Print(out.XML())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d\n",
+			tr.Classify(), res.Stats.Nodes, res.Stats.MaxDepth,
+			res.Stats.QueriesRun, res.Stats.StopsApplied)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptxml:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package ptx is a from-scratch Go implementation of the publishing
+// transducers of Fan, Geerts and Neven, "Expressiveness and Complexity
+// of XML Publishing Transducers" (PODS 2007 / TODS 2008), together with
+// the paper's decision procedures, language characterizations,
+// expressiveness translations and proof constructions.
+//
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure; cmd/pttables prints
+// them.
+package ptx

@@ -1,0 +1,51 @@
+// Quickstart: define a publishing transducer with the Go API, run it on
+// a small relational instance, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+func main() {
+	// A relational schema with one binary relation: employee(name, dept).
+	schema := relation.NewSchema().MustDeclare("employee", 2)
+
+	// The view: a staff document with one person element per employee in
+	// Engineering, carrying the employee's name as text.
+	name, dept := logic.Var("name"), logic.Var("dept")
+	t := pt.New("staff", schema, "q0", "staff")
+	t.DeclareTag("person", 1)
+	t.DeclareTag("text", 1)
+
+	engineers := logic.MustQuery([]logic.Var{name}, nil,
+		logic.Ex([]logic.Var{dept}, logic.Conj(
+			logic.R("employee", name, dept),
+			logic.EqT(dept, logic.Const("Engineering")),
+		)))
+	t.AddRule("q0", "staff", pt.Item("q", "person", engineers))
+
+	copyReg := logic.MustQuery([]logic.Var{name}, nil, logic.R(pt.RegRel, name))
+	t.AddRule("q", "person", pt.Item("qt", "text", copyReg))
+	t.AddRule("qt", "text")
+
+	// Data.
+	inst := relation.NewInstance(schema)
+	inst.Add("employee", "ada", "Engineering")
+	inst.Add("employee", "grace", "Engineering")
+	inst.Add("employee", "mark", "Sales")
+
+	// Run.
+	out, err := t.Output(inst, pt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class: %s\n\n", t.Classify())
+	fmt.Print(out.XML())
+}

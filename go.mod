@@ -1,0 +1,3 @@
+module ptx
+
+go 1.22

@@ -1,0 +1,137 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/eval"
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// innerPool are candidate inner queries with head (x) over E(2).
+func innerPool() []*NF {
+	x, y := logic.Var("x"), logic.Var("y")
+	return []*NF{
+		MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.R("E", x, y))),
+		MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.R("E", y, x))),
+		MustNormalize([]logic.Var{x}, logic.R("E", x, x)),
+		MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y},
+			logic.Conj(logic.R("E", x, y), logic.NeqT(x, y)))),
+		MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y},
+			logic.Conj(logic.R("E", x, y), logic.EqT(y, logic.Const("0"))))),
+	}
+}
+
+// outerPool are candidate outer queries with head (z) referencing Reg(·).
+func outerPool() []*NF {
+	z, u, w := logic.Var("z"), logic.Var("u"), logic.Var("w")
+	return []*NF{
+		MustNormalize([]logic.Var{z}, logic.Ex([]logic.Var{u},
+			logic.Conj(logic.R("Reg", u), logic.R("E", u, z)))),
+		MustNormalize([]logic.Var{z}, logic.R("Reg", z)),
+		MustNormalize([]logic.Var{z}, logic.Conj(logic.R("Reg", z), logic.NeqT(z, logic.Const("0")))),
+		// Two Reg occurrences: z reachable from a register value that is
+		// also a register value's successor.
+		MustNormalize([]logic.Var{z}, logic.Ex([]logic.Var{u, w},
+			logic.Conj(logic.R("Reg", u), logic.R("Reg", w), logic.R("E", u, w), logic.R("E", w, z)))),
+	}
+}
+
+// TestComposeMatchesViewUnfolding is the semantic property behind every
+// path analysis: for monotone CQ, substituting the inner query for the
+// Reg atoms equals evaluating the outer query with Reg bound to the
+// inner query's result relation.
+func TestComposeMatchesViewUnfolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := relation.NewSchema().MustDeclare("E", 2)
+	inners, outers := innerPool(), outerPool()
+	trials := 0
+	for _, inner := range inners {
+		for _, outer := range outers {
+			comp, err := Compose(outer, "Reg", inner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 6; k++ {
+				inst := relation.NewInstance(schema)
+				for e := 0; e < rng.Intn(6); e++ {
+					inst.Add("E", string(value.Of(rng.Intn(3))), string(value.Of(rng.Intn(3))))
+				}
+				trials++
+				// Reference: evaluate inner as a view, then outer over it.
+				innerRes, err := evalNF(inner, eval.NewEnv(inst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				env := eval.NewEnv(inst).WithRelation("Reg", innerRes)
+				want, err := evalNF(outer, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := evalNF(comp, eval.NewEnv(inst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("composition mismatch\ninner %s\nouter %s\ncomposed %s\ninstance %s\n got %s want %s",
+						inner, outer, comp, inst, got, want)
+				}
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("vacuous")
+	}
+}
+
+// evalNF evaluates a normal-form query to its answer relation.
+func evalNF(nf *NF, env *eval.Env) (*relation.Relation, error) {
+	q, err := logic.NewQuery(nf.Head, nil, nf.Formula())
+	if err != nil {
+		return nil, err
+	}
+	return eval.EvalQuery(q, env)
+}
+
+// TestContainmentSoundOnRandomInstances: whenever Contained(q1,q2)
+// reports true, q1's answers are a subset of q2's on every sampled
+// instance (soundness spot check).
+func TestContainmentSoundOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	schema := relation.NewSchema().MustDeclare("E", 2)
+	pool := innerPool()
+	for i, q1 := range pool {
+		for j, q2 := range pool {
+			contained, err := Contained(q1, q2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			foundCounter := false
+			for k := 0; k < 12; k++ {
+				inst := relation.NewInstance(schema)
+				for e := 0; e < rng.Intn(7); e++ {
+					inst.Add("E", string(value.Of(rng.Intn(3))), string(value.Of(rng.Intn(3))))
+				}
+				a, err := evalNF(q1, eval.NewEnv(inst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := evalNF(q2, eval.NewEnv(inst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !a.SubsetOf(b) {
+					foundCounter = true
+				}
+			}
+			if contained && foundCounter {
+				t.Errorf("pool[%d] ⊆ pool[%d] decided but a counterexample instance exists", i, j)
+			}
+			if i == j && !contained {
+				t.Errorf("pool[%d] not contained in itself", i)
+			}
+		}
+	}
+}

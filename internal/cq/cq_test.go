@@ -1,0 +1,383 @@
+package cq
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+)
+
+var (
+	x  = logic.Var("x")
+	y  = logic.Var("y")
+	z  = logic.Var("z")
+	w  = logic.Var("w")
+	cA = logic.Const("a")
+	cB = logic.Const("b")
+)
+
+func TestNormalizeFlattens(t *testing.T) {
+	f := logic.Ex([]logic.Var{y}, logic.Conj(
+		logic.R("E", x, y),
+		logic.Ex([]logic.Var{z}, logic.Conj(logic.R("E", y, z), logic.NeqT(x, z))),
+	))
+	nf, err := Normalize([]logic.Var{x}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nf.Atoms) != 2 || len(nf.Constraints) != 1 {
+		t.Fatalf("normalize: %s", nf)
+	}
+}
+
+func TestNormalizeRenamesApart(t *testing.T) {
+	// Two scopes binding the same variable name must not collide:
+	// ∃y E(x,y) ∧ ∃y F(x,y).
+	f := logic.Conj(
+		logic.Ex([]logic.Var{y}, logic.R("E", x, y)),
+		logic.Ex([]logic.Var{y}, logic.R("F", x, y)),
+	)
+	nf, err := Normalize([]logic.Var{x}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := nf.Atoms[0].Args[1].(logic.Var)
+	a1 := nf.Atoms[1].Args[1].(logic.Var)
+	if a0 == a1 {
+		t.Fatalf("bound variables not renamed apart: %s", nf)
+	}
+}
+
+func TestNormalizeRejectsFO(t *testing.T) {
+	if _, err := Normalize([]logic.Var{x}, &logic.Not{F: logic.R("E", x)}); err == nil {
+		t.Fatal("negation should be rejected")
+	}
+	if _, err := Normalize([]logic.Var{x}, logic.Disj(logic.R("E", x), logic.R("F", x))); err == nil {
+		t.Fatal("disjunction should be rejected")
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	cases := []struct {
+		name string
+		nf   *NF
+		want bool
+	}{
+		{"plain atom", MustNormalize([]logic.Var{x}, logic.R("E", x, x)), true},
+		{"x=a ∧ x=b", MustNormalize([]logic.Var{x},
+			logic.Conj(logic.EqT(x, cA), logic.EqT(x, cB))), false},
+		{"x=a ∧ x≠a", MustNormalize([]logic.Var{x},
+			logic.Conj(logic.EqT(x, cA), logic.NeqT(x, cA))), false},
+		{"x=y ∧ y=z ∧ x≠z", MustNormalize([]logic.Var{x, z},
+			logic.Ex([]logic.Var{y}, logic.Conj(logic.EqT(x, y), logic.EqT(y, z), logic.NeqT(x, z)))), false},
+		{"x=a ∧ y=b ∧ x≠y", MustNormalize([]logic.Var{x, y},
+			logic.Conj(logic.EqT(x, cA), logic.EqT(y, cB), logic.NeqT(x, y))), true},
+		{"x=a ∧ y=a ∧ x≠y", MustNormalize([]logic.Var{x, y},
+			logic.Conj(logic.EqT(x, cA), logic.EqT(y, cA), logic.NeqT(x, y))), false},
+		{"x≠x", MustNormalize([]logic.Var{x}, logic.NeqT(x, x)), false},
+		{"false constant", MustNormalize(nil, logic.False), false},
+		{"true constant", MustNormalize(nil, logic.True), true},
+	}
+	for _, c := range cases {
+		if got := c.nf.Satisfiable(); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompletionOnHead(t *testing.T) {
+	// ∃y (x=y ∧ y=z ∧ y≠'a'): completion must contain x=z and x≠'a', z≠'a'.
+	nf := MustNormalize([]logic.Var{x, z},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.EqT(x, y), logic.EqT(y, z), logic.NeqT(y, cA))))
+	comp := nf.CompletionOnHead()
+	has := func(s string) bool {
+		for _, c := range comp {
+			if c.String() == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("x=z") {
+		t.Errorf("completion misses x=z: %v", comp)
+	}
+	if !has("x!='a'") {
+		t.Errorf("completion misses x!='a': %v", comp)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// inner(u) ≡ ∃v E(u,v) ∧ u≠'a'; outer(x) ≡ ∃y Reg(y) ∧ E(y,x).
+	u, v := logic.Var("u"), logic.Var("v")
+	inner := MustNormalize([]logic.Var{u},
+		logic.Ex([]logic.Var{v}, logic.Conj(logic.R("E", u, v), logic.NeqT(u, cA))))
+	outer := MustNormalize([]logic.Var{x},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("Reg", y), logic.R("E", y, x))))
+	comp, err := Compose(outer, "Reg", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Composition: ∃y,v' E(y,v') ∧ y≠'a' ∧ E(y,x).
+	if len(comp.Atoms) != 2 || len(comp.Constraints) != 1 {
+		t.Fatalf("composition: %s", comp)
+	}
+	if comp.UsesRel("Reg") {
+		t.Fatalf("Reg should be eliminated: %s", comp)
+	}
+}
+
+func TestComposeMultipleOccurrences(t *testing.T) {
+	u := logic.Var("u")
+	inner := MustNormalize([]logic.Var{u},
+		logic.Ex([]logic.Var{w}, logic.R("E", u, w)))
+	outer := MustNormalize([]logic.Var{x},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("Reg", x), logic.R("Reg", y), logic.NeqT(x, y))))
+	comp, err := Compose(outer, "Reg", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Atoms) != 2 {
+		t.Fatalf("both occurrences should expand: %s", comp)
+	}
+	// Fresh variables of the two occurrences must differ.
+	v1 := comp.Atoms[0].Args[1].(logic.Var)
+	v2 := comp.Atoms[1].Args[1].(logic.Var)
+	if v1 == v2 {
+		t.Fatalf("occurrences share bound variables: %s", comp)
+	}
+}
+
+func TestContainmentBasic(t *testing.T) {
+	// E(x,y)∧E(y,z) head (x,z)  ⊆  ∃y E(x,y) ∧ ∃w E(w,z)? yes.
+	q1 := MustNormalize([]logic.Var{x, z},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.R("E", y, z))))
+	q2 := MustNormalize([]logic.Var{x, z}, logic.Conj(
+		logic.Ex([]logic.Var{y}, logic.R("E", x, y)),
+		logic.Ex([]logic.Var{w}, logic.R("E", w, z)),
+	))
+	ok, err := Contained(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("2-path should be contained in endpoints query")
+	}
+	// Converse fails.
+	ok, err = Contained(q2, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("endpoints query should not be contained in 2-path")
+	}
+}
+
+func TestContainmentWithNeq(t *testing.T) {
+	// Q1: E(x,y) ∧ x≠y ⊆ Q2: E(x,y). Converse fails.
+	q1 := MustNormalize([]logic.Var{x, y}, logic.Conj(logic.R("E", x, y), logic.NeqT(x, y)))
+	q2 := MustNormalize([]logic.Var{x, y}, logic.R("E", x, y))
+	if ok, _ := Contained(q1, q2); !ok {
+		t.Error("Q1 ⊆ Q2 expected")
+	}
+	if ok, _ := Contained(q2, q1); ok {
+		t.Error("Q2 ⊄ Q1 expected (Q2 admits x=y)")
+	}
+}
+
+func TestContainmentNeqNeedsIdentifications(t *testing.T) {
+	// The classic case where the single canonical database is not
+	// enough: Q1(x,y) ≡ E(x,y); Q2(x,y) ≡ E(x,y) ∧ x≠y. Not contained —
+	// but also Q3(x,y) ≡ E(x,y)∧(nothing) vs a union-like situation.
+	// Here: Q1 ⊆ Q2 fails exactly on the identification x=y.
+	q1 := MustNormalize([]logic.Var{x, y}, logic.R("E", x, y))
+	q2 := MustNormalize([]logic.Var{x, y}, logic.Conj(logic.R("E", x, y), logic.NeqT(x, y)))
+	if ok, _ := Contained(q1, q2); ok {
+		t.Error("containment must test the x=y identification")
+	}
+}
+
+func TestEquivalentRenamedCopies(t *testing.T) {
+	q1 := MustNormalize([]logic.Var{x},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.NeqT(x, y))))
+	u, v := logic.Var("u"), logic.Var("v")
+	q2raw := MustNormalize([]logic.Var{u},
+		logic.Ex([]logic.Var{v}, logic.Conj(logic.R("E", u, v), logic.NeqT(u, v))))
+	// Align head names: containment requires same width, variables are
+	// positional through the head.
+	ok, err := Equivalent(q1, q2raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("α-renamed queries should be equivalent")
+	}
+}
+
+func TestEquivalentRedundantAtom(t *testing.T) {
+	q1 := MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.R("E", x, y)))
+	// Same plus a redundant second copy of the atom.
+	q2 := MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y, z},
+		logic.Conj(logic.R("E", x, y), logic.R("E", x, z))))
+	ok, err := Equivalent(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("redundant atom should not change the query")
+	}
+}
+
+func TestUCQContainment(t *testing.T) {
+	// E(x,'a') ∪ E(x,'b') contains E(x,'a'); and E(x,y) is not contained
+	// in the union.
+	qa := MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.EqT(y, cA))))
+	qb := MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.EqT(y, cB))))
+	u := UCQ{qa, qb}
+	if ok, _ := ContainedUCQ(qa, u); !ok {
+		t.Error("disjunct should be contained in union")
+	}
+	free := MustNormalize([]logic.Var{x}, logic.Ex([]logic.Var{y}, logic.R("E", x, y)))
+	if ok, _ := ContainedUCQ(free, u); ok {
+		t.Error("unconstrained query should not be contained")
+	}
+	// A query contained in the union but in neither disjunct alone would
+	// need disjunctive reasoning; here test union symmetry instead.
+	ok, err := EquivalentUCQ(UCQ{qa, qb}, UCQ{qb, qa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("unions should be order-insensitive")
+	}
+}
+
+func TestUCQProperUnionContainment(t *testing.T) {
+	// E(x) with x='a' ∨-split: Q ≡ R(x) ∧ x='a' is in {R(x)∧x='a', R(x)∧x='b'};
+	// and the union strictly contains each disjunct.
+	qa := MustNormalize([]logic.Var{x}, logic.Conj(logic.R("R1", x), logic.EqT(x, cA)))
+	qb := MustNormalize([]logic.Var{x}, logic.Conj(logic.R("R1", x), logic.NeqT(x, cA)))
+	all := MustNormalize([]logic.Var{x}, logic.R("R1", x))
+	// all ⊆ qa ∪ qb: every R1 value is either 'a' or not.
+	ok, err := ContainedUCQ(all, UCQ{qa, qb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("R1(x) ⊆ (x='a' branch) ∪ (x≠'a' branch) — needs identification reasoning")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	// Head (x,y,z) with y='a' and z=x: reduced head is just (x).
+	nf := MustNormalize([]logic.Var{x, y, z},
+		logic.Conj(logic.R("E", x, z), logic.EqT(y, cA), logic.EqT(z, x)))
+	r := nf.Reduce()
+	if len(r.Head) != 1 || r.Head[0] != x {
+		t.Fatalf("Reduce head = %v, want [x]", r.Head)
+	}
+}
+
+func TestReduceDropsNonAtomVars(t *testing.T) {
+	// Head variable w constrained only by w≠'a' (not in any atom) is a
+	// "constant" class per case (ii) and is dropped.
+	nf := MustNormalize([]logic.Var{x, w},
+		logic.Conj(logic.R("E", x, x), logic.NeqT(w, cA)))
+	r := nf.Reduce()
+	if len(r.Head) != 1 || r.Head[0] != x {
+		t.Fatalf("Reduce head = %v, want [x]", r.Head)
+	}
+}
+
+func TestCEquivalent(t *testing.T) {
+	// Q1(x) ≡ E(x); Q2(x,c) ≡ E(x) ∧ c='k' — same cardinalities.
+	q1 := MustNormalize([]logic.Var{x}, logic.R("R1", x))
+	c := logic.Var("c")
+	q2 := MustNormalize([]logic.Var{x, c}, logic.Conj(logic.R("R1", x), logic.EqT(c, logic.Const("k"))))
+	ok, err := CEquivalent(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("padding with a constant column preserves cardinality")
+	}
+	// Q3(x,y) ≡ R1(x) ∧ R1(y): genuinely wider.
+	q3 := MustNormalize([]logic.Var{x, y}, logic.Conj(logic.R("R1", x), logic.R("R1", y)))
+	ok, err = CEquivalent(q1, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("R1×R1 has squared cardinality, not c-equivalent to R1")
+	}
+}
+
+func TestCEquivalentUnsatisfiable(t *testing.T) {
+	dead1 := MustNormalize([]logic.Var{x}, logic.Conj(logic.EqT(x, cA), logic.NeqT(x, cA)))
+	dead2 := MustNormalize([]logic.Var{x, y}, logic.Conj(logic.R("E", x, y), logic.EqT(x, cA), logic.EqT(x, cB)))
+	ok, err := CEquivalent(dead1, dead2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("two unsatisfiable queries are c-equivalent")
+	}
+	live := MustNormalize([]logic.Var{x}, logic.R("R1", x))
+	if ok, _ := CEquivalent(dead1, live); ok {
+		t.Error("dead vs live cannot be c-equivalent")
+	}
+}
+
+func TestPathSatisfiableMatchesBruteForce(t *testing.T) {
+	u := logic.Var("u")
+	// Path A: start selects E-pairs with x≠'a'; step walks one E edge
+	// from the register — satisfiable.
+	start := MustNormalize([]logic.Var{x},
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.NeqT(x, cA))))
+	step := MustNormalize([]logic.Var{u},
+		logic.Ex([]logic.Var{v}, logic.Conj(logic.R("Reg", v), logic.R("E", v, u))))
+	pathA := []*NF{start, step, step}
+	// Path B: start forces x='a', step requires the register ≠ 'a' — dead.
+	startA := MustNormalize([]logic.Var{x}, logic.Conj(logic.R("R1", x), logic.EqT(x, cA)))
+	stepDead := MustNormalize([]logic.Var{u},
+		logic.Ex([]logic.Var{v}, logic.Conj(logic.R("Reg", v), logic.NeqT(v, cA), logic.R("E", v, u))))
+	pathB := []*NF{startA, stepDead}
+
+	for i, path := range [][]*NF{pathA, pathB} {
+		fast, err := PathSatisfiable(path, "Reg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := ComposeAll(path, "Reg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := full.Satisfiable()
+		if fast != slow {
+			t.Errorf("path %d: PathSatisfiable=%v, brute force=%v (%s)", i, fast, slow, full)
+		}
+		if i == 0 && !fast {
+			t.Error("path A should be satisfiable")
+		}
+		if i == 1 && fast {
+			t.Error("path B should be dead")
+		}
+	}
+}
+
+func TestPathSatisfiablePropagatesConstraints(t *testing.T) {
+	// start: head x with x='a'. step1: head u = register value (copies
+	// x). step2: requires register ≠ 'a'. The unsatisfiability is only
+	// visible through the H̄ propagation across two steps.
+	start := MustNormalize([]logic.Var{x}, logic.Conj(logic.R("R1", x), logic.EqT(x, cA)))
+	u := logic.Var("u")
+	copyStep := MustNormalize([]logic.Var{u}, logic.R("Reg", u))
+	deadStep := MustNormalize([]logic.Var{u}, logic.Conj(logic.R("Reg", u), logic.NeqT(u, cA)))
+	ok, err := PathSatisfiable([]*NF{start, copyStep, deadStep}, "Reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("constraint x='a' must propagate through the copy step")
+	}
+}
+
+var v = logic.Var("v")

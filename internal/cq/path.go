@@ -1,0 +1,94 @@
+package cq
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+)
+
+// ComposeAll composes a root-to-leaf sequence of queries: qs[0] is over
+// the source schema only; for i > 0, qs[i] may reference regName with
+// arity |head(qs[i-1])|. The result is the full composition
+// Qn ∘ … ∘ Q1, whose size can be exponential in n (each Reg occurrence
+// copies the inner query). It is the brute-force counterpart of
+// PathSatisfiable, used for cross-validation and for small paths.
+func ComposeAll(qs []*NF, regName string) (*NF, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("cq: empty path")
+	}
+	cur := qs[0]
+	if cur.UsesRel(regName) {
+		return nil, fmt.Errorf("cq: first query of a path must not reference %s", regName)
+	}
+	for i := 1; i < len(qs); i++ {
+		next, err := Compose(qs[i], regName, cur)
+		if err != nil {
+			return nil, fmt.Errorf("cq: composing step %d: %v", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// PathSatisfiable implements the polynomial satisfiability test for
+// composed query paths from the NP upper-bound proof of Theorem 1(1):
+// rather than materializing the exponential composition Qⁿ, it
+// maintains the completion H̄ᵢ of entailed head constraints and checks
+// each step query Q̄ᵢ — Qᵢ with every Reg(t̄) atom strengthened by
+// H̄ᵢ₋₁(t̄) — for satisfiability. The path is satisfiable iff every Q̄ᵢ
+// is (Claim 1).
+func PathSatisfiable(qs []*NF, regName string) (bool, error) {
+	if len(qs) == 0 {
+		return false, fmt.Errorf("cq: empty path")
+	}
+	if qs[0].UsesRel(regName) {
+		return false, fmt.Errorf("cq: first query of a path must not reference %s", regName)
+	}
+	cur := qs[0]
+	if !cur.Satisfiable() {
+		return false, nil
+	}
+	hbar := cur.CompletionOnHead()
+	for i := 1; i < len(qs); i++ {
+		step := strengthenRegAtoms(qs[i], regName, qs[i-1].Head, hbar)
+		if !step.Satisfiable() {
+			return false, nil
+		}
+		hbar = step.CompletionOnHead()
+		cur = step
+	}
+	return true, nil
+}
+
+// strengthenRegAtoms returns q with, for every atom Reg(t̄), the
+// constraints hbar instantiated at t̄ (hbar is over the previous query's
+// head variables prevHead).
+func strengthenRegAtoms(q *NF, regName string, prevHead []logic.Var, hbar []Constraint) *NF {
+	out := q.Clone()
+	for _, a := range q.Atoms {
+		if a.Rel != regName || len(a.Args) != len(prevHead) {
+			continue
+		}
+		sub := make(map[logic.Var]logic.Term, len(prevHead))
+		for i, h := range prevHead {
+			sub[h] = a.Args[i]
+		}
+		for _, c := range hbar {
+			out.Constraints = append(out.Constraints, Constraint{
+				L:  subConstraintTerm(c.L, sub),
+				R:  subConstraintTerm(c.R, sub),
+				Eq: c.Eq,
+			})
+		}
+	}
+	return out
+}
+
+func subConstraintTerm(t logic.Term, sub map[logic.Var]logic.Term) logic.Term {
+	if v, ok := t.(logic.Var); ok {
+		if r, ok := sub[v]; ok {
+			return r
+		}
+	}
+	return t
+}

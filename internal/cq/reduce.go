@@ -1,0 +1,144 @@
+package cq
+
+import (
+	"ptx/internal/logic"
+)
+
+// Reduce computes the reduced version Qʳ of the query (Section 5.2,
+// discussion before Claim 3): head variables whose equality class is
+// "constant" — it carries a constant value, or none of its variables
+// occur in a relational atom — are dropped, and of several head
+// variables in one equality class only the first survives. Body terms
+// are rewritten to class representatives (the constant value if the
+// class has one).
+//
+// Claim 3 then states Q1 ≡c Q2 (equal answer cardinalities on every
+// instance) iff Q1ʳ ≡ Q2ʳ.
+func (nf *NF) Reduce() *NF {
+	uf := nf.buildClasses()
+	vals, ok := classValues(nf, uf)
+	if !ok {
+		// Unsatisfiable: the reduced query is the query itself; callers
+		// check satisfiability separately.
+		return nf.Clone()
+	}
+	// Which classes occur in atoms?
+	inAtoms := make(map[string]bool)
+	for _, a := range nf.Atoms {
+		for _, t := range a.Args {
+			inAtoms[uf.find(termKey(t))] = true
+		}
+	}
+	// Representative term per class: the constant if it has a value,
+	// else the first head variable of the class, else the first variable
+	// seen overall.
+	rep := make(map[string]logic.Term)
+	for root, v := range vals {
+		rep[root] = logic.Const(v)
+	}
+	for _, v := range nf.Vars() {
+		root := uf.find(termKey(v))
+		if _, ok := rep[root]; !ok {
+			rep[root] = v
+		}
+	}
+	repOf := func(t logic.Term) logic.Term {
+		if r, ok := rep[uf.find(termKey(t))]; ok {
+			return r
+		}
+		return t
+	}
+
+	out := &NF{}
+	seenHeadClass := make(map[string]bool)
+	for _, h := range nf.Head {
+		root := uf.find(termKey(h))
+		if _, isConst := vals[root]; isConst {
+			continue // case (i): class has a value
+		}
+		if !inAtoms[root] {
+			continue // case (ii): class absent from all atoms
+		}
+		if seenHeadClass[root] {
+			continue // duplicate head variable within a class
+		}
+		seenHeadClass[root] = true
+		// The representative for a head class is the head variable itself
+		// (first occurrence) so the head stays a variable list.
+		rep[root] = h
+		out.Head = append(out.Head, h)
+	}
+	for _, a := range nf.Atoms {
+		args := make([]logic.Term, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = repOf(t)
+		}
+		out.Atoms = append(out.Atoms, &logic.Atom{Rel: a.Rel, Args: args})
+	}
+	for _, c := range nf.Constraints {
+		l, r := repOf(c.L), repOf(c.R)
+		if c.Eq {
+			if termKey(l) == termKey(r) {
+				continue // trivial after rewriting
+			}
+		}
+		out.Constraints = append(out.Constraints, Constraint{L: l, R: r, Eq: c.Eq})
+	}
+	return out
+}
+
+// CEquivalent decides the c-equivalence Q1 ≡c Q2 of Claim 3 — whether
+// |Q1(I)| = |Q2(I)| for every instance I — by reducing both queries and
+// testing ordinary equivalence. Reduced queries of different widths are
+// never c-equivalent.
+func CEquivalent(q1, q2 *NF) (bool, error) {
+	s1, s2 := q1.Satisfiable(), q2.Satisfiable()
+	if s1 != s2 {
+		return false, nil
+	}
+	if !s1 {
+		return true, nil // both always-empty
+	}
+	r1, r2 := q1.Reduce(), q2.Reduce()
+	if len(r1.Head) != len(r2.Head) {
+		return false, nil
+	}
+	return Equivalent(r1, r2)
+}
+
+// CEquivalentUCQ extends c-equivalence to unions of conjunctive queries
+// (the form needed by Claim 4): the unions are reduced disjunct-wise and
+// compared as UCQs. All disjuncts of a union must reduce to the same
+// head width; mixed widths indicate the unions cannot have equal
+// cardinalities on all instances.
+func CEquivalentUCQ(u1, u2 UCQ) (bool, error) {
+	red := func(u UCQ) (UCQ, int, bool) {
+		var out UCQ
+		width := -1
+		for _, q := range u {
+			if !q.Satisfiable() {
+				continue
+			}
+			r := q.Reduce()
+			if width == -1 {
+				width = len(r.Head)
+			} else if width != len(r.Head) {
+				return nil, -2, false
+			}
+			out = append(out, r)
+		}
+		return out, width, true
+	}
+	r1, w1, ok1 := red(u1)
+	r2, w2, ok2 := red(u2)
+	if !ok1 || !ok2 {
+		return false, nil
+	}
+	if len(r1) == 0 && len(r2) == 0 {
+		return true, nil
+	}
+	if len(r1) == 0 || len(r2) == 0 || w1 != w2 {
+		return false, nil
+	}
+	return EquivalentUCQ(r1, r2)
+}

@@ -1,0 +1,376 @@
+// Package datalog implements linear datalog (LinDatalog) with '≠' — the
+// relational query language that PT(CQ, tuple, normal) captures
+// (Theorem 3(2)) — together with semi-naive evaluation, structural
+// analysis (linearity, recursion, determinism), and the two-way
+// translation with publishing transducers from the proof of
+// Theorem 3(2).
+//
+// A program is a set of rules
+//
+//	p(x̄) ← p1(x̄1), …, pn(x̄n), constraints
+//
+// where each pi is an EDB or IDB predicate and constraints are = / ≠
+// between variables and constants. The program is linear when every
+// rule body holds at most one IDB atom.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptx/internal/cq"
+	"ptx/internal/eval"
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// Rule is a single datalog rule. Head arguments may be variables or
+// constants; body atoms range over EDB and IDB predicates. Guards are
+// arbitrary FO formulas over the EDB predicates (LinDatalog(FO),
+// see fo.go); plain LinDatalog rules have none.
+type Rule struct {
+	Head        *logic.Atom
+	Body        []*logic.Atom
+	Constraints []cq.Constraint
+	Guards      []logic.Formula
+}
+
+// String renders the rule in the usual head ← body notation.
+func (r *Rule) String() string {
+	parts := make([]string, 0, len(r.Body)+len(r.Constraints)+len(r.Guards))
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, c := range r.Constraints {
+		parts = append(parts, c.String())
+	}
+	for _, g := range r.Guards {
+		parts = append(parts, g.String())
+	}
+	return r.Head.String() + " <- " + strings.Join(parts, ", ")
+}
+
+// Program is a datalog program over an EDB schema with a designated
+// output (answer) predicate.
+type Program struct {
+	EDB    *relation.Schema
+	Output string
+	Rules  []*Rule
+}
+
+// IDB returns the set of intensional predicates (those appearing in
+// rule heads), sorted.
+func (p *Program) IDB() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		set[r.Head.Rel] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Program) isIDB(name string) bool {
+	for _, r := range p.Rules {
+		if r.Head.Rel == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks arities are consistent, body predicates are EDB or
+// IDB, and the output predicate has at least one rule.
+func (p *Program) Validate() error {
+	arity := make(map[string]int)
+	for _, n := range p.EDB.Names() {
+		a, _ := p.EDB.Arity(n)
+		arity[n] = a
+	}
+	record := func(a *logic.Atom) error {
+		if prev, ok := arity[a.Rel]; ok {
+			if prev != len(a.Args) {
+				return fmt.Errorf("datalog: %s used with arities %d and %d", a.Rel, prev, len(a.Args))
+			}
+			return nil
+		}
+		arity[a.Rel] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := record(r.Head); err != nil {
+			return err
+		}
+		if _, isEDB := p.EDB.Arity(r.Head.Rel); isEDB {
+			return fmt.Errorf("datalog: rule head %s is an EDB predicate", r.Head.Rel)
+		}
+		for _, a := range r.Body {
+			if err := record(a); err != nil {
+				return err
+			}
+			if !p.isIDB(a.Rel) {
+				if _, ok := p.EDB.Arity(a.Rel); !ok {
+					return fmt.Errorf("datalog: body predicate %s is neither EDB nor IDB in %s", a.Rel, r)
+				}
+			}
+		}
+		// Head variables must be bound by the body (range restriction);
+		// constants are always fine. Guard free variables bind under the
+		// active-domain semantics.
+		bound := make(map[logic.Var]bool)
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if v, ok := t.(logic.Var); ok {
+					bound[v] = true
+				}
+			}
+		}
+		for _, g := range r.Guards {
+			for _, v := range logic.FreeVars(g) {
+				bound[v] = true
+			}
+		}
+		// Equality with a constant or bound variable also binds.
+		changed := true
+		for changed {
+			changed = false
+			for _, c := range r.Constraints {
+				if !c.Eq {
+					continue
+				}
+				lv, lok := c.L.(logic.Var)
+				rv, rok := c.R.(logic.Var)
+				switch {
+				case lok && !bound[lv] && (!rok || bound[rv]):
+					bound[lv] = true
+					changed = true
+				case rok && !bound[rv] && (!lok || bound[lv]):
+					bound[rv] = true
+					changed = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if v, ok := t.(logic.Var); ok && !bound[v] {
+				return fmt.Errorf("datalog: head variable %s unbound in %s", v, r)
+			}
+		}
+	}
+	if !p.isIDB(p.Output) {
+		return fmt.Errorf("datalog: output predicate %s has no rules", p.Output)
+	}
+	return p.validateGuards()
+}
+
+// IsLinear reports whether every rule body holds at most one IDB atom.
+func (p *Program) IsLinear() bool {
+	for _, r := range p.Rules {
+		n := 0
+		for _, a := range r.Body {
+			if p.isIDB(a.Rel) {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonrecursive reports whether the IDB dependency graph is acyclic.
+func (p *Program) IsNonrecursive() bool {
+	succ := make(map[string][]string)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if p.isIDB(a.Rel) {
+				succ[r.Head.Rel] = append(succ[r.Head.Rel], a.Rel)
+			}
+		}
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make(map[string]int)
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range succ[n] {
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range p.IDB() {
+		if color[n] == white && visit(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDeterministic reports whether every IDB predicate has exactly one
+// rule (the deterministic LinDatalog of Claim 5).
+func (p *Program) IsDeterministic() bool {
+	count := make(map[string]int)
+	for _, r := range p.Rules {
+		count[r.Head.Rel]++
+	}
+	for _, n := range count {
+		if n != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval computes the program's fixpoint on inst by semi-naive iteration
+// and returns the output relation. SetNaive in Options switches to naive
+// evaluation (used by the ablation benchmark).
+func (p *Program) Eval(inst *relation.Instance) (*relation.Relation, error) {
+	return p.eval(inst, false)
+}
+
+// EvalNaive recomputes every rule from the full IDB each round; it is
+// the ablation baseline for the semi-naive evaluator.
+func (p *Program) EvalNaive(inst *relation.Instance) (*relation.Relation, error) {
+	return p.eval(inst, true)
+}
+
+func (p *Program) eval(inst *relation.Instance, naive bool) (*relation.Relation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	arities := make(map[string]int)
+	for _, r := range p.Rules {
+		arities[r.Head.Rel] = len(r.Head.Args)
+	}
+	total := make(map[string]*relation.Relation)
+	delta := make(map[string]*relation.Relation)
+	for n, a := range arities {
+		total[n] = relation.New(a)
+		delta[n] = relation.New(a)
+	}
+
+	// fire evaluates one rule; when deltaOcc >= 0 that body-atom
+	// occurrence is restricted to its delta relation (semi-naive).
+	fire := func(r *Rule, deltaOcc int) (*relation.Relation, error) {
+		env := eval.NewEnv(inst)
+		for n, rel := range total {
+			env = env.WithRelation(n, rel)
+		}
+		var parts []logic.Formula
+		for i, a := range r.Body {
+			rel := a.Rel
+			if i == deltaOcc {
+				rel = "Δ" + a.Rel
+				env = env.WithRelation(rel, delta[a.Rel])
+			}
+			parts = append(parts, &logic.Atom{Rel: rel, Args: a.Args})
+		}
+		parts = append(parts, cq.ConstraintsFormula(r.Constraints))
+		parts = append(parts, r.Guards...)
+		body := logic.Conj(parts...)
+
+		b, err := eval.Eval(body, env)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: rule %s: %v", r, err)
+		}
+		idx := make(map[logic.Var]int, len(b.Vars))
+		for i, v := range b.Vars {
+			idx[v] = i
+		}
+		out := relation.New(len(r.Head.Args))
+		b.Rel.Each(func(t value.Tuple) bool {
+			h := make(value.Tuple, len(r.Head.Args))
+			for i, arg := range r.Head.Args {
+				switch u := arg.(type) {
+				case logic.Const:
+					h[i] = value.V(u)
+				case logic.Var:
+					h[i] = t[idx[u]]
+				}
+			}
+			out.Add(h)
+			return true
+		})
+		return out, nil
+	}
+
+	// Initial round: rules fired with empty IDB (only EDB-only rules can
+	// produce tuples, but firing everything is simpler and correct).
+	for _, r := range p.Rules {
+		res, err := fire(r, -1)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range res.Tuples() {
+			if !total[r.Head.Rel].Contains(t) {
+				total[r.Head.Rel].Add(t)
+				delta[r.Head.Rel].Add(t)
+			}
+		}
+	}
+
+	for {
+		next := make(map[string]*relation.Relation)
+		for n, a := range arities {
+			next[n] = relation.New(a)
+		}
+		grew := false
+		for _, r := range p.Rules {
+			var results []*relation.Relation
+			if naive {
+				res, err := fire(r, -1)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+			} else {
+				// Semi-naive: fire once per IDB body occurrence with a
+				// nonempty delta (other occurrences see the full total).
+				for i, a := range r.Body {
+					if p.isIDB(a.Rel) && !delta[a.Rel].Empty() {
+						res, err := fire(r, i)
+						if err != nil {
+							return nil, err
+						}
+						results = append(results, res)
+					}
+				}
+			}
+			for _, res := range results {
+				for _, t := range res.Tuples() {
+					if !total[r.Head.Rel].Contains(t) && !next[r.Head.Rel].Contains(t) {
+						next[r.Head.Rel].Add(t)
+						grew = true
+					}
+				}
+			}
+		}
+		for n, rel := range next {
+			for _, t := range rel.Tuples() {
+				total[n].Add(t)
+			}
+			delta[n] = rel
+		}
+		if !grew {
+			break
+		}
+	}
+	return total[p.Output], nil
+}

@@ -1,0 +1,135 @@
+package datalog
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+)
+
+// Guards extend rules to LinDatalog(FO) (Grädel's fragment, which
+// Theorem 3(3) shows PT(FO, tuple, O) captures): a guard is an
+// arbitrary FO formula over the EDB predicates whose free variables
+// join the rule body like atom variables.
+//
+// A Rule with Guards participates in evaluation exactly like its atoms;
+// Validate treats guard free variables as bound.
+
+// HasGuards reports whether any rule carries an FO guard.
+func (p *Program) HasGuards() bool {
+	for _, r := range p.Rules {
+		if len(r.Guards) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateGuards checks that guards only reference EDB predicates
+// (LinDatalog(FO) allows FO over the EDBs, not over IDBs).
+func (p *Program) validateGuards() error {
+	for _, r := range p.Rules {
+		for _, g := range r.Guards {
+			for _, rel := range logic.Relations(g) {
+				if p.isIDB(rel) {
+					return fmt.Errorf("datalog: guard of %s references IDB predicate %s", r, rel)
+				}
+				if _, ok := p.EDB.Arity(rel); !ok {
+					return fmt.Errorf("datalog: guard of %s references unknown relation %s", r, rel)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FromTransducerFO translates a PT(FO, tuple, O) transducer viewed as a
+// relational query into an equivalent LinDatalog(FO) program — the
+// constructive half of Theorem 3(3). The structure mirrors
+// FromTransducer; because tuple registers hold exactly one tuple, every
+// Reg(t̄) atom (even under negation or quantifiers) is equivalent to
+// t̄ = z̄ for the parent predicate's variables z̄, so FO item queries
+// become FO guards over the EDBs.
+func FromTransducerFO(t *pt.Transducer, outLabel string) (*Program, error) {
+	cl := t.Classify()
+	if cl.Logic > logic.FO {
+		return nil, fmt.Errorf("datalog: transducer %s uses %s, need at most FO", t.Name, cl.Logic)
+	}
+	if cl.Store != pt.TupleStore {
+		return nil, fmt.Errorf("datalog: transducer %s has relation stores", t.Name)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := t.Arities[outLabel]; !ok {
+		return nil, fmt.Errorf("datalog: unknown output label %q", outLabel)
+	}
+
+	prog := &Program{EDB: t.Schema, Output: "ans"}
+	pred := func(state, tag string) string { return "P_" + state + "_" + tag }
+	prog.Rules = append(prog.Rules, &Rule{Head: &logic.Atom{Rel: pred(t.Start, t.RootTag)}})
+
+	outArity := t.Arities[outLabel]
+	ansAdded := map[string]bool{}
+	addAns := func(state string) {
+		key := pred(state, outLabel)
+		if ansAdded[key] {
+			return
+		}
+		ansAdded[key] = true
+		args := make([]logic.Term, outArity)
+		vars := make([]logic.Term, outArity)
+		for i := 0; i < outArity; i++ {
+			v := logic.Var(fmt.Sprintf("o%d", i))
+			args[i], vars[i] = v, v
+		}
+		prog.Rules = append(prog.Rules, &Rule{
+			Head: &logic.Atom{Rel: "ans", Args: args},
+			Body: []*logic.Atom{{Rel: key, Args: vars}},
+		})
+	}
+
+	for _, r := range t.Rules() {
+		parentArity := t.Arities[r.Tag]
+		zs := make([]logic.Term, parentArity)
+		for i := range zs {
+			zs[i] = logic.Var(fmt.Sprintf("z_reg%d", i))
+		}
+		for _, it := range r.Items {
+			// Replace every Reg(t̄) by ⋀ t̄_j = z_j (sound in any context:
+			// the register is the single tuple z̄).
+			guard := logic.ReplaceAtom(it.Query.F, pt.RegRel, func(args []logic.Term) logic.Formula {
+				parts := make([]logic.Formula, len(args))
+				for j, a := range args {
+					parts[j] = logic.EqT(a, zs[j])
+				}
+				return logic.Conj(parts...)
+			})
+			rule := &Rule{
+				Head:   &logic.Atom{Rel: pred(it.State, it.Tag), Args: logicTerms(it.Query.Head())},
+				Body:   []*logic.Atom{{Rel: pred(r.State, r.Tag), Args: zs}},
+				Guards: []logic.Formula{guard},
+			}
+			prog.Rules = append(prog.Rules, rule)
+			if it.Tag == outLabel {
+				addAns(it.State)
+			}
+		}
+	}
+	if len(ansAdded) == 0 {
+		args := make([]logic.Term, outArity)
+		var guards []logic.Formula
+		for i := 0; i < outArity; i++ {
+			v := logic.Var(fmt.Sprintf("o%d", i))
+			args[i] = v
+			guards = append(guards, logic.EqT(v, logic.Const("0")))
+		}
+		guards = append(guards, logic.False)
+		prog.Rules = append(prog.Rules, &Rule{
+			Head:   &logic.Atom{Rel: "ans", Args: args},
+			Body:   []*logic.Atom{{Rel: pred(t.Start, t.RootTag)}},
+			Guards: guards,
+		})
+	}
+	return prog, nil
+}

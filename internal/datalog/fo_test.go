@@ -1,0 +1,117 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// unreachableTransducer unfolds a graph from marked sources, filtering
+// steps through an FO guard (no edge back to a marked source).
+func foUnfoldTransducer() *pt.Transducer {
+	s := relation.NewSchema().MustDeclare("E", 2).MustDeclare("Src", 1)
+	x, y := logic.Var("x"), logic.Var("y")
+	t := pt.New("fo-unfold", s, "q0", "r")
+	t.DeclareTag("a", 1)
+	t.AddRule("q0", "r", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, nil, logic.R("Src", x))))
+	// Step: successors of the register vertex that are NOT sources.
+	step := logic.Ex([]logic.Var{y}, logic.Conj(
+		logic.R(pt.RegRel, y),
+		logic.R("E", y, x),
+	))
+	notSrc := &logic.Not{F: logic.R("Src", x)}
+	t.AddRule("q", "a", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, nil, logic.Conj(step, notSrc))))
+	return t
+}
+
+func TestFromTransducerFORecursive(t *testing.T) {
+	tr := foUnfoldTransducer()
+	prog, err := FromTransducerFO(tr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !prog.HasGuards() {
+		t.Error("FO translation should carry guards")
+	}
+	if !prog.IsLinear() {
+		t.Error("translation must be linear (LinDatalog(FO))")
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 12; trial++ {
+		inst := relation.NewInstance(tr.Schema)
+		for k := 0; k < 7; k++ {
+			inst.Add("E", string(value.Of(rng.Intn(5))), string(value.Of(rng.Intn(5))))
+		}
+		inst.Add("Src", string(value.Of(rng.Intn(5))))
+		fromTr, err := tr.OutputRelation(inst, "a", pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromDl, err := prog.Eval(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromTr.Equal(fromDl) {
+			t.Fatalf("trial %d: transducer %s vs LinDatalog(FO) %s\n%s",
+				trial, fromTr, fromDl, inst)
+		}
+	}
+}
+
+func TestFromTransducerFORejectsIFP(t *testing.T) {
+	s := relation.NewSchema().MustDeclare("E", 2)
+	x, u := logic.Var("x"), logic.Var("u")
+	tr := pt.New("ifp", s, "q0", "r")
+	tr.DeclareTag("a", 1)
+	fp := &logic.Fixpoint{Rel: "S", Vars: []logic.Var{u},
+		Body: logic.Ex([]logic.Var{logic.Var("w")}, logic.R("E", u, logic.Var("w"))),
+		Args: []logic.Term{x}}
+	tr.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, fp)))
+	tr.AddRule("q", "a")
+	if _, err := FromTransducerFO(tr, "a"); err == nil {
+		t.Error("IFP transducer must be rejected")
+	}
+}
+
+func TestGuardValidation(t *testing.T) {
+	s := relation.NewSchema().MustDeclare("E", 2)
+	x, y := logic.Var("x"), logic.Var("y")
+	// Guard referencing an IDB predicate is rejected.
+	bad := &Program{EDB: s, Output: "p", Rules: []*Rule{
+		{Head: logic.R("p", x), Body: []*logic.Atom{logic.R("E", x, y)},
+			Guards: []logic.Formula{&logic.Not{F: logic.R("p", x)}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("guard over an IDB predicate should fail validation")
+	}
+	// A guard can bind head variables on its own.
+	ok := &Program{EDB: s, Output: "p", Rules: []*Rule{
+		{Head: logic.R("p", x), Guards: []logic.Formula{
+			logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), &logic.Not{F: logic.R("E", y, x)})),
+		}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("guard-bound head variable should validate: %v", err)
+	}
+	inst := relation.NewInstance(s)
+	inst.Add("E", "a", "b")
+	inst.Add("E", "b", "a")
+	inst.Add("E", "a", "c")
+	out, err := ok.Eval(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the edge a→c lacks a back edge.
+	if out.Len() != 1 || !out.Contains(value.Tuple{"a"}) {
+		t.Fatalf("guarded rule = %s", out)
+	}
+}

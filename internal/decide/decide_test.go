@@ -1,0 +1,530 @@
+package decide
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/cq"
+	"ptx/internal/eval"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+	"ptx/internal/xmltree"
+)
+
+var (
+	x = logic.Var("x")
+	y = logic.Var("y")
+)
+
+// singleR is the schema {R1(1)}, graphS is {E(2)}.
+func schemaR() *relation.Schema { return relation.NewSchema().MustDeclare("R1", 1) }
+
+// liveTransducer spawns one a-child per R1 value: always nonempty when
+// R1 is.
+func liveTransducer() *pt.Transducer {
+	t := pt.New("live", schemaR(), "q0", "r")
+	t.DeclareTag("a", 1)
+	t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t.AddRule("q", "a")
+	return t
+}
+
+// deadTransducer has an unsatisfiable start query.
+func deadTransducer() *pt.Transducer {
+	t := pt.New("dead", schemaR(), "q0", "r")
+	t.DeclareTag("a", 1)
+	dead := logic.Conj(logic.EqT(x, logic.Const("c")), logic.NeqT(x, logic.Const("c")))
+	t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, dead)))
+	t.AddRule("q", "a")
+	return t
+}
+
+func TestEmptinessNormal(t *testing.T) {
+	got, err := Emptiness(liveTransducer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("live transducer should be nonempty")
+	}
+	got, err = Emptiness(deadTransducer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("dead transducer should be empty")
+	}
+}
+
+func TestEmptinessTau1(t *testing.T) {
+	got, err := Emptiness(registrar.Tau1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("τ1 produces trees for CS-course instances")
+	}
+}
+
+func TestEmptinessRejectsFO(t *testing.T) {
+	_, err := Emptiness(registrar.Tau3())
+	if err == nil {
+		t.Fatal("FO emptiness must be rejected (undecidable)")
+	}
+	if _, ok := err.(*ErrUndecidable); !ok {
+		t.Fatalf("want ErrUndecidable, got %T", err)
+	}
+}
+
+// virtualTransducer reaches a normal tag b only through a virtual chain
+// v whose query chain is satisfiable iff ok.
+func virtualTransducer(ok bool) *pt.Transducer {
+	t := pt.New("virt", schemaR(), "q0", "r")
+	t.DeclareTag("v", 1).DeclareTag("b", 1)
+	t.MarkVirtual("v")
+	start := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	var stepF logic.Formula
+	if ok {
+		stepF = logic.R(pt.RegRel, x)
+	} else {
+		stepF = logic.Conj(logic.R(pt.RegRel, x), logic.EqT(x, logic.Const("0")), logic.NeqT(x, logic.Const("0")))
+	}
+	t.AddRule("q0", "r", pt.Item("qv", "v", start))
+	t.AddRule("qv", "v", pt.Item("qb", "b", logic.MustQuery([]logic.Var{x}, nil, stepF)))
+	t.AddRule("qb", "b")
+	return t
+}
+
+func TestEmptinessVirtual(t *testing.T) {
+	got, err := Emptiness(virtualTransducer(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("satisfiable virtual chain should be nonempty")
+	}
+	got, err = Emptiness(virtualTransducer(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("dead virtual chain should be empty")
+	}
+}
+
+func TestEmptinessVirtualOnlyVirtualChildren(t *testing.T) {
+	// All non-root tags virtual: output is always the bare root.
+	t1 := pt.New("allvirtual", schemaR(), "q0", "r")
+	t1.DeclareTag("v", 1)
+	t1.MarkVirtual("v")
+	t1.AddRule("q0", "r", pt.Item("q", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t1.AddRule("q", "v", pt.Item("q", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	got, err := Emptiness(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("virtual-only transducer never emits a visible node")
+	}
+}
+
+func TestEmptinessMatchesExecution(t *testing.T) {
+	// Cross-check the decision against actually running the transducer
+	// on a generic instance.
+	for _, tr := range []*pt.Transducer{liveTransducer(), deadTransducer(), virtualTransducer(true), virtualTransducer(false)} {
+		dec, err := Emptiness(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := relation.NewInstance(schemaR())
+		inst.Add("R1", "a")
+		inst.Add("R1", "b")
+		out, err := tr.Output(inst, pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran := out.Size() > 1
+		if dec != ran {
+			t.Errorf("%s: decision %v but execution on generic instance gives %v", tr.Name, dec, ran)
+		}
+	}
+}
+
+func TestMembershipPositive(t *testing.T) {
+	tr := liveTransducer()
+	target := xmltree.MustParse("r(a)")
+	ok, err := Membership(tr, target, MembershipOptions{FreshValues: 2, MaxTuplesPerRel: 2, MaxCandidates: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r(a) is producible with |R1| = 1")
+	}
+	target2 := xmltree.MustParse("r(a,a,a)")
+	ok, err = Membership(tr, target2, MembershipOptions{FreshValues: 3, MaxTuplesPerRel: 3, MaxCandidates: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r(a,a,a) is producible with |R1| = 3")
+	}
+}
+
+func TestMembershipNegativeStructural(t *testing.T) {
+	tr := liveTransducer()
+	// Tag b never occurs in rules: fast refutation.
+	if AnnotateStates(tr, xmltree.MustParse("r(b)")) {
+		t.Error("structural pass should reject unknown tag")
+	}
+	ok, err := Membership(tr, xmltree.MustParse("r(b)"), DefaultMembershipOptions(tr, xmltree.MustParse("r(b)")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("r(b) is not producible")
+	}
+}
+
+func TestMembershipNegativeSemantic(t *testing.T) {
+	// A transducer that always produces both an a and a b child when R1
+	// is nonempty can never produce a tree with an a child only.
+	tr := pt.New("ab", schemaR(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	tr.AddRule("q0", "r", pt.Item("q", "a", q), pt.Item("q", "b", q))
+	tr.AddRule("q", "a")
+	tr.AddRule("q", "b")
+	target := xmltree.MustParse("r(a)")
+	ok, err := Membership(tr, target, MembershipOptions{FreshValues: 2, MaxTuplesPerRel: 2, MaxCandidates: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a-only tree is not producible (b always accompanies a)")
+	}
+}
+
+func TestMembershipTrivialTree(t *testing.T) {
+	tr := liveTransducer()
+	ok, err := Membership(tr, xmltree.MustParse("r"), MembershipOptions{FreshValues: 1, MaxTuplesPerRel: 1, MaxCandidates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the bare root arises from the empty instance")
+	}
+}
+
+func TestMembershipChildOrder(t *testing.T) {
+	// Children must respect rule item order: with items (a then b), a
+	// tree r(b,a) is structurally impossible.
+	tr := pt.New("ab", schemaR(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	tr.AddRule("q0", "r", pt.Item("q", "a", q), pt.Item("q", "b", q))
+	tr.AddRule("q", "a")
+	tr.AddRule("q", "b")
+	if AnnotateStates(tr, xmltree.MustParse("r(b,a)")) {
+		t.Error("out-of-order children should be refuted structurally")
+	}
+	if !AnnotateStates(tr, xmltree.MustParse("r(a,b)")) {
+		t.Error("in-order children are structurally fine")
+	}
+}
+
+func TestMembershipNonrecursiveVirtual(t *testing.T) {
+	// Theorem 2(3): membership stays Σp2-decidable for
+	// PTnr(CQ, tuple, virtual). The live virtual hop can produce r(b);
+	// the dead one cannot.
+	opts := MembershipOptions{FreshValues: 2, MaxTuplesPerRel: 2, MaxCandidates: 100000}
+	ok, err := Membership(virtualTransducer(true), xmltree.MustParse("r(b)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r(b) is producible through the virtual hop")
+	}
+	ok, err = Membership(virtualTransducer(false), xmltree.MustParse("r(b)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dead virtual chain cannot produce r(b)")
+	}
+}
+
+func TestMembershipRejectsRecursiveVirtual(t *testing.T) {
+	// Recursive + virtual stays undecidable (Theorem 1(2)).
+	tr := pt.New("recvirt", schemaR(), "q0", "r")
+	tr.DeclareTag("v", 1).DeclareTag("b", 1)
+	tr.MarkVirtual("v")
+	tr.AddRule("q0", "r", pt.Item("qv", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	tr.AddRule("qv", "v",
+		pt.Item("qv", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))),
+		pt.Item("qb", "b", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	tr.AddRule("qb", "b")
+	if _, err := Membership(tr, xmltree.MustParse("r(b)"), MembershipOptions{}); err == nil {
+		t.Error("recursive virtual membership must be rejected")
+	}
+}
+
+// --- equivalence -------------------------------------------------------
+
+func copyATransducer(extraNeq bool, cval string) *pt.Transducer {
+	t := pt.New("cpy", schemaR(), "q0", "r")
+	t.DeclareTag("a", 1).DeclareTag("text", 1)
+	f := logic.Formula(logic.R("R1", x))
+	if extraNeq {
+		f = logic.Conj(logic.R("R1", x), logic.NeqT(x, logic.Const(cval)))
+	}
+	t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, f)))
+	t.AddRule("q", "a", pt.Item("qt", "text", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	t.AddRule("qt", "text")
+	return t
+}
+
+func TestEquivalencePositive(t *testing.T) {
+	t1 := copyATransducer(false, "")
+	// Same view with a redundant self-join in the start query.
+	t2 := pt.New("cpy2", schemaR(), "q0", "r")
+	t2.DeclareTag("a", 1).DeclareTag("text", 1)
+	f := logic.Ex([]logic.Var{y}, logic.Conj(logic.R("R1", x), logic.R("R1", y)))
+	t2.AddRule("q0", "r", pt.Item("p", "a", logic.MustQuery([]logic.Var{x}, nil, f)))
+	t2.AddRule("p", "a", pt.Item("pt2", "text", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	t2.AddRule("pt2", "text")
+	ok, err := Equivalence(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("redundant self-join should not change the view")
+	}
+}
+
+func TestEquivalenceNegative(t *testing.T) {
+	t1 := copyATransducer(false, "")
+	t2 := copyATransducer(true, "k")
+	ok, err := Equivalence(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("x≠'k' filter changes the view on instances containing k")
+	}
+	// Cross-check on a witness instance.
+	inst := relation.NewInstance(schemaR())
+	inst.Add("R1", "k")
+	o1, _ := t1.Output(inst, pt.Options{})
+	o2, _ := t2.Output(inst, pt.Options{})
+	if o1.Equal(o2) {
+		t.Error("witness instance should separate the transducers")
+	}
+}
+
+func TestEquivalenceTextMatters(t *testing.T) {
+	// Two views emitting the same *number* of children but different
+	// text payloads: c-equivalence of the a-level holds, but the text
+	// level must use full equivalence and fail.
+	mk := func(col int) *pt.Transducer {
+		s := relation.NewSchema().MustDeclare("E", 2)
+		t := pt.New("txt", s, "q0", "r")
+		t.DeclareTag("a", 2).DeclareTag("text", 1)
+		t.AddRule("q0", "r", pt.Item("q", "a",
+			logic.MustQuery([]logic.Var{x, y}, nil, logic.R("E", x, y))))
+		var proj logic.Formula
+		if col == 0 {
+			proj = logic.Ex([]logic.Var{y}, logic.R(pt.RegRel, x, y))
+		} else {
+			proj = logic.Ex([]logic.Var{y}, logic.R(pt.RegRel, y, x))
+		}
+		t.AddRule("q", "a", pt.Item("qt", "text", logic.MustQuery([]logic.Var{x}, nil, proj)))
+		t.AddRule("qt", "text")
+		return t
+	}
+	ok, err := Equivalence(mk(0), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("projecting different columns into text differs")
+	}
+	ok, err = Equivalence(mk(0), mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("identical views are equivalent")
+	}
+}
+
+func TestEquivalenceDeadBranchIgnored(t *testing.T) {
+	// t2 has an extra child item whose query is unsatisfiable: still
+	// equivalent to t1.
+	t1 := copyATransducer(false, "")
+	t2 := pt.New("cpy3", schemaR(), "q0", "r")
+	t2.DeclareTag("a", 1).DeclareTag("b", 1).DeclareTag("text", 1)
+	dead := logic.Conj(logic.EqT(x, logic.Const("0")), logic.NeqT(x, logic.Const("0")))
+	t2.AddRule("q0", "r",
+		pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))),
+		pt.Item("q", "b", logic.MustQuery([]logic.Var{x}, nil, dead)),
+	)
+	t2.AddRule("q", "a", pt.Item("qt", "text", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	t2.AddRule("qt", "text")
+	t2.AddRule("q", "b")
+	ok, err := Equivalence(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("an unsatisfiable branch cannot separate the views")
+	}
+}
+
+func TestEquivalenceRejectsRecursive(t *testing.T) {
+	if _, err := Equivalence(registrar.Tau1(), registrar.Tau1()); err == nil {
+		t.Error("recursive equivalence is undecidable; must be rejected")
+	}
+}
+
+func TestEquivalenceVirtualCompression(t *testing.T) {
+	// t1 spawns b directly; t2 routes the same query through a virtual
+	// hop that copies the register. The views are equivalent.
+	t1 := pt.New("direct", schemaR(), "q0", "r")
+	t1.DeclareTag("b", 1)
+	t1.AddRule("q0", "r", pt.Item("q", "b", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t1.AddRule("q", "b")
+
+	t2 := virtualTransducer(true)
+	ok, err := Equivalence(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("virtual hop that copies the register preserves the view")
+	}
+	// And against the dead variant: not equivalent (t1 emits b's).
+	ok, err = Equivalence(t1, virtualTransducer(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dead virtual chain differs from the direct view")
+	}
+}
+
+// --- Proposition 6(1): UCQ extraction ---------------------------------
+
+func TestOutputUCQMatchesExecution(t *testing.T) {
+	// Nonrecursive 2-level CQ view over a graph: a-children for edges
+	// from 'a-labeled' sources; b-grandchildren for successors.
+	s := relation.NewSchema().MustDeclare("E", 2)
+	tr := pt.New("2lvl", s, "q0", "r")
+	tr.DeclareTag("a", 2).DeclareTag("b", 1)
+	tr.AddRule("q0", "r", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x, y}, nil, logic.R("E", x, y))))
+	z := logic.Var("z")
+	step := logic.Ex([]logic.Var{x, y}, logic.Conj(logic.R(pt.RegRel, x, y), logic.R("E", y, z)))
+	tr.AddRule("q", "a", pt.Item("qb", "b", logic.MustQuery([]logic.Var{z}, nil, step)))
+	tr.AddRule("qb", "b")
+
+	u, err := OutputUCQ(tr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 1 {
+		t.Fatalf("expected one path to b, got %d", len(u))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		inst := relation.NewInstance(s)
+		for k := 0; k < 6; k++ {
+			inst.Add("E", string(value.Of(rng.Intn(4))), string(value.Of(rng.Intn(4))))
+		}
+		fromTr, err := tr.OutputRelation(inst, "b", pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromUCQ, err := cq.EvalUCQ(u, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromTr.Equal(fromUCQ) {
+			t.Fatalf("trial %d: transducer %s vs UCQ %s", trial, fromTr, fromUCQ)
+		}
+	}
+}
+
+func TestOutputUCQMultiplePaths(t *testing.T) {
+	// Label reached by two different paths → two disjuncts.
+	tr := pt.New("2paths", schemaR(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1).DeclareTag("c", 1)
+	qa := logic.MustQuery([]logic.Var{x}, nil, logic.Conj(logic.R("R1", x), logic.EqT(x, logic.Const("1"))))
+	qb := logic.MustQuery([]logic.Var{x}, nil, logic.Conj(logic.R("R1", x), logic.NeqT(x, logic.Const("1"))))
+	copyQ := logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))
+	tr.AddRule("q0", "r", pt.Item("qa", "a", qa), pt.Item("qb", "b", qb))
+	tr.AddRule("qa", "a", pt.Item("qc", "c", copyQ))
+	tr.AddRule("qb", "b", pt.Item("qc", "c", copyQ))
+	tr.AddRule("qc", "c")
+
+	u, err := OutputUCQ(tr, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 2 {
+		t.Fatalf("expected 2 disjuncts, got %d", len(u))
+	}
+	inst := relation.NewInstance(schemaR())
+	inst.Add("R1", "1")
+	inst.Add("R1", "2")
+	fromTr, err := tr.OutputRelation(inst, "c", pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromUCQ, err := cq.EvalUCQ(u, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromTr.Equal(fromUCQ) || fromTr.Len() != 2 {
+		t.Fatalf("transducer %s vs UCQ %s", fromTr, fromUCQ)
+	}
+}
+
+// --- Proposition 6(2): FO extraction -----------------------------------
+
+func TestOutputFOFormulaMatchesExecution(t *testing.T) {
+	// A nonrecursive FO view: courses without DB prerequisite → their
+	// cno registers, two levels deep.
+	tr := registrar.Tau3()
+	f, head, err := OutputFOFormula(tr, "cno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range []*relation.Instance{
+		registrar.SampleInstance(),
+		registrar.ChainInstance(3),
+	} {
+		fromTr, err := tr.OutputRelation(inst, "cno", pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromF, err := evalFO(f, head, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromTr.Equal(fromF) {
+			t.Fatalf("transducer %s vs formula %s", fromTr, fromF)
+		}
+	}
+}
+
+func evalFO(f logic.Formula, head []logic.Var, inst *relation.Instance) (*relation.Relation, error) {
+	env := eval.NewEnv(inst)
+	q, err := logic.NewQuery(head, nil, f)
+	if err != nil {
+		return nil, err
+	}
+	return eval.EvalQuery(q, env)
+}

@@ -1,0 +1,148 @@
+// Package decide implements the decidable static analyses of Section 5:
+//
+//   - emptiness for PT(CQ, S, normal) in PTIME and for PT(CQ, S, virtual)
+//     by the NP path-search algorithm (Theorem 1(1));
+//   - membership for PT(CQ, tuple, normal) by the small-model search of
+//     Theorem 1(2) (Claim 2), with a fast structural refutation pass;
+//   - equivalence for PTnr(CQ, tuple, O) by the dependency-graph
+//     characterization of Theorem 2(4) (Claim 4);
+//   - the UCQ extraction of Proposition 6(1) for nonrecursive
+//     tuple-store transducers.
+//
+// For FO/IFP transducers these problems are undecidable (Proposition 2);
+// the corresponding functions reject such inputs with an error, and
+// package reduction provides the undecidability constructions.
+package decide
+
+import (
+	"fmt"
+
+	"ptx/internal/cq"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+)
+
+// ErrUndecidable reports that the requested analysis has no algorithm
+// for the transducer's class.
+type ErrUndecidable struct {
+	Problem string
+	Class   pt.Class
+}
+
+func (e *ErrUndecidable) Error() string {
+	return fmt.Sprintf("decide: %s is undecidable for %s", e.Problem, e.Class)
+}
+
+// requireCQ rejects non-CQ transducers for a named problem.
+func requireCQ(t *pt.Transducer, problem string) error {
+	if cl := t.Classify(); cl.Logic != logic.CQ {
+		return &ErrUndecidable{Problem: problem, Class: cl}
+	}
+	return nil
+}
+
+// itemNF normalizes one rule item's query (head = x̄·ȳ).
+func itemNF(it pt.RHS) (*cq.NF, error) {
+	return cq.Normalize(it.Query.Head(), it.Query.F)
+}
+
+// Emptiness decides whether a PT(CQ, S, O) transducer can produce a
+// nontrivial tree (one beyond the bare root) on some instance.
+//
+// Without virtual nodes this is the PTIME test of Theorem 1(1): the
+// transducer is nonempty iff some start-rule query is satisfiable (a
+// start query referencing the empty root register is vacuous). With
+// virtual nodes it is the NP search: a simple path in Gτ from the root
+// to a non-virtual tag whose composed query chain is satisfiable.
+func Emptiness(t *pt.Transducer) (nonempty bool, err error) {
+	if err := requireCQ(t, "emptiness"); err != nil {
+		return false, err
+	}
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if len(t.Virtual) == 0 {
+		return emptinessNormal(t)
+	}
+	return emptinessVirtual(t)
+}
+
+// emptinessNormal: nontrivial output iff a start query is satisfiable.
+func emptinessNormal(t *pt.Transducer) (bool, error) {
+	start, _ := t.Rule(t.Start, t.RootTag)
+	for _, it := range start.Items {
+		nf, err := itemNF(it)
+		if err != nil {
+			return false, err
+		}
+		if nf.UsesRel(pt.RegRel) {
+			// The root register is the empty nullary relation: any Reg
+			// atom is false, the query returns nothing.
+			continue
+		}
+		if nf.Satisfiable() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// emptinessVirtual: search simple paths from the root whose last edge
+// reaches a non-virtual tag and whose query chain is satisfiable.
+func emptinessVirtual(t *pt.Transducer) (bool, error) {
+	g := t.DependencyGraph()
+	found := false
+	var searchErr error
+	g.SimplePaths(func(p *pt.Path) bool {
+		if len(p.Nodes) < 2 {
+			return true // root only: trivial tree
+		}
+		end := p.End()
+		if t.Virtual[end.Tag] {
+			return true // keep extending
+		}
+		qs, err := pathQueries(t, p)
+		if err != nil {
+			searchErr = err
+			return false
+		}
+		if qs == nil {
+			return true // chain references the (empty) root register
+		}
+		ok, err := cq.PathSatisfiable(qs, pt.RegRel)
+		if err != nil {
+			searchErr = err
+			return false
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, searchErr
+}
+
+// pathQueries extracts the query chain along a dependency-graph path.
+// It returns nil (not an error) when the first query references the
+// root register, which is empty by definition.
+func pathQueries(t *pt.Transducer, p *pt.Path) ([]*cq.NF, error) {
+	qs := make([]*cq.NF, 0, len(p.Items))
+	for i, itemIdx := range p.Items {
+		from := p.Nodes[i]
+		rule, ok := t.Rule(from.State, from.Tag)
+		if !ok || itemIdx >= len(rule.Items) {
+			return nil, fmt.Errorf("decide: path references missing rule (%s,%s) item %d",
+				from.State, from.Tag, itemIdx)
+		}
+		nf, err := itemNF(rule.Items[itemIdx])
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 && nf.UsesRel(pt.RegRel) {
+			return nil, nil
+		}
+		qs = append(qs, nf)
+	}
+	return qs, nil
+}

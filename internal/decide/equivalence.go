@@ -1,0 +1,254 @@
+package decide
+
+import (
+	"fmt"
+
+	"ptx/internal/cq"
+	"ptx/internal/pt"
+	"ptx/internal/xmltree"
+)
+
+// Equivalence decides τ1 ≡ τ2 (same output tree on every instance) for
+// nonrecursive PT(CQ, tuple, O) transducers, implementing the
+// characterization of Theorem 2(4) / Claim 4: the dependency graphs must
+// match under the (tag-forced) homeomorphism, and along every
+// satisfiable root path the per-tag unions of composed queries must be
+// c-equivalent (fully equivalent for text children, whose register
+// value is printed).
+//
+// Virtual tags are handled by route compression (Theorem 2(4)'s
+// elimination): virtual chains between normal nodes become unions of
+// composed queries. Compression requires each virtual route block to
+// land on a single dependency-graph node; exotic transducers violating
+// this are rejected with an error rather than mis-decided.
+func Equivalence(t1, t2 *pt.Transducer) (bool, error) {
+	for _, t := range []*pt.Transducer{t1, t2} {
+		if err := requireCQ(t, "equivalence"); err != nil {
+			return false, err
+		}
+		cl := t.Classify()
+		if cl.Recursive {
+			return false, &ErrUndecidable{Problem: "equivalence", Class: cl}
+		}
+		if cl.Store != pt.TupleStore {
+			return false, &ErrUndecidable{Problem: "equivalence", Class: cl}
+		}
+		if err := t.Validate(); err != nil {
+			return false, err
+		}
+		if t.HasDuplicateTags() {
+			return false, fmt.Errorf("decide: equivalence requires distinct tags per rule (Definition 3.1 assumption)")
+		}
+	}
+	if t1.RootTag != t2.RootTag {
+		return false, nil
+	}
+	e := &equivChecker{t1: t1, t2: t2}
+	return e.compare(
+		pt.GraphNode{State: t1.Start, Tag: t1.RootTag}, nil,
+		pt.GraphNode{State: t2.Start, Tag: t2.RootTag}, nil,
+		0,
+	)
+}
+
+// route is one compressed step from a normal node to its next normal
+// descendant: the chain of queries through virtual tags plus the final
+// query, already composed relative to the path prefix.
+type route struct {
+	end   pt.GraphNode // the normal node reached
+	chain []*cq.NF     // query chain from the root (prefix + steps)
+}
+
+// block groups consecutive routes with the same tag (the Sᵢ partition
+// of Claim 4).
+type block struct {
+	tag    string
+	end    pt.GraphNode
+	chains [][]*cq.NF
+}
+
+type equivChecker struct {
+	t1, t2 *pt.Transducer
+}
+
+const maxEquivDepth = 64
+
+// compare recursively checks the pair of normal nodes n1/n2 reached via
+// the (satisfiable) query chains c1/c2.
+func (e *equivChecker) compare(n1 pt.GraphNode, c1 []*cq.NF, n2 pt.GraphNode, c2 []*cq.NF, depth int) (bool, error) {
+	if depth > maxEquivDepth {
+		return false, fmt.Errorf("decide: equivalence recursion exceeded depth %d", maxEquivDepth)
+	}
+	b1, err := e.normalBlocks(e.t1, n1, c1)
+	if err != nil {
+		return false, err
+	}
+	b2, err := e.normalBlocks(e.t2, n2, c2)
+	if err != nil {
+		return false, err
+	}
+	if len(b1) != len(b2) {
+		return false, nil
+	}
+	for i := range b1 {
+		if b1[i].tag != b2[i].tag {
+			return false, nil
+		}
+		u1 := make(cq.UCQ, len(b1[i].chains))
+		for j, ch := range b1[i].chains {
+			full, err := cq.ComposeAll(ch, pt.RegRel)
+			if err != nil {
+				return false, err
+			}
+			u1[j] = full
+		}
+		u2 := make(cq.UCQ, len(b2[i].chains))
+		for j, ch := range b2[i].chains {
+			full, err := cq.ComposeAll(ch, pt.RegRel)
+			if err != nil {
+				return false, err
+			}
+			u2[j] = full
+		}
+		var same bool
+		if b1[i].tag == xmltree.TextTag {
+			same, err = cq.EquivalentUCQ(u1, u2)
+		} else {
+			same, err = cq.CEquivalentUCQ(u1, u2)
+		}
+		if err != nil {
+			return false, err
+		}
+		if !same {
+			return false, nil
+		}
+		// Recurse using a representative chain per side (any satisfiable
+		// chain reaches the same node).
+		ok, err := e.compare(b1[i].end, b1[i].chains[0], b2[i].end, b2[i].chains[0], depth+1)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+// normalBlocks computes the compressed, live child blocks of node n
+// reached through prefix chain: the sequence of normal tags with their
+// route-query unions, skipping routes whose chain is unsatisfiable.
+func (e *equivChecker) normalBlocks(t *pt.Transducer, n pt.GraphNode, prefix []*cq.NF) ([]block, error) {
+	var routes []route
+	if err := collectRoutes(t, n, prefix, &routes, 0); err != nil {
+		return nil, err
+	}
+	// Keep satisfiable routes only.
+	live := routes[:0]
+	for _, r := range routes {
+		ok, err := cq.PathSatisfiable(r.chain, pt.RegRel)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			live = append(live, r)
+		}
+	}
+	// Group consecutive same-tag routes into blocks.
+	var blocks []block
+	for _, r := range live {
+		if len(blocks) > 0 && blocks[len(blocks)-1].tag == r.end.Tag {
+			b := &blocks[len(blocks)-1]
+			if b.end != r.end {
+				return nil, fmt.Errorf("decide: virtual routes to tag %q land on %s and %s; unsupported",
+					r.end.Tag, b.end, r.end)
+			}
+			b.chains = append(b.chains, r.chain)
+			continue
+		}
+		blocks = append(blocks, block{tag: r.end.Tag, end: r.end, chains: [][]*cq.NF{r.chain}})
+	}
+	// Distinct-tag invariants make non-consecutive repeats impossible in
+	// the normal case; with virtual routes they can recur — reject to
+	// stay sound.
+	seen := make(map[string]int)
+	for i, b := range blocks {
+		if j, ok := seen[b.tag]; ok && j != i {
+			return nil, fmt.Errorf("decide: tag %q occurs in non-consecutive blocks; unsupported interleaving", b.tag)
+		}
+		seen[b.tag] = i
+	}
+	return blocks, nil
+}
+
+// collectRoutes walks item edges from n, composing through virtual tags,
+// and emits a route at each normal target.
+func collectRoutes(t *pt.Transducer, n pt.GraphNode, chain []*cq.NF, out *[]route, depth int) error {
+	if depth > maxEquivDepth {
+		return fmt.Errorf("decide: virtual route depth exceeded %d", maxEquivDepth)
+	}
+	rule, ok := t.Rule(n.State, n.Tag)
+	if !ok {
+		return nil
+	}
+	for _, it := range rule.Items {
+		nf, err := itemNF(it)
+		if err != nil {
+			return err
+		}
+		if len(chain) == 0 && nf.UsesRel(pt.RegRel) {
+			// Root register is empty: this item never fires.
+			continue
+		}
+		next := append(append([]*cq.NF{}, chain...), nf)
+		child := pt.GraphNode{State: it.State, Tag: it.Tag}
+		if t.Virtual[it.Tag] {
+			if err := collectRoutes(t, child, next, out, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		*out = append(*out, route{end: child, chain: next})
+	}
+	return nil
+}
+
+// OutputUCQ implements Proposition 6(1): a nonrecursive PT(CQ, tuple, O)
+// transducer, viewed as a relational query with output label, equals the
+// union of the compositions of the query chains along all root paths
+// reaching that label.
+func OutputUCQ(t *pt.Transducer, label string) (cq.UCQ, error) {
+	if err := requireCQ(t, "UCQ extraction"); err != nil {
+		return nil, err
+	}
+	cl := t.Classify()
+	if cl.Recursive || cl.Store != pt.TupleStore {
+		return nil, fmt.Errorf("decide: UCQ extraction needs PTnr(CQ, tuple, O), got %s", cl)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g := t.DependencyGraph()
+	var u cq.UCQ
+	var walkErr error
+	g.SimplePaths(func(p *pt.Path) bool {
+		if len(p.Nodes) < 2 || p.End().Tag != label {
+			return true
+		}
+		qs, err := pathQueries(t, p)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if qs == nil {
+			return true
+		}
+		full, err := cq.ComposeAll(qs, pt.RegRel)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if full.Satisfiable() {
+			u = append(u, full)
+		}
+		return true
+	})
+	return u, walkErr
+}

@@ -1,0 +1,112 @@
+package decide
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+)
+
+// OutputFOFormula implements Proposition 6(2): a nonrecursive
+// PT(FO, tuple, O) transducer, viewed as a relational query with the
+// given output label, is equivalent to a single FO formula — the
+// disjunction over all root paths of the composed item formulas. The
+// returned formula's free variables are h0..h(k-1) where k = Θ(label).
+//
+// Composition substitutes, for every Reg(t̄) occurrence in a step
+// formula, a fresh copy of the previous step's formula with its head
+// identified with t̄; this is sound in arbitrary FO contexts because
+// tuple registers hold exactly one tuple.
+func OutputFOFormula(t *pt.Transducer, label string) (logic.Formula, []logic.Var, error) {
+	cl := t.Classify()
+	if cl.Logic > logic.FO {
+		return nil, nil, fmt.Errorf("decide: FO extraction needs at most FO, got %s", cl)
+	}
+	if cl.Recursive || cl.Store != pt.TupleStore {
+		return nil, nil, fmt.Errorf("decide: FO extraction needs PTnr(·, tuple, O), got %s", cl)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	arity, ok := t.Arities[label]
+	if !ok {
+		return nil, nil, fmt.Errorf("decide: unknown output label %q", label)
+	}
+	head := make([]logic.Var, arity)
+	for i := range head {
+		head[i] = logic.Var(fmt.Sprintf("h%d", i))
+	}
+
+	g := t.DependencyGraph()
+	var disjuncts []logic.Formula
+	var walkErr error
+	fresh := 0
+	g.SimplePaths(func(p *pt.Path) bool {
+		if len(p.Nodes) < 2 || p.End().Tag != label {
+			return true
+		}
+		f, vars, skip, err := composePathFO(t, p, &fresh)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if skip {
+			return true
+		}
+		// Rename the final head onto the standard h-variables.
+		sub := make(map[logic.Var]logic.Term, len(vars))
+		for i, v := range vars {
+			sub[v] = head[i]
+		}
+		disjuncts = append(disjuncts, logic.Substitute(f, sub))
+		return true
+	})
+	if walkErr != nil {
+		return nil, nil, walkErr
+	}
+	if len(disjuncts) == 0 {
+		return logic.False, head, nil
+	}
+	return logic.Disj(disjuncts...), head, nil
+}
+
+// composePathFO composes the item formulas along a dependency-graph
+// path; skip is true when the first item references the (empty) root
+// register and therefore never fires.
+func composePathFO(t *pt.Transducer, p *pt.Path, fresh *int) (logic.Formula, []logic.Var, bool, error) {
+	var cur logic.Formula
+	var curHead []logic.Var
+	for i, itemIdx := range p.Items {
+		from := p.Nodes[i]
+		rule, ok := t.Rule(from.State, from.Tag)
+		if !ok || itemIdx >= len(rule.Items) {
+			return nil, nil, false, fmt.Errorf("decide: path references missing rule (%s,%s)", from.State, from.Tag)
+		}
+		q := rule.Items[itemIdx].Query
+		if i == 0 {
+			for _, rel := range logic.Relations(q.F) {
+				if rel == pt.RegRel {
+					return nil, nil, true, nil
+				}
+			}
+			cur = q.F
+			curHead = q.Head()
+			continue
+		}
+		inner, innerHead := cur, curHead
+		cur = logic.ReplaceAtom(q.F, pt.RegRel, func(args []logic.Term) logic.Formula {
+			*fresh++
+			suffix := fmt.Sprintf("_f%d", *fresh)
+			copyF := logic.RenameAllVars(inner, suffix)
+			copyHead := make([]logic.Var, len(innerHead))
+			parts := []logic.Formula{copyF}
+			for j, h := range innerHead {
+				copyHead[j] = logic.Var(string(h) + suffix)
+				parts = append(parts, logic.EqT(copyHead[j], args[j]))
+			}
+			return logic.Ex(copyHead, logic.Conj(parts...))
+		})
+		curHead = q.Head()
+	}
+	return cur, curHead, false, nil
+}

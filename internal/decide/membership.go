@@ -1,0 +1,261 @@
+package decide
+
+import (
+	"fmt"
+
+	"ptx/internal/eval"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+	"ptx/internal/xmltree"
+)
+
+// MembershipOptions bounds the small-model search of Theorem 1(2).
+type MembershipOptions struct {
+	// FreshValues is the number of fresh domain constants u0,u1,…
+	// available beyond the transducer's own constants. Claim 2 bounds the
+	// instance size by K·|t| source tuples, so K·|t| fresh values always
+	// suffice; smaller bounds trade completeness for speed.
+	FreshValues int
+	// MaxTuplesPerRel caps each relation of the guessed instance.
+	MaxTuplesPerRel int
+	// MaxCandidates aborts the search after this many candidate
+	// instances (0 = unlimited). When the search aborts the result is
+	// "unknown", reported as an error.
+	MaxCandidates int
+}
+
+// DefaultMembershipOptions sizes the search for a target tree t per the
+// small-model property: |I'| ≤ K·|t| (Claim 2) where K is the maximal
+// number of relation atoms in any rule query, times the virtual depth
+// factor D for nonrecursive virtual transducers (Theorem 2(3)).
+func DefaultMembershipOptions(t *pt.Transducer, target *xmltree.Tree) MembershipOptions {
+	k := 1
+	for _, r := range t.Rules() {
+		for _, it := range r.Items {
+			n := len(logic.Relations(it.Query.F))
+			if n > k {
+				k = n
+			}
+		}
+	}
+	size := k * target.Size()
+	if len(t.Virtual) > 0 && !t.IsRecursive() {
+		size *= t.DependencyGraph().LongestPathLen()
+	}
+	return MembershipOptions{FreshValues: size, MaxTuplesPerRel: size, MaxCandidates: 2_000_000}
+}
+
+// Membership decides whether some instance I yields τ(I) = target. It
+// implements the Σp2 algorithms of Theorem 1(2) (PT(CQ, tuple, normal))
+// and Theorem 2(3) (PTnr(CQ, tuple, virtual)) as a bounded exhaustive
+// search over small instances (sound and complete within the Claim-2
+// bounds, extended by the virtual-depth factor D for the nonrecursive
+// virtual case). For normal-output transducers a PTIME structural
+// refutation pass (state annotation) rejects impossible tree shapes
+// first. Recursive transducers with virtual nodes, and relation stores,
+// are undecidable (Theorem 1(2)) and rejected.
+func Membership(t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (bool, error) {
+	if err := requireCQ(t, "membership"); err != nil {
+		return false, err
+	}
+	cl := t.Classify()
+	if cl.Store != pt.TupleStore {
+		return false, &ErrUndecidable{Problem: "membership", Class: cl}
+	}
+	if cl.Output == pt.VirtualOutput && cl.Recursive {
+		return false, &ErrUndecidable{Problem: "membership", Class: cl}
+	}
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if t.HasDuplicateTags() {
+		return false, fmt.Errorf("decide: membership requires distinct tags per rule (Definition 3.1 assumption)")
+	}
+	if target.Root.Tag != t.RootTag {
+		return false, nil
+	}
+	if cl.Output == pt.NormalOutput && !AnnotateStates(t, target) {
+		return false, nil
+	}
+	return searchInstances(t, target, opts)
+}
+
+// AnnotateStates runs the PTIME structural pass: walking the target
+// top-down, every child's tag must appear on the right-hand side of its
+// parent's (uniquely determined) rule, children must be ordered by rule
+// item, and leaf/text structure must be consistent. It returns false if
+// the tree shape is impossible regardless of the instance.
+func AnnotateStates(t *pt.Transducer, target *xmltree.Tree) bool {
+	type frame struct {
+		node  *xmltree.Node
+		state string
+	}
+	stack := []frame{{node: target.Root, state: t.Start}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rule, ok := t.Rule(f.state, f.node.Tag)
+		if !ok || len(rule.Items) == 0 {
+			if len(f.node.Children) != 0 {
+				return false
+			}
+			continue
+		}
+		// Children must appear in nondecreasing rule-item order.
+		itemIdx := make(map[string]int, len(rule.Items))
+		stateOf := make(map[string]string, len(rule.Items))
+		for i, it := range rule.Items {
+			itemIdx[it.Tag] = i
+			stateOf[it.Tag] = it.State
+		}
+		last := -1
+		for _, c := range f.node.Children {
+			i, ok := itemIdx[c.Tag]
+			if !ok || i < last {
+				return false
+			}
+			last = i
+			stack = append(stack, frame{node: c, state: stateOf[c.Tag]})
+		}
+	}
+	return true
+}
+
+// searchInstances enumerates instances over the canonical domain and
+// compares τ(I) with the target tree.
+func searchInstances(t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (bool, error) {
+	domain := canonicalDomain(t, target, opts.FreshValues)
+	names := t.Schema.Names()
+
+	// All candidate tuples per relation, in deterministic order.
+	tuplesFor := make(map[string][]value.Tuple)
+	for _, n := range names {
+		a, _ := t.Schema.Arity(n)
+		tuplesFor[n] = allTuples(domain, a)
+	}
+
+	budget := opts.MaxCandidates
+	targetCanon := target.Canonical()
+	// Virtual nodes inflate ξ beyond the target's size: allow a chain of
+	// virtual hops per visible node (bounded by the dependency graph).
+	runBudget := 4 * target.Size()
+	if len(t.Virtual) > 0 {
+		depth := t.DependencyGraph().LongestPathLen()
+		if depth < 1 {
+			depth = 1
+		}
+		runBudget *= depth + 1
+	}
+
+	// Enumerate subsets relation by relation via recursive choice of
+	// tuple subsets with bounded cardinality.
+	inst := relation.NewInstance(t.Schema)
+	var tryRel func(ri int) (bool, error)
+	tryRel = func(ri int) (bool, error) {
+		if ri == len(names) {
+			if budget > 0 {
+				budget--
+				if budget == 0 {
+					return false, fmt.Errorf("decide: membership search exceeded candidate budget")
+				}
+			}
+			out, err := t.Output(inst, pt.Options{MaxNodes: runBudget})
+			if err != nil {
+				if _, isBudget := err.(*pt.ErrBudget); isBudget {
+					return false, nil
+				}
+				return false, err
+			}
+			return out.Canonical() == targetCanon, nil
+		}
+		name := names[ri]
+		cands := tuplesFor[name]
+		rel := inst.Rel(name)
+		var choose func(from, count int) (bool, error)
+		choose = func(from, count int) (bool, error) {
+			ok, err := tryRel(ri + 1)
+			if err != nil || ok {
+				return ok, err
+			}
+			if count >= opts.MaxTuplesPerRel {
+				return false, nil
+			}
+			for i := from; i < len(cands); i++ {
+				rel.Add(cands[i])
+				ok, err := choose(i+1, count+1)
+				rel.Remove(cands[i])
+				if err != nil || ok {
+					return ok, err
+				}
+			}
+			return false, nil
+		}
+		return choose(0, 0)
+	}
+	return tryRel(0)
+}
+
+// canonicalDomain is the constants of the transducer plus the target's
+// text payload values plus n fresh values.
+func canonicalDomain(t *pt.Transducer, target *xmltree.Tree, n int) []value.V {
+	seen := make(map[value.V]bool)
+	var out []value.V
+	add := func(v value.V) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, r := range t.Rules() {
+		for _, it := range r.Items {
+			for _, c := range logic.Constants(it.Query.F) {
+				add(c)
+			}
+		}
+	}
+	target.Walk(func(nd *xmltree.Node) bool {
+		if nd.IsText() && nd.Text != "" {
+			add(value.V(nd.Text))
+		}
+		return true
+	})
+	for i := 0; i < n; i++ {
+		add(value.V(fmt.Sprintf("u%d", i)))
+	}
+	value.SortValues(out)
+	return out
+}
+
+// allTuples enumerates domain^arity in lexicographic order.
+func allTuples(domain []value.V, arity int) []value.Tuple {
+	if arity == 0 {
+		return []value.Tuple{{}}
+	}
+	var out []value.Tuple
+	t := make(value.Tuple, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			out = append(out, t.Clone())
+			return
+		}
+		for _, d := range domain {
+			t[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// evalQueryOnInstance is a small helper used by tests to evaluate a
+// rule query against an instance and register.
+func evalQueryOnInstance(q *logic.Query, inst *relation.Instance, reg *relation.Relation) (*relation.Relation, error) {
+	env := eval.NewEnv(inst)
+	if reg != nil {
+		env = env.WithRelation(pt.RegRel, reg)
+	}
+	return eval.EvalQuery(q, env)
+}

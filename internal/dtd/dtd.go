@@ -1,0 +1,311 @@
+package dtd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ptx/internal/xmltree"
+)
+
+// DTD maps element symbols to content models; Root names the root
+// element. Symbols without a rule are leaves (empty content).
+type DTD struct {
+	Root  string
+	Rules map[string]Regex
+}
+
+// New builds a DTD.
+func New(root string, rules map[string]Regex) *DTD {
+	if rules == nil {
+		rules = map[string]Regex{}
+	}
+	return &DTD{Root: root, Rules: rules}
+}
+
+// Rule returns the content model for a symbol (ε for undeclared leaves).
+func (d *DTD) Rule(sym string) Regex {
+	if r, ok := d.Rules[sym]; ok {
+		return r
+	}
+	return Eps()
+}
+
+// Alphabet returns every symbol mentioned by the DTD, sorted.
+func (d *DTD) Alphabet() []string {
+	set := map[string]bool{d.Root: true}
+	for sym, r := range d.Rules {
+		set[sym] = true
+		for _, s := range Symbols(r) {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate reports whether t conforms to d: the root carries d.Root and
+// every node's child-label sequence matches its content model.
+func (d *DTD) Validate(t *xmltree.Tree) bool {
+	if t.Root.Tag != d.Root {
+		return false
+	}
+	nfas := map[string]*NFA{}
+	ok := true
+	t.Walk(func(n *xmltree.Node) bool {
+		nfa, have := nfas[n.Tag]
+		if !have {
+			nfa = Compile(d.Rule(n.Tag))
+			nfas[n.Tag] = nfa
+		}
+		seq := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			seq[i] = c.Tag
+		}
+		if !nfa.Match(seq) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// RandomTree samples a tree from L(d) by deriving content models with
+// bounded repetition; it returns nil when the depth bound is hit
+// (recursive DTDs may need several attempts).
+func (d *DTD) RandomTree(rng *rand.Rand, maxDepth, maxRep int) *xmltree.Tree {
+	var derive func(sym string, depth int) *xmltree.Node
+	derive = func(sym string, depth int) *xmltree.Node {
+		if depth > maxDepth {
+			return nil
+		}
+		n := &xmltree.Node{Tag: sym}
+		seq, ok := sample(d.Rule(sym), rng, maxRep)
+		if !ok {
+			return nil
+		}
+		for _, c := range seq {
+			cn := derive(c, depth+1)
+			if cn == nil {
+				return nil
+			}
+			n.Children = append(n.Children, cn)
+		}
+		return n
+	}
+	root := derive(d.Root, 1)
+	if root == nil {
+		return nil
+	}
+	return &xmltree.Tree{Root: root}
+}
+
+// sample draws a random symbol sequence from a content model.
+func sample(r Regex, rng *rand.Rand, maxRep int) ([]string, bool) {
+	switch g := r.(type) {
+	case *Empty:
+		return nil, false
+	case *Epsilon:
+		return nil, true
+	case *Sym:
+		return []string{g.Name}, true
+	case *Seq:
+		var out []string
+		for _, p := range g.Parts {
+			s, ok := sample(p, rng, maxRep)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, s...)
+		}
+		return out, true
+	case *Alt:
+		if len(g.Parts) == 0 {
+			return nil, false
+		}
+		return sample(g.Parts[rng.Intn(len(g.Parts))], rng, maxRep)
+	case *Star:
+		var out []string
+		for i := rng.Intn(maxRep + 1); i > 0; i-- {
+			s, ok := sample(g.Inner, rng, maxRep)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, s...)
+		}
+		return out, true
+	case *Plus:
+		var out []string
+		for i := 1 + rng.Intn(maxRep); i > 0; i-- {
+			s, ok := sample(g.Inner, rng, maxRep)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, s...)
+		}
+		return out, true
+	case *Opt:
+		if rng.Intn(2) == 0 {
+			return nil, true
+		}
+		return sample(g.Inner, rng, maxRep)
+	}
+	return nil, false
+}
+
+// MinimalTree returns a smallest-height tree in L(d), or nil when the
+// language is empty. It is the fallback output of the Theorem 5
+// transducer on ill-formed instances.
+func (d *DTD) MinimalTree() *xmltree.Tree {
+	// Height of the minimal derivation per symbol, computed to fixpoint.
+	height := map[string]int{}
+	const inf = 1 << 30
+	h := func(sym string) int {
+		if v, ok := height[sym]; ok {
+			return v
+		}
+		return inf
+	}
+	// minSeq computes the cheapest symbol sequence for a regex given
+	// current heights; cost of a sequence is max of symbol heights
+	// (0 for ε).
+	var minSeq func(r Regex) ([]string, int)
+	minSeq = func(r Regex) ([]string, int) {
+		switch g := r.(type) {
+		case *Empty:
+			return nil, inf
+		case *Epsilon:
+			return nil, 0
+		case *Sym:
+			return []string{g.Name}, h(g.Name)
+		case *Seq:
+			var out []string
+			cost := 0
+			for _, p := range g.Parts {
+				s, c := minSeq(p)
+				if c >= inf {
+					return nil, inf
+				}
+				if c > cost {
+					cost = c
+				}
+				out = append(out, s...)
+			}
+			return out, cost
+		case *Alt:
+			best, bestCost := []string(nil), inf
+			found := false
+			for _, p := range g.Parts {
+				s, c := minSeq(p)
+				if c < bestCost {
+					best, bestCost, found = s, c, true
+				}
+			}
+			if !found {
+				return nil, inf
+			}
+			return best, bestCost
+		case *Star:
+			return nil, 0 // zero repetitions
+		case *Plus:
+			return minSeq(g.Inner)
+		case *Opt:
+			return nil, 0
+		}
+		return nil, inf
+	}
+	// Fixpoint on heights.
+	for changed := true; changed; {
+		changed = false
+		for _, sym := range d.Alphabet() {
+			_, c := minSeq(d.Rule(sym))
+			if c < inf && c+1 < h(sym) {
+				height[sym] = c + 1
+				changed = true
+			}
+		}
+	}
+	if h(d.Root) >= inf {
+		return nil
+	}
+	var build func(sym string) *xmltree.Node
+	build = func(sym string) *xmltree.Node {
+		n := &xmltree.Node{Tag: sym}
+		seq, _ := minSeq(d.Rule(sym))
+		for _, c := range seq {
+			n.Children = append(n.Children, build(c))
+		}
+		return n
+	}
+	return &xmltree.Tree{Root: build(d.Root)}
+}
+
+// Extended is an extended (specialized) DTD (Σ′, d, µ): a DTD over the
+// specialization alphabet Σ′ and a projection µ: Σ′ → Σ. A Σ-tree
+// conforms when some Σ′-relabeling of it conforms to the DTD.
+type Extended struct {
+	DTD *DTD
+	Mu  map[string]string
+}
+
+// Conforms decides extended-DTD conformance by bottom-up dynamic
+// programming over candidate specializations, using the NFA product
+// construction for per-node content checks.
+func (e *Extended) Conforms(t *xmltree.Tree) bool {
+	inv := map[string][]string{}
+	for sp, out := range e.Mu {
+		inv[out] = append(inv[out], sp)
+	}
+	for _, v := range inv {
+		sort.Strings(v)
+	}
+	nfas := map[string]*NFA{}
+	nfa := func(sym string) *NFA {
+		if n, ok := nfas[sym]; ok {
+			return n
+		}
+		n := Compile(e.DTD.Rule(sym))
+		nfas[sym] = n
+		return n
+	}
+	var possible func(n *xmltree.Node) []string
+	possible = func(n *xmltree.Node) []string {
+		choices := make([][]string, len(n.Children))
+		for i, c := range n.Children {
+			choices[i] = possible(c)
+			if len(choices[i]) == 0 {
+				return nil
+			}
+		}
+		var out []string
+		for _, sp := range inv[n.Tag] {
+			if ok, _ := nfa(sp).MatchChoices(choices); ok {
+				out = append(out, sp)
+			}
+		}
+		return out
+	}
+	for _, sp := range possible(t.Root) {
+		if e.Mu[sp] == t.Root.Tag && sp == e.DTD.Root {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the DTD.
+func (d *DTD) String() string {
+	var sb []byte
+	sb = append(sb, fmt.Sprintf("root %s\n", d.Root)...)
+	for _, sym := range d.Alphabet() {
+		if r, ok := d.Rules[sym]; ok {
+			sb = append(sb, fmt.Sprintf("%s -> %s\n", sym, r)...)
+		}
+	}
+	return string(sb)
+}

@@ -1,0 +1,358 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+func TestRegexMatch(t *testing.T) {
+	cases := []struct {
+		r    Regex
+		seq  []string
+		want bool
+	}{
+		{Cat(S("a"), S("b")), []string{"a", "b"}, true},
+		{Cat(S("a"), S("b")), []string{"b", "a"}, false},
+		{Cat(), nil, true},
+		{Rep(S("a")), nil, true},
+		{Rep(S("a")), []string{"a", "a", "a"}, true},
+		{Rep(S("a")), []string{"a", "b"}, false},
+		{Or(S("a"), S("b")), []string{"b"}, true},
+		{Or(S("a"), S("b")), nil, false},
+		{Maybe(S("a")), nil, true},
+		{Maybe(S("a")), []string{"a"}, true},
+		{Maybe(S("a")), []string{"a", "a"}, false},
+		{OneOrMore(S("a")), nil, false},
+		{OneOrMore(S("a")), []string{"a", "a"}, true},
+		{Cat(S("a"), Rep(Or(S("b"), S("c"))), S("a")), []string{"a", "b", "c", "b", "a"}, true},
+		{&Empty{}, nil, false},
+		{Eps(), nil, true},
+		{Eps(), []string{"a"}, false},
+	}
+	for _, c := range cases {
+		if got := Compile(c.r).Match(c.seq); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.r, c.seq, got, c.want)
+		}
+	}
+}
+
+func TestMatchChoices(t *testing.T) {
+	// (a,b): choices [{a,b},{a,b}] has the witness a,b.
+	nfa := Compile(Cat(S("a"), S("b")))
+	ok, picks := nfa.MatchChoices([][]string{{"a", "b"}, {"a", "b"}})
+	if !ok || picks[0] != "a" || picks[1] != "b" {
+		t.Fatalf("MatchChoices = %v %v", ok, picks)
+	}
+	ok, _ = nfa.MatchChoices([][]string{{"b"}, {"a", "b"}})
+	if ok {
+		t.Fatal("no valid pick should exist")
+	}
+}
+
+func courseDTD() *DTD {
+	return New("db", map[string]Regex{
+		"db":     Rep(S("course")),
+		"course": Cat(S("cno"), S("title"), Maybe(S("prereq"))),
+		"prereq": Rep(S("course")),
+	})
+}
+
+func TestValidate(t *testing.T) {
+	d := courseDTD()
+	good := xmltree.MustParse("db(course(cno,title),course(cno,title,prereq(course(cno,title))))")
+	if !d.Validate(good) {
+		t.Error("conforming tree rejected")
+	}
+	bad := xmltree.MustParse("db(course(title,cno))")
+	if d.Validate(bad) {
+		t.Error("wrong child order accepted")
+	}
+	wrongRoot := xmltree.MustParse("course(cno,title)")
+	if d.Validate(wrongRoot) {
+		t.Error("wrong root accepted")
+	}
+}
+
+func TestRandomTreesConform(t *testing.T) {
+	d := courseDTD()
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for i := 0; i < 50; i++ {
+		tr := d.RandomTree(rng, 8, 2)
+		if tr == nil {
+			continue
+		}
+		found++
+		if !d.Validate(tr) {
+			t.Fatalf("sampled tree does not conform: %s", tr.Canonical())
+		}
+	}
+	if found < 10 {
+		t.Fatalf("sampler too often hit the depth bound: %d/50", found)
+	}
+}
+
+func TestMinimalTree(t *testing.T) {
+	d := courseDTD()
+	m := d.MinimalTree()
+	if m == nil {
+		t.Fatal("minimal tree exists")
+	}
+	if !d.Validate(m) {
+		t.Fatalf("minimal tree does not conform: %s", m.Canonical())
+	}
+	if m.Canonical() != "db" {
+		t.Fatalf("minimal course tree should be the bare db (star allows zero): %s", m.Canonical())
+	}
+	// A DTD whose root requires a child.
+	d2 := New("r", map[string]Regex{"r": Cat(S("a"), S("b"))})
+	m2 := d2.MinimalTree()
+	if m2 == nil || m2.Canonical() != "r(a,b)" {
+		t.Fatalf("minimal = %v", m2)
+	}
+	// Unsatisfiable DTD: a requires itself.
+	d3 := New("r", map[string]Regex{"r": Cat(S("a")), "a": Cat(S("a"))})
+	if d3.MinimalTree() != nil {
+		t.Fatal("infinitely recursive DTD has no finite tree")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := courseDTD()
+	n, err := Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckNormalForm(); err != nil {
+		t.Fatal(err)
+	}
+	// Trees over the normalized alphabet, spliced, conform to the
+	// original DTD.
+	rng := rand.New(rand.NewSource(9))
+	checked := 0
+	for i := 0; i < 60 && checked < 15; i++ {
+		tr := n.DTD.RandomTree(rng, 10, 2)
+		if tr == nil {
+			continue
+		}
+		checked++
+		spliced := n.SpliceAux(tr.Clone())
+		if !d.Validate(spliced) {
+			t.Fatalf("normalized tree %s spliced to %s does not conform to original",
+				tr.Canonical(), spliced.Canonical())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no normalized samples")
+	}
+}
+
+func TestNormalizeDuplicateConcat(t *testing.T) {
+	// a → (b, b): the second b must become an aux component.
+	d := New("r", map[string]Regex{"r": Cat(S("b"), S("b"))})
+	n, err := Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckNormalForm(); err != nil {
+		t.Fatal(err)
+	}
+	tr := n.DTD.RandomTree(rand.New(rand.NewSource(1)), 5, 1)
+	if tr == nil {
+		t.Fatal("sample failed")
+	}
+	spliced := n.SpliceAux(tr.Clone())
+	if spliced.Canonical() != "r(b,b)" {
+		t.Fatalf("spliced = %s", spliced.Canonical())
+	}
+}
+
+func TestExtendedDTD(t *testing.T) {
+	// The classic: root has a list of a's where the LAST a is special.
+	// Σ' = {r, a1, a2}, µ(a1)=µ(a2)=a, d: r → a1* a2; a-trees conform iff
+	// they end with at least one a.
+	e := &Extended{
+		DTD: New("r", map[string]Regex{
+			"r": Cat(Rep(S("a1")), S("a2")),
+		}),
+		Mu: map[string]string{"r": "r", "a1": "a", "a2": "a"},
+	}
+	if !e.Conforms(xmltree.MustParse("r(a)")) {
+		t.Error("single a conforms (as a2)")
+	}
+	if !e.Conforms(xmltree.MustParse("r(a,a,a)")) {
+		t.Error("three a's conform")
+	}
+	if e.Conforms(xmltree.MustParse("r")) {
+		t.Error("empty list must not conform (a2 required)")
+	}
+	if e.Conforms(xmltree.MustParse("r(b)")) {
+		t.Error("wrong label must not conform")
+	}
+}
+
+func TestExtendedDTDDeep(t *testing.T) {
+	// Specialization propagates: b-nodes under special a's.
+	e := &Extended{
+		DTD: New("r", map[string]Regex{
+			"r":  Cat(S("a1"), S("a2")),
+			"a1": Eps(),
+			"a2": Cat(S("b")),
+		}),
+		Mu: map[string]string{"r": "r", "a1": "a", "a2": "a", "b": "b"},
+	}
+	if !e.Conforms(xmltree.MustParse("r(a,a(b))")) {
+		t.Error("second a with b child conforms")
+	}
+	if e.Conforms(xmltree.MustParse("r(a(b),a)")) {
+		t.Error("b under the first a must not conform")
+	}
+}
+
+// --- Theorem 5 ----------------------------------------------------------
+
+func theorem5Fixture(t *testing.T, d *DTD) (*Normalized, *pt.Transducer) {
+	t.Helper()
+	n, err := Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Transducer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, tr
+}
+
+func TestTheorem5RoundTrip(t *testing.T) {
+	d := courseDTD()
+	n, tr := theorem5Fixture(t, d)
+	if cl := tr.Classify(); cl.Store != pt.TupleStore {
+		t.Fatalf("Theorem 5 class: %s", cl)
+	}
+	rng := rand.New(rand.NewSource(17))
+	rounds := 0
+	for i := 0; i < 120 && rounds < 10; i++ {
+		sample := n.DTD.RandomTree(rng, 9, 2)
+		if sample == nil || sample.Size() > 45 {
+			continue
+		}
+		rounds++
+		inst := EncodeTree(sample)
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n.SpliceAux(sample.Clone())
+		if !out.Equal(want) {
+			t.Fatalf("round %d:\nencoded  %s\nproduced %s\nwant     %s",
+				rounds, sample.Canonical(), out.Canonical(), want.Canonical())
+		}
+		if !d.Validate(out) {
+			t.Fatalf("output does not conform to d: %s", out.Canonical())
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestTheorem5FallbackOnJunk(t *testing.T) {
+	d := courseDTD()
+	_, tr := theorem5Fixture(t, d)
+	junk := EncodeTree(xmltree.MustParse("db(course(title,cno))")) // wrong order
+	// Wrong order violates the concat conformance (title is an aux
+	// position mismatch) — but encode uses original symbols, which are
+	// not the normalized alphabet, so φd fails and the fallback fires.
+	out, err := tr.Output(junk, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Validate(out) {
+		t.Fatalf("fallback output must conform: %s", out.Canonical())
+	}
+	// A completely scrambled instance also falls back into L(d).
+	scrambled := EncodingSchemaInstance([][4]string{
+		{"n0", "db", "z1", "nonsense"},
+		{"z1", "weird", "z2", "stuff"},
+	})
+	out, err = tr.Output(scrambled, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Validate(out) {
+		t.Fatalf("fallback on scrambled input must conform: %s", out.Canonical())
+	}
+}
+
+func TestTheorem5AlwaysInLanguage(t *testing.T) {
+	// The key Theorem 5 invariant: τd(I) ∈ L(d) for arbitrary instances.
+	d := New("r", map[string]Regex{
+		"r": Or(S("b1"), S("b2")),
+	})
+	n, tr := theorem5Fixture(t, d)
+	_ = n
+	rng := rand.New(rand.NewSource(23))
+	vals := []string{"n0", "n1", "n2", "r", "b1", "b2", "x"}
+	for trial := 0; trial < 40; trial++ {
+		var rows [][4]string
+		for k := 0; k < rng.Intn(5); k++ {
+			rows = append(rows, [4]string{
+				vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))],
+				vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]})
+		}
+		inst := EncodingSchemaInstance(rows)
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Validate(out) {
+			t.Fatalf("trial %d: output %s outside L(d) for instance %s",
+				trial, out.Canonical(), inst)
+		}
+	}
+}
+
+func TestTheorem5ChoiceDTDBothTrees(t *testing.T) {
+	// The DTD of Theorem 5's second part: r → b1 + b2. The FO transducer
+	// produces both trees (from their encodings) — the capability CQ
+	// transducers lack by monotonicity.
+	d := New("r", map[string]Regex{"r": Or(S("b1"), S("b2"))})
+	n, tr := theorem5Fixture(t, d)
+	_ = n
+	for _, want := range []string{"r(b1)", "r(b2)"} {
+		inst := EncodeTree(xmltree.MustParse(want))
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Canonical() != want {
+			t.Fatalf("got %s, want %s", out.Canonical(), want)
+		}
+	}
+}
+
+func TestTheorem5RejectsEmptyLanguage(t *testing.T) {
+	d := New("r", map[string]Regex{"r": Cat(S("a")), "a": Cat(S("a"))})
+	n, err := Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transducer(n); err == nil {
+		t.Fatal("empty language must be rejected")
+	}
+}
+
+// EncodingSchemaInstance builds an instance of the encoding schema from
+// literal rows (test helper).
+func EncodingSchemaInstance(rows [][4]string) *relation.Instance {
+	inst := relation.NewInstance(EncodingSchema())
+	for _, r := range rows {
+		inst.Add("R", r[0], r[1], r[2], r[3])
+	}
+	return inst
+}

@@ -1,0 +1,153 @@
+package dtd
+
+import (
+	"fmt"
+
+	"ptx/internal/xmltree"
+)
+
+// Normalized is a DTD in the normal form of the Theorem 5 proof: every
+// rule is a concatenation of pairwise-distinct symbols, a disjunction
+// of symbols, or a star of a single symbol. Aux marks the fresh symbols
+// introduced by normalization; they become virtual tags in the
+// Theorem 5 transducer and are spliced out of generated trees.
+type Normalized struct {
+	DTD *DTD
+	Aux map[string]bool
+}
+
+// Normalize rewrites an arbitrary DTD into normal form by introducing
+// auxiliary symbols. The empty-language regex ∅ is rejected.
+func Normalize(d *DTD) (*Normalized, error) {
+	n := &Normalized{
+		DTD: New(d.Root, map[string]Regex{}),
+		Aux: map[string]bool{},
+	}
+	counter := 0
+	fresh := func() string {
+		counter++
+		return fmt.Sprintf("_x%d", counter)
+	}
+
+	var normRule func(sym string, r Regex) error
+	// component returns a symbol standing for part: the part itself when
+	// it is a plain symbol (and allowed directly), else a fresh aux
+	// symbol with its own normalized rule.
+	component := func(part Regex, direct func(string) bool) (string, error) {
+		if s, ok := part.(*Sym); ok && direct(s.Name) {
+			return s.Name, nil
+		}
+		aux := fresh()
+		n.Aux[aux] = true
+		if err := normRule(aux, part); err != nil {
+			return "", err
+		}
+		return aux, nil
+	}
+
+	normRule = func(sym string, r Regex) error {
+		switch g := r.(type) {
+		case *Empty:
+			return fmt.Errorf("dtd: cannot normalize the empty-language content model of %s", sym)
+		case *Epsilon:
+			n.DTD.Rules[sym] = Cat()
+			return nil
+		case *Sym:
+			n.DTD.Rules[sym] = Cat(S(g.Name))
+			return nil
+		case *Seq:
+			seen := map[string]bool{}
+			var parts []Regex
+			for _, p := range g.Parts {
+				c, err := component(p, func(name string) bool { return !seen[name] })
+				if err != nil {
+					return err
+				}
+				seen[c] = true
+				parts = append(parts, S(c))
+			}
+			n.DTD.Rules[sym] = Cat(parts...)
+			return nil
+		case *Alt:
+			if len(g.Parts) == 0 {
+				return fmt.Errorf("dtd: empty disjunction in content model of %s", sym)
+			}
+			seen := map[string]bool{}
+			var parts []Regex
+			for _, p := range g.Parts {
+				c, err := component(p, func(string) bool { return true })
+				if err != nil {
+					return err
+				}
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				parts = append(parts, S(c))
+			}
+			n.DTD.Rules[sym] = Or(parts...)
+			return nil
+		case *Star:
+			c, err := component(g.Inner, func(string) bool { return true })
+			if err != nil {
+				return err
+			}
+			n.DTD.Rules[sym] = Rep(S(c))
+			return nil
+		case *Plus:
+			return normRule(sym, Cat(g.Inner, Rep(g.Inner)))
+		case *Opt:
+			return normRule(sym, Or(g.Inner, Eps()))
+		}
+		return fmt.Errorf("dtd: unknown regex %T", r)
+	}
+
+	for _, sym := range d.Alphabet() {
+		if r, ok := d.Rules[sym]; ok {
+			if err := normRule(sym, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// CheckNormalForm verifies every rule is in normal form and that
+// concatenation components are pairwise distinct.
+func (n *Normalized) CheckNormalForm() error {
+	for sym, r := range n.DTD.Rules {
+		switch g := r.(type) {
+		case *Seq:
+			seen := map[string]bool{}
+			for _, p := range g.Parts {
+				s, ok := p.(*Sym)
+				if !ok {
+					return fmt.Errorf("dtd: %s: concatenation of non-symbol %s", sym, p)
+				}
+				if seen[s.Name] {
+					return fmt.Errorf("dtd: %s: duplicate concatenation component %s", sym, s.Name)
+				}
+				seen[s.Name] = true
+			}
+		case *Alt:
+			for _, p := range g.Parts {
+				if _, ok := p.(*Sym); !ok {
+					return fmt.Errorf("dtd: %s: disjunction of non-symbol %s", sym, p)
+				}
+			}
+		case *Star:
+			if _, ok := g.Inner.(*Sym); !ok {
+				return fmt.Errorf("dtd: %s: star of non-symbol %s", sym, g.Inner)
+			}
+		default:
+			return fmt.Errorf("dtd: %s: rule %s is not in normal form", sym, r)
+		}
+	}
+	return nil
+}
+
+// SpliceAux removes aux symbols from a tree over the normalized
+// alphabet in place, recovering the original-DTD tree.
+func (n *Normalized) SpliceAux(t *xmltree.Tree) *xmltree.Tree {
+	return t.SpliceVirtual(n.Aux)
+}

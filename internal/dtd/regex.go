@@ -1,0 +1,332 @@
+// Package dtd implements DTDs with regular-expression content models,
+// extended (specialized) DTDs — the abstraction of the regular unranked
+// tree languages used in Section 6.3 — tree validation, normalization,
+// and the Theorem 5 construction compiling a DTD into a publishing
+// transducer in PT(FO, tuple, virtual) whose language is exactly L(d).
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Regex is a regular expression over element symbols.
+type Regex interface {
+	isRegex()
+	String() string
+}
+
+// Empty matches nothing (∅).
+type Empty struct{}
+
+// Epsilon matches the empty sequence.
+type Epsilon struct{}
+
+// Sym matches a single element symbol.
+type Sym struct{ Name string }
+
+// Seq matches the concatenation of its parts.
+type Seq struct{ Parts []Regex }
+
+// Alt matches any one of its parts.
+type Alt struct{ Parts []Regex }
+
+// Star matches zero or more repetitions.
+type Star struct{ Inner Regex }
+
+// Plus matches one or more repetitions.
+type Plus struct{ Inner Regex }
+
+// Opt matches zero or one occurrence.
+type Opt struct{ Inner Regex }
+
+func (*Empty) isRegex()   {}
+func (*Epsilon) isRegex() {}
+func (*Sym) isRegex()     {}
+func (*Seq) isRegex()     {}
+func (*Alt) isRegex()     {}
+func (*Star) isRegex()    {}
+func (*Plus) isRegex()    {}
+func (*Opt) isRegex()     {}
+
+func (*Empty) String() string   { return "∅" }
+func (*Epsilon) String() string { return "ε" }
+func (s *Sym) String() string   { return s.Name }
+
+func joinRegex(parts []Regex, sep string) string {
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = p.String()
+	}
+	return strings.Join(out, sep)
+}
+
+func (s *Seq) String() string  { return "(" + joinRegex(s.Parts, ",") + ")" }
+func (a *Alt) String() string  { return "(" + joinRegex(a.Parts, "+") + ")" }
+func (s *Star) String() string { return s.Inner.String() + "*" }
+func (p *Plus) String() string { return p.Inner.String() + "+" }
+func (o *Opt) String() string  { return o.Inner.String() + "?" }
+
+// Convenience constructors.
+func S(name string) *Sym      { return &Sym{Name: name} }
+func Cat(parts ...Regex) *Seq { return &Seq{Parts: parts} }
+func Or(parts ...Regex) *Alt  { return &Alt{Parts: parts} }
+func Rep(inner Regex) *Star   { return &Star{Inner: inner} }
+func Eps() *Epsilon           { return &Epsilon{} }
+func Maybe(inner Regex) *Opt  { return &Opt{Inner: inner} }
+func OneOrMore(r Regex) *Plus { return &Plus{Inner: r} }
+
+// Symbols returns the element symbols occurring in the expression.
+func Symbols(r Regex) []string {
+	set := map[string]bool{}
+	var rec func(Regex)
+	rec = func(r Regex) {
+		switch g := r.(type) {
+		case *Sym:
+			set[g.Name] = true
+		case *Seq:
+			for _, p := range g.Parts {
+				rec(p)
+			}
+		case *Alt:
+			for _, p := range g.Parts {
+				rec(p)
+			}
+		case *Star:
+			rec(g.Inner)
+		case *Plus:
+			rec(g.Inner)
+		case *Opt:
+			rec(g.Inner)
+		}
+	}
+	rec(r)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// NFA is a Thompson construction over element symbols; transitions are
+// labeled by symbols, with ε-closure handled during construction.
+type NFA struct {
+	start  int
+	accept int
+	// eps[s] lists ε-successors; step[s][sym] lists symbol successors.
+	eps  map[int][]int
+	step map[int]map[string][]int
+	next int
+}
+
+func newNFA() *NFA {
+	return &NFA{eps: map[int][]int{}, step: map[int]map[string][]int{}}
+}
+
+func (n *NFA) state() int {
+	s := n.next
+	n.next++
+	return s
+}
+
+func (n *NFA) addEps(from, to int) {
+	n.eps[from] = append(n.eps[from], to)
+}
+
+func (n *NFA) addStep(from int, sym string, to int) {
+	if n.step[from] == nil {
+		n.step[from] = map[string][]int{}
+	}
+	n.step[from][sym] = append(n.step[from][sym], to)
+}
+
+// Compile builds the NFA for a regex.
+func Compile(r Regex) *NFA {
+	n := newNFA()
+	n.start, n.accept = n.build(r)
+	return n
+}
+
+// build returns (start, accept) of the fragment for r.
+func (n *NFA) build(r Regex) (int, int) {
+	st, ac := n.state(), n.state()
+	switch g := r.(type) {
+	case *Empty:
+		// no transitions: never accepts
+	case *Epsilon:
+		n.addEps(st, ac)
+	case *Sym:
+		n.addStep(st, g.Name, ac)
+	case *Seq:
+		cur := st
+		for _, p := range g.Parts {
+			ps, pa := n.build(p)
+			n.addEps(cur, ps)
+			cur = pa
+		}
+		n.addEps(cur, ac)
+	case *Alt:
+		if len(g.Parts) == 0 {
+			break // empty alternation matches nothing
+		}
+		for _, p := range g.Parts {
+			ps, pa := n.build(p)
+			n.addEps(st, ps)
+			n.addEps(pa, ac)
+		}
+	case *Star:
+		is, ia := n.build(g.Inner)
+		n.addEps(st, ac)
+		n.addEps(st, is)
+		n.addEps(ia, is)
+		n.addEps(ia, ac)
+	case *Plus:
+		is, ia := n.build(g.Inner)
+		n.addEps(st, is)
+		n.addEps(ia, is)
+		n.addEps(ia, ac)
+	case *Opt:
+		is, ia := n.build(g.Inner)
+		n.addEps(st, ac)
+		n.addEps(st, is)
+		n.addEps(ia, ac)
+	default:
+		panic(fmt.Sprintf("dtd: unknown regex %T", r))
+	}
+	return st, ac
+}
+
+func (n *NFA) closure(states map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(states))
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !states[t] {
+				states[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return states
+}
+
+// Match reports whether the symbol sequence is in the language.
+func (n *NFA) Match(seq []string) bool {
+	cur := n.closure(map[int]bool{n.start: true})
+	for _, sym := range seq {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range n.step[s][sym] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = n.closure(next)
+	}
+	return cur[n.accept]
+}
+
+// MatchChoices reports whether some sequence obtained by picking one
+// symbol from each position's choice set is in the language — the
+// product construction used by extended-DTD conformance.
+func (n *NFA) MatchChoices(choices [][]string) (bool, []string) {
+	cur := n.closure(map[int]bool{n.start: true})
+	// Track one witness pick per state set; sets are small.
+	type cfg struct {
+		states map[int]bool
+		picks  []string
+	}
+	frontier := []cfg{{states: cur}}
+	for _, opts := range choices {
+		var next []cfg
+		seen := map[string]bool{}
+		for _, c := range frontier {
+			for _, sym := range opts {
+				ns := map[int]bool{}
+				for s := range c.states {
+					for _, t := range n.step[s][sym] {
+						ns[t] = true
+					}
+				}
+				if len(ns) == 0 {
+					continue
+				}
+				ns = n.closure(ns)
+				key := stateKey(ns) + "|" + sym
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				next = append(next, cfg{states: ns, picks: append(append([]string{}, c.picks...), sym)})
+			}
+		}
+		if len(next) == 0 {
+			return false, nil
+		}
+		frontier = next
+	}
+	for _, c := range frontier {
+		if c.states[n.accept] {
+			return true, c.picks
+		}
+	}
+	return false, nil
+}
+
+func stateKey(m map[int]bool) string {
+	var ids []int
+	for s := range m {
+		ids = append(ids, s)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}
+
+// StartSet returns the ε-closed initial state set (for external
+// subset-construction clients such as the typechecker).
+func (n *NFA) StartSet() map[int]bool {
+	return n.closure(map[int]bool{n.start: true})
+}
+
+// StepSet advances a state set on one symbol and ε-closes the result.
+func (n *NFA) StepSet(states map[int]bool, sym string) map[int]bool {
+	next := map[int]bool{}
+	for s := range states {
+		for _, t := range n.step[s][sym] {
+			next[t] = true
+		}
+	}
+	if len(next) == 0 {
+		return next
+	}
+	return n.closure(next)
+}
+
+// Accepting reports whether the state set contains the accept state.
+func (n *NFA) Accepting(states map[int]bool) bool { return states[n.accept] }
+
+// StateSetKey renders a state set canonically (for memoization).
+func StateSetKey(states map[int]bool) string { return stateKey(states) }

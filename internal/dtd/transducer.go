@@ -1,0 +1,293 @@
+package dtd
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// RootID is the reserved identifier of the encoded tree's root node in
+// the 4-ary edge relation.
+const RootID = "n0"
+
+// EncodingSchema is the relation R(parentID, parentSym, childID,
+// childSym) encoding a tree inside a relational instance (the Theorem 5
+// input schema).
+func EncodingSchema() *relation.Schema {
+	return relation.NewSchema().MustDeclare("R", 4)
+}
+
+// EncodeTree encodes t into the 4-ary relation, assigning node ids n0,
+// n1, … in document order.
+func EncodeTree(t *xmltree.Tree) *relation.Instance {
+	inst := relation.NewInstance(EncodingSchema())
+	counter := 0
+	var rec func(n *xmltree.Node, id string)
+	rec = func(n *xmltree.Node, id string) {
+		for _, c := range n.Children {
+			counter++
+			cid := fmt.Sprintf("n%06d", counter)
+			inst.Add("R", id, n.Tag, cid, c.Tag)
+			rec(c, cid)
+		}
+	}
+	rec(t.Root, RootID)
+	return inst
+}
+
+// Transducer implements Theorem 5: it compiles a normalized DTD into a
+// publishing transducer τd in PT(FO, tuple, virtual) over the encoding
+// schema such that τd(R) = L(d): on instances that encode a conforming
+// tree (checked by an FO well-formedness sentence φd) the transducer
+// rebuilds that tree, splicing the normalization's aux symbols; on all
+// other instances it emits a fixed minimal tree of L(d).
+//
+// The DTD's root symbol becomes the transducer's root tag and must not
+// occur inside content models (the paper's convention that the root tag
+// labels only the root).
+func Transducer(n *Normalized) (*pt.Transducer, error) {
+	if err := n.CheckNormalForm(); err != nil {
+		return nil, err
+	}
+	d := n.DTD
+	for sym, r := range d.Rules {
+		for _, s := range Symbols(r) {
+			if s == d.Root {
+				return nil, fmt.Errorf("dtd: root symbol %s occurs in the content model of %s", d.Root, sym)
+			}
+		}
+	}
+	minimal := d.MinimalTree()
+	if minimal == nil {
+		return nil, fmt.Errorf("dtd: L(d) is empty; no transducer can generate it")
+	}
+
+	t := pt.New("dtd-"+d.Root, EncodingSchema(), "q0", d.Root)
+	for _, sym := range d.Alphabet() {
+		if sym == d.Root {
+			continue
+		}
+		t.DeclareTag(sym, 1)
+		if n.Aux[sym] {
+			t.MarkVirtual(sym)
+		}
+	}
+
+	phiD := wellFormed(d)
+	x := logic.Var("x")
+
+	// childSymbols lists the child symbols of a normalized rule.
+	childSymbols := func(sym string) []string {
+		switch g := d.Rule(sym).(type) {
+		case *Seq:
+			var out []string
+			for _, p := range g.Parts {
+				out = append(out, p.(*Sym).Name)
+			}
+			return out
+		case *Alt:
+			var out []string
+			for _, p := range g.Parts {
+				out = append(out, p.(*Sym).Name)
+			}
+			return out
+		case *Star:
+			return []string{g.Inner.(*Sym).Name}
+		}
+		return nil
+	}
+
+	// Start rule: generation items guarded by φd plus fallback items
+	// guarded by ¬φd (building the minimal tree).
+	var startItems []pt.RHS
+	for _, cs := range childSymbols(d.Root) {
+		f := logic.Conj(
+			logic.R("R", logic.Const(RootID), logic.Const(d.Root), x, logic.Const(cs)),
+			phiD)
+		startItems = append(startItems, pt.Item("g", cs, logic.MustQuery([]logic.Var{x}, nil, f)))
+	}
+	for _, c := range minimal.Root.Children {
+		startItems = append(startItems, pt.Item("fb", c.Tag,
+			logic.MustQuery([]logic.Var{x}, nil,
+				logic.Conj(logic.EqT(x, logic.Const("1")), &logic.Not{F: phiD}))))
+	}
+	t.AddRule("q0", d.Root, startItems...)
+
+	// Generation rules: the register holds the node's id.
+	p := logic.Var("p")
+	for _, sym := range d.Alphabet() {
+		if sym == d.Root {
+			continue
+		}
+		var items []pt.RHS
+		for _, cs := range childSymbols(sym) {
+			f := logic.Ex([]logic.Var{p}, logic.Conj(
+				logic.R(pt.RegRel, p),
+				logic.R("R", p, logic.Const(sym), x, logic.Const(cs)),
+			))
+			items = append(items, pt.Item("g", cs, logic.MustQuery([]logic.Var{x}, nil, f)))
+		}
+		t.AddRule("g", sym, items...)
+	}
+
+	// Fallback rules: one per symbol, spawning the minimal derivation's
+	// children with constant queries.
+	fbOne := logic.MustQuery([]logic.Var{x}, nil, logic.EqT(x, logic.Const("1")))
+	for _, sym := range d.Alphabet() {
+		if sym == d.Root {
+			continue
+		}
+		var items []pt.RHS
+		for _, cs := range minimalChildren(d, sym) {
+			items = append(items, pt.Item("fb", cs, fbOne))
+		}
+		t.AddRule("fb", sym, items...)
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// minimalChildren returns the child-symbol sequence of the minimal
+// derivation for sym (the same choice MinimalTree makes).
+func minimalChildren(d *DTD, sym string) []string {
+	m := d.MinimalTree()
+	_ = m
+	// Recompute the minimal sequence directly (shared logic with
+	// MinimalTree's minSeq via a tiny local fixpoint).
+	sub := New(sym, d.Rules)
+	t := sub.MinimalTree()
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t.Root.Children))
+	for i, c := range t.Root.Children {
+		out[i] = c.Tag
+	}
+	return out
+}
+
+// wellFormed builds the FO sentence φd over the encoding relation:
+// symbol assignments are consistent, every node has a unique parent,
+// the root has none and carries the root symbol, and each node's
+// children satisfy its (normalized) content model.
+func wellFormed(d *DTD) logic.Formula {
+	v := func(s string) logic.Var { return logic.Var(s) }
+	p1, a1, c1, b1 := v("wp1"), v("wa1"), v("wc1"), v("wb1")
+	p2, a2, c2, b2 := v("wp2"), v("wa2"), v("wc2"), v("wb2")
+
+	implies := func(l, r logic.Formula) logic.Formula {
+		return logic.Disj(&logic.Not{F: l}, r)
+	}
+	all4x2 := func(body logic.Formula) logic.Formula {
+		return logic.All([]logic.Var{p1, a1, c1, b1, p2, a2, c2, b2}, body)
+	}
+	r1 := logic.R("R", p1, a1, c1, b1)
+	r2 := logic.R("R", p2, a2, c2, b2)
+
+	var parts []logic.Formula
+	// Parent symbol functional.
+	parts = append(parts, all4x2(implies(
+		logic.Conj(r1, r2, logic.EqT(p1, p2)), logic.EqT(a1, a2))))
+	// Child symbol functional.
+	parts = append(parts, all4x2(implies(
+		logic.Conj(r1, r2, logic.EqT(c1, c2)), logic.EqT(b1, b2))))
+	// A node's symbol as child matches its symbol as parent.
+	parts = append(parts, all4x2(implies(
+		logic.Conj(r1, r2, logic.EqT(c1, p2)), logic.EqT(b1, a2))))
+	// Unique parent.
+	parts = append(parts, all4x2(implies(
+		logic.Conj(r1, r2, logic.EqT(c1, c2)), logic.EqT(p1, p2))))
+	// The root is nobody's child, and its outgoing edges carry the root
+	// symbol.
+	parts = append(parts, &logic.Not{F: logic.Ex([]logic.Var{p1, a1, b1},
+		logic.R("R", p1, a1, logic.Const(RootID), b1))})
+	parts = append(parts, logic.All([]logic.Var{a1, c1, b1}, implies(
+		logic.R("R", logic.Const(RootID), a1, c1, b1),
+		logic.EqT(a1, logic.Const(d.Root)))))
+
+	// Per-symbol local conformance.
+	xn := v("wx")
+	for _, sym := range d.Alphabet() {
+		symC := logic.Const(sym)
+		// nodeWithSym(xn): xn occurs as a child with symbol sym, or xn is
+		// the root and sym is the root symbol.
+		var nodeWith logic.Formula = logic.Ex([]logic.Var{p1, a1},
+			logic.R("R", p1, a1, xn, symC))
+		if sym == d.Root {
+			nodeWith = logic.EqT(xn, logic.Const(RootID))
+		}
+		conf := conformance(d, sym, xn)
+		parts = append(parts, logic.All([]logic.Var{xn}, implies(nodeWith, conf)))
+	}
+	return logic.Conj(parts...)
+}
+
+// conformance builds the per-node content check for a normalized rule.
+func conformance(d *DTD, sym string, xn logic.Var) logic.Formula {
+	v := func(s string) logic.Var { return logic.Var(s) }
+	y, b, y2, b2 := v("wy"), v("wb"), v("wy2"), v("wb2")
+	symC := logic.Const(sym)
+	child := logic.R("R", xn, symC, y, b)
+	child2 := logic.R("R", xn, symC, y2, b2)
+	implies := func(l, r logic.Formula) logic.Formula {
+		return logic.Disj(&logic.Not{F: l}, r)
+	}
+	oneOf := func(t logic.Term, syms []string) logic.Formula {
+		var opts []logic.Formula
+		for _, s := range syms {
+			opts = append(opts, logic.EqT(t, logic.Const(s)))
+		}
+		return logic.Disj(opts...)
+	}
+
+	switch g := d.Rule(sym).(type) {
+	case *Seq:
+		var names []string
+		for _, p := range g.Parts {
+			names = append(names, p.(*Sym).Name)
+		}
+		var parts []logic.Formula
+		for _, name := range names {
+			// Exactly one child with this symbol.
+			exact := logic.Ex([]logic.Var{y}, logic.Conj(
+				logic.R("R", xn, symC, y, logic.Const(name)),
+				logic.All([]logic.Var{y2}, implies(
+					logic.R("R", xn, symC, y2, logic.Const(name)),
+					logic.EqT(y2, y))),
+			))
+			parts = append(parts, exact)
+		}
+		// No children outside the listed symbols.
+		if len(names) == 0 {
+			parts = append(parts, &logic.Not{F: logic.Ex([]logic.Var{y, b}, child)})
+		} else {
+			parts = append(parts, logic.All([]logic.Var{y, b},
+				implies(child, oneOf(b, names))))
+		}
+		return logic.Conj(parts...)
+	case *Alt:
+		var names []string
+		for _, p := range g.Parts {
+			names = append(names, p.(*Sym).Name)
+		}
+		return logic.Conj(
+			logic.Ex([]logic.Var{y, b}, child),
+			logic.All([]logic.Var{y, b, y2, b2}, implies(
+				logic.Conj(child, child2),
+				logic.Conj(logic.EqT(y, y2), logic.EqT(b, b2)))),
+			logic.All([]logic.Var{y, b}, implies(child, oneOf(b, names))),
+		)
+	case *Star:
+		name := g.Inner.(*Sym).Name
+		return logic.All([]logic.Var{y, b}, implies(child, logic.EqT(b, logic.Const(name))))
+	default:
+		// Undeclared symbol: leaf, no children.
+		return &logic.Not{F: logic.Ex([]logic.Var{y, b}, child)}
+	}
+}

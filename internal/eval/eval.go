@@ -1,0 +1,697 @@
+// Package eval implements active-domain evaluation of CQ, FO and IFP
+// formulas over a relational instance extended with register relations.
+//
+// A formula evaluates to a set of satisfying assignments for its free
+// variables, represented as a relation whose columns are the variables
+// in a fixed order (Bindings). Conjunction is a natural join,
+// disjunction an aligned union, negation a complement against the
+// active domain, ∃ a projection, ∀ is ¬∃¬, and the inflationary
+// fixpoint iterates its body until the stage relation stops growing —
+// exactly the µ⁺ semantics of the paper (Section 2).
+//
+// The active domain of an evaluation is adom(I) ∪ adom(registers) ∪
+// constants(φ), the standard finite relativization.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// Env is an evaluation environment: a database instance, extra named
+// relations (node registers and fixpoint stages), and the value domain
+// the quantifiers range over.
+type Env struct {
+	inst  *relation.Instance
+	extra map[string]*relation.Relation
+	// instAdom caches the instance's active domain; the instance is
+	// immutable for the lifetime of an Env chain (registers live in
+	// extra), and concurrent transducer workers share the cache.
+	instAdom *adomCache
+}
+
+type adomCache struct {
+	once sync.Once
+	vals []value.V
+}
+
+// NewEnv builds an environment over inst. Register relations (or any
+// other auxiliary relations, e.g. the "Reg" relation of the current
+// node) are added with WithRelation.
+func NewEnv(inst *relation.Instance) *Env {
+	return &Env{inst: inst, extra: make(map[string]*relation.Relation), instAdom: &adomCache{}}
+}
+
+// WithRelation returns a copy of the environment in which name resolves
+// to rel, shadowing any instance relation of the same name.
+func (e *Env) WithRelation(name string, rel *relation.Relation) *Env {
+	ne := &Env{inst: e.inst, extra: make(map[string]*relation.Relation, len(e.extra)+1), instAdom: e.instAdom}
+	for k, v := range e.extra {
+		ne.extra[k] = v
+	}
+	ne.extra[name] = rel
+	return ne
+}
+
+// Lookup resolves a relation name: extra relations shadow the instance.
+func (e *Env) Lookup(name string) (*relation.Relation, bool) {
+	if r, ok := e.extra[name]; ok {
+		return r, true
+	}
+	if e.inst != nil && e.inst.Has(name) {
+		return e.inst.Rel(name), true
+	}
+	return nil, false
+}
+
+// Domain returns the active domain of the environment extended with the
+// given constants, sorted. The instance part is computed once per Env
+// chain and cached.
+func (e *Env) Domain(extraConsts []value.V) []value.V {
+	seen := make(map[value.V]bool)
+	if e.inst != nil {
+		var base []value.V
+		if e.instAdom != nil {
+			e.instAdom.once.Do(func() { e.instAdom.vals = e.inst.ActiveDomain() })
+			base = e.instAdom.vals
+		} else {
+			base = e.inst.ActiveDomain()
+		}
+		for _, v := range base {
+			seen[v] = true
+		}
+	}
+	for _, r := range e.extra {
+		for _, v := range r.ActiveDomain() {
+			seen[v] = true
+		}
+	}
+	for _, v := range extraConsts {
+		seen[v] = true
+	}
+	out := make([]value.V, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	value.SortValues(out)
+	return out
+}
+
+// Bindings is a set of assignments: a relation whose columns are the
+// listed variables, in order.
+type Bindings struct {
+	Vars []logic.Var
+	Rel  *relation.Relation
+}
+
+func newBindings(vars []logic.Var) *Bindings {
+	return &Bindings{Vars: vars, Rel: relation.New(len(vars))}
+}
+
+// unitBindings is the single empty assignment over no variables
+// (the truth value "true" for sentences).
+func unitBindings() *Bindings {
+	b := newBindings(nil)
+	b.Rel.Add(value.Tuple{})
+	return b
+}
+
+func (b *Bindings) varIndex() map[logic.Var]int {
+	idx := make(map[logic.Var]int, len(b.Vars))
+	for i, v := range b.Vars {
+		idx[v] = i
+	}
+	return idx
+}
+
+// Eval evaluates formula f in environment env and returns its satisfying
+// assignments over FreeVars(f). The formula is first rewritten to
+// negation normal form so that negations evaluate as anti-join filters
+// instead of active-domain complements wherever possible.
+func Eval(f logic.Formula, env *Env) (*Bindings, error) {
+	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(f))}
+	return ev.eval(pushNeg(f))
+}
+
+// EvalNaive evaluates without the negation-pushdown and filter-join
+// optimizations — the ablation baseline (see BenchmarkAblationEval).
+func EvalNaive(f logic.Formula, env *Env) (*Bindings, error) {
+	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(f)), naive: true}
+	return ev.eval(f)
+}
+
+// EvalSentence evaluates a formula with no free variables to a boolean.
+func EvalSentence(f logic.Formula, env *Env) (bool, error) {
+	if fv := logic.FreeVars(f); len(fv) != 0 {
+		return false, fmt.Errorf("eval: sentence has free variables %v", fv)
+	}
+	b, err := Eval(f, env)
+	if err != nil {
+		return false, err
+	}
+	return !b.Rel.Empty(), nil
+}
+
+// EvalQuery evaluates a transducer query φ(x̄;ȳ) to a relation over the
+// head x̄·ȳ. Head variables that do not occur free in the formula range
+// over the active domain (standard relativized semantics).
+func EvalQuery(q *logic.Query, env *Env) (*relation.Relation, error) {
+	b, err := Eval(q.F, env)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(q.F))}
+	b = ev.expandTo(b, q.Head())
+	// Reorder columns to head order.
+	idx := b.varIndex()
+	head := q.Head()
+	cols := make([]int, len(head))
+	for i, v := range head {
+		cols[i] = idx[v]
+	}
+	return b.Rel.Project(cols...), nil
+}
+
+type evaluator struct {
+	env   *Env
+	adom  []value.V
+	naive bool
+}
+
+func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
+	switch g := f.(type) {
+	case *logic.Truth:
+		if g.B {
+			return unitBindings(), nil
+		}
+		return newBindings(nil), nil
+	case *logic.Atom:
+		return ev.evalAtom(g)
+	case *logic.Eq:
+		return ev.evalEq(g.L, g.R, true)
+	case *logic.Neq:
+		return ev.evalEq(g.L, g.R, false)
+	case *logic.And:
+		if ev.naive {
+			l, err := ev.eval(g.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.eval(g.R)
+			if err != nil {
+				return nil, err
+			}
+			return ev.join(l, r), nil
+		}
+		var conjuncts []logic.Formula
+		flattenConj(g, &conjuncts)
+		return ev.evalConj(conjuncts)
+	case *logic.Or:
+		l, err := ev.eval(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return ev.union(l, r), nil
+	case *logic.Not:
+		inner, err := ev.eval(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return ev.complement(inner), nil
+	case *logic.Exists:
+		inner, err := ev.eval(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return ev.projectOut(inner, g.Bound), nil
+	case *logic.Forall:
+		if ev.naive {
+			// ∀x̄ φ ≡ ¬∃x̄ ¬φ over the active domain, computed by direct
+			// complementation.
+			inner, err := ev.eval(g.F)
+			if err != nil {
+				return nil, err
+			}
+			want := append(append([]logic.Var{}, logic.FreeVars(g.F)...), missingVars(g.Bound, logic.FreeVars(g.F))...)
+			inner = ev.expandTo(inner, want)
+			neg := ev.complement(inner)
+			exNeg := ev.projectOut(neg, g.Bound)
+			return ev.complement(exNeg), nil
+		}
+		// Optimized: ∀x̄ φ ≡ ¬∃x̄ ¬φ with the inner negation pushed to
+		// NNF, so only the final (low-arity) complement touches the
+		// active domain.
+		exNeg, err := ev.eval(&logic.Exists{Bound: g.Bound, F: negate(g.F)})
+		if err != nil {
+			return nil, err
+		}
+		free := logic.FreeVars(g)
+		exNeg = ev.expandTo(exNeg, free)
+		exNeg = ev.projectTo(exNeg, free)
+		return ev.complement(exNeg), nil
+	case *logic.Fixpoint:
+		return ev.evalFixpoint(g)
+	}
+	return nil, fmt.Errorf("eval: unknown formula %T", f)
+}
+
+func missingVars(vs []logic.Var, have []logic.Var) []logic.Var {
+	set := make(map[logic.Var]bool, len(have))
+	for _, v := range have {
+		set[v] = true
+	}
+	var out []logic.Var
+	for _, v := range vs {
+		if !set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) evalAtom(a *logic.Atom) (*Bindings, error) {
+	rel, ok := ev.env.Lookup(a.Rel)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown relation %q in atom %s", a.Rel, a)
+	}
+	if rel.Arity() != len(a.Args) {
+		return nil, fmt.Errorf("eval: atom %s has %d args but relation %q has arity %d",
+			a, len(a.Args), a.Rel, rel.Arity())
+	}
+	// Distinct variables of the atom, in first-occurrence order.
+	var vars []logic.Var
+	varPos := make(map[logic.Var][]int)
+	for i, t := range a.Args {
+		if v, okv := t.(logic.Var); okv {
+			if _, seen := varPos[v]; !seen {
+				vars = append(vars, v)
+			}
+			varPos[v] = append(varPos[v], i)
+		}
+	}
+	out := newBindings(vars)
+	rel.Each(func(t value.Tuple) bool {
+		// Check constants.
+		for i, arg := range a.Args {
+			if c, okc := arg.(logic.Const); okc && t[i] != value.V(c) {
+				return true
+			}
+		}
+		// Check repeated variables agree; extract assignment.
+		asg := make(value.Tuple, len(vars))
+		for vi, v := range vars {
+			positions := varPos[v]
+			first := t[positions[0]]
+			for _, p := range positions[1:] {
+				if t[p] != first {
+					return true
+				}
+			}
+			asg[vi] = first
+		}
+		out.Rel.Add(asg)
+		return true
+	})
+	return out, nil
+}
+
+func (ev *evaluator) evalEq(l, r logic.Term, wantEq bool) (*Bindings, error) {
+	lv, lIsVar := l.(logic.Var)
+	rv, rIsVar := r.(logic.Var)
+	switch {
+	case !lIsVar && !rIsVar:
+		lc := value.V(l.(logic.Const))
+		rc := value.V(r.(logic.Const))
+		if (lc == rc) == wantEq {
+			return unitBindings(), nil
+		}
+		return newBindings(nil), nil
+	case lIsVar && rIsVar:
+		if lv == rv {
+			// x=x is true for all adom values; x≠x is false.
+			out := newBindings([]logic.Var{lv})
+			if wantEq {
+				for _, d := range ev.adom {
+					out.Rel.Add(value.Tuple{d})
+				}
+			}
+			return out, nil
+		}
+		out := newBindings([]logic.Var{lv, rv})
+		for _, d1 := range ev.adom {
+			if wantEq {
+				out.Rel.Add(value.Tuple{d1, d1})
+				continue
+			}
+			for _, d2 := range ev.adom {
+				if d1 != d2 {
+					out.Rel.Add(value.Tuple{d1, d2})
+				}
+			}
+		}
+		return out, nil
+	default:
+		// One variable, one constant.
+		v := lv
+		var c value.V
+		if lIsVar {
+			c = value.V(r.(logic.Const))
+		} else {
+			v = rv
+			c = value.V(l.(logic.Const))
+		}
+		out := newBindings([]logic.Var{v})
+		if wantEq {
+			out.Rel.Add(value.Tuple{c})
+			return out, nil
+		}
+		for _, d := range ev.adom {
+			if d != c {
+				out.Rel.Add(value.Tuple{d})
+			}
+		}
+		return out, nil
+	}
+}
+
+// join computes the natural join of two binding sets.
+func (ev *evaluator) join(l, r *Bindings) *Bindings {
+	lIdx := l.varIndex()
+	rIdx := r.varIndex()
+	var shared []logic.Var
+	var rOnly []logic.Var
+	for _, v := range r.Vars {
+		if _, ok := lIdx[v]; ok {
+			shared = append(shared, v)
+		} else {
+			rOnly = append(rOnly, v)
+		}
+	}
+	outVars := append(append([]logic.Var{}, l.Vars...), rOnly...)
+	out := newBindings(outVars)
+
+	// Hash the smaller side on the shared key.
+	key := func(t value.Tuple, idx map[logic.Var]int) string {
+		k := make(value.Tuple, len(shared))
+		for i, v := range shared {
+			k[i] = t[idx[v]]
+		}
+		return k.Key()
+	}
+	rHash := make(map[string][]value.Tuple)
+	r.Rel.EachUnordered(func(t value.Tuple) bool {
+		k := key(t, rIdx)
+		rHash[k] = append(rHash[k], t)
+		return true
+	})
+	l.Rel.EachUnordered(func(lt value.Tuple) bool {
+		for _, rt := range rHash[key(lt, lIdx)] {
+			t := make(value.Tuple, 0, len(outVars))
+			t = append(t, lt...)
+			for _, v := range rOnly {
+				t = append(t, rt[rIdx[v]])
+			}
+			out.Rel.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// union computes l ∪ r after expanding both sides to the union of their
+// variables over the active domain.
+func (ev *evaluator) union(l, r *Bindings) *Bindings {
+	outVars := append([]logic.Var{}, l.Vars...)
+	set := make(map[logic.Var]bool, len(outVars))
+	for _, v := range outVars {
+		set[v] = true
+	}
+	for _, v := range r.Vars {
+		if !set[v] {
+			outVars = append(outVars, v)
+			set[v] = true
+		}
+	}
+	le := ev.expandTo(l, outVars)
+	re := ev.expandTo(r, outVars)
+	// Align re's columns to le's order.
+	reIdx := re.varIndex()
+	cols := make([]int, len(outVars))
+	for i, v := range le.Vars {
+		cols[i] = reIdx[v]
+	}
+	aligned := re.Rel.Project(cols...)
+	out := &Bindings{Vars: le.Vars, Rel: relation.Union(le.Rel, aligned)}
+	return out
+}
+
+// complement returns adom^k minus the bindings, over the same variables.
+func (ev *evaluator) complement(b *Bindings) *Bindings {
+	out := newBindings(b.Vars)
+	t := make(value.Tuple, len(b.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(b.Vars) {
+			if !b.Rel.Contains(t) {
+				out.Rel.Add(t)
+			}
+			return
+		}
+		for _, d := range ev.adom {
+			t[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// projectOut removes the given variables from the bindings.
+func (ev *evaluator) projectOut(b *Bindings, drop []logic.Var) *Bindings {
+	dropSet := make(map[logic.Var]bool, len(drop))
+	for _, v := range drop {
+		dropSet[v] = true
+	}
+	var keepVars []logic.Var
+	var keepCols []int
+	for i, v := range b.Vars {
+		if !dropSet[v] {
+			keepVars = append(keepVars, v)
+			keepCols = append(keepCols, i)
+		}
+	}
+	return &Bindings{Vars: keepVars, Rel: b.Rel.Project(keepCols...)}
+}
+
+// expandTo extends the bindings to cover vars, letting new variables
+// range over the active domain.
+func (ev *evaluator) expandTo(b *Bindings, vars []logic.Var) *Bindings {
+	have := make(map[logic.Var]bool, len(b.Vars))
+	for _, v := range b.Vars {
+		have[v] = true
+	}
+	var missing []logic.Var
+	seen := make(map[logic.Var]bool)
+	for _, v := range vars {
+		if !have[v] && !seen[v] {
+			missing = append(missing, v)
+			seen[v] = true
+		}
+	}
+	if len(missing) == 0 {
+		return b
+	}
+	outVars := append(append([]logic.Var{}, b.Vars...), missing...)
+	out := newBindings(outVars)
+	ext := make(value.Tuple, len(missing))
+	var rec func(base value.Tuple, i int)
+	rec = func(base value.Tuple, i int) {
+		if i == len(missing) {
+			out.Rel.Add(value.Concat(base, ext))
+			return
+		}
+		for _, d := range ev.adom {
+			ext[i] = d
+			rec(base, i+1)
+		}
+	}
+	b.Rel.EachUnordered(func(t value.Tuple) bool {
+		rec(t, 0)
+		return true
+	})
+	return out
+}
+
+// evalFixpoint computes the inflationary fixpoint of the body and then
+// treats the result as an atom applied to the fixpoint's argument terms.
+func (ev *evaluator) evalFixpoint(fp *logic.Fixpoint) (*Bindings, error) {
+	k := len(fp.Vars)
+	if len(fp.Args) != k {
+		return nil, fmt.Errorf("eval: fixpoint %s applied to %d terms, expects %d", fp.Rel, len(fp.Args), k)
+	}
+	stage := relation.New(k)
+	for {
+		stageEnv := ev.env.WithRelation(fp.Rel, stage)
+		inner := &evaluator{env: stageEnv, adom: ev.adom}
+		b, err := inner.eval(fp.Body)
+		if err != nil {
+			return nil, err
+		}
+		b = inner.expandTo(b, fp.Vars)
+		idx := b.varIndex()
+		cols := make([]int, k)
+		for i, v := range fp.Vars {
+			ci, ok := idx[v]
+			if !ok {
+				return nil, fmt.Errorf("eval: fixpoint variable %s lost during evaluation", v)
+			}
+			cols[i] = ci
+		}
+		next := b.Rel.Project(cols...)
+		if !stage.UnionWith(next) {
+			break
+		}
+	}
+	// Apply the fixpoint relation to the argument terms like an atom.
+	atomEnv := ev.env.WithRelation(fp.Rel, stage)
+	inner := &evaluator{env: atomEnv, adom: ev.adom}
+	return inner.evalAtom(&logic.Atom{Rel: fp.Rel, Args: fp.Args})
+}
+
+// SortedVars returns a copy of vs sorted by name; useful when asserting
+// evaluation results in tests.
+func SortedVars(vs []logic.Var) []logic.Var {
+	out := append([]logic.Var{}, vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// projectTo reorders/restricts bindings to exactly the given variables
+// (which must all be present).
+func (ev *evaluator) projectTo(b *Bindings, vars []logic.Var) *Bindings {
+	idx := b.varIndex()
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = idx[v]
+	}
+	return &Bindings{Vars: append([]logic.Var{}, vars...), Rel: b.Rel.Project(cols...)}
+}
+
+// evalConj evaluates a flattened conjunction with a filter strategy:
+// positive conjuncts are joined in order; (in)equalities and negations
+// whose variables are already bound are applied as row filters or
+// anti-joins instead of being materialized over the active domain.
+func (ev *evaluator) evalConj(conjuncts []logic.Formula) (*Bindings, error) {
+	cur := unitBindings()
+	var pending []logic.Formula
+	for _, c := range conjuncts {
+		if isFilter(c) {
+			pending = append(pending, c)
+			continue
+		}
+		b, err := ev.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		cur = ev.join(cur, b)
+	}
+	// Apply filters; any filter whose variables are not covered falls
+	// back to a generic join (rare: an equality that binds a fresh
+	// variable, or a negation over unbound variables).
+	for len(pending) > 0 {
+		applied := false
+		var rest []logic.Formula
+		for _, f := range pending {
+			covered := true
+			idx := cur.varIndex()
+			for _, v := range logic.FreeVars(f) {
+				if _, ok := idx[v]; !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				rest = append(rest, f)
+				continue
+			}
+			var err error
+			cur, err = ev.applyFilter(cur, f)
+			if err != nil {
+				return nil, err
+			}
+			applied = true
+		}
+		if !applied {
+			if len(rest) > 0 {
+				b, err := ev.eval(rest[0])
+				if err != nil {
+					return nil, err
+				}
+				cur = ev.join(cur, b)
+				rest = rest[1:]
+			}
+		}
+		pending = rest
+	}
+	return cur, nil
+}
+
+// applyFilter restricts cur by a covered filter conjunct.
+func (ev *evaluator) applyFilter(cur *Bindings, f logic.Formula) (*Bindings, error) {
+	idx := cur.varIndex()
+	valOf := func(t logic.Term, row value.Tuple) value.V {
+		switch u := t.(type) {
+		case logic.Const:
+			return value.V(u)
+		case logic.Var:
+			return row[idx[u]]
+		}
+		panic("eval: unknown term")
+	}
+	switch g := f.(type) {
+	case *logic.Eq:
+		out := &Bindings{Vars: cur.Vars, Rel: cur.Rel.Select(func(row value.Tuple) bool {
+			return valOf(g.L, row) == valOf(g.R, row)
+		})}
+		return out, nil
+	case *logic.Neq:
+		out := &Bindings{Vars: cur.Vars, Rel: cur.Rel.Select(func(row value.Tuple) bool {
+			return valOf(g.L, row) != valOf(g.R, row)
+		})}
+		return out, nil
+	case *logic.Not:
+		neg, err := ev.eval(g.F)
+		if err != nil {
+			return nil, err
+		}
+		if len(neg.Vars) == 0 {
+			// Sentence: ¬g drops everything when g holds.
+			if neg.Rel.Empty() {
+				return cur, nil
+			}
+			return &Bindings{Vars: cur.Vars, Rel: relation.New(len(cur.Vars))}, nil
+		}
+		cols := make([]int, len(neg.Vars))
+		for i, v := range neg.Vars {
+			cols[i] = idx[v]
+		}
+		out := &Bindings{Vars: cur.Vars, Rel: cur.Rel.Select(func(row value.Tuple) bool {
+			proj := make(value.Tuple, len(cols))
+			for i, c := range cols {
+				proj[i] = row[c]
+			}
+			return !neg.Rel.Contains(proj)
+		})}
+		return out, nil
+	}
+	return nil, fmt.Errorf("eval: %T is not a filter", f)
+}

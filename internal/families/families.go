@@ -1,0 +1,230 @@
+// Package families implements the explicit transducer and instance
+// families used by the paper's proofs as executable constructions:
+//
+//   - the graph-unfolding transducer τ1 and the chain-of-diamonds
+//     instances Iₙ of Proposition 1(3) (|τ1(Iₙ)| ≥ 2ⁿ from |Iₙ| = O(n));
+//   - the binary-counter transducer τ2 and instances Jₙ of
+//     Proposition 1(4) (|τ2(Jₙ)| ≥ 2^(2ⁿ) with relation stores);
+//   - the three-constant path query of Proposition 4(5) separating
+//     PT(CQ, relation, O) from PT(FO, tuple, O);
+//   - the simple-path-counting transducer of Proposition 5(10,11)
+//     (virtual unfolding emitting one a per simple s→t path);
+//   - the boolean-flag transducer used by several separation proofs
+//     (emit r(a) iff a sentence holds).
+package families
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// GraphSchema is the binary edge relation used by the graph families.
+func GraphSchema() *relation.Schema {
+	return relation.NewSchema().MustDeclare("R", 2)
+}
+
+// UnfoldTransducer is the τ1 of Proposition 1(3): it unfolds the graph
+// R into a tree of a-nodes, one child per outgoing edge, relying on the
+// stop condition to terminate on cycles. Class: PT(CQ, tuple, normal).
+func UnfoldTransducer() *pt.Transducer {
+	x, y := logic.Var("x"), logic.Var("y")
+	t := pt.New("unfold", GraphSchema(), "q0", "r")
+	t.DeclareTag("a", 1)
+	// Roots: vertices with outgoing edges.
+	t.AddRule("q0", "r", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, nil, logic.Ex([]logic.Var{y}, logic.R("R", x, y)))))
+	// Expansion: successors of the register vertex.
+	t.AddRule("q", "a", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, nil,
+			logic.Ex([]logic.Var{y}, logic.Conj(logic.R(pt.RegRel, y), logic.R("R", y, x))))))
+	return t
+}
+
+// DiamondChain builds the instance Iₙ of Proposition 1(3): a chain of n
+// diamonds a₀ → {b₀₁,b₀₂} → a₁ → … with 4n edges whose tree unfolding
+// has ≥ 2ⁿ leaves.
+func DiamondChain(n int) *relation.Instance {
+	inst := relation.NewInstance(GraphSchema())
+	a := func(k int) string { return fmt.Sprintf("a%03d", k) }
+	b := func(k, j int) string { return fmt.Sprintf("b%03d_%d", k, j) }
+	for k := 0; k < n; k++ {
+		for j := 1; j <= 2; j++ {
+			inst.Add("R", a(k), b(k, j))
+			inst.Add("R", b(k, j), a(k+1))
+		}
+	}
+	return inst
+}
+
+// CounterSchema holds the three relations of Proposition 1(4):
+// counter(k,d,c), add(d1,d2,d3,d,c) (a full adder), next(k,k').
+func CounterSchema() *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("counter", 3)
+	s.MustDeclare("add", 5)
+	s.MustDeclare("next", 2)
+	return s
+}
+
+// CounterInstance builds Jₙ of Proposition 1(4): an n-digit binary
+// counter at zero (with the carry seed on digit 0), the full-adder
+// table, and the digit successor relation (mod n).
+func CounterInstance(n int) *relation.Instance {
+	inst := relation.NewInstance(CounterSchema())
+	for k := 0; k < n; k++ {
+		carry := "0"
+		if k == 0 {
+			carry = "1"
+		}
+		inst.Add("counter", fmt.Sprint(k), "0", carry)
+		inst.Add("next", fmt.Sprint(k), fmt.Sprint((k+1)%n))
+	}
+	adder := [][5]string{
+		{"0", "0", "0", "0", "0"}, {"0", "0", "1", "1", "0"},
+		{"0", "1", "0", "1", "0"}, {"0", "1", "1", "0", "1"},
+		{"1", "0", "0", "1", "0"}, {"1", "0", "1", "0", "1"},
+		{"1", "1", "0", "0", "1"}, {"1", "1", "1", "1", "1"},
+	}
+	for _, row := range adder {
+		inst.Add("add", row[0], row[1], row[2], row[3], row[4])
+	}
+	return inst
+}
+
+// CounterTransducer is the τ2 of Proposition 1(4): every a-node carries
+// the full n-digit counter in a relation register; each step increments
+// the counter by 1 and spawns two copies, so the tree has ≥ 2^(2ⁿ)
+// nodes before the stop condition fires. Class: PT(CQ, relation, normal).
+func CounterTransducer() *pt.Transducer {
+	k, d, c := logic.Var("k"), logic.Var("d"), logic.Var("c")
+	t := pt.New("counter", CounterSchema(), "q0", "r")
+	t.DeclareTag("a", 3)
+
+	init := logic.MustQuery(nil, []logic.Var{k, d, c}, logic.R("counter", k, d, c))
+	t.AddRule("q0", "r", pt.Item("q", "a", init), pt.Item("q2", "a2", init))
+	// A second tag for the duplicate copy (tags must be distinct within
+	// a rule); both behave identically.
+	t.DeclareTag("a2", 3)
+
+	step := incrementQuery()
+	t.AddRule("q", "a", pt.Item("q", "a", step), pt.Item("q2", "a2", step))
+	t.AddRule("q2", "a2", pt.Item("q", "a", step), pt.Item("q2", "a2", step))
+	return t
+}
+
+// incrementQuery is φ1 of the Proposition 1(4) proof: from the register
+// relation Reg(k,d,c) (digit k has value d with carry c), compute the
+// incremented counter using the adder table and the digit order.
+func incrementQuery() *logic.Query {
+	k, d, c := logic.Var("k"), logic.Var("d"), logic.Var("c")
+	d1, c1 := logic.Var("d1"), logic.Var("c1")
+	kp, d2, c2 := logic.Var("kp"), logic.Var("d2"), logic.Var("c2")
+	d3, c3 := logic.Var("d3"), logic.Var("c3")
+	body := logic.Ex([]logic.Var{d1, c1, kp, d2, c2, d3, c3}, logic.Conj(
+		logic.R(pt.RegRel, k, d1, c1),
+		logic.R(pt.RegRel, kp, d2, c2),
+		logic.R("next", kp, k),
+		logic.R("counter", k, d3, c3),
+		logic.R("add", d1, c2, c3, d, c),
+	))
+	return logic.MustQuery(nil, []logic.Var{k, d, c}, body)
+}
+
+// ViaSchema is the schema of the Proposition 4(5) witness: a single
+// binary edge relation E; the three distinguished vertices are the
+// literal domain values "c1", "c2", "c3".
+func ViaSchema() *relation.Schema {
+	return relation.NewSchema().MustDeclare("E", 2)
+}
+
+// ViaTransducer is the Proposition 4(5)-style witness in
+// PT(CQ, relation, normal): a relation-register chain whose k-th node
+// stores all pairs connected by a walk of length k+1, and which emits
+// (c1,c3) on label ao when some register simultaneously holds an equal-
+// length walk c1→c2 and c2→c3.
+//
+// The paper's literal φ2 (Reg(c1,c2) ∧ Reg(c2,c3) over a register
+// seeded only with c1-walks) can never fire — a proof-detail erratum
+// recorded in EXPERIMENTS.md; this construction is the natural
+// correction, seeding the register with all edges so both legs live in
+// the same register.
+func ViaTransducer() *pt.Transducer {
+	y1, y2, yy := logic.Var("y1"), logic.Var("y2"), logic.Var("y")
+	t := pt.New("via", ViaSchema(), "q0", "r")
+	t.DeclareTag("a", 2)
+	t.DeclareTag("ao", 2)
+
+	start := logic.MustQuery(nil, []logic.Var{y1, y2}, logic.R("E", y1, y2))
+	t.AddRule("q0", "r", pt.Item("q", "a", start))
+
+	step := logic.MustQuery(nil, []logic.Var{y1, y2},
+		logic.Ex([]logic.Var{yy}, logic.Conj(logic.R(pt.RegRel, y1, yy), logic.R("E", yy, y2))))
+	t.AddRule("q", "a", pt.Item("q", "a", step), pt.Item("qo", "ao", viaOut()))
+	t.AddRule("qo", "ao")
+	return t
+}
+
+// viaOut is φ2: the register holds equal-length walks c1→c2 and c2→c3.
+func viaOut() *logic.Query {
+	y1, y2, u := logic.Var("y1"), logic.Var("y2"), logic.Var("u")
+	return logic.MustQuery(nil, []logic.Var{y1, y2},
+		logic.Ex([]logic.Var{u}, logic.Conj(
+			logic.R(pt.RegRel, y1, u),
+			logic.EqT(u, logic.Const("c2")),
+			logic.R(pt.RegRel, u, y2),
+			logic.EqT(y1, logic.Const("c1")),
+			logic.EqT(y2, logic.Const("c3")),
+		)))
+}
+
+// PathCountSchema is the schema of Proposition 5(10–11): a graph R with
+// source and target markers S and T.
+func PathCountSchema() *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("R", 2)
+	s.MustDeclare("S", 1)
+	s.MustDeclare("T", 1)
+	return s
+}
+
+// PathCountTransducer is the Proposition 5(10–11) witness in
+// PT(CQ, tuple, virtual): it unfolds the graph from the source through
+// virtual v-nodes and emits a (normal) a-leaf whenever the target is
+// reached, so the output is r(a…a) with one a per walk from s to t
+// (bounded by the stop condition). Counting walks is not expressible in
+// PT(CQ/FO, relation, normal).
+func PathCountTransducer() *pt.Transducer {
+	x, y := logic.Var("x"), logic.Var("y")
+	t := pt.New("pathcount", PathCountSchema(), "q0", "r")
+	t.DeclareTag("v", 1).DeclareTag("a", 1)
+	t.MarkVirtual("v")
+
+	start := logic.MustQuery([]logic.Var{x}, nil,
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R("S", y), logic.R("R", y, x))))
+	t.AddRule("q0", "r", pt.Item("q", "v", start))
+
+	step := logic.MustQuery([]logic.Var{x}, nil,
+		logic.Ex([]logic.Var{y}, logic.Conj(logic.R(pt.RegRel, y), logic.R("R", y, x))))
+	hit := logic.MustQuery([]logic.Var{x}, nil,
+		logic.Conj(logic.R(pt.RegRel, x), logic.R("T", x)))
+	t.AddRule("q", "v", pt.Item("q", "v", step), pt.Item("qa", "a", hit))
+	t.AddRule("qa", "a")
+	return t
+}
+
+// FlagTransducer emits the tree r(a) when the given sentence holds on
+// the instance and the bare root otherwise — the τ_q device used by
+// Propositions 5(2–5). The sentence's logic determines the class.
+func FlagTransducer(schema *relation.Schema, sentence logic.Formula) *pt.Transducer {
+	x := logic.Var("x")
+	t := pt.New("flag", schema, "q0", "r")
+	t.DeclareTag("a", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil,
+		logic.Conj(sentence, logic.EqT(x, logic.Const("1"))))
+	t.AddRule("q0", "r", pt.Item("q", "a", q))
+	t.AddRule("q", "a")
+	return t
+}

@@ -1,0 +1,269 @@
+package families
+
+import (
+	"fmt"
+
+	"math"
+	"math/rand"
+	"ptx/internal/logic"
+	"testing"
+
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+func TestUnfoldExponentialBlowup(t *testing.T) {
+	// Proposition 1(3): |τ1(Iₙ)| ≥ 2ⁿ while |Iₙ| = O(n).
+	tr := UnfoldTransducer()
+	for n := 1; n <= 8; n++ {
+		inst := DiamondChain(n)
+		if inst.Size() != 4*n {
+			t.Fatalf("Iₙ should have 4n edges, got %d", inst.Size())
+		}
+		out, err := tr.Output(inst, pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Size() < 1<<n {
+			t.Errorf("n=%d: output size %d < 2^%d", n, out.Size(), n)
+		}
+	}
+}
+
+func TestUnfoldOnCycleTerminates(t *testing.T) {
+	inst := relation.NewInstance(GraphSchema())
+	inst.Add("R", "a", "b")
+	inst.Add("R", "b", "a")
+	res, err := UnfoldTransducer().Run(inst, pt.Options{MaxNodes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StopsApplied == 0 {
+		t.Error("stop condition should fire on the 2-cycle")
+	}
+}
+
+func TestCounterDoublyExponential(t *testing.T) {
+	// Proposition 1(4): |τ2(Jₙ)| ≥ 2^(2ⁿ) while |Jₙ| = O(n).
+	tr := CounterTransducer()
+	if cl := tr.Classify().String(); cl != "PT(CQ, relation, normal)" {
+		t.Fatalf("counter transducer class %s", cl)
+	}
+	for n := 1; n <= 3; n++ {
+		inst := CounterInstance(n)
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Pow(2, math.Pow(2, float64(n))))
+		if out.Size() < want {
+			t.Errorf("n=%d: output size %d < 2^(2^%d) = %d", n, out.Size(), n, want)
+		}
+	}
+}
+
+func TestCounterDepthTracksIncrements(t *testing.T) {
+	// The a-chain increments an n-digit counter once per level, so the
+	// depth is 2ⁿ + O(1).
+	tr := CounterTransducer()
+	for n := 1; n <= 3; n++ {
+		res, err := tr.Run(CounterInstance(n), pt.Options{MaxNodes: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.MaxDepth < 1<<n {
+			t.Errorf("n=%d: depth %d < 2^%d", n, res.Stats.MaxDepth, n)
+		}
+	}
+}
+
+// referenceVia computes the equal-length two-leg reachability that
+// ViaTransducer implements, by direct iteration of pair-set composition
+// until a repeat.
+func referenceVia(inst *relation.Instance) bool {
+	edges := make(map[[2]string]bool)
+	inst.Rel("E").Each(func(t value.Tuple) bool {
+		edges[[2]string{string(t[0]), string(t[1])}] = true
+		return true
+	})
+	compose := func(cur map[[2]string]bool) map[[2]string]bool {
+		next := make(map[[2]string]bool)
+		for p := range cur {
+			for e := range edges {
+				if p[1] == e[0] {
+					next[[2]string{p[0], e[1]}] = true
+				}
+			}
+		}
+		return next
+	}
+	key := func(m map[[2]string]bool) string {
+		var ks []string
+		for p := range m {
+			ks = append(ks, p[0]+"→"+p[1])
+		}
+		// deterministic key
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		out := ""
+		for _, k := range ks {
+			out += k + ";"
+		}
+		return out
+	}
+	seen := map[string]bool{}
+	cur := edges
+	for len(cur) > 0 && !seen[key(cur)] {
+		seen[key(cur)] = true
+		if cur[[2]string{"c1", "c2"}] && cur[[2]string{"c2", "c3"}] {
+			return true
+		}
+		cur = compose(cur)
+	}
+	return false
+}
+
+func TestViaTransducerMatchesReference(t *testing.T) {
+	tr := ViaTransducer()
+	if cl := tr.Classify().String(); cl != "PT(CQ, relation, normal)" {
+		t.Fatalf("via transducer class %s", cl)
+	}
+	rng := rand.New(rand.NewSource(11))
+	verts := []string{"c1", "c2", "c3", "d", "e"}
+	hits := 0
+	for trial := 0; trial < 30; trial++ {
+		inst := relation.NewInstance(ViaSchema())
+		for k := 0; k < 5; k++ {
+			inst.Add("E", verts[rng.Intn(len(verts))], verts[rng.Intn(len(verts))])
+		}
+		want := referenceVia(inst)
+		rel, err := tr.OutputRelation(inst, "ao", pt.Options{MaxNodes: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := !rel.Empty()
+		if got != want {
+			t.Fatalf("trial %d: transducer %v, reference %v on\n%s", trial, got, want, inst)
+		}
+		if got {
+			hits++
+			if rel.Len() != 1 || !rel.Contains(value.Tuple{"c1", "c3"}) {
+				t.Fatalf("output relation should be {(c1,c3)}, got %s", rel)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no positive trials; test is vacuous")
+	}
+}
+
+func TestViaSimpleChain(t *testing.T) {
+	inst := relation.NewInstance(ViaSchema())
+	// c1→x→c2 and c2→y→c3: both legs length 2.
+	inst.Add("E", "c1", "x")
+	inst.Add("E", "x", "c2")
+	inst.Add("E", "c2", "y")
+	inst.Add("E", "y", "c3")
+	rel, err := ViaTransducer().OutputRelation(inst, "ao", pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Empty() {
+		t.Error("equal-length legs should fire")
+	}
+}
+
+func TestPathCountCountsWalks(t *testing.T) {
+	tr := PathCountTransducer()
+	if cl := tr.Classify().String(); cl != "PT(CQ, tuple, virtual)" {
+		t.Fatalf("pathcount class %s", cl)
+	}
+	inst := relation.NewInstance(PathCountSchema())
+	// s → {m1, m2} → t: two walks.
+	inst.Add("S", "s")
+	inst.Add("T", "t")
+	inst.Add("R", "s", "m1")
+	inst.Add("R", "s", "m2")
+	inst.Add("R", "m1", "t")
+	inst.Add("R", "m2", "t")
+	out, err := tr.Output(inst, pt.Options{MaxNodes: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.CountTag("a"); got != 2 {
+		t.Fatalf("expected 2 a-leaves (one per walk), got %d: %s", got, out.Canonical())
+	}
+	// Virtual nodes never leak.
+	if out.CountTag("v") != 0 {
+		t.Error("virtual tag leaked")
+	}
+}
+
+func TestPathCountNoPath(t *testing.T) {
+	inst := relation.NewInstance(PathCountSchema())
+	inst.Add("S", "s")
+	inst.Add("T", "t")
+	inst.Add("R", "s", "m")
+	out, err := PathCountTransducer().Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountTag("a") != 0 {
+		t.Error("no walk to t, no a-leaf expected")
+	}
+}
+
+func TestPathCountDiamondExponential(t *testing.T) {
+	// Proposition 5(1): with virtual collection the number of a-leaves is
+	// the number of walks, 2ⁿ on the diamond chain.
+	tr := PathCountTransducer()
+	for n := 1; n <= 6; n++ {
+		inst := relation.NewInstance(PathCountSchema())
+		DiamondChain(n).Rel("R").Each(func(tp value.Tuple) bool {
+			inst.Add("R", string(tp[0]), string(tp[1]))
+			return true
+		})
+		// Seed in front of the first hub so the first unfold step lands
+		// on a000; the target is the last hub.
+		inst.Add("S", "seed")
+		inst.Add("R", "seed", "a000")
+		inst.Add("T", fmt.Sprintf("a%03d", n))
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.CountTag("a"); got != 1<<n {
+			t.Fatalf("n=%d: %d walks counted, want %d", n, got, 1<<n)
+		}
+	}
+}
+
+func TestFlagTransducer(t *testing.T) {
+	s := relation.NewSchema().MustDeclare("E", 2)
+	x, y := logic.Var("x"), logic.Var("y")
+	// Sentence: E has a self-loop.
+	sentence := logic.Ex([]logic.Var{x, y},
+		logic.Conj(logic.R("E", x, y), logic.EqT(x, y)))
+	tr := FlagTransducer(s, sentence)
+	inst := relation.NewInstance(s)
+	inst.Add("E", "a", "b")
+	out, err := tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 1 {
+		t.Errorf("no self-loop: expected bare root, got %s", out.Canonical())
+	}
+	inst.Add("E", "c", "c")
+	out, err = tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Errorf("self-loop: expected r(a), got %s", out.Canonical())
+	}
+}

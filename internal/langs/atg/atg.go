@@ -1,0 +1,125 @@
+// Package atg abstracts Attribute Transformation Grammars, the language
+// of the PRATA middleware (Section 4, Fig. 6): a DTD-directed view in
+// which every element type carries an inherited register and every
+// production is annotated with queries populating its sub-elements.
+// ATGs support recursive DTDs, relation registers and virtual nodes;
+// per Table I the language is definable in PT(FO, relation, virtual).
+package atg
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// ChildSpec annotates one sub-element of a production with the query
+// that populates it (FO; relation registers allowed via |ȳ| > 0).
+type ChildSpec struct {
+	Tag   string
+	Query *logic.Query
+}
+
+// Grammar is an ATG: productions per element type, the root element,
+// the set of virtual ("entity") tags, and element types rendered as
+// text.
+type Grammar struct {
+	Name        string
+	Schema      *relation.Schema
+	RootTag     string
+	Productions map[string][]ChildSpec
+	Virtual     []string
+	TextOf      []string // element types that render their register as text
+}
+
+// Compile translates the ATG into a publishing transducer; IFP queries
+// are rejected (ATGs embed first-order relational queries). The result
+// lies in PT(FO, relation, virtual).
+func (g *Grammar) Compile() (*pt.Transducer, error) {
+	t := pt.New(g.Name, g.Schema, "q0", g.RootTag)
+	textSet := map[string]bool{}
+	for _, tag := range g.TextOf {
+		textSet[tag] = true
+	}
+
+	// Declare all tags first (arities from the queries that produce
+	// them; conflicting uses are an error).
+	declare := func(tag string, arity int) error {
+		if a, ok := t.Arities[tag]; ok {
+			if a != arity {
+				return fmt.Errorf("atg: element %s used with register arities %d and %d", tag, a, arity)
+			}
+			return nil
+		}
+		t.DeclareTag(tag, arity)
+		return nil
+	}
+	for parent, specs := range g.Productions {
+		_ = parent
+		for _, cs := range specs {
+			if l := cs.Query.Logic(); l > logic.FO {
+				return nil, fmt.Errorf("atg: element %s populated by an %s query", cs.Tag, l)
+			}
+			if err := declare(cs.Tag, cs.Query.Arity()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, v := range g.Virtual {
+		if _, ok := t.Arities[v]; !ok {
+			return nil, fmt.Errorf("atg: virtual tag %s never produced", v)
+		}
+		t.MarkVirtual(v)
+	}
+
+	needText := false
+	buildItems := func(specs []ChildSpec) []pt.RHS {
+		items := make([]pt.RHS, len(specs))
+		for i, cs := range specs {
+			items[i] = pt.Item("q", cs.Tag, cs.Query)
+		}
+		return items
+	}
+	textItem := func(arity int) pt.RHS {
+		needText = true
+		vars := make([]logic.Var, arity)
+		terms := make([]logic.Term, arity)
+		for i := range vars {
+			vars[i] = logic.Var(fmt.Sprintf("t%d", i))
+			terms[i] = vars[i]
+		}
+		return pt.Item("qt", xmltree.TextTag, logic.MustQuery(vars, nil,
+			&logic.Atom{Rel: pt.RegRel, Args: terms}))
+	}
+
+	// Root production.
+	rootSpecs, ok := g.Productions[g.RootTag]
+	if !ok {
+		return nil, fmt.Errorf("atg: no production for root element %s", g.RootTag)
+	}
+	t.AddRule("q0", g.RootTag, buildItems(rootSpecs)...)
+
+	// Inner productions.
+	for _, tag := range t.Tags() {
+		if tag == g.RootTag || tag == xmltree.TextTag {
+			continue
+		}
+		items := buildItems(g.Productions[tag])
+		if textSet[tag] {
+			if err := declare(xmltree.TextTag, t.Arity(tag)); err != nil {
+				return nil, err
+			}
+			items = append(items, textItem(t.Arity(tag)))
+		}
+		t.AddRule("q", tag, items...)
+	}
+	if needText {
+		t.AddRule("qt", xmltree.TextTag)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

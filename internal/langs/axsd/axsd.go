@@ -1,0 +1,146 @@
+// Package axsd abstracts the annotated XSD schemas of Microsoft SQL
+// Server 2005 (Section 4): a nonrecursive XSD tree whose elements are
+// mapped to tables, attributes to columns, with parent-child key-based
+// joins (the relationship annotation) and simple equality condition
+// tests. Per Table I the language is definable in PTnr(CQ, tuple,
+// normal).
+package axsd
+
+import (
+	"fmt"
+
+	"ptx/internal/langs/template"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Filter is a simple condition test column = value.
+type Filter struct {
+	Col int
+	Val string
+}
+
+// Element maps an XSD element to a table. Cols lists the column indices
+// exposed by the element (its register and text rendering); Join links
+// the element to its parent via key columns: parent's exposed column
+// ParentCol equals this table's column ChildCol. Top-level elements
+// have no join.
+type Element struct {
+	Tag       string
+	Table     string
+	Cols      []int
+	Filters   []Filter
+	HasJoin   bool
+	ParentCol int // index into the parent's exposed columns
+	ChildCol  int // column index in this element's table
+	EmitText  bool
+	Children  []*Element
+}
+
+// Schema is an annotated XSD: a root element name and the element tree.
+type Schema struct {
+	Name    string
+	Source  *relation.Schema
+	RootTag string
+	Top     []*Element
+}
+
+// Compile translates the annotated XSD into a publishing transducer in
+// PTnr(CQ, tuple, normal).
+func (s *Schema) Compile() (*pt.Transducer, error) {
+	top, err := convert(s.Source, s.Top, nil)
+	if err != nil {
+		return nil, err
+	}
+	tpl := &template.View{Name: s.Name, Schema: s.Source, RootTag: s.RootTag, Top: top}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.CQ,
+		AllowVirtual: false,
+		RequireTuple: true,
+	})
+}
+
+// convert builds the CQ query of each element: scan the table, apply
+// filters, join with the parent register on the key columns, and expose
+// the selected columns as the head.
+func convert(src *relation.Schema, es []*Element, parent *Element) ([]*template.Node, error) {
+	var out []*template.Node
+	for _, e := range es {
+		arity, ok := src.Arity(e.Table)
+		if !ok {
+			return nil, fmt.Errorf("axsd: element %s maps to unknown table %s", e.Tag, e.Table)
+		}
+		cols := make([]logic.Var, arity)
+		terms := make([]logic.Term, arity)
+		for i := range cols {
+			cols[i] = logic.Var(fmt.Sprintf("c%d", i))
+			terms[i] = cols[i]
+		}
+		parts := []logic.Formula{logic.R(e.Table, terms...)}
+		for _, f := range e.Filters {
+			if f.Col < 0 || f.Col >= arity {
+				return nil, fmt.Errorf("axsd: element %s filter column %d out of range", e.Tag, f.Col)
+			}
+			parts = append(parts, logic.EqT(cols[f.Col], logic.Const(f.Val)))
+		}
+		if e.HasJoin {
+			if parent == nil {
+				return nil, fmt.Errorf("axsd: top-level element %s has a relationship annotation", e.Tag)
+			}
+			if e.ParentCol < 0 || e.ParentCol >= len(parent.Cols) {
+				return nil, fmt.Errorf("axsd: element %s joins on parent column %d of %d",
+					e.Tag, e.ParentCol, len(parent.Cols))
+			}
+			if e.ChildCol < 0 || e.ChildCol >= arity {
+				return nil, fmt.Errorf("axsd: element %s joins on child column %d of arity %d",
+					e.Tag, e.ChildCol, arity)
+			}
+			// Reg holds the parent's exposed columns; join key equality.
+			pvars := make([]logic.Var, len(parent.Cols))
+			pterms := make([]logic.Term, len(parent.Cols))
+			for i := range pvars {
+				pvars[i] = logic.Var(fmt.Sprintf("p%d", i))
+				pterms[i] = pvars[i]
+			}
+			parts = append(parts,
+				logic.Ex(pvars, logic.Conj(
+					&logic.Atom{Rel: pt.RegRel, Args: pterms},
+					logic.EqT(pvars[e.ParentCol], cols[e.ChildCol]),
+				)))
+		} else if parent != nil {
+			return nil, fmt.Errorf("axsd: nested element %s lacks a relationship annotation", e.Tag)
+		}
+		// Head: the exposed columns.
+		head := make([]logic.Var, len(e.Cols))
+		for i, c := range e.Cols {
+			if c < 0 || c >= arity {
+				return nil, fmt.Errorf("axsd: element %s exposes column %d of arity %d", e.Tag, c, arity)
+			}
+			head[i] = cols[c]
+		}
+		// Existentially close the unexposed columns.
+		headSet := map[logic.Var]bool{}
+		for _, h := range head {
+			headSet[h] = true
+		}
+		var bound []logic.Var
+		for _, c := range cols {
+			if !headSet[c] {
+				bound = append(bound, c)
+			}
+		}
+		q, err := logic.NewQuery(head, nil, logic.Ex(bound, logic.Conj(parts...)))
+		if err != nil {
+			return nil, fmt.Errorf("axsd: element %s: %v", e.Tag, err)
+		}
+		children, err := convert(src, e.Children, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &template.Node{
+			Tag: e.Tag, Query: q, EmitText: e.EmitText, Children: children,
+		})
+	}
+	return out, nil
+}

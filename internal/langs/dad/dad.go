@@ -1,0 +1,120 @@
+// Package dad abstracts the Document Access Definition of IBM DB2 XML
+// Extender (Section 4, Fig. 4), in both flavors:
+//
+//   - SQL mapping: one SQL query (recursive SQL allowed, hence IFP)
+//     whose result is organized into a hierarchy by a sequence of
+//     group-by columns — definable in PTnr(IFP, tuple, normal);
+//   - RDB mapping: a fixed tree template with embedded CQ node
+//     expressions — definable in PTnr(CQ, tuple, normal).
+package dad
+
+import (
+	"fmt"
+
+	"ptx/internal/langs/template"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// SQLMapping is the sql_stmt flavor: Query's head columns are grouped
+// left-to-right, each level labeled by the corresponding tag; the last
+// level renders its column as text.
+type SQLMapping struct {
+	Name      string
+	Schema    *relation.Schema
+	RootTag   string
+	Query     *logic.Query // head = the full column list; IFP allowed
+	LevelTags []string     // one per head column
+}
+
+// Compile builds the per-level grouping transducer.
+func (m *SQLMapping) Compile() (*pt.Transducer, error) {
+	cols := m.Query.Head()
+	if len(m.LevelTags) != len(cols) {
+		return nil, fmt.Errorf("dad: %d level tags for %d columns", len(m.LevelTags), len(cols))
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dad: query has no columns")
+	}
+	if !m.Query.TupleStore() {
+		return nil, fmt.Errorf("dad: the mapping query must group by the whole tuple")
+	}
+
+	// Level i exposes columns 0..i of the query; its query re-evaluates
+	// the mapping query and constrains the first i-1 columns to the
+	// parent register.
+	var build func(level int) *template.Node
+	build = func(level int) *template.Node {
+		head := cols[:level+1]
+		f := m.Query.F
+		var parts []logic.Formula
+		if level > 0 {
+			prefix := make([]logic.Term, level)
+			for i := 0; i < level; i++ {
+				prefix[i] = cols[i]
+			}
+			parts = append(parts, &logic.Atom{Rel: pt.RegRel, Args: prefix})
+		}
+		parts = append(parts, f)
+		body := logic.Ex(cols[level+1:], logic.Conj(parts...))
+		n := &template.Node{
+			Tag:   m.LevelTags[level],
+			Query: logic.MustQuery(append([]logic.Var{}, head...), nil, body),
+		}
+		if level+1 < len(cols) {
+			n.Children = []*template.Node{build(level + 1)}
+		} else {
+			n.EmitText = true
+		}
+		return n
+	}
+
+	tpl := &template.View{
+		Name:    m.Name,
+		Schema:  m.Schema,
+		RootTag: m.RootTag,
+		Top:     []*template.Node{build(0)},
+	}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.IFP,
+		AllowVirtual: false,
+		RequireTuple: true,
+	})
+}
+
+// RDBNode is a node of the rdb_node flavor: a tree template annotated
+// with CQ queries.
+type RDBNode struct {
+	Tag      string
+	Query    *logic.Query
+	EmitText bool
+	Children []*RDBNode
+}
+
+// RDBMapping is the rdb_node flavor of a DAD.
+type RDBMapping struct {
+	Name    string
+	Schema  *relation.Schema
+	RootTag string
+	Top     []*RDBNode
+}
+
+// Compile translates the RDB mapping into a transducer in
+// PTnr(CQ, tuple, normal).
+func (m *RDBMapping) Compile() (*pt.Transducer, error) {
+	tpl := &template.View{Name: m.Name, Schema: m.Schema, RootTag: m.RootTag, Top: convertRDB(m.Top)}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.CQ,
+		AllowVirtual: false,
+		RequireTuple: true,
+	})
+}
+
+func convertRDB(ns []*RDBNode) []*template.Node {
+	out := make([]*template.Node, len(ns))
+	for i, n := range ns {
+		out[i] = &template.Node{Tag: n.Tag, Query: n.Query, EmitText: n.EmitText, Children: convertRDB(n.Children)}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Package forxml abstracts the FOR XML publishing construct of
+// Microsoft SQL Server 2005 (Section 4, Fig. 2): nested SQL queries
+// organize extracted rows into elements, information flows to children
+// by correlation (tuple registers), the nesting depth is fixed, and
+// there are no virtual nodes. Per Table I the language is definable in
+// PTnr(FO, tuple, normal).
+package forxml
+
+import (
+	"ptx/internal/langs/template"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Element is one nested FOR XML block: the tag it emits, the SQL query
+// (abstracted as an FO formula over the source and the correlated
+// parent row Reg), nested blocks, and whether to render the row as
+// text.
+type Element struct {
+	Tag      string
+	Query    *logic.Query
+	EmitText bool
+	Children []*Element
+}
+
+// View is a FOR XML view: a root tag (the paper's root('db') directive)
+// and the top-level blocks.
+type View struct {
+	Name    string
+	Schema  *relation.Schema
+	RootTag string
+	Top     []*Element
+}
+
+// Compile translates the view into a publishing transducer; it rejects
+// constructs outside the dialect (IFP queries, relation stores, virtual
+// nodes), so every compiled view lies in PTnr(FO, tuple, normal).
+func (v *View) Compile() (*pt.Transducer, error) {
+	tpl := &template.View{
+		Name:    v.Name,
+		Schema:  v.Schema,
+		RootTag: v.RootTag,
+		Top:     convert(v.Top),
+	}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.FO,
+		AllowVirtual: false,
+		RequireTuple: true,
+	})
+}
+
+func convert(es []*Element) []*template.Node {
+	out := make([]*template.Node, len(es))
+	for i, e := range es {
+		out[i] = &template.Node{
+			Tag:      e.Tag,
+			Query:    e.Query,
+			EmitText: e.EmitText,
+			Children: convert(e.Children),
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+// Package langs characterizes the existing XML publishing languages of
+// Section 4 / Table I. Each sub-package implements an abstraction of
+// one dialect that compiles to a publishing transducer; this package
+// assembles one representative view per dialect (the paper's Figs. 2–6)
+// over the registrar database and reports, per Table I, the smallest
+// transducer class containing the language.
+package langs
+
+import (
+	"fmt"
+
+	"ptx/internal/langs/atg"
+	"ptx/internal/langs/axsd"
+	"ptx/internal/langs/dad"
+	"ptx/internal/langs/forxml"
+	"ptx/internal/langs/sqlxml"
+	"ptx/internal/langs/treeql"
+	"ptx/internal/langs/xmlgen"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+)
+
+// Row is one line of Table I.
+type Row struct {
+	Product    string
+	Method     string
+	PaperClass pt.Class // the class Table I assigns to the language
+	View       func() (*pt.Transducer, error)
+}
+
+// classOf builds a pt.Class literal.
+func classOf(l logic.Logic, s pt.Store, o pt.Output, recursive bool) pt.Class {
+	return pt.Class{Logic: l, Store: s, Output: o, Recursive: recursive}
+}
+
+var (
+	vCno   = logic.Var("cno")
+	vTitle = logic.Var("title")
+	vDept  = logic.Var("dept")
+	vC2    = logic.Var("c2")
+	vT2    = logic.Var("t2")
+	vD2    = logic.Var("d2")
+)
+
+// noDBPrereqFormula is the WHERE NOT EXISTS of Figs. 2–4: courses that
+// do not have a course titled DB as an immediate prerequisite.
+func noDBPrereqFormula() logic.Formula {
+	return logic.Conj(
+		logic.Ex([]logic.Var{vDept}, logic.R("course", vCno, vTitle, vDept)),
+		&logic.Not{F: logic.Ex([]logic.Var{vC2, vT2, vD2}, logic.Conj(
+			logic.R("prereq", vCno, vC2),
+			logic.R("course", vC2, vT2, vD2),
+			logic.EqT(vT2, logic.Const("DB")),
+		))},
+	)
+}
+
+func regProj(keep logic.Var, drop logic.Var, keepFirst bool) *logic.Query {
+	args := []logic.Term{keep, drop}
+	if !keepFirst {
+		args = []logic.Term{drop, keep}
+	}
+	return logic.MustQuery([]logic.Var{keep}, nil,
+		logic.Ex([]logic.Var{drop}, &logic.Atom{Rel: pt.RegRel, Args: args}))
+}
+
+// ForXMLView is the FOR XML view of Fig. 2.
+func ForXMLView() (*pt.Transducer, error) {
+	v := &forxml.View{
+		Name:    "forxml-fig2",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Top: []*forxml.Element{{
+			Tag:   "course",
+			Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil, noDBPrereqFormula()),
+			Children: []*forxml.Element{
+				{Tag: "cno", Query: regProj(vCno, vTitle, true), EmitText: true},
+				{Tag: "title", Query: regProj(vTitle, vCno, false), EmitText: true},
+			},
+		}},
+	}
+	return v.Compile()
+}
+
+// AnnotatedXSDView lists CS courses with their immediate prerequisites
+// via a key-based relationship annotation.
+func AnnotatedXSDView() (*pt.Transducer, error) {
+	s := &axsd.Schema{
+		Name:    "axsd-courses",
+		Source:  registrar.Schema(),
+		RootTag: "db",
+		Top: []*axsd.Element{{
+			Tag:     "course",
+			Table:   "course",
+			Cols:    []int{0, 1},
+			Filters: []axsd.Filter{{Col: 2, Val: "CS"}},
+			Children: []*axsd.Element{{
+				Tag:       "prereq",
+				Table:     "prereq",
+				Cols:      []int{1},
+				HasJoin:   true,
+				ParentCol: 0, // parent's cno
+				ChildCol:  0, // prereq.cno1
+				EmitText:  true,
+			}},
+		}},
+	}
+	return s.Compile()
+}
+
+// SQLXMLView is the SQL/XML view of Fig. 3 with a recursive-SQL twist:
+// courses in the transitive prerequisite closure of some CS course,
+// expressed with an IFP subquery (a common table expression).
+func SQLXMLView() (*pt.Transducer, error) {
+	u, v, w := logic.Var("u"), logic.Var("v"), logic.Var("w")
+	closure := &logic.Fixpoint{
+		Rel:  "S",
+		Vars: []logic.Var{u, v},
+		Body: logic.Disj(
+			logic.R("prereq", u, v),
+			logic.Ex([]logic.Var{w}, logic.Conj(logic.R("S", u, w), logic.R("prereq", w, v))),
+		),
+		Args: []logic.Term{vC2, vCno},
+	}
+	inClosure := logic.Ex([]logic.Var{vDept, vC2, vT2, vD2}, logic.Conj(
+		logic.R("course", vCno, vTitle, vDept),
+		logic.R("course", vC2, vT2, vD2),
+		logic.EqT(vD2, logic.Const("CS")),
+		closure,
+	))
+	view := &sqlxml.View{
+		Name:    "sqlxml-fig3",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Top: []*sqlxml.Element{{
+			Tag:   "course",
+			Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil, inClosure),
+			Children: []*sqlxml.Element{
+				{Tag: "cno", Query: regProj(vCno, vTitle, true), EmitText: true},
+				{Tag: "title", Query: regProj(vTitle, vCno, false), EmitText: true},
+			},
+		}},
+	}
+	return view.Compile()
+}
+
+// DADSQLMappingView is the sql_stmt mapping of Fig. 4: courses grouped
+// by department, then by course number.
+func DADSQLMappingView() (*pt.Transducer, error) {
+	q := logic.MustQuery([]logic.Var{vDept, vCno}, nil,
+		logic.Ex([]logic.Var{vTitle}, logic.R("course", vCno, vTitle, vDept)))
+	m := &dad.SQLMapping{
+		Name:      "dad-sql-fig4",
+		Schema:    registrar.Schema(),
+		RootTag:   "db",
+		Query:     q,
+		LevelTags: []string{"dept", "course"},
+	}
+	return m.Compile()
+}
+
+// DADRDBMappingView is the rdb_node mapping: a CQ tree template.
+func DADRDBMappingView() (*pt.Transducer, error) {
+	m := &dad.RDBMapping{
+		Name:    "dad-rdb",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Top: []*dad.RDBNode{{
+			Tag: "course",
+			Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil,
+				logic.Ex([]logic.Var{vDept}, logic.Conj(
+					logic.R("course", vCno, vTitle, vDept),
+					logic.EqT(vDept, logic.Const("CS"))))),
+			Children: []*dad.RDBNode{
+				{Tag: "cno", Query: regProj(vCno, vTitle, true), EmitText: true},
+			},
+		}},
+	}
+	return m.Compile()
+}
+
+// DBMSXMLGenView is the CONNECT BY view of Fig. 5: all courses, each
+// with the hierarchy of its prerequisites below it.
+func DBMSXMLGenView() (*pt.Transducer, error) {
+	pc := logic.Var("pc")
+	rows := logic.MustQuery([]logic.Var{pc, vCno, vTitle}, nil,
+		logic.Ex([]logic.Var{vDept}, logic.Conj(
+			logic.R("course", vCno, vTitle, vDept),
+			logic.Disj(
+				logic.R("prereq", pc, vCno),
+				logic.EqT(pc, logic.Const("-")),
+			),
+		)))
+	v := &xmlgen.View{
+		Name:     "xmlgen-fig5",
+		Schema:   registrar.Schema(),
+		RootTag:  "db",
+		RowTag:   "course",
+		Rows:     rows,
+		StartCol: 0, StartVal: "-", // root rows carry the marker parent
+		PriorCol: 1, ChildCol: 0, // child rows reference the prior cno
+		EmitText: true,
+	}
+	return v.Compile()
+}
+
+// TreeQLView lists CS courses with a virtual wrapper around the
+// immediate-prerequisite numbers (SilkRoute style).
+func TreeQLView() (*pt.Transducer, error) {
+	v := &treeql.View{
+		Name:    "treeql-courses",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Top: []*treeql.Node{{
+			Tag: "course",
+			Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil,
+				logic.Ex([]logic.Var{vDept}, logic.Conj(
+					logic.R("course", vCno, vTitle, vDept),
+					logic.EqT(vDept, logic.Const("CS"))))),
+			Children: []*treeql.Node{{
+				Tag:     "wrap",
+				Virtual: true,
+				Query: logic.MustQuery([]logic.Var{vCno}, nil,
+					logic.Ex([]logic.Var{vTitle}, &logic.Atom{Rel: pt.RegRel,
+						Args: []logic.Term{vCno, vTitle}})),
+				Children: []*treeql.Node{{
+					Tag: "pre",
+					Query: logic.MustQuery([]logic.Var{vC2}, nil,
+						logic.Ex([]logic.Var{vCno}, logic.Conj(
+							logic.R(pt.RegRel, vCno),
+							logic.R("prereq", vCno, vC2)))),
+					EmitText: true,
+				}},
+			}},
+		}},
+	}
+	return v.Compile()
+}
+
+// ATGView is the PRATA grammar of Fig. 6: the recursive DTD-directed
+// course hierarchy, with a relation register collecting each course's
+// prerequisite set and a virtual entity node.
+func ATGView() (*pt.Transducer, error) {
+	g := &atg.Grammar{
+		Name:    "atg-fig6",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Productions: map[string][]atg.ChildSpec{
+			"db": {{
+				Tag: "course",
+				Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil,
+					logic.Ex([]logic.Var{vDept}, logic.Conj(
+						logic.R("course", vCno, vTitle, vDept),
+						logic.EqT(vDept, logic.Const("CS"))))),
+			}},
+			"course": {
+				{Tag: "cno", Query: regProj(vCno, vTitle, true)},
+				{Tag: "title", Query: regProj(vTitle, vCno, false)},
+				{Tag: "prereq", Query: logic.MustQuery(nil, []logic.Var{vC2},
+					logic.Ex([]logic.Var{vCno, vTitle}, logic.Conj(
+						&logic.Atom{Rel: pt.RegRel, Args: []logic.Term{vCno, vTitle}},
+						logic.R("prereq", vCno, vC2))))},
+			},
+			// prereq holds the SET of immediate prerequisite numbers in a
+			// relation register; its course children join back to course.
+			"prereq": {{
+				Tag: "course",
+				Query: logic.MustQuery([]logic.Var{vCno, vTitle}, nil,
+					logic.Ex([]logic.Var{vC2, vDept}, logic.Conj(
+						logic.R(pt.RegRel, vC2),
+						logic.EqT(vC2, vCno),
+						logic.R("course", vCno, vTitle, vDept)))),
+			}},
+		},
+		TextOf: []string{"cno", "title"},
+	}
+	return g.Compile()
+}
+
+// TableI returns one row per language, in the paper's order.
+func TableI() []Row {
+	return []Row{
+		{"Microsoft SQL Server 2005", "FOR XML",
+			classOf(logic.FO, pt.TupleStore, pt.NormalOutput, false), ForXMLView},
+		{"Microsoft SQL Server 2005", "annotated XSD",
+			classOf(logic.CQ, pt.TupleStore, pt.NormalOutput, false), AnnotatedXSDView},
+		{"IBM DB2 XML Extender", "SQL/XML",
+			classOf(logic.IFP, pt.TupleStore, pt.NormalOutput, false), SQLXMLView},
+		{"IBM DB2 XML Extender", "DAD (SQL mapping)",
+			classOf(logic.IFP, pt.TupleStore, pt.NormalOutput, false), DADSQLMappingView},
+		{"IBM DB2 XML Extender", "DAD (RDB mapping)",
+			classOf(logic.CQ, pt.TupleStore, pt.NormalOutput, false), DADRDBMappingView},
+		{"Oracle 10g XML DB", "SQL/XML",
+			classOf(logic.FO, pt.TupleStore, pt.NormalOutput, false), ForXMLView},
+		{"Oracle 10g XML DB", "DBMS_XMLGEN",
+			classOf(logic.IFP, pt.TupleStore, pt.NormalOutput, true), DBMSXMLGenView},
+		{"XPERANTO", "query+default views",
+			classOf(logic.FO, pt.TupleStore, pt.NormalOutput, false), ForXMLView},
+		{"SilkRoute", "TreeQL",
+			classOf(logic.CQ, pt.TupleStore, pt.VirtualOutput, false), TreeQLView},
+		{"PRATA", "ATG",
+			classOf(logic.FO, pt.RelationStore, pt.VirtualOutput, true), ATGView},
+	}
+}
+
+// CheckRow compiles the row's representative view and verifies it lies
+// within the class Table I assigns to its language, returning the
+// compiled transducer's own (smallest) class.
+func (r Row) CheckRow() (pt.Class, error) {
+	tr, err := r.View()
+	if err != nil {
+		return pt.Class{}, err
+	}
+	got := tr.Classify()
+	if !got.Within(r.PaperClass) {
+		return got, fmt.Errorf("langs: %s %s compiled to %s, outside Table I class %s",
+			r.Product, r.Method, got, r.PaperClass)
+	}
+	return got, nil
+}

@@ -1,0 +1,206 @@
+package langs
+
+import (
+	"strings"
+	"testing"
+
+	"ptx/internal/langs/forxml"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+)
+
+func TestTableIRowsCompileWithinClass(t *testing.T) {
+	for _, row := range TableI() {
+		got, err := row.CheckRow()
+		if err != nil {
+			t.Errorf("%s / %s: %v", row.Product, row.Method, err)
+			continue
+		}
+		t.Logf("%-28s %-20s paper=%s got=%s", row.Product, row.Method, row.PaperClass, got)
+	}
+}
+
+func TestTableIRowsRun(t *testing.T) {
+	inst := registrar.SampleInstance()
+	for _, row := range TableI() {
+		tr, err := row.View()
+		if err != nil {
+			t.Fatalf("%s / %s: %v", row.Product, row.Method, err)
+		}
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("%s / %s: %v", row.Product, row.Method, err)
+		}
+		if out.Size() <= 1 {
+			t.Errorf("%s / %s: produced a trivial tree", row.Product, row.Method)
+		}
+	}
+}
+
+func TestForXMLExcludesDBPrereq(t *testing.T) {
+	tr, err := ForXMLView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Output(registrar.SampleInstance(), pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CS302 has DB100 (titled DB) as an immediate prerequisite.
+	if strings.Contains(out.Canonical(), "CS302") {
+		t.Fatalf("FOR XML view must exclude CS302: %s", out.Canonical())
+	}
+	if got := out.CountTag("course"); got != 5 {
+		t.Fatalf("FOR XML view has %d courses, want 5", got)
+	}
+}
+
+func TestForXMLRejectsIFP(t *testing.T) {
+	// Microsoft FOR XML has no recursive SQL in the dialect abstraction.
+	u := logic.Var("u")
+	fp := &logic.Fixpoint{Rel: "S", Vars: []logic.Var{u},
+		Body: logic.Ex([]logic.Var{logic.Var("w")}, logic.R("prereq", u, logic.Var("w"))),
+		Args: []logic.Term{u}}
+	bad := logic.MustQuery([]logic.Var{u}, nil, fp)
+	v := &forxml.View{
+		Name:    "bad",
+		Schema:  registrar.Schema(),
+		RootTag: "db",
+		Top:     []*forxml.Element{{Tag: "a", Query: bad}},
+	}
+	if _, err := v.Compile(); err == nil {
+		t.Fatal("IFP query must be rejected by FOR XML")
+	}
+}
+
+func TestTreeQLRejectsFO(t *testing.T) {
+	row := TableI()[8]
+	if row.Method != "TreeQL" {
+		t.Fatal("row order changed")
+	}
+	// Verify the compiled view really uses a virtual node.
+	tr, err := row.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Virtual) == 0 {
+		t.Error("TreeQL representative should use a virtual node")
+	}
+	out, err := tr.Output(registrar.SampleInstance(), pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range out.Labels() {
+		if l == "wrap" {
+			t.Error("virtual wrapper leaked into output")
+		}
+	}
+}
+
+func TestXMLGenRecursive(t *testing.T) {
+	tr, err := DBMSXMLGenView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsRecursive() {
+		t.Error("CONNECT BY view should be recursive")
+	}
+	// On a prerequisite chain the hierarchy nests.
+	out, err := tr.Output(registrar.ChainInstance(3), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Depth() < 4 {
+		t.Errorf("hierarchy should nest, depth = %d", out.Depth())
+	}
+}
+
+func TestATGRecursiveWithRelationStore(t *testing.T) {
+	tr, err := ATGView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tr.Classify()
+	if !cl.Recursive {
+		t.Error("ATG view should be recursive")
+	}
+	if cl.Store != pt.RelationStore {
+		t.Error("ATG view should use relation registers")
+	}
+	out, err := tr.Output(registrar.SampleInstance(), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CS401's prereq subtree contains CS301 and CS302.
+	c := out.Canonical()
+	if !strings.Contains(c, "CS301") || !strings.Contains(c, "CS201") {
+		t.Errorf("ATG hierarchy incomplete: %s", c)
+	}
+}
+
+func TestATGTerminatesOnCycles(t *testing.T) {
+	tr, err := ATGView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(registrar.CycleInstance(3), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StopsApplied == 0 {
+		t.Error("stop condition should fire on cyclic prerequisites")
+	}
+}
+
+func TestDADSQLMappingGroups(t *testing.T) {
+	tr, err := DADSQLMappingView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Output(registrar.SampleInstance(), pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two departments (CS, Math) → two dept groups; six courses total.
+	if got := out.CountTag("dept"); got != 2 {
+		t.Fatalf("dept groups = %d, want 2: %s", got, out.Canonical())
+	}
+	if got := out.CountTag("course"); got != 6 {
+		t.Fatalf("courses = %d, want 6: %s", got, out.Canonical())
+	}
+}
+
+func TestAnnotatedXSDJoin(t *testing.T) {
+	tr, err := AnnotatedXSDView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Output(registrar.SampleInstance(), pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CS401 has two immediate prerequisites via the key join.
+	if got := out.CountTag("prereq"); got != 5 {
+		t.Fatalf("prereq elements = %d, want 5 (total prereq tuples under CS courses): %s",
+			got, out.Canonical())
+	}
+}
+
+func TestSQLXMLClosure(t *testing.T) {
+	tr, err := SQLXMLView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := tr.Classify(); cl.Logic != logic.IFP {
+		t.Fatalf("SQL/XML representative should use IFP, got %s", cl)
+	}
+	out, err := tr.Output(registrar.ChainInstance(3), pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closure of CS001: CS002, CS003 are in some CS course's closure.
+	if got := out.CountTag("course"); got != 2 {
+		t.Fatalf("closure members = %d, want 2: %s", got, out.Canonical())
+	}
+}

@@ -1,0 +1,50 @@
+// Package sqlxml abstracts the SQL/XML publishing constructs
+// (XMLELEMENT, XMLFOREST, XMLAGG, …) of IBM DB2 and Oracle (Section 4,
+// Fig. 3): nested queries build a fixed-depth tree, correlation passes
+// tuples downward, and recursive SQL (common table expressions) lets a
+// node's population query be an IFP query even though the tree shape
+// stays nonrecursive. Per Table I the language is definable in
+// PTnr(IFP, tuple, normal).
+package sqlxml
+
+import (
+	"ptx/internal/langs/template"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Element is one XMLELEMENT constructor with its population query.
+type Element struct {
+	Tag      string
+	Query    *logic.Query
+	EmitText bool
+	Children []*Element
+}
+
+// View is a SQL/XML view.
+type View struct {
+	Name    string
+	Schema  *relation.Schema
+	RootTag string
+	Top     []*Element
+}
+
+// Compile translates the view into a publishing transducer in
+// PTnr(IFP, tuple, normal).
+func (v *View) Compile() (*pt.Transducer, error) {
+	tpl := &template.View{Name: v.Name, Schema: v.Schema, RootTag: v.RootTag, Top: convert(v.Top)}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.IFP,
+		AllowVirtual: false,
+		RequireTuple: true,
+	})
+}
+
+func convert(es []*Element) []*template.Node {
+	out := make([]*template.Node, len(es))
+	for i, e := range es {
+		out[i] = &template.Node{Tag: e.Tag, Query: e.Query, EmitText: e.EmitText, Children: convert(e.Children)}
+	}
+	return out
+}

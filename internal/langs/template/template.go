@@ -1,0 +1,134 @@
+// Package template implements the common core of the nonrecursive XML
+// publishing languages of Table I: a fixed tree template whose nodes
+// are annotated with queries. Microsoft FOR XML, IBM SQL/XML, TreeQL
+// and the DAD mappings all compile through this package with different
+// logic/store/virtual restrictions, which is exactly how the paper
+// classifies them.
+package template
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// Node is a template node: an element tag, the query that populates it
+// (evaluated against the source and the parent's register), whether the
+// node is virtual, whether its register should be rendered as a text
+// child, and its sub-template.
+type Node struct {
+	Tag      string
+	Query    *logic.Query
+	Virtual  bool
+	EmitText bool
+	Children []*Node
+}
+
+// View is a tree template over a relational schema.
+type View struct {
+	Name    string
+	Schema  *relation.Schema
+	RootTag string
+	Top     []*Node
+}
+
+// Restrictions captures what a concrete publishing language allows; the
+// compiler rejects templates outside them, mirroring the "smallest
+// class" analysis of Section 4.
+type Restrictions struct {
+	MaxLogic     logic.Logic
+	AllowVirtual bool
+	RequireTuple bool
+}
+
+// Compile translates the template into a publishing transducer. Every
+// template node gets its own state, so the dependency graph is the
+// template tree plus text edges — always nonrecursive.
+func (v *View) Compile(r Restrictions) (*pt.Transducer, error) {
+	if v.Schema == nil || v.RootTag == "" {
+		return nil, fmt.Errorf("template %s: schema and root tag are required", v.Name)
+	}
+	t := pt.New(v.Name, v.Schema, "q0", v.RootTag)
+	counter := 0
+	needText := false
+
+	var compile func(n *Node) (pt.RHS, error)
+	compile = func(n *Node) (pt.RHS, error) {
+		if n.Query == nil {
+			return pt.RHS{}, fmt.Errorf("template %s: node %s has no query", v.Name, n.Tag)
+		}
+		if l := n.Query.Logic(); !r.MaxLogic.Includes(l) {
+			return pt.RHS{}, fmt.Errorf("template %s: node %s uses %s, language allows at most %s",
+				v.Name, n.Tag, l, r.MaxLogic)
+		}
+		if r.RequireTuple && !n.Query.TupleStore() {
+			return pt.RHS{}, fmt.Errorf("template %s: node %s uses a relation store (|ȳ|>0)", v.Name, n.Tag)
+		}
+		if n.Virtual && !r.AllowVirtual {
+			return pt.RHS{}, fmt.Errorf("template %s: node %s is virtual; language has no virtual nodes",
+				v.Name, n.Tag)
+		}
+		if n.Tag == v.RootTag {
+			return pt.RHS{}, fmt.Errorf("template %s: root tag reused at node %s", v.Name, n.Tag)
+		}
+		counter++
+		state := fmt.Sprintf("s%d", counter)
+		if a, ok := t.Arities[n.Tag]; ok && a != n.Query.Arity() {
+			return pt.RHS{}, fmt.Errorf("template %s: tag %s used with register arities %d and %d",
+				v.Name, n.Tag, a, n.Query.Arity())
+		}
+		t.DeclareTag(n.Tag, n.Query.Arity())
+		if n.Virtual {
+			t.MarkVirtual(n.Tag)
+		}
+		var items []pt.RHS
+		for _, c := range n.Children {
+			item, err := compile(c)
+			if err != nil {
+				return pt.RHS{}, err
+			}
+			items = append(items, item)
+		}
+		if n.EmitText {
+			needText = true
+			if a, ok := t.Arities[xmltree.TextTag]; ok && a != n.Query.Arity() {
+				return pt.RHS{}, fmt.Errorf("template %s: text used at arities %d and %d",
+					v.Name, a, n.Query.Arity())
+			}
+			t.DeclareTag(xmltree.TextTag, n.Query.Arity())
+			vars := make([]logic.Var, n.Query.Arity())
+			terms := make([]logic.Term, n.Query.Arity())
+			for i := range vars {
+				vars[i] = logic.Var(fmt.Sprintf("tc%d", i))
+				terms[i] = vars[i]
+			}
+			items = append(items, pt.Item("qtext", xmltree.TextTag,
+				logic.MustQuery(vars, nil, &logic.Atom{Rel: pt.RegRel, Args: terms})))
+		}
+		t.AddRule(state, n.Tag, items...)
+		return pt.Item(state, n.Tag, n.Query), nil
+	}
+
+	var topItems []pt.RHS
+	for _, n := range v.Top {
+		item, err := compile(n)
+		if err != nil {
+			return nil, err
+		}
+		topItems = append(topItems, item)
+	}
+	t.AddRule("q0", v.RootTag, topItems...)
+	if needText {
+		t.AddRule("qtext", xmltree.TextTag)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.IsRecursive() {
+		return nil, fmt.Errorf("template %s: compiled transducer is recursive (template bug)", v.Name)
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package template
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+var x = logic.Var("x")
+
+func schemaR() *relation.Schema { return relation.NewSchema().MustDeclare("R1", 1) }
+
+func simpleNode(tag string, f logic.Formula) *Node {
+	return &Node{Tag: tag, Query: logic.MustQuery([]logic.Var{x}, nil, f)}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	v := &View{
+		Name:    "v",
+		Schema:  schemaR(),
+		RootTag: "r",
+		Top: []*Node{{
+			Tag:      "a",
+			Query:    logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x)),
+			EmitText: true,
+			Children: []*Node{
+				simpleNode("b", logic.R(pt.RegRel, x)),
+			},
+		}},
+	}
+	tr, err := v.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := relation.NewInstance(schemaR())
+	inst.Add("R1", "k")
+	out, err := tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The a-node holds its b child and then the text rendering.
+	if out.Canonical() != `r(a(b,text="k"))` {
+		t.Fatalf("output = %s", out.Canonical())
+	}
+	if tr.IsRecursive() {
+		t.Error("templates are never recursive")
+	}
+}
+
+func TestRestrictionsEnforced(t *testing.T) {
+	fo := &Node{Tag: "a", Query: logic.MustQuery([]logic.Var{x}, nil,
+		&logic.Not{F: logic.R("R1", x)})}
+	v := &View{Name: "v", Schema: schemaR(), RootTag: "r", Top: []*Node{fo}}
+	if _, err := v.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("FO under a CQ-only dialect should fail")
+	}
+	if _, err := v.Compile(Restrictions{MaxLogic: logic.FO, RequireTuple: true}); err != nil {
+		t.Errorf("FO under an FO dialect should compile: %v", err)
+	}
+
+	virt := &Node{Tag: "a", Virtual: true,
+		Query: logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))}
+	v2 := &View{Name: "v", Schema: schemaR(), RootTag: "r", Top: []*Node{virt}}
+	if _, err := v2.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("virtual node under a no-virtual dialect should fail")
+	}
+	if _, err := v2.Compile(Restrictions{MaxLogic: logic.CQ, AllowVirtual: true, RequireTuple: true}); err != nil {
+		t.Errorf("virtual node should compile when allowed: %v", err)
+	}
+
+	y := logic.Var("y")
+	relStore := &Node{Tag: "a", Query: logic.MustQuery(nil, []logic.Var{x, y},
+		logic.Conj(logic.R("R1", x), logic.R("R1", y)))}
+	v3 := &View{Name: "v", Schema: schemaR(), RootTag: "r", Top: []*Node{relStore}}
+	if _, err := v3.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("relation store under a tuple dialect should fail")
+	}
+}
+
+func TestTagArityConflict(t *testing.T) {
+	y := logic.Var("y")
+	v := &View{
+		Name: "v", Schema: relation.NewSchema().MustDeclare("E", 2), RootTag: "r",
+		Top: []*Node{
+			{Tag: "a", Query: logic.MustQuery([]logic.Var{x}, nil,
+				logic.Ex([]logic.Var{y}, logic.R("E", x, y)))},
+			{Tag: "a", Query: logic.MustQuery([]logic.Var{x, y}, nil, logic.R("E", x, y))},
+		},
+	}
+	if _, err := v.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("same tag at two arities should fail")
+	}
+}
+
+func TestRootTagReuseRejected(t *testing.T) {
+	v := &View{Name: "v", Schema: schemaR(), RootTag: "r",
+		Top: []*Node{simpleNode("r", logic.R("R1", x))}}
+	if _, err := v.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("reusing the root tag should fail")
+	}
+}
+
+func TestMissingQueryRejected(t *testing.T) {
+	v := &View{Name: "v", Schema: schemaR(), RootTag: "r", Top: []*Node{{Tag: "a"}}}
+	if _, err := v.Compile(Restrictions{MaxLogic: logic.CQ, RequireTuple: true}); err == nil {
+		t.Error("node without a query should fail")
+	}
+}

@@ -1,0 +1,51 @@
+// Package treeql abstracts TreeQL, the SilkRoute middleware language as
+// formalized by Alon et al. (Section 4): a fixed tree template whose
+// nodes are annotated with conjunctive queries, with virtual nodes and
+// tuple-based information passing by free-variable binding. Per Table I
+// the language is definable in PTnr(CQ, tuple, virtual).
+package treeql
+
+import (
+	"ptx/internal/langs/template"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Node is a template node annotated with a CQ query; virtual nodes are
+// removed from the output.
+type Node struct {
+	Tag      string
+	Query    *logic.Query
+	Virtual  bool
+	EmitText bool
+	Children []*Node
+}
+
+// View is a TreeQL template.
+type View struct {
+	Name    string
+	Schema  *relation.Schema
+	RootTag string
+	Top     []*Node
+}
+
+// Compile translates the template into a publishing transducer in
+// PTnr(CQ, tuple, virtual); FO or IFP annotations are rejected.
+func (v *View) Compile() (*pt.Transducer, error) {
+	tpl := &template.View{Name: v.Name, Schema: v.Schema, RootTag: v.RootTag, Top: convert(v.Top)}
+	return tpl.Compile(template.Restrictions{
+		MaxLogic:     logic.CQ,
+		AllowVirtual: true,
+		RequireTuple: true,
+	})
+}
+
+func convert(ns []*Node) []*template.Node {
+	out := make([]*template.Node, len(ns))
+	for i, n := range ns {
+		out[i] = &template.Node{Tag: n.Tag, Query: n.Query, Virtual: n.Virtual,
+			EmitText: n.EmitText, Children: convert(n.Children)}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package xmlgen abstracts Oracle 10g's DBMS_XMLGEN PL/SQL package with
+// the SQL'99 CONNECT BY construct (Section 4, Fig. 5): a row query is
+// unfolded into a recursive hierarchy by joining each row's key column
+// to its children's parent column, generating an XML tree of unbounded
+// depth. With the stop condition imposed, per Table I the language is
+// definable in PT(IFP, tuple, normal).
+package xmlgen
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// View is a DBMS_XMLGEN hierarchy: Rows selects the row set (its head
+// lists the row columns; IFP allowed via recursive SQL); StartWith
+// filters the roots (column = value); ConnectBy joins prior rows to
+// children: prior row's PriorCol equals the child's ChildCol.
+type View struct {
+	Name     string
+	Schema   *relation.Schema
+	RootTag  string
+	RowTag   string
+	Rows     *logic.Query
+	StartCol int
+	StartVal string
+	PriorCol int
+	ChildCol int
+	EmitText bool
+}
+
+// Compile builds the recursive transducer.
+func (v *View) Compile() (*pt.Transducer, error) {
+	if !v.Rows.TupleStore() {
+		return nil, fmt.Errorf("xmlgen: the row query must produce tuples")
+	}
+	cols := v.Rows.Head()
+	n := len(cols)
+	if v.PriorCol < 0 || v.PriorCol >= n || v.ChildCol < 0 || v.ChildCol >= n {
+		return nil, fmt.Errorf("xmlgen: connect-by columns out of range")
+	}
+	if v.StartCol < 0 || v.StartCol >= n {
+		return nil, fmt.Errorf("xmlgen: start-with column out of range")
+	}
+	t := pt.New(v.Name, v.Schema, "q0", v.RootTag)
+	t.DeclareTag(v.RowTag, n)
+
+	// Roots: rows with StartCol = StartVal.
+	start := logic.MustQuery(cols, nil, logic.Conj(
+		v.Rows.F, logic.EqT(cols[v.StartCol], logic.Const(v.StartVal))))
+	t.AddRule("q0", v.RootTag, pt.Item("q", v.RowTag, start))
+
+	// Children: rows whose ChildCol equals the prior row's PriorCol.
+	prior := make([]logic.Var, n)
+	priorTerms := make([]logic.Term, n)
+	for i := range prior {
+		prior[i] = logic.Var(fmt.Sprintf("prior%d", i))
+		priorTerms[i] = prior[i]
+	}
+	step := logic.MustQuery(cols, nil, logic.Ex(prior, logic.Conj(
+		&logic.Atom{Rel: pt.RegRel, Args: priorTerms},
+		v.Rows.F,
+		logic.EqT(prior[v.PriorCol], cols[v.ChildCol]),
+	)))
+	items := []pt.RHS{pt.Item("q", v.RowTag, step)}
+	if v.EmitText {
+		t.DeclareTag(xmltree.TextTag, n)
+		copyVars := make([]logic.Var, n)
+		copyTerms := make([]logic.Term, n)
+		for i := range copyVars {
+			copyVars[i] = logic.Var(fmt.Sprintf("t%d", i))
+			copyTerms[i] = copyVars[i]
+		}
+		items = append(items, pt.Item("qt", xmltree.TextTag,
+			logic.MustQuery(copyVars, nil, &logic.Atom{Rel: pt.RegRel, Args: copyTerms})))
+		t.AddRule("qt", xmltree.TextTag)
+	}
+	t.AddRule("q", v.RowTag, items...)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,634 @@
+// Package logic defines a single abstract syntax for the three query
+// logics of the paper — conjunctive queries (CQ), first-order logic (FO)
+// and inflationary fixpoint logic (IFP), all with '=' and '≠' — together
+// with fragment classification, free-variable analysis and substitution.
+//
+// Register atoms are ordinary relation atoms whose name matches the
+// register relation bound by the evaluator (conventionally "Reg" or
+// "Reg<tag>"); the evaluator resolves names against the database instance
+// extended with the current node's register.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptx/internal/value"
+)
+
+// Logic identifies a query-language fragment.
+type Logic int
+
+// The three logics, ordered by inclusion: CQ ⊂ FO ⊂ IFP.
+const (
+	CQ Logic = iota
+	FO
+	IFP
+)
+
+func (l Logic) String() string {
+	switch l {
+	case CQ:
+		return "CQ"
+	case FO:
+		return "FO"
+	case IFP:
+		return "IFP"
+	}
+	return fmt.Sprintf("Logic(%d)", int(l))
+}
+
+// Includes reports whether fragment l contains fragment m.
+func (l Logic) Includes(m Logic) bool { return l >= m }
+
+// Term is a variable or a constant.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a first-order variable.
+type Var string
+
+func (Var) isTerm()          {}
+func (v Var) String() string { return string(v) }
+
+// Const is a data-value constant.
+type Const value.V
+
+func (Const) isTerm()          {}
+func (c Const) String() string { return "'" + string(c) + "'" }
+
+// Vars is a convenience constructor for a variable list.
+func Vars(names ...string) []Var {
+	vs := make([]Var, len(names))
+	for i, n := range names {
+		vs[i] = Var(n)
+	}
+	return vs
+}
+
+// TermVars converts a variable list to a term list.
+func TermVars(vs []Var) []Term {
+	ts := make([]Term, len(vs))
+	for i, v := range vs {
+		ts[i] = v
+	}
+	return ts
+}
+
+// Formula is a node of the shared AST.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Atom is a relation atom R(t1,…,tk). The relation may be a source
+// relation, a register relation, or (inside a fixpoint body) the
+// fixpoint's recursion relation.
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// Eq asserts term equality.
+type Eq struct{ L, R Term }
+
+// Neq asserts term inequality.
+type Neq struct{ L, R Term }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction (FO and above).
+type Or struct{ L, R Formula }
+
+// Not is negation (FO and above).
+type Not struct{ F Formula }
+
+// Exists is existential quantification over Bound.
+type Exists struct {
+	Bound []Var
+	F     Formula
+}
+
+// Forall is universal quantification over Bound (FO and above).
+type Forall struct {
+	Bound []Var
+	F     Formula
+}
+
+// Fixpoint is the inflationary fixpoint [µ⁺_{S,x̄} φ(S,x̄)](t̄) of IFP:
+// Rel names the recursion relation S, Vars are x̄ (binding the body),
+// Body is φ, and Args are the terms t̄ the fixpoint is applied to.
+type Fixpoint struct {
+	Rel  string
+	Vars []Var
+	Body Formula
+	Args []Term
+}
+
+// Truth is the boolean constant true (⊤) or false (⊥). It is definable
+// in CQ (x='c'∧x≠'c' and its negation via empty conjunction) but having
+// it explicit keeps generated formulas small.
+type Truth struct{ B bool }
+
+func (*Atom) isFormula()     {}
+func (*Eq) isFormula()       {}
+func (*Neq) isFormula()      {}
+func (*And) isFormula()      {}
+func (*Or) isFormula()       {}
+func (*Not) isFormula()      {}
+func (*Exists) isFormula()   {}
+func (*Forall) isFormula()   {}
+func (*Fixpoint) isFormula() {}
+func (*Truth) isFormula()    {}
+
+// True and False are the shared truth constants.
+var (
+	True  = &Truth{B: true}
+	False = &Truth{B: false}
+)
+
+// R builds an atom from a relation name and terms.
+func R(rel string, args ...Term) *Atom { return &Atom{Rel: rel, Args: args} }
+
+// EqT and NeqT build (in)equalities.
+func EqT(l, r Term) *Eq   { return &Eq{L: l, R: r} }
+func NeqT(l, r Term) *Neq { return &Neq{L: l, R: r} }
+
+// Conj folds a list of formulas into a right-nested conjunction;
+// the empty conjunction is True.
+func Conj(fs ...Formula) Formula {
+	switch len(fs) {
+	case 0:
+		return True
+	case 1:
+		return fs[0]
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = &And{L: fs[i], R: out}
+	}
+	return out
+}
+
+// Disj folds a list of formulas into a right-nested disjunction;
+// the empty disjunction is False.
+func Disj(fs ...Formula) Formula {
+	switch len(fs) {
+	case 0:
+		return False
+	case 1:
+		return fs[0]
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = &Or{L: fs[i], R: out}
+	}
+	return out
+}
+
+// Ex wraps f in ∃vars unless vars is empty.
+func Ex(vars []Var, f Formula) Formula {
+	if len(vars) == 0 {
+		return f
+	}
+	return &Exists{Bound: vars, F: f}
+}
+
+// All wraps f in ∀vars unless vars is empty.
+func All(vars []Var, f Formula) Formula {
+	if len(vars) == 0 {
+		return f
+	}
+	return &Forall{Bound: vars, F: f}
+}
+
+func (a *Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (e *Eq) String() string  { return e.L.String() + "=" + e.R.String() }
+func (n *Neq) String() string { return n.L.String() + "!=" + n.R.String() }
+func (a *And) String() string { return "(" + a.L.String() + " & " + a.R.String() + ")" }
+func (o *Or) String() string  { return "(" + o.L.String() + " | " + o.R.String() + ")" }
+func (n *Not) String() string { return "!" + n.F.String() }
+
+func varList(vs []Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (e *Exists) String() string { return "exists " + varList(e.Bound) + ". " + e.F.String() }
+func (f *Forall) String() string { return "forall " + varList(f.Bound) + ". " + f.F.String() }
+
+func (f *Fixpoint) String() string {
+	args := make([]string, len(f.Args))
+	for i, t := range f.Args {
+		args[i] = t.String()
+	}
+	return fmt.Sprintf("[ifp %s(%s). %s](%s)", f.Rel, varList(f.Vars), f.Body.String(), strings.Join(args, ","))
+}
+
+func (t *Truth) String() string {
+	if t.B {
+		return "true"
+	}
+	return "false"
+}
+
+// FreeVars returns the free variables of f in sorted order.
+func FreeVars(f Formula) []Var {
+	set := make(map[Var]bool)
+	collectFree(f, make(map[Var]bool), set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectTermFree(t Term, bound, free map[Var]bool) {
+	if v, ok := t.(Var); ok && !bound[v] {
+		free[v] = true
+	}
+}
+
+func collectFree(f Formula, bound, free map[Var]bool) {
+	switch g := f.(type) {
+	case *Atom:
+		for _, t := range g.Args {
+			collectTermFree(t, bound, free)
+		}
+	case *Eq:
+		collectTermFree(g.L, bound, free)
+		collectTermFree(g.R, bound, free)
+	case *Neq:
+		collectTermFree(g.L, bound, free)
+		collectTermFree(g.R, bound, free)
+	case *And:
+		collectFree(g.L, bound, free)
+		collectFree(g.R, bound, free)
+	case *Or:
+		collectFree(g.L, bound, free)
+		collectFree(g.R, bound, free)
+	case *Not:
+		collectFree(g.F, bound, free)
+	case *Exists:
+		inner := cloneBound(bound, g.Bound)
+		collectFree(g.F, inner, free)
+	case *Forall:
+		inner := cloneBound(bound, g.Bound)
+		collectFree(g.F, inner, free)
+	case *Fixpoint:
+		// The fixpoint variables bind the body; the applied terms are free.
+		inner := cloneBound(bound, g.Vars)
+		collectFree(g.Body, inner, free)
+		for _, t := range g.Args {
+			collectTermFree(t, bound, free)
+		}
+	case *Truth:
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+func cloneBound(bound map[Var]bool, extra []Var) map[Var]bool {
+	inner := make(map[Var]bool, len(bound)+len(extra))
+	for v := range bound {
+		inner[v] = true
+	}
+	for _, v := range extra {
+		inner[v] = true
+	}
+	return inner
+}
+
+// Constants returns the sorted set of constants occurring in f.
+func Constants(f Formula) []value.V {
+	set := make(map[value.V]bool)
+	collectConsts(f, set)
+	out := make([]value.V, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	value.SortValues(out)
+	return out
+}
+
+func collectTermConst(t Term, set map[value.V]bool) {
+	if c, ok := t.(Const); ok {
+		set[value.V(c)] = true
+	}
+}
+
+func collectConsts(f Formula, set map[value.V]bool) {
+	switch g := f.(type) {
+	case *Atom:
+		for _, t := range g.Args {
+			collectTermConst(t, set)
+		}
+	case *Eq:
+		collectTermConst(g.L, set)
+		collectTermConst(g.R, set)
+	case *Neq:
+		collectTermConst(g.L, set)
+		collectTermConst(g.R, set)
+	case *And:
+		collectConsts(g.L, set)
+		collectConsts(g.R, set)
+	case *Or:
+		collectConsts(g.L, set)
+		collectConsts(g.R, set)
+	case *Not:
+		collectConsts(g.F, set)
+	case *Exists:
+		collectConsts(g.F, set)
+	case *Forall:
+		collectConsts(g.F, set)
+	case *Fixpoint:
+		collectConsts(g.Body, set)
+		for _, t := range g.Args {
+			collectTermConst(t, set)
+		}
+	case *Truth:
+	}
+}
+
+// Relations returns the sorted set of relation names referenced by f,
+// excluding fixpoint recursion relations (which are locally bound).
+func Relations(f Formula) []string {
+	set := make(map[string]bool)
+	collectRels(f, make(map[string]bool), set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectRels(f Formula, local, set map[string]bool) {
+	switch g := f.(type) {
+	case *Atom:
+		if !local[g.Rel] {
+			set[g.Rel] = true
+		}
+	case *And:
+		collectRels(g.L, local, set)
+		collectRels(g.R, local, set)
+	case *Or:
+		collectRels(g.L, local, set)
+		collectRels(g.R, local, set)
+	case *Not:
+		collectRels(g.F, local, set)
+	case *Exists:
+		collectRels(g.F, local, set)
+	case *Forall:
+		collectRels(g.F, local, set)
+	case *Fixpoint:
+		inner := make(map[string]bool, len(local)+1)
+		for n := range local {
+			inner[n] = true
+		}
+		inner[g.Rel] = true
+		collectRels(g.Body, inner, set)
+	}
+}
+
+// Classify returns the smallest fragment containing f: CQ if f uses only
+// atoms, (in)equalities, conjunction and ∃; FO if it additionally uses
+// ∨, ¬ or ∀; IFP if it uses a fixpoint.
+func Classify(f Formula) Logic {
+	switch g := f.(type) {
+	case *Atom, *Eq, *Neq, *Truth:
+		return CQ
+	case *And:
+		return maxLogic(Classify(g.L), Classify(g.R))
+	case *Exists:
+		return Classify(g.F)
+	case *Or:
+		return maxLogic(FO, maxLogic(Classify(g.L), Classify(g.R)))
+	case *Not:
+		return maxLogic(FO, Classify(g.F))
+	case *Forall:
+		return maxLogic(FO, Classify(g.F))
+	case *Fixpoint:
+		return IFP
+	}
+	panic(fmt.Sprintf("logic: unknown formula %T", f))
+}
+
+func maxLogic(a, b Logic) Logic {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Substitute replaces free occurrences of variables per subst, renaming
+// nothing (callers must avoid capture; generated formulas use fresh
+// variable names).
+func Substitute(f Formula, subst map[Var]Term) Formula {
+	if len(subst) == 0 {
+		return f
+	}
+	return subFormula(f, subst)
+}
+
+func subTerm(t Term, subst map[Var]Term) Term {
+	if v, ok := t.(Var); ok {
+		if r, ok := subst[v]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+func subTerms(ts []Term, subst map[Var]Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = subTerm(t, subst)
+	}
+	return out
+}
+
+func dropBound(subst map[Var]Term, bound []Var) map[Var]Term {
+	any := false
+	for _, v := range bound {
+		if _, ok := subst[v]; ok {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return subst
+	}
+	inner := make(map[Var]Term, len(subst))
+	for k, t := range subst {
+		inner[k] = t
+	}
+	for _, v := range bound {
+		delete(inner, v)
+	}
+	return inner
+}
+
+func subFormula(f Formula, subst map[Var]Term) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		return &Atom{Rel: g.Rel, Args: subTerms(g.Args, subst)}
+	case *Eq:
+		return &Eq{L: subTerm(g.L, subst), R: subTerm(g.R, subst)}
+	case *Neq:
+		return &Neq{L: subTerm(g.L, subst), R: subTerm(g.R, subst)}
+	case *And:
+		return &And{L: subFormula(g.L, subst), R: subFormula(g.R, subst)}
+	case *Or:
+		return &Or{L: subFormula(g.L, subst), R: subFormula(g.R, subst)}
+	case *Not:
+		return &Not{F: subFormula(g.F, subst)}
+	case *Exists:
+		return &Exists{Bound: g.Bound, F: subFormula(g.F, dropBound(subst, g.Bound))}
+	case *Forall:
+		return &Forall{Bound: g.Bound, F: subFormula(g.F, dropBound(subst, g.Bound))}
+	case *Fixpoint:
+		return &Fixpoint{
+			Rel:  g.Rel,
+			Vars: g.Vars,
+			Body: subFormula(g.Body, dropBound(subst, g.Vars)),
+			Args: subTerms(g.Args, subst),
+		}
+	case *Truth:
+		return g
+	}
+	panic(fmt.Sprintf("logic: unknown formula %T", f))
+}
+
+// RenameRel rewrites every atom over relation old to use relation new
+// (used when composing register queries along a path).
+func RenameRel(f Formula, old, new string) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		if g.Rel == old {
+			return &Atom{Rel: new, Args: g.Args}
+		}
+		return g
+	case *And:
+		return &And{L: RenameRel(g.L, old, new), R: RenameRel(g.R, old, new)}
+	case *Or:
+		return &Or{L: RenameRel(g.L, old, new), R: RenameRel(g.R, old, new)}
+	case *Not:
+		return &Not{F: RenameRel(g.F, old, new)}
+	case *Exists:
+		return &Exists{Bound: g.Bound, F: RenameRel(g.F, old, new)}
+	case *Forall:
+		return &Forall{Bound: g.Bound, F: RenameRel(g.F, old, new)}
+	case *Fixpoint:
+		if g.Rel == old {
+			// old is shadowed inside the body.
+			return g
+		}
+		return &Fixpoint{Rel: g.Rel, Vars: g.Vars, Body: RenameRel(g.Body, old, new), Args: g.Args}
+	default:
+		return g
+	}
+}
+
+// ReplaceAtom rewrites every atom over relation rel by the formula
+// produced by build, which receives the atom's argument terms. It is
+// the workhorse of query composition: substituting a child query for a
+// register atom.
+func ReplaceAtom(f Formula, rel string, build func(args []Term) Formula) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		if g.Rel == rel {
+			return build(g.Args)
+		}
+		return g
+	case *And:
+		return &And{L: ReplaceAtom(g.L, rel, build), R: ReplaceAtom(g.R, rel, build)}
+	case *Or:
+		return &Or{L: ReplaceAtom(g.L, rel, build), R: ReplaceAtom(g.R, rel, build)}
+	case *Not:
+		return &Not{F: ReplaceAtom(g.F, rel, build)}
+	case *Exists:
+		return &Exists{Bound: g.Bound, F: ReplaceAtom(g.F, rel, build)}
+	case *Forall:
+		return &Forall{Bound: g.Bound, F: ReplaceAtom(g.F, rel, build)}
+	case *Fixpoint:
+		if g.Rel == rel {
+			return g
+		}
+		return &Fixpoint{Rel: g.Rel, Vars: g.Vars, Body: ReplaceAtom(g.Body, rel, build), Args: g.Args}
+	default:
+		return g
+	}
+}
+
+// Equalish reports structural equality of two formulas (same shape,
+// relation names, terms and binder lists).
+func Equalish(a, b Formula) bool { return a.String() == b.String() }
+
+// RenameAllVars appends suffix to every variable of f, bound and free
+// alike. The renaming is injective, hence capture-free; it is used to
+// create fresh copies of a formula when substituting it for several
+// atom occurrences.
+func RenameAllVars(f Formula, suffix string) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		return &Atom{Rel: g.Rel, Args: renameTerms(g.Args, suffix)}
+	case *Eq:
+		return &Eq{L: renameTerm(g.L, suffix), R: renameTerm(g.R, suffix)}
+	case *Neq:
+		return &Neq{L: renameTerm(g.L, suffix), R: renameTerm(g.R, suffix)}
+	case *And:
+		return &And{L: RenameAllVars(g.L, suffix), R: RenameAllVars(g.R, suffix)}
+	case *Or:
+		return &Or{L: RenameAllVars(g.L, suffix), R: RenameAllVars(g.R, suffix)}
+	case *Not:
+		return &Not{F: RenameAllVars(g.F, suffix)}
+	case *Exists:
+		return &Exists{Bound: renameVars(g.Bound, suffix), F: RenameAllVars(g.F, suffix)}
+	case *Forall:
+		return &Forall{Bound: renameVars(g.Bound, suffix), F: RenameAllVars(g.F, suffix)}
+	case *Fixpoint:
+		return &Fixpoint{Rel: g.Rel, Vars: renameVars(g.Vars, suffix),
+			Body: RenameAllVars(g.Body, suffix), Args: renameTerms(g.Args, suffix)}
+	default:
+		return f
+	}
+}
+
+func renameTerm(t Term, suffix string) Term {
+	if v, ok := t.(Var); ok {
+		return Var(string(v) + suffix)
+	}
+	return t
+}
+
+func renameTerms(ts []Term, suffix string) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = renameTerm(t, suffix)
+	}
+	return out
+}
+
+func renameVars(vs []Var, suffix string) []Var {
+	out := make([]Var, len(vs))
+	for i, v := range vs {
+		out[i] = Var(string(v) + suffix)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package logic
+
+import (
+	"testing"
+)
+
+func TestFreeVars(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	f := Ex([]Var{y}, Conj(
+		R("E", x, y),
+		R("E", y, z),
+	))
+	fv := FreeVars(f)
+	if len(fv) != 2 || fv[0] != "x" || fv[1] != "z" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	x := Var("x")
+	// ∃x E(x,x) has no free variables even though x appears.
+	f := Ex([]Var{x}, R("E", x, x))
+	if fv := FreeVars(f); len(fv) != 0 {
+		t.Fatalf("FreeVars = %v, want none", fv)
+	}
+	// x free outside, bound inside: E(x) ∧ ∃x F(x) — x is free.
+	g := Conj(R("E", x), Ex([]Var{x}, R("F", x)))
+	if fv := FreeVars(g); len(fv) != 1 || fv[0] != "x" {
+		t.Fatalf("FreeVars = %v, want [x]", fv)
+	}
+}
+
+func TestFixpointFreeVars(t *testing.T) {
+	x, y, u, v := Var("x"), Var("y"), Var("u"), Var("v")
+	// [µ⁺_{S,(u,v)} E(u,v) ∨ ∃w(S(u,w) ∧ E(w,v))](x,y): free vars x,y.
+	w := Var("w")
+	body := Disj(R("E", u, v), Ex([]Var{w}, Conj(R("S", u, w), R("E", w, v))))
+	f := &Fixpoint{Rel: "S", Vars: []Var{u, v}, Body: body, Args: []Term{x, y}}
+	fv := FreeVars(f)
+	if len(fv) != 2 || fv[0] != "x" || fv[1] != "y" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	x := Var("x")
+	f := Conj(R("R", x, Const("CS")), NeqT(x, Const("0")))
+	cs := Constants(f)
+	if len(cs) != 2 || cs[0] != "0" || cs[1] != "CS" {
+		t.Fatalf("Constants = %v", cs)
+	}
+}
+
+func TestRelations(t *testing.T) {
+	x := Var("x")
+	f := Conj(R("A", x), &Not{F: R("B", x)})
+	rs := Relations(f)
+	if len(rs) != 2 || rs[0] != "A" || rs[1] != "B" {
+		t.Fatalf("Relations = %v", rs)
+	}
+	// Fixpoint recursion relation is locally bound, not reported.
+	fp := &Fixpoint{Rel: "S", Vars: []Var{x}, Body: Disj(R("E", x), R("S", x)), Args: []Term{x}}
+	rs = Relations(fp)
+	if len(rs) != 1 || rs[0] != "E" {
+		t.Fatalf("Relations(fixpoint) = %v", rs)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	cases := []struct {
+		f    Formula
+		want Logic
+	}{
+		{R("E", x, y), CQ},
+		{Conj(R("E", x, y), NeqT(x, y)), CQ},
+		{Ex([]Var{y}, R("E", x, y)), CQ},
+		{Disj(R("E", x, y), R("E", y, x)), FO},
+		{&Not{F: R("E", x, y)}, FO},
+		{All([]Var{y}, R("E", x, y)), FO},
+		{&Fixpoint{Rel: "S", Vars: []Var{x}, Body: R("E", x), Args: []Term{x}}, IFP},
+		{True, CQ},
+	}
+	for _, c := range cases {
+		if got := Classify(c.f); got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.f, got, c.want)
+		}
+	}
+}
+
+func TestLogicIncludes(t *testing.T) {
+	if !IFP.Includes(CQ) || !IFP.Includes(FO) || !FO.Includes(CQ) {
+		t.Error("inclusion chain broken")
+	}
+	if CQ.Includes(FO) || FO.Includes(IFP) {
+		t.Error("inclusion should be strict")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	f := Conj(R("E", x, y), EqT(x, Const("c")))
+	g := Substitute(f, map[Var]Term{x: Const("1")})
+	want := "(E('1',y) & '1'='c')"
+	if g.String() != want {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+	// Bound variables are not substituted.
+	h := Ex([]Var{x}, R("E", x, y))
+	hs := Substitute(h, map[Var]Term{x: Const("1"), y: Const("2")})
+	if hs.String() != "exists x. E(x,'2')" {
+		t.Fatalf("Substitute under binder = %s", hs)
+	}
+}
+
+func TestReplaceAtom(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	f := Ex([]Var{y}, Conj(R("Reg", y), R("E", y, x)))
+	g := ReplaceAtom(f, "Reg", func(args []Term) Formula {
+		return R("Q", args[0], Const("k"))
+	})
+	if g.String() != "exists y. (Q(y,'k') & E(y,x))" {
+		t.Fatalf("ReplaceAtom = %s", g)
+	}
+}
+
+func TestRenameRel(t *testing.T) {
+	x := Var("x")
+	f := Conj(R("A", x), R("B", x))
+	g := RenameRel(f, "A", "C")
+	if g.String() != "(C(x) & B(x))" {
+		t.Fatalf("RenameRel = %s", g)
+	}
+	// Shadowed fixpoint relation is not renamed inside its own body.
+	fp := &Fixpoint{Rel: "A", Vars: []Var{x}, Body: R("A", x), Args: []Term{x}}
+	if gp := RenameRel(fp, "A", "C"); gp.String() != fp.String() {
+		t.Fatalf("RenameRel should not rename shadowed fixpoint: %s", gp)
+	}
+}
+
+func TestConjDisjEmpty(t *testing.T) {
+	if Conj() != True {
+		t.Error("empty Conj should be True")
+	}
+	if Disj() != False {
+		t.Error("empty Disj should be False")
+	}
+	x := Var("x")
+	single := R("E", x)
+	if Conj(single) != Formula(single) || Disj(single) != Formula(single) {
+		t.Error("singleton Conj/Disj should be identity")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	if _, err := NewQuery([]Var{x}, []Var{x}, R("E", x)); err == nil {
+		t.Error("overlapping x̄,ȳ should fail")
+	}
+	if _, err := NewQuery([]Var{x}, nil, R("E", x, y)); err == nil {
+		t.Error("uncovered free variable should fail")
+	}
+	q, err := NewQuery([]Var{x}, []Var{y}, R("E", x, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Arity() != 2 || q.TupleStore() {
+		t.Error("arity/store classification wrong")
+	}
+	q2 := MustQuery([]Var{x}, nil, Ex([]Var{y}, R("E", x, y)))
+	if !q2.TupleStore() {
+		t.Error("|ȳ|=0 should be a tuple store")
+	}
+}
+
+func TestQueryHead(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	q := MustQuery([]Var{x, y}, []Var{z}, R("E", x, y, z))
+	h := q.Head()
+	if len(h) != 3 || h[0] != x || h[1] != y || h[2] != z {
+		t.Fatalf("Head = %v", h)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	f := All([]Var{y}, Disj(&Not{F: R("E", x, y)}, EqT(x, y)))
+	want := "forall y. (!E(x,y) | x=y)"
+	if f.String() != want {
+		t.Fatalf("String = %s, want %s", f, want)
+	}
+}
+
+func TestEqualish(t *testing.T) {
+	x := Var("x")
+	if !Equalish(R("E", x), R("E", x)) {
+		t.Error("identical formulas should be Equalish")
+	}
+	if Equalish(R("E", x), R("F", x)) {
+		t.Error("different relations should not be Equalish")
+	}
+}

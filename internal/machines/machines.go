@@ -1,0 +1,206 @@
+// Package machines implements the two computational models the paper
+// reduces from in its undecidability proofs: two-register machines
+// (2RM, Theorem 1(3)) and deterministic finite 2-head automata
+// (Theorem 1(2)). Both come with bounded simulators so the reductions
+// can be validated on concrete inputs.
+package machines
+
+import (
+	"fmt"
+)
+
+// Register names a 2RM register.
+type Register int
+
+// The two registers of a 2RM.
+const (
+	R1 Register = 1
+	R2 Register = 2
+)
+
+// Instr is a 2RM instruction: either an addition (i, rg, j) —
+// increment rg, go to state j — or a subtraction (i, rg, j, k) — if rg
+// is zero go to j, else decrement and go to k.
+type Instr struct {
+	Add  bool
+	Reg  Register
+	Zero int // addition: the target state; subtraction: target when zero
+	Next int // subtraction: target after decrement (unused for addition)
+}
+
+// AddInstr builds an addition instruction.
+func AddInstr(reg Register, next int) Instr { return Instr{Add: true, Reg: reg, Zero: next} }
+
+// SubInstr builds a subtraction instruction.
+func SubInstr(reg Register, whenZero, next int) Instr {
+	return Instr{Add: false, Reg: reg, Zero: whenZero, Next: next}
+}
+
+// TwoRegisterMachine is a numbered instruction sequence with a halting
+// state. The initial ID is (0,0,0) and the machine halts when it
+// reaches (Halt, 0, 0).
+type TwoRegisterMachine struct {
+	Instrs []Instr
+	Halt   int
+}
+
+// ID is an instantaneous description (state, register1, register2).
+type ID struct {
+	State int
+	Reg1  int
+	Reg2  int
+}
+
+// Step computes the successor ID; ok is false when the state has no
+// instruction (a stuck machine).
+func (m *TwoRegisterMachine) Step(id ID) (ID, bool) {
+	if id.State < 0 || id.State >= len(m.Instrs) {
+		return id, false
+	}
+	in := m.Instrs[id.State]
+	get := func() int {
+		if in.Reg == R1 {
+			return id.Reg1
+		}
+		return id.Reg2
+	}
+	set := func(v int) ID {
+		if in.Reg == R1 {
+			return ID{State: id.State, Reg1: v, Reg2: id.Reg2}
+		}
+		return ID{State: id.State, Reg1: id.Reg1, Reg2: v}
+	}
+	if in.Add {
+		next := set(get() + 1)
+		next.State = in.Zero
+		return next, true
+	}
+	if get() == 0 {
+		return ID{State: in.Zero, Reg1: id.Reg1, Reg2: id.Reg2}, true
+	}
+	next := set(get() - 1)
+	next.State = in.Next
+	return next, true
+}
+
+// Run executes from (0,0,0) for at most maxSteps steps and returns the
+// visited IDs (including the initial one). halted reports whether the
+// final ID is the halting ID (Halt, 0, 0).
+func (m *TwoRegisterMachine) Run(maxSteps int) (trace []ID, halted bool) {
+	id := ID{}
+	trace = append(trace, id)
+	for step := 0; step < maxSteps; step++ {
+		if id.State == m.Halt && id.Reg1 == 0 && id.Reg2 == 0 {
+			return trace, true
+		}
+		next, ok := m.Step(id)
+		if !ok {
+			return trace, false
+		}
+		id = next
+		trace = append(trace, id)
+	}
+	return trace, id.State == m.Halt && id.Reg1 == 0 && id.Reg2 == 0
+}
+
+// HaltsWithin reports whether the machine halts in at most maxSteps.
+func (m *TwoRegisterMachine) HaltsWithin(maxSteps int) bool {
+	_, halted := m.Run(maxSteps)
+	return halted
+}
+
+// String lists the program.
+func (m *TwoRegisterMachine) String() string {
+	s := ""
+	for i, in := range m.Instrs {
+		if in.Add {
+			s += fmt.Sprintf("I%d: add r%d goto %d\n", i, in.Reg, in.Zero)
+		} else {
+			s += fmt.Sprintf("I%d: if r%d=0 goto %d else dec goto %d\n", i, in.Reg, in.Zero, in.Next)
+		}
+	}
+	s += fmt.Sprintf("halt: %d\n", m.Halt)
+	return s
+}
+
+// --- 2-head DFA ---------------------------------------------------------
+
+// Head movement for a 2-head DFA transition.
+const (
+	Stay  = 0
+	Right = +1
+)
+
+// HeadInput is what a head reads: '0', '1', or 'e' for ε (head past the
+// end of the input).
+type HeadInput byte
+
+// DFAKey indexes the transition function by (state, in1, in2).
+type DFAKey struct {
+	State    int
+	In1, In2 HeadInput
+}
+
+// DFAMove is the right-hand side of a transition.
+type DFAMove struct {
+	State        int
+	Move1, Move2 int
+}
+
+// TwoHeadDFA is a deterministic finite 2-head automaton over {0,1}.
+type TwoHeadDFA struct {
+	States int
+	Start  int
+	Accept int
+	Delta  map[DFAKey]DFAMove
+}
+
+// Config is a 2-head DFA configuration: the state and the two head
+// positions into the input word.
+type Config struct {
+	State      int
+	Pos1, Pos2 int
+}
+
+func headInput(w string, pos int) HeadInput {
+	if pos >= len(w) {
+		return 'e'
+	}
+	return HeadInput(w[pos])
+}
+
+// Accepts runs the automaton on w with a step bound (a deterministic
+// machine that repeats a configuration loops forever; repeats are
+// detected and rejected).
+func (a *TwoHeadDFA) Accepts(w string) bool {
+	cfg := Config{State: a.Start}
+	seen := map[Config]bool{}
+	for !seen[cfg] {
+		seen[cfg] = true
+		if cfg.State == a.Accept {
+			return true
+		}
+		mv, ok := a.Delta[DFAKey{State: cfg.State, In1: headInput(w, cfg.Pos1), In2: headInput(w, cfg.Pos2)}]
+		if !ok {
+			return false
+		}
+		cfg = Config{State: mv.State, Pos1: cfg.Pos1 + mv.Move1, Pos2: cfg.Pos2 + mv.Move2}
+	}
+	return false
+}
+
+// EmptyUpTo reports whether L(A) contains no word of length ≤ maxLen
+// (a bounded stand-in for the undecidable emptiness problem).
+func (a *TwoHeadDFA) EmptyUpTo(maxLen int) bool {
+	var words func(prefix string, n int) bool
+	words = func(prefix string, n int) bool {
+		if a.Accepts(prefix) {
+			return false
+		}
+		if n == 0 {
+			return true
+		}
+		return words(prefix+"0", n-1) && words(prefix+"1", n-1)
+	}
+	return words("", maxLen)
+}

@@ -1,0 +1,137 @@
+package parser
+
+import (
+	"fmt"
+
+	"ptx/internal/dtd"
+)
+
+// ParseDTD parses the small DTD surface syntax used by the CLI:
+//
+//	dtd root db
+//	db -> course*
+//	course -> cno, title, prereq?
+//	prereq -> course*
+//	choice -> a | b
+//
+// Content models use ',' for concatenation, '|' for disjunction,
+// postfix '*', '+', '?', parentheses, and 'empty' for ε.
+func ParseDTD(src string) (*dtd.DTD, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if !p.acceptKeyword("dtd") {
+		return nil, p.errf("expected 'dtd'")
+	}
+	if !p.acceptKeyword("root") {
+		return nil, p.errf("expected 'root'")
+	}
+	root, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := dtd.New(root, map[string]dtd.Regex{})
+	for p.cur().kind != tokEOF {
+		sym, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseRegexAlt()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := d.Rules[sym]; dup {
+			return nil, fmt.Errorf("parser: duplicate DTD rule for %s", sym)
+		}
+		d.Rules[sym] = r
+	}
+	return d, nil
+}
+
+// parseRegexAlt: concat { '|' concat }.
+func (p *parser) parseRegexAlt() (dtd.Regex, error) {
+	first, err := p.parseRegexCat()
+	if err != nil {
+		return nil, err
+	}
+	parts := []dtd.Regex{first}
+	for p.acceptPunct("|") {
+		next, err := p.parseRegexCat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return dtd.Or(parts...), nil
+}
+
+// parseRegexCat: postfix { ',' postfix }.
+func (p *parser) parseRegexCat() (dtd.Regex, error) {
+	first, err := p.parseRegexPostfix()
+	if err != nil {
+		return nil, err
+	}
+	parts := []dtd.Regex{first}
+	for p.acceptPunct(",") {
+		next, err := p.parseRegexPostfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return dtd.Cat(parts...), nil
+}
+
+// parseRegexPostfix: primary { '*' | '+' | '?' }.
+func (p *parser) parseRegexPostfix() (dtd.Regex, error) {
+	r, err := p.parseRegexPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("*"):
+			r = dtd.Rep(r)
+		case p.acceptPunct("+"):
+			r = dtd.OneOrMore(r)
+		case p.acceptPunct("?"):
+			r = dtd.Maybe(r)
+		default:
+			return r, nil
+		}
+	}
+}
+
+// parseRegexPrimary: 'empty' | symbol | '(' alt ')'.
+func (p *parser) parseRegexPrimary() (dtd.Regex, error) {
+	if p.acceptPunct("(") {
+		r, err := p.parseRegexAlt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	t := p.cur()
+	if t.kind == tokIdent {
+		p.pos++
+		if t.text == "empty" {
+			return dtd.Eps(), nil
+		}
+		return dtd.S(t.text), nil
+	}
+	return nil, p.errf("expected a content-model symbol, found %s", t)
+}

@@ -1,0 +1,174 @@
+// Package parser implements a small text surface syntax for relational
+// schemas, database instances, logic formulas and publishing
+// transducers, used by the command-line tools and examples.
+//
+// Transducer specs look like:
+//
+//	schema course/3, prereq/2
+//	transducer tau1 root db start q0
+//	tag course/2, prereq/1, cno/1, title/1, text/1
+//	virtual l
+//	rule q0 db -> (q, course, [cno,title;] exists dept . course(cno,title,dept) & dept='CS')
+//	rule q course ->
+//	  (q, cno,    [cno;]   exists title . Reg(cno,title)),
+//	  (q, title,  [title;] exists cno . Reg(cno,title)),
+//	  (q, prereq, [cno;]   exists title . Reg(cno,title))
+//	rule q prereq -> (q, course, [c,t;] exists c2,d . Reg(c2) & prereq(c2,c) & course(c,t,d))
+//	rule q cno -> (q, text, [c;] Reg(c))
+//	rule q title -> (q, text, [c;] Reg(c))
+//	rule q text -> .
+//
+// Data files are one fact per line:
+//
+//	course(CS401, Compilers, CS)
+//	prereq(CS401, CS301)
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // 'quoted'
+	tokNumber
+	tokPunct // single punctuation: ( ) , ; / . [ ] & | ! = @
+	tokArrow // ->
+	tokNeq   // !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	tokens []token
+}
+
+// lex tokenizes src; # starts a line comment.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit():
+			l.lexNumber()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+			l.emit(tokArrow, "->")
+			l.advance()
+			l.advance()
+		case c == '!' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+			l.emit(tokNeq, "!=")
+			l.advance()
+			l.advance()
+		case strings.ContainsRune("(),;/.[]&|!=@*+?", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.advance()
+		default:
+			return nil, fmt.Errorf("parser: line %d:%d: unexpected character %q", l.line, l.col, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.tokens, nil
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, line: l.line, col: l.col})
+}
+
+func (l *lexer) lexString() error {
+	startLine, startCol := l.line, l.col
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), line: startLine, col: startCol})
+			l.advance()
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.advance()
+			sb.WriteByte(l.src[l.pos])
+			l.advance()
+			continue
+		}
+		sb.WriteByte(c)
+		l.advance()
+	}
+	return fmt.Errorf("parser: line %d:%d: unterminated string", startLine, startCol)
+}
+
+func (l *lexer) lexIdent() {
+	startLine, startCol := l.line, l.col
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.advance()
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], line: startLine, col: startCol})
+}
+
+func (l *lexer) lexNumber() {
+	startLine, startCol := l.line, l.col
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.advance()
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.advance()
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], line: startLine, col: startCol})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

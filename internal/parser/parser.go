@@ -1,0 +1,568 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("parser: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if (t.kind == tokPunct || t.kind == tokArrow || t.kind == tokNeq) && t.text == s {
+		p.pos++
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, t)
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.cur()
+	if (t.kind == tokPunct || t.kind == tokArrow || t.kind == tokNeq) && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ParseTransducer parses a transducer spec.
+func ParseTransducer(src string) (*pt.Transducer, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	schema := relation.NewSchema()
+	var t *pt.Transducer
+	type pendingRule struct {
+		state, tag string
+		items      []pt.RHS
+	}
+	var rules []pendingRule
+	var virtuals []string
+	type tagDecl struct {
+		name  string
+		arity int
+	}
+	var tags []tagDecl
+	name, rootTag, start := "", "", ""
+
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.acceptKeyword("schema"):
+			for {
+				rel, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("/"); err != nil {
+					return nil, err
+				}
+				ar, err := p.expectArity()
+				if err != nil {
+					return nil, err
+				}
+				if err := schema.Declare(rel, ar); err != nil {
+					return nil, err
+				}
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		case p.acceptKeyword("transducer"):
+			if name, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("root") {
+				return nil, p.errf("expected 'root'")
+			}
+			if rootTag, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("start") {
+				return nil, p.errf("expected 'start'")
+			}
+			if start, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("tag"):
+			for {
+				tg, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("/"); err != nil {
+					return nil, err
+				}
+				ar, err := p.expectArity()
+				if err != nil {
+					return nil, err
+				}
+				tags = append(tags, tagDecl{tg, ar})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		case p.acceptKeyword("virtual"):
+			for {
+				tg, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				virtuals = append(virtuals, tg)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		case p.acceptKeyword("rule"):
+			state, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tag, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("->"); err != nil {
+				return nil, err
+			}
+			if p.acceptPunct(".") {
+				rules = append(rules, pendingRule{state: state, tag: tag})
+				continue
+			}
+			var items []pt.RHS
+			for {
+				item, err := p.parseItem()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, item)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			rules = append(rules, pendingRule{state: state, tag: tag, items: items})
+		default:
+			return nil, p.errf("expected a declaration keyword, found %s", p.cur())
+		}
+	}
+
+	if name == "" || rootTag == "" || start == "" {
+		return nil, fmt.Errorf("parser: missing 'transducer <name> root <tag> start <state>' declaration")
+	}
+	t = pt.New(name, schema, start, rootTag)
+	for _, td := range tags {
+		t.DeclareTag(td.name, td.arity)
+	}
+	t.MarkVirtual(virtuals...)
+	for _, r := range rules {
+		t.AddRule(r.state, r.tag, r.items...)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (p *parser) expectArity() (int, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected arity number, found %s", t)
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errf("invalid arity %q", t.text)
+	}
+	return n, nil
+}
+
+// parseItem parses (state, tag, [x̄;ȳ] formula).
+func (p *parser) parseItem() (pt.RHS, error) {
+	if err := p.expectPunct("("); err != nil {
+		return pt.RHS{}, err
+	}
+	state, err := p.expectIdent()
+	if err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return pt.RHS{}, err
+	}
+	tag, err := p.expectIdent()
+	if err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return pt.RHS{}, err
+	}
+	group, err := p.parseVarList(";")
+	if err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return pt.RHS{}, err
+	}
+	content, err := p.parseVarList("]")
+	if err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return pt.RHS{}, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return pt.RHS{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return pt.RHS{}, err
+	}
+	q, err := logic.NewQuery(group, content, f)
+	if err != nil {
+		return pt.RHS{}, p.errf("%v", err)
+	}
+	return pt.Item(state, tag, q), nil
+}
+
+// parseVarList parses a possibly-empty comma list of variables ended by
+// the given punctuation (not consumed).
+func (p *parser) parseVarList(end string) ([]logic.Var, error) {
+	var out []logic.Var
+	if t := p.cur(); t.kind == tokPunct && t.text == end {
+		return nil, nil
+	}
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, logic.Var(v))
+		if !p.acceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+// ParseFormula parses a standalone formula.
+func ParseFormula(src string) (logic.Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input")
+	}
+	return f, nil
+}
+
+// Formula grammar (lowest to highest precedence):
+//
+//	or     := and { '|' and }
+//	and    := unary { '&' unary }
+//	unary  := '!' unary | quant | atom
+//	quant  := ('exists'|'forall') vars '.' or
+//	       | 'ifp' name '(' vars ')' '.' or '@' '(' terms ')'
+//	atom   := 'true' | 'false' | '(' or ')'
+//	       | name '(' terms ')' | term ('='|'!=') term
+func (p *parser) parseFormula() (logic.Formula, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (logic.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("|") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &logic.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (logic.Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &logic.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (logic.Formula, error) {
+	if p.acceptPunct("!") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &logic.Not{F: f}, nil
+	}
+	if p.acceptKeyword("exists") {
+		return p.parseQuant(true)
+	}
+	if p.acceptKeyword("forall") {
+		return p.parseQuant(false)
+	}
+	if p.acceptKeyword("ifp") {
+		return p.parseIFP()
+	}
+	return p.parseAtomOrComparison()
+}
+
+func (p *parser) parseQuant(exists bool) (logic.Formula, error) {
+	vars, err := p.parseVarList(".")
+	if err != nil {
+		return nil, err
+	}
+	if len(vars) == 0 {
+		return nil, p.errf("quantifier needs at least one variable")
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if exists {
+		return logic.Ex(vars, f), nil
+	}
+	return logic.All(vars, f), nil
+}
+
+func (p *parser) parseIFP() (logic.Formula, error) {
+	rel, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	vars, err := p.parseVarList(")")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	body, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("@"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	args, err := p.parseTermList(")")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &logic.Fixpoint{Rel: rel, Vars: vars, Body: body, Args: args}, nil
+}
+
+func (p *parser) parseTermList(end string) ([]logic.Term, error) {
+	var out []logic.Term
+	if t := p.cur(); t.kind == tokPunct && t.text == end {
+		return nil, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if !p.acceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (logic.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.pos++
+		return logic.Var(t.text), nil
+	case tokString:
+		p.pos++
+		return logic.Const(t.text), nil
+	case tokNumber:
+		p.pos++
+		return logic.Const(t.text), nil
+	}
+	return nil, p.errf("expected a term, found %s", t)
+}
+
+func (p *parser) parseAtomOrComparison() (logic.Formula, error) {
+	t := p.cur()
+	if t.kind == tokPunct && t.text == "(" {
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if t.kind == tokIdent {
+		switch t.text {
+		case "true":
+			p.pos++
+			return logic.True, nil
+		case "false":
+			p.pos++
+			return logic.False, nil
+		}
+		// Relation atom if followed by '('.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			rel := t.text
+			p.pos += 2
+			args, err := p.parseTermList(")")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &logic.Atom{Rel: rel, Args: args}, nil
+		}
+	}
+	// Comparison.
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptPunct("="):
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return logic.EqT(l, r), nil
+	case p.cur().kind == tokNeq:
+		p.pos++
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return logic.NeqT(l, r), nil
+	}
+	return nil, p.errf("expected '=' or '!=' after term")
+}
+
+// ParseInstance parses a data file of facts rel(v1, v2, …), one per
+// line, against a schema (facts over undeclared relations extend it).
+func ParseInstance(src string, schema *relation.Schema) (*relation.Instance, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	type fact struct {
+		rel  string
+		vals []string
+	}
+	var facts []fact
+	for p.cur().kind != tokEOF {
+		rel, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var vals []string
+		if !p.acceptPunct(")") {
+			for {
+				t := p.cur()
+				switch t.kind {
+				case tokIdent, tokNumber, tokString:
+					vals = append(vals, t.text)
+					p.pos++
+				default:
+					return nil, p.errf("expected a value, found %s", t)
+				}
+				if p.acceptPunct(",") {
+					continue
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		facts = append(facts, fact{rel, vals})
+	}
+	if schema == nil {
+		schema = relation.NewSchema()
+	}
+	for _, f := range facts {
+		if err := schema.Declare(f.rel, len(f.vals)); err != nil {
+			return nil, err
+		}
+	}
+	inst := relation.NewInstance(schema)
+	for _, f := range facts {
+		inst.Add(f.rel, f.vals...)
+	}
+	return inst, nil
+}

@@ -1,0 +1,249 @@
+package parser
+
+import (
+	"testing"
+
+	"ptx/internal/dtd"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+)
+
+func TestParseFormula(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // logic.Formula String rendering
+	}{
+		{"course(x, y, z)", "course(x,y,z)"},
+		{"x = 'CS'", "x='CS'"},
+		{"x != y", "x!=y"},
+		{"A(x) & B(y)", "(A(x) & B(y))"},
+		{"A(x) | B(y) & C(z)", "(A(x) | (B(y) & C(z)))"},
+		{"!A(x)", "!A(x)"},
+		{"exists x, y . E(x, y)", "exists x,y. E(x,y)"},
+		{"forall z . E(x, z) | x = z", "forall z. (E(x,z) | x=z)"},
+		{"(A(x) | B(x)) & C(x)", "((A(x) | B(x)) & C(x))"},
+		{"E(x, 5)", "E(x,'5')"},
+		{"E(x, '- space -')", "E(x,'- space -')"},
+		{"true & false", "(true & false)"},
+	}
+	for _, c := range cases {
+		f, err := ParseFormula(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if f.String() != c.want {
+			t.Errorf("%q parsed to %s, want %s", c.src, f, c.want)
+		}
+	}
+}
+
+func TestParseFormulaIFP(t *testing.T) {
+	f, err := ParseFormula("ifp S(u, v) . E(u, v) | exists w . S(u, w) & E(w, v) @ (x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := f.(*logic.Fixpoint)
+	if !ok {
+		t.Fatalf("parsed to %T", f)
+	}
+	if fp.Rel != "S" || len(fp.Vars) != 2 || len(fp.Args) != 2 {
+		t.Fatalf("fixpoint structure: %s", fp)
+	}
+	if logic.Classify(f) != logic.IFP {
+		t.Fatal("should classify as IFP")
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"A(x",
+		"x =",
+		"exists . E(x)",
+		"A(x) &",
+		"x ! y",
+		"'unterminated",
+	} {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("%q should fail to parse", src)
+		}
+	}
+}
+
+const tau1Spec = `
+# τ1 of Example 3.1: the recursive prerequisite hierarchy.
+schema course/3, prereq/2
+transducer tau1 root db start q0
+tag course/2, prereq/1, cno/1, title/1, text/1
+
+rule q0 db -> (q, course, [cno,title;] exists dept . course(cno,title,dept) & dept='CS')
+rule q course ->
+  (q, cno,    [cno;]   exists title . Reg(cno,title)),
+  (q, title,  [title;] exists cno . Reg(cno,title)),
+  (q, prereq, [cno;]   exists title . Reg(cno,title))
+rule q prereq -> (q, course, [c,t;] exists c2,d . Reg(c2) & prereq(c2,c) & course(c,t,d))
+rule q cno -> (q, text, [c;] Reg(c))
+rule q title -> (q, text, [c;] Reg(c))
+rule q text -> .
+`
+
+func TestParseTransducerMatchesHandBuilt(t *testing.T) {
+	parsed, err := ParseTransducer(tau1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.Classify().String(); got != "PT(CQ, tuple, normal)" {
+		t.Fatalf("class = %s", got)
+	}
+	// The parsed transducer produces the same trees as the hand-built τ1.
+	for n := 1; n <= 4; n++ {
+		inst := registrar.ChainInstance(n)
+		a, err := parsed.Output(inst, pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := registrar.Tau1().Output(inst, pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("chain(%d):\nparsed %s\nbuilt  %s", n, a.Canonical(), b.Canonical())
+		}
+	}
+}
+
+func TestParseTransducerVirtual(t *testing.T) {
+	src := `
+schema R1/1
+transducer v root r start q0
+tag v/1, b/1
+virtual v
+rule q0 r -> (qv, v, [x;] R1(x))
+rule qv v -> (qb, b, [x;] Reg(x))
+rule qb b -> .
+`
+	tr, err := ParseTransducer(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Virtual["v"] {
+		t.Fatal("virtual declaration lost")
+	}
+	if got := tr.Classify().String(); got != "PTnr(CQ, tuple, virtual)" {
+		t.Fatalf("class = %s", got)
+	}
+}
+
+func TestParseTransducerErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"missing header": "schema R1/1\nrule q0 r -> .",
+		"bad rule":       "schema R1/1\ntransducer t root r start q0\nrule q0 ->",
+		"unknown rel": `
+schema R1/1
+transducer t root r start q0
+tag a/1
+rule q0 r -> (q, a, [x;] Nope(x))`,
+	} {
+		if _, err := ParseTransducer(src); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	src := `
+# registrar facts
+course(CS401, Compilers, CS)
+course(CS301, 'Algorithms I', CS)
+prereq(CS401, CS301)
+`
+	inst, err := ParseInstance(src, registrar.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Rel("course").Len() != 2 || inst.Rel("prereq").Len() != 1 {
+		t.Fatalf("parsed instance: %s", inst)
+	}
+}
+
+func TestParseInstanceInfersSchema(t *testing.T) {
+	inst, err := ParseInstance("E(a, b)\nE(b, c)\nV(a)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Rel("E").Len() != 2 || inst.Rel("V").Len() != 1 {
+		t.Fatalf("inferred instance: %s", inst)
+	}
+	// Arity clash is an error.
+	if _, err := ParseInstance("E(a, b)\nE(a)", nil); err == nil {
+		t.Fatal("arity clash should fail")
+	}
+}
+
+func TestParseInstanceAgainstSpecSchema(t *testing.T) {
+	tr, err := ParseTransducer(tau1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ParseInstance("course(A1, Logic, CS)\nprereq(A1, A2)\ncourse(A2, Sets, CS)", tr.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountTag("course") != 3 { // A1, A2 at top; A2 under A1's prereq
+		t.Fatalf("run on parsed instance: %s", out.Canonical())
+	}
+}
+
+func TestParseDTD(t *testing.T) {
+	src := `
+# bibliography DTD
+dtd root bib
+bib -> article*
+article -> title, (author+ | editor), year?
+title -> empty
+`
+	d, err := ParseDTD(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "bib" {
+		t.Fatalf("root = %s", d.Root)
+	}
+	nfa := dtd.Compile(d.Rule("article"))
+	cases := []struct {
+		seq  []string
+		want bool
+	}{
+		{[]string{"title", "author"}, true},
+		{[]string{"title", "author", "author", "year"}, true},
+		{[]string{"title", "editor", "year"}, true},
+		{[]string{"title"}, false},
+		{[]string{"title", "editor", "editor"}, false},
+		{[]string{"author", "title"}, false},
+	}
+	for _, c := range cases {
+		if got := nfa.Match(c.seq); got != c.want {
+			t.Errorf("article children %v: %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no header":  "db -> course*",
+		"no root":    "dtd db -> x",
+		"bad body":   "dtd root r\nr -> ,",
+		"dup rule":   "dtd root r\nr -> a\nr -> b",
+		"unbalanced": "dtd root r\nr -> (a",
+	} {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}

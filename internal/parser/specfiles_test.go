@@ -1,0 +1,86 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+)
+
+// specDir locates the shipped example specs relative to this package.
+func specDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "examples", "specs")
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("example specs not found: %v", err)
+	}
+	return dir
+}
+
+func TestShippedSpecsParseAndRun(t *testing.T) {
+	dir := specDir(t)
+	dataSrc, err := os.ReadFile(filepath.Join(dir, "registrar.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs, err := filepath.Glob(filepath.Join(dir, "*.pt"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no spec files: %v", err)
+	}
+	for _, path := range specs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ParseTransducer(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		inst, err := ParseInstance(string(dataSrc), tr.Schema)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if out.Size() <= 1 {
+			t.Errorf("%s: trivial output", path)
+		}
+	}
+}
+
+func TestShippedTau1MatchesAPI(t *testing.T) {
+	dir := specDir(t)
+	src, err := os.ReadFile(filepath.Join(dir, "tau1.pt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTransducer(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataSrc, err := os.ReadFile(filepath.Join(dir, "registrar.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ParseInstance(string(dataSrc), parsed.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := parsed.Output(inst, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromAPI, err := registrar.Tau1().Output(registrar.SampleInstance(), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromFile.Equal(fromAPI) {
+		t.Fatalf("shipped tau1.pt and the API τ1 disagree:\nfile %s\napi  %s",
+			fromFile.Canonical(), fromAPI.Canonical())
+	}
+}

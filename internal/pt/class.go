@@ -1,0 +1,92 @@
+package pt
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+)
+
+// Store is the register-store parameter S of PT(L, S, O).
+type Store int
+
+// Tuple registers hold a single tuple (every query has |ȳ| = 0);
+// relation registers hold a finite relation.
+const (
+	TupleStore Store = iota
+	RelationStore
+)
+
+func (s Store) String() string {
+	if s == TupleStore {
+		return "tuple"
+	}
+	return "relation"
+}
+
+// Output is the output parameter O of PT(L, S, O).
+type Output int
+
+// NormalOutput means every node stays in the output tree;
+// VirtualOutput means some tags are spliced out.
+const (
+	NormalOutput Output = iota
+	VirtualOutput
+)
+
+func (o Output) String() string {
+	if o == NormalOutput {
+		return "normal"
+	}
+	return "virtual"
+}
+
+// Class identifies a transducer class PT(L, S, O) or PTnr(L, S, O).
+type Class struct {
+	Logic     logic.Logic
+	Store     Store
+	Output    Output
+	Recursive bool
+}
+
+// String renders the class in the paper's notation, e.g.
+// "PT(CQ, tuple, normal)" or "PTnr(FO, relation, virtual)".
+func (c Class) String() string {
+	name := "PT"
+	if !c.Recursive {
+		name = "PTnr"
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", name, c.Logic, c.Store, c.Output)
+}
+
+// Within reports whether every transducer of class c also belongs to
+// class d (the syntactic inclusion order of the paper: CQ ⊆ FO ⊆ IFP,
+// tuple ⊆ relation, normal ⊆ virtual, PTnr ⊆ PT).
+func (c Class) Within(d Class) bool {
+	if c.Recursive && !d.Recursive {
+		return false
+	}
+	return d.Logic.Includes(c.Logic) && d.Store >= c.Store && d.Output >= c.Output
+}
+
+// Classify computes the smallest class PT(L, S, O) (or PTnr) containing
+// the transducer: L is the largest logic used by any rule query, S is
+// tuple iff every query groups by its entire output (|ȳ| = 0), O is
+// virtual iff Σe is nonempty, and recursiveness is cycle existence in Gτ.
+func (t *Transducer) Classify() Class {
+	c := Class{Logic: logic.CQ, Store: TupleStore, Output: NormalOutput}
+	for _, r := range t.Rules() {
+		for _, it := range r.Items {
+			if l := it.Query.Logic(); l > c.Logic {
+				c.Logic = l
+			}
+			if !it.Query.TupleStore() {
+				c.Store = RelationStore
+			}
+		}
+	}
+	if len(t.Virtual) > 0 {
+		c.Output = VirtualOutput
+	}
+	c.Recursive = t.IsRecursive()
+	return c
+}

@@ -1,0 +1,272 @@
+package pt
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+)
+
+var x = logic.Var("x")
+
+func unarySchema() *relation.Schema {
+	return relation.NewSchema().MustDeclare("R1", 1)
+}
+
+func simple() *Transducer {
+	t := New("simple", unarySchema(), "q0", "r")
+	t.DeclareTag("a", 1)
+	t.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t.AddRule("q", "a")
+	return t
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Missing start rule.
+	t1 := New("t1", unarySchema(), "q0", "r")
+	if err := t1.Validate(); err == nil {
+		t.Error("missing start rule should fail")
+	}
+	// Spawning an undeclared tag.
+	t2 := New("t2", unarySchema(), "q0", "r")
+	t2.AddRule("q0", "r", Item("q", "ghost", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	if err := t2.Validate(); err == nil {
+		t.Error("undeclared tag should fail")
+	}
+	// Arity mismatch between query and Θ.
+	t3 := New("t3", unarySchema(), "q0", "r")
+	t3.DeclareTag("a", 2)
+	t3.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	if err := t3.Validate(); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Unknown relation in a query.
+	t4 := New("t4", unarySchema(), "q0", "r")
+	t4.DeclareTag("a", 1)
+	t4.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("Nope", x))))
+	if err := t4.Validate(); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	// Text rule with a nonempty rhs.
+	t5 := New("t5", unarySchema(), "q0", "r")
+	t5.DeclareTag("text", 1).DeclareTag("a", 1)
+	t5.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t5.AddRule("q", "text", Item("p", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	if err := t5.Validate(); err == nil {
+		t.Error("nonempty text rule should fail")
+	}
+	// Spawning the root tag.
+	t6 := New("t6", unarySchema(), "q0", "r")
+	t6.DeclareTag("a", 1)
+	t6.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	t6.AddRule("q", "a", Item("q2", "r", logic.MustQuery(nil, nil, logic.True)))
+	if err := t6.Validate(); err == nil {
+		t.Error("spawning the root tag should fail")
+	}
+	// A healthy transducer validates.
+	if err := simple().Validate(); err != nil {
+		t.Errorf("simple transducer should validate: %v", err)
+	}
+}
+
+func TestVirtualRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("marking the root virtual should panic")
+		}
+	}()
+	New("t", unarySchema(), "q0", "r").MarkVirtual("r")
+}
+
+func TestDuplicateRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate rule should panic")
+		}
+	}()
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.AddRule("q0", "r")
+	tr.AddRule("q0", "r")
+}
+
+func TestHasDuplicateTags(t *testing.T) {
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.DeclareTag("a", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	tr.AddRule("q0", "r", Item("q1", "a", q), Item("q2", "a", q))
+	if !tr.HasDuplicateTags() {
+		t.Error("duplicate tags should be detected")
+	}
+	if simple().HasDuplicateTags() {
+		t.Error("simple has no duplicates")
+	}
+}
+
+func TestDependencyGraph(t *testing.T) {
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	qr := logic.MustQuery([]logic.Var{x}, nil, logic.R(RegRel, x))
+	tr.AddRule("q0", "r", Item("q", "a", q))
+	tr.AddRule("q", "a", Item("q", "b", qr))
+	tr.AddRule("q", "b", Item("q", "a", qr)) // cycle a ↔ b
+
+	g := tr.DependencyGraph()
+	if len(g.Nodes()) != 3 {
+		t.Fatalf("nodes = %v", g.Nodes())
+	}
+	if !g.HasCycle() || !tr.IsRecursive() {
+		t.Error("cycle should be detected")
+	}
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("topo sort of a cyclic graph should fail")
+	}
+	reach := g.Reachable()
+	if len(reach) != 3 {
+		t.Errorf("reachable = %v", reach)
+	}
+
+	// Simple paths: root, root→a, root→a→b (b→a blocked: a already on
+	// the path).
+	count := 0
+	g.SimplePaths(func(p *Path) bool {
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Errorf("simple paths = %d, want 3", count)
+	}
+	if g.LongestPathLen() != 2 {
+		t.Errorf("longest path = %d, want 2", g.LongestPathLen())
+	}
+}
+
+func TestTopoSortAcyclic(t *testing.T) {
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	qr := logic.MustQuery([]logic.Var{x}, nil, logic.R(RegRel, x))
+	tr.AddRule("q0", "r", Item("q", "a", q))
+	tr.AddRule("q", "a", Item("q", "b", qr))
+	tr.AddRule("q", "b")
+	order, err := tr.DependencyGraph().TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[GraphNode]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos[GraphNode{"q0", "r"}] < pos[GraphNode{"q", "a"}] &&
+		pos[GraphNode{"q", "a"}] < pos[GraphNode{"q", "b"}]) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestMissingRuleMeansEmptyRHS(t *testing.T) {
+	// A reachable (state, tag) without a rule finalizes the node.
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.DeclareTag("a", 1)
+	tr.AddRule("q0", "r", Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	inst := relation.NewInstance(unarySchema())
+	inst.Add("R1", "v")
+	out, err := tr.Output(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Canonical() != "r(a)" {
+		t.Fatalf("output = %s", out.Canonical())
+	}
+}
+
+func TestGroupingSemantics(t *testing.T) {
+	// φ(x;y): group by x — one child per distinct x with the y-set in
+	// its register.
+	s := relation.NewSchema().MustDeclare("E", 2)
+	tr := New("t", s, "q0", "r")
+	tr.DeclareTag("a", 2)
+	y := logic.Var("y")
+	tr.AddRule("q0", "r", Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, []logic.Var{y}, logic.R("E", x, y))))
+	inst := relation.NewInstance(s)
+	inst.Add("E", "1", "a")
+	inst.Add("E", "1", "b")
+	inst.Add("E", "2", "c")
+	res, err := tr.Run(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := res.Xi.Root.Children
+	if len(kids) != 2 {
+		t.Fatalf("children = %d, want 2 groups", len(kids))
+	}
+	if kids[0].Reg.Len() != 2 || kids[1].Reg.Len() != 1 {
+		t.Fatalf("group sizes: %d, %d", kids[0].Reg.Len(), kids[1].Reg.Len())
+	}
+}
+
+func TestGroupingNoGroupVars(t *testing.T) {
+	// |x̄| = 0: the whole result in a single child.
+	s := relation.NewSchema().MustDeclare("E", 2)
+	tr := New("t", s, "q0", "r")
+	tr.DeclareTag("a", 2)
+	y := logic.Var("y")
+	tr.AddRule("q0", "r", Item("q", "a",
+		logic.MustQuery(nil, []logic.Var{x, y}, logic.R("E", x, y))))
+	inst := relation.NewInstance(s)
+	inst.Add("E", "1", "a")
+	inst.Add("E", "2", "b")
+	res, err := tr.Run(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := res.Xi.Root.Children
+	if len(kids) != 1 || kids[0].Reg.Len() != 2 {
+		t.Fatalf("expected one child with the full relation")
+	}
+}
+
+func TestChildrenOrderedByRegister(t *testing.T) {
+	tr := simple()
+	inst := relation.NewInstance(unarySchema())
+	for _, v := range []string{"10", "2", "1"} {
+		inst.Add("R1", v)
+	}
+	res, err := tr.Run(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, c := range res.Xi.Root.Children {
+		got = append(got, string(c.Reg.Tuples()[0][0]))
+	}
+	want := []string{"1", "2", "10"} // numeric order
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("child order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOutputRelationVirtualLabelRejected(t *testing.T) {
+	tr := New("t", unarySchema(), "q0", "r")
+	tr.DeclareTag("v", 1)
+	tr.MarkVirtual("v")
+	tr.AddRule("q0", "r", Item("q", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	inst := relation.NewInstance(unarySchema())
+	if _, err := tr.OutputRelation(inst, "v", Options{}); err == nil {
+		t.Error("virtual output label must be rejected")
+	}
+}
+
+func TestClassifyStoreDetection(t *testing.T) {
+	s := relation.NewSchema().MustDeclare("E", 2)
+	tr := New("t", s, "q0", "r")
+	tr.DeclareTag("a", 2)
+	y := logic.Var("y")
+	tr.AddRule("q0", "r", Item("q", "a",
+		logic.MustQuery([]logic.Var{x}, []logic.Var{y}, logic.R("E", x, y))))
+	if cl := tr.Classify(); cl.Store != RelationStore {
+		t.Errorf("|ȳ|>0 should classify as relation store, got %s", cl)
+	}
+}

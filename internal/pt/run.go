@@ -1,0 +1,298 @@
+package pt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ptx/internal/eval"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+	"ptx/internal/xmltree"
+)
+
+// Options configures a transducer run.
+type Options struct {
+	// MaxNodes aborts the transformation once the generated tree exceeds
+	// this many nodes; 0 means unlimited. The transformation always
+	// terminates (Proposition 1(1)) but relation-store transducers can
+	// legitimately produce doubly-exponential trees, so callers may want
+	// a guard.
+	MaxNodes int
+	// Workers > 1 expands independent subtrees concurrently. The output
+	// is identical to the sequential run: each subtree is uniquely
+	// determined by its root's (state, tag, register) and the database
+	// (the paper's determinism argument), and children are ordered
+	// before recursion.
+	Workers int
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Nodes        int // nodes in the final ξ (before virtual splicing)
+	QueriesRun   int // rule queries evaluated
+	StopsApplied int // times the ancestor stop condition fired
+	MaxDepth     int // depth of ξ
+}
+
+// Result bundles the raw register-carrying tree ξ and run statistics.
+type Result struct {
+	Xi    *xmltree.Tree // final tree with registers and states intact
+	Stats Stats
+}
+
+// ErrBudget is returned when MaxNodes is exceeded.
+type ErrBudget struct{ Limit int }
+
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("pt: transformation exceeded node budget %d", e.Limit)
+}
+
+type runner struct {
+	t    *Transducer
+	base *eval.Env
+	opts Options
+
+	nodes   atomic.Int64
+	queries atomic.Int64
+	stops   atomic.Int64
+	sem     chan struct{}
+}
+
+// ancKey identifies an (state, tag, register) ancestor configuration for
+// the stop condition.
+func ancKey(state, tag string, reg *relation.Relation) string {
+	return state + "\x00" + tag + "\x00" + regKey(reg)
+}
+
+func regKey(reg *relation.Relation) string {
+	ts := reg.Tuples()
+	var sb []byte
+	for _, t := range ts {
+		sb = append(sb, t.Key()...)
+		sb = append(sb, ';')
+	}
+	return string(sb)
+}
+
+// Run executes the τ-transformation on inst and returns the final tree
+// ξ with registers and states still attached, plus statistics.
+func (t *Transducer) Run(inst *relation.Instance, opts Options) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{t: t, base: eval.NewEnv(inst), opts: opts}
+	if opts.Workers > 1 {
+		r.sem = make(chan struct{}, opts.Workers)
+	}
+	root := &xmltree.Node{Tag: t.RootTag, State: t.Start, Reg: relation.New(0)}
+	ancestors := map[string]bool{}
+	if err := r.expand(root, ancestors, 1); err != nil {
+		return nil, err
+	}
+	tree := &xmltree.Tree{Root: root}
+	stats := Stats{
+		Nodes:        tree.Size(),
+		QueriesRun:   int(r.queries.Load()),
+		StopsApplied: int(r.stops.Load()),
+		MaxDepth:     tree.Depth(),
+	}
+	return &Result{Xi: tree, Stats: stats}, nil
+}
+
+// Output executes the transformation and returns the output Σ-tree τ(I):
+// registers and states stripped, virtual tags spliced out.
+func (t *Transducer) Output(inst *relation.Instance, opts Options) (*xmltree.Tree, error) {
+	res, err := t.Run(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Xi.Clone().Strip()
+	out.SpliceVirtual(t.Virtual)
+	return out, nil
+}
+
+// OutputRelation treats τ as a relational query (Section 6.1): it runs
+// the transformation and returns the union of the registers of all
+// nodes labeled label in the final ξ. label must not be virtual.
+func (t *Transducer) OutputRelation(inst *relation.Instance, label string, opts Options) (*relation.Relation, error) {
+	if t.Virtual[label] {
+		return nil, fmt.Errorf("pt: output label %q is virtual", label)
+	}
+	a, ok := t.Arities[label]
+	if !ok {
+		return nil, fmt.Errorf("pt: output label %q has no declared arity", label)
+	}
+	res, err := t.Run(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(a)
+	res.Xi.Walk(func(n *xmltree.Node) bool {
+		if n.Tag == label && n.Reg != nil {
+			out.UnionWith(n.Reg)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (r *runner) checkBudget(extra int) error {
+	if r.opts.MaxNodes <= 0 {
+		return nil
+	}
+	if r.nodes.Add(int64(extra)) > int64(r.opts.MaxNodes) {
+		return &ErrBudget{Limit: r.opts.MaxNodes}
+	}
+	return nil
+}
+
+// expand realizes the step relation ⇒ repeatedly below node n, whose
+// (State, Tag, Reg) describe its current (q, a) labeling and register.
+// ancestors maps ancKey → true for every proper ancestor configuration
+// on the path from the root (the stop condition of Section 3).
+func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) error {
+	// Text nodes finalize immediately, carrying the string rendering of
+	// their register.
+	if n.Tag == xmltree.TextTag {
+		n.Text = xmltree.TextOfRegister(n.Reg)
+		n.State = ""
+		return nil
+	}
+
+	// Stop condition (1): an ancestor repeats state, tag and register.
+	key := ancKey(n.State, n.Tag, n.Reg)
+	if ancestors[key] {
+		r.stops.Add(1)
+		n.State = ""
+		return nil
+	}
+
+	rule, ok := r.t.Rule(n.State, n.Tag)
+	if !ok || len(rule.Items) == 0 {
+		// Empty right-hand side: finalize.
+		n.State = ""
+		return nil
+	}
+
+	env := r.base.WithRelation(RegRel, n.Reg)
+	type childSpec struct {
+		state string
+		tag   string
+		reg   *relation.Relation
+	}
+	var specs []childSpec
+	for _, it := range rule.Items {
+		r.queries.Add(1)
+		result, err := eval.EvalQuery(it.Query, env)
+		if err != nil {
+			return fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %v",
+				r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err)
+		}
+		for _, g := range groupByPrefix(result, len(it.Query.GroupVars)) {
+			specs = append(specs, childSpec{state: it.State, tag: it.Tag, reg: g})
+		}
+	}
+
+	if len(specs) == 0 {
+		// All forests empty: finalize.
+		n.State = ""
+		return nil
+	}
+	if err := r.checkBudget(len(specs)); err != nil {
+		return err
+	}
+
+	n.Children = make([]*xmltree.Node, len(specs))
+	for i, s := range specs {
+		n.Children[i] = &xmltree.Node{Tag: s.tag, State: s.state, Reg: s.reg}
+	}
+	n.State = ""
+
+	childAnc := ancestors
+	// Extend the ancestor set with this node's configuration. Copy-on-
+	// write keeps sibling subtrees independent (needed for parallelism).
+	childAnc = make(map[string]bool, len(ancestors)+1)
+	for k := range ancestors {
+		childAnc[k] = true
+	}
+	childAnc[key] = true
+
+	if r.sem == nil || len(n.Children) < 2 {
+		for _, c := range n.Children {
+			if err := r.expand(c, childAnc, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Parallel expansion of independent subtrees.
+	errs := make([]error, len(n.Children))
+	var wg sync.WaitGroup
+	for i, c := range n.Children {
+		select {
+		case r.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, c *xmltree.Node) {
+				defer wg.Done()
+				defer func() { <-r.sem }()
+				errs[i] = r.expand(c, childAnc, depth+1)
+			}(i, c)
+		default:
+			errs[i] = r.expand(c, childAnc, depth+1)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupByPrefix splits a query result (columns x̄·ȳ) into the groups
+// S_1,…,S_m of the paper: one group per distinct x̄-prefix d̄, each
+// holding {d̄}×{ē | φ(d̄,ē)}, ordered by d̄ in the domain order.
+//
+// With k = 0 (|x̄| = 0) the whole nonempty result is a single group;
+// with k = arity (|ȳ| = 0) every group is a singleton tuple.
+func groupByPrefix(result *relation.Relation, k int) []*relation.Relation {
+	if result.Empty() {
+		return nil
+	}
+	if k == 0 {
+		return []*relation.Relation{result}
+	}
+	type group struct {
+		prefix value.Tuple
+		rel    *relation.Relation
+	}
+	byKey := make(map[string]*group)
+	var order []*group
+	result.Each(func(t value.Tuple) bool {
+		p := t[:k]
+		gk := value.Tuple(p).Key()
+		g, ok := byKey[gk]
+		if !ok {
+			g = &group{prefix: value.Tuple(p).Clone(), rel: relation.New(result.Arity())}
+			byKey[gk] = g
+			order = append(order, g)
+		}
+		g.rel.Add(t)
+		return true
+	})
+	// Order groups by the domain order on prefixes. Each iterates in the
+	// canonical sorted tuple order, so groups already appear in prefix
+	// order, but sort defensively.
+	sort.Slice(order, func(i, j int) bool {
+		return value.CompareTuples(order[i].prefix, order[j].prefix) < 0
+	})
+	out := make([]*relation.Relation, len(order))
+	for i, g := range order {
+		out[i] = g.rel
+	}
+	return out
+}

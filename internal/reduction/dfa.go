@@ -1,0 +1,171 @@
+package reduction
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/machines"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// DFASchema encodes a binary string for the Theorem 1(2) undecidability
+// reduction: P holds the 1-positions, Pbar the 0-positions, and F the
+// successor function over positions (with a self-loop marking the final
+// position).
+func DFASchema() *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("P", 1)
+	s.MustDeclare("Pbar", 1)
+	s.MustDeclare("F", 2)
+	return s
+}
+
+func dfaState(s int) logic.Const { return logic.Const(fmt.Sprintf("d%d", s)) }
+
+// MembershipFrom2HeadDFA implements the Theorem 1(2) undecidability
+// reduction: a transducer τA in PT(CQ, tuple, virtual) and a tree tA
+// such that tA ∈ τA(R) iff L(A) ≠ ∅. The virtual v-chain runs the
+// transitive closure of A's configuration graph; well-formedness of the
+// string encoding is enforced by the presence/absence of the a1..a4
+// children in tA, and an s child appears iff the accepting state is
+// reached.
+func MembershipFrom2HeadDFA(a *machines.TwoHeadDFA) (*pt.Transducer, *xmltree.Tree, error) {
+	t := pt.New("dfa-membership", DFASchema(), "q0", "r")
+	for _, tag := range []string{"a1", "a2", "a4", "s"} {
+		t.DeclareTag(tag, 1)
+	}
+	t.DeclareTag("a3", 2)
+	t.DeclareTag("v", 3)
+	t.MarkVirtual("v")
+
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	flag := logic.Var("flag")
+	flagged := func(f logic.Formula) *logic.Query {
+		return logic.MustQuery([]logic.Var{flag}, nil,
+			logic.Conj(f, logic.EqT(flag, logic.Const("1"))))
+	}
+
+	// a1: P and Pbar intersect (absent from tA).
+	phi1 := logic.Ex([]logic.Var{x}, logic.Conj(logic.R("P", x), logic.R("Pbar", x)))
+	// a2: position 0 has a successor (present in tA).
+	phi2 := logic.Ex([]logic.Var{y}, logic.R("F", logic.Const("0"), y))
+	// a3: the self-loops of F; exactly one expected in tA.
+	phi3 := logic.MustQuery([]logic.Var{x, y}, nil, logic.Conj(logic.R("F", x, y), logic.EqT(x, y)))
+	// a4: F is not a function (absent from tA).
+	phi4 := logic.Ex([]logic.Var{x, y, z}, logic.Conj(logic.R("F", x, y), logic.R("F", x, z), logic.NeqT(y, z)))
+
+	// κ0: the initial configuration (start state, both heads at 0).
+	qv, xv, yv := logic.Var("q"), logic.Var("xp"), logic.Var("yp")
+	kappa0 := logic.MustQuery([]logic.Var{qv, xv, yv}, nil, logic.Conj(
+		logic.EqT(qv, dfaState(a.Start)),
+		logic.EqT(xv, logic.Const("0")),
+		logic.EqT(yv, logic.Const("0")),
+	))
+
+	t.AddRule("q0", "r",
+		pt.Item("q1", "a1", flagged(phi1)),
+		pt.Item("q1", "a2", flagged(phi2)),
+		pt.Item("q1", "a3", phi3),
+		pt.Item("q1", "a4", flagged(phi4)),
+		pt.Item("qv", "v", kappa0),
+	)
+	for _, tag := range []string{"a1", "a2", "a3", "a4"} {
+		t.AddRule("q1", tag)
+	}
+
+	// α(in): what a head reads at position p.
+	alpha := func(p logic.Var, in machines.HeadInput, fresh logic.Var) logic.Formula {
+		switch in {
+		case '1':
+			return logic.Conj(
+				logic.Ex([]logic.Var{fresh}, logic.Conj(logic.R("F", p, fresh), logic.NeqT(p, fresh))),
+				logic.R("P", p))
+		case '0':
+			return logic.Conj(
+				logic.Ex([]logic.Var{fresh}, logic.Conj(logic.R("F", p, fresh), logic.NeqT(p, fresh))),
+				logic.R("Pbar", p))
+		default: // ε: the final (self-loop) position
+			return logic.R("F", p, p)
+		}
+	}
+	// β(move): relation between old and new head position.
+	beta := func(old, new logic.Var, move int) logic.Formula {
+		if move == machines.Right {
+			return logic.R("F", old, new)
+		}
+		return logic.EqT(new, old)
+	}
+
+	// One κ item per transition; all spawn the same virtual tag v.
+	oq, ox, oy := logic.Var("oq"), logic.Var("ox"), logic.Var("oy")
+	var items []pt.RHS
+	for _, key := range sortedDFAKeys(a) {
+		mv := a.Delta[key]
+		w1, w2 := logic.Var("w1"), logic.Var("w2")
+		body := logic.Ex([]logic.Var{oq, ox, oy}, logic.Conj(
+			logic.R(pt.RegRel, oq, ox, oy),
+			logic.EqT(oq, dfaState(key.State)),
+			logic.EqT(qv, dfaState(mv.State)),
+			alpha(ox, key.In1, w1),
+			alpha(oy, key.In2, w2),
+			beta(ox, xv, mv.Move1),
+			beta(oy, yv, mv.Move2),
+		))
+		items = append(items, pt.Item("qv", "v", logic.MustQuery([]logic.Var{qv, xv, yv}, nil, body)))
+	}
+	// Accepting detection: an s child when the register holds the accept
+	// state.
+	phif := logic.Ex([]logic.Var{ox, oy}, logic.R(pt.RegRel, dfaState(a.Accept), ox, oy))
+	items = append(items, pt.Item("qs", "s", flagged(phif)))
+	t.AddRule("qv", "v", items...)
+	t.AddRule("qs", "s")
+
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, xmltree.MustParse("r(a2,a3,s)"), nil
+}
+
+// sortedDFAKeys returns the transition keys deterministically.
+func sortedDFAKeys(a *machines.TwoHeadDFA) []machines.DFAKey {
+	var keys []machines.DFAKey
+	for k := range a.Delta {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && dfaKeyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func dfaKeyLess(a, b machines.DFAKey) bool {
+	if a.State != b.State {
+		return a.State < b.State
+	}
+	if a.In1 != b.In1 {
+		return a.In1 < b.In1
+	}
+	return a.In2 < b.In2
+}
+
+// EncodeWord builds the well-formed instance encoding a binary string:
+// positions 0..len(w) chained by F, a final self-loop at len(w), and
+// P/Pbar marking the 1- and 0-positions.
+func EncodeWord(w string) *relation.Instance {
+	inst := relation.NewInstance(DFASchema())
+	pos := func(i int) string { return fmt.Sprint(i) }
+	for i := 0; i < len(w); i++ {
+		inst.Add("F", pos(i), pos(i+1))
+		if w[i] == '1' {
+			inst.Add("P", pos(i))
+		} else {
+			inst.Add("Pbar", pos(i))
+		}
+	}
+	inst.Add("F", pos(len(w)), pos(len(w)))
+	return inst
+}

@@ -1,0 +1,92 @@
+package reduction
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// FOQuery is a first-order query: a formula with an ordered list of
+// free (answer) variables.
+type FOQuery struct {
+	Head []logic.Var
+	F    logic.Formula
+}
+
+// symmetricDifference builds ∆Q(x̄) = (Q1 ∧ ¬Q2) ∨ (Q2 ∧ ¬Q1); both
+// queries must share the same head.
+func symmetricDifference(q1, q2 *FOQuery) (logic.Formula, []logic.Var, error) {
+	if len(q1.Head) != len(q2.Head) {
+		return nil, nil, fmt.Errorf("reduction: FO queries with different arities")
+	}
+	// Align q2's head onto q1's.
+	sub := make(map[logic.Var]logic.Term, len(q2.Head))
+	for i, v := range q2.Head {
+		sub[v] = q1.Head[i]
+	}
+	f2 := logic.Substitute(q2.F, sub)
+	delta := logic.Disj(
+		logic.Conj(q1.F, &logic.Not{F: f2}),
+		logic.Conj(f2, &logic.Not{F: q1.F}),
+	)
+	return delta, q1.Head, nil
+}
+
+// MembershipFromFOEquivalence implements the Proposition 2 reduction
+// for the membership problem: a transducer τ0 in PTnr(FO, tuple,
+// normal) and target tree r(a) such that r(a) ∈ τ0(R) iff Q1 ≢ Q2.
+func MembershipFromFOEquivalence(schema *relation.Schema, q1, q2 *FOQuery) (*pt.Transducer, error) {
+	delta, head, err := symmetricDifference(q1, q2)
+	if err != nil {
+		return nil, err
+	}
+	x := logic.Var("xflag")
+	t := pt.New("fo-membership", schema, "q0", "r")
+	t.DeclareTag("a", 1)
+	phi := logic.Conj(logic.Ex(head, delta), logic.EqT(x, logic.Const("c")))
+	t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, phi)))
+	t.AddRule("q", "a")
+	return t, t.Validate()
+}
+
+// EmptinessFromFOEquivalence implements the Proposition 2 reduction for
+// the emptiness problem: τ1 produces only the trivial tree iff Q1 ≡ Q2.
+func EmptinessFromFOEquivalence(schema *relation.Schema, q1, q2 *FOQuery) (*pt.Transducer, error) {
+	delta, head, err := symmetricDifference(q1, q2)
+	if err != nil {
+		return nil, err
+	}
+	t := pt.New("fo-emptiness", schema, "q0", "r")
+	t.DeclareTag("a", len(head))
+	t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery(head, nil, delta)))
+	t.AddRule("q", "a")
+	return t, t.Validate()
+}
+
+// EquivalenceFromFOEquivalence implements the Proposition 2 reduction
+// for the equivalence problem: transducers τ¹, τ² that print Q1's and
+// Q2's answers as text leaves, so τ¹ ≡ τ² iff Q1 ≡ Q2.
+func EquivalenceFromFOEquivalence(schema *relation.Schema, q1, q2 *FOQuery) (*pt.Transducer, *pt.Transducer, error) {
+	mk := func(name string, q *FOQuery) (*pt.Transducer, error) {
+		t := pt.New(name, schema, "q0", "r")
+		t.DeclareTag("a", len(q.Head))
+		t.DeclareTag("text", len(q.Head))
+		t.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery(q.Head, nil, q.F)))
+		copyTerms := logic.TermVars(q.Head)
+		t.AddRule("q", "a", pt.Item("qt", "text",
+			logic.MustQuery(q.Head, nil, &logic.Atom{Rel: pt.RegRel, Args: copyTerms})))
+		t.AddRule("qt", "text")
+		return t, t.Validate()
+	}
+	t1, err := mk("fo-eq-tau1", q1)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := mk("fo-eq-tau2", q2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, t2, nil
+}

@@ -1,0 +1,412 @@
+package reduction
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// QBF2 is a ∃*∀*-3SAT instance ∃Y∀Z C1∧…∧Cr: variables 1..NumY are
+// existential, NumY+1..NumY+NumZ universal.
+type QBF2 struct {
+	NumY, NumZ int
+	Clauses    []Clause
+}
+
+// Eval brute-forces the quantifier prefix.
+func (q *QBF2) Eval() bool {
+	total := q.NumY + q.NumZ
+	asg := make([]bool, total)
+	cnf := &CNF{NumVars: total, Clauses: q.Clauses}
+	var forallZ func(i int) bool
+	forallZ = func(i int) bool {
+		if i == total {
+			return cnf.Eval(asg)
+		}
+		asg[i] = false
+		if !forallZ(i + 1) {
+			return false
+		}
+		asg[i] = true
+		return forallZ(i + 1)
+	}
+	var existsY func(i int) bool
+	existsY = func(i int) bool {
+		if i == q.NumY {
+			return forallZ(q.NumY)
+		}
+		asg[i] = false
+		if existsY(i + 1) {
+			return true
+		}
+		asg[i] = true
+		return existsY(i + 1)
+	}
+	return existsY(0)
+}
+
+// QBF3 is a ∀*∃*∀*-3SAT instance ∀X∃Y∀Z C1∧…∧Cr: variables 1..NumX are
+// the outer universals, then NumY existentials, then NumZ universals.
+type QBF3 struct {
+	NumX, NumY, NumZ int
+	Clauses          []Clause
+}
+
+// Eval brute-forces the quantifier prefix.
+func (q *QBF3) Eval() bool {
+	asg := make([]bool, q.NumX)
+	var forallX func(i int) bool
+	forallX = func(i int) bool {
+		if i == q.NumX {
+			return q.inner(asg)
+		}
+		asg[i] = false
+		if !forallX(i + 1) {
+			return false
+		}
+		asg[i] = true
+		return forallX(i + 1)
+	}
+	return forallX(0)
+}
+
+// inner evaluates ∃Y∀Z clauses for a fixed X assignment.
+func (q *QBF3) inner(xasg []bool) bool {
+	shift := make([]Clause, len(q.Clauses))
+	copy(shift, q.Clauses)
+	q2 := &QBF2{NumY: q.NumY, NumZ: q.NumZ}
+	// Substitute X literals by constants: drop satisfied clauses; drop
+	// false literals (representing them by a doubled remaining literal).
+	for _, c := range q.Clauses {
+		var kept []Literal
+		sat := false
+		for _, l := range c {
+			if l.Var <= q.NumX {
+				if xasg[l.Var-1] != l.Neg {
+					sat = true
+				}
+				continue
+			}
+			kept = append(kept, Literal{Var: l.Var - q.NumX, Neg: l.Neg})
+		}
+		if sat {
+			continue
+		}
+		if len(kept) == 0 {
+			return false
+		}
+		for len(kept) < 3 {
+			kept = append(kept, kept[0])
+		}
+		q2.Clauses = append(q2.Clauses, Clause{kept[0], kept[1], kept[2]})
+	}
+	if len(q2.Clauses) == 0 {
+		return true
+	}
+	return q2.Eval()
+}
+
+// booleanGadgetSchema is the schema shared by the QBF reductions:
+// RC holds the booleans, ROR the OR gadget (d1 ∨ d2 = d3 as
+// ROR(d1,d2,d3) triples), and — for the Πp3 reduction — RX holds outer
+// universal assignments.
+func booleanGadgetSchema(withRX bool, m int) *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("RC", 1)
+	s.MustDeclare("ROR", 3)
+	if withRX {
+		s.MustDeclare("RX", m)
+	}
+	return s
+}
+
+// orTriples is IOR = the graph of boolean disjunction.
+var orTriples = [][3]string{{"0", "0", "0"}, {"1", "0", "1"}, {"0", "1", "1"}, {"1", "1", "1"}}
+
+// badORTriples are the boolean triples that contradict disjunction; the
+// membership reduction excludes them via detector children absent from
+// the target tree.
+var badORTriples = [][3]string{{"0", "0", "1"}, {"1", "0", "0"}, {"0", "1", "0"}, {"1", "1", "0"}}
+
+// wellFormedORFormula is φ1: both booleans present in RC and IOR ⊆ ROR.
+func wellFormedORFormula() logic.Formula {
+	parts := []logic.Formula{
+		logic.R("RC", logic.Const("0")),
+		logic.R("RC", logic.Const("1")),
+	}
+	for _, tr := range orTriples {
+		parts = append(parts, logic.R("ROR", logic.Const(tr[0]), logic.Const(tr[1]), logic.Const(tr[2])))
+	}
+	return logic.Conj(parts...)
+}
+
+// litTheta builds θ for one literal position of the OR gadget: gate
+// input xi must equal the literal's value. Boolean-ness of xi is
+// guaranteed by an RC guard added by the caller.
+//
+//   - existential/outer variable yp: xi = yp (positive) or xi ≠ yp;
+//   - universal variable fixed to bit b by the enumeration: xi = value.
+func litTheta(xi logic.Var, l Literal, numFree int, freeVar func(int) logic.Var, universalBit func(int) bool) logic.Formula {
+	if l.Var <= numFree {
+		v := freeVar(l.Var)
+		if l.Neg {
+			return logic.NeqT(xi, v)
+		}
+		return logic.EqT(xi, v)
+	}
+	bit := universalBit(l.Var - numFree)
+	val := bit != l.Neg // literal value under the fixed bit
+	c := logic.Const("0")
+	if val {
+		c = logic.Const("1")
+	}
+	return logic.EqT(xi, c)
+}
+
+// clauseGadget builds ψ_j^b̄: the two-level OR gadget asserting that
+// clause j evaluates to true, with universal positions fixed per b̄.
+// fresh generates unique variable names per conjunct.
+func clauseGadget(c Clause, numFree int, freeVar func(int) logic.Var, universalBit func(int) bool, fresh func(string) logic.Var) logic.Formula {
+	x1, x2, x3, s := fresh("g1"), fresh("g2"), fresh("g3"), fresh("gs")
+	parts := []logic.Formula{
+		logic.R("RC", x1), logic.R("RC", x2), logic.R("RC", x3), logic.R("RC", s),
+		logic.R("ROR", x1, x2, s),
+		logic.R("ROR", s, x3, logic.Const("1")),
+		litTheta(x1, c[0], numFree, freeVar, universalBit),
+		litTheta(x2, c[1], numFree, freeVar, universalBit),
+		litTheta(x3, c[2], numFree, freeVar, universalBit),
+	}
+	return logic.Ex([]logic.Var{x1, x2, x3, s}, logic.Conj(parts...))
+}
+
+// universalPositions lists the clause positions holding universal
+// variables (var index > numFree).
+func universalPositions(c Clause, numFree int) []int {
+	var out []int
+	for i, l := range c {
+		if l.Var > numFree {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// matrixFormula builds ψ(free vars) = ⋀_j ⋀_b̄ ψ_j^b̄ for the clause set,
+// where variables 1..numFree are free (bound outside by ∃Y or the
+// register) and the rest are universally enumerated bitwise.
+func matrixFormula(clauses []Clause, numFree int, freeVar func(int) logic.Var, fresh func(string) logic.Var) logic.Formula {
+	var conj []logic.Formula
+	for _, c := range clauses {
+		upos := universalPositions(c, numFree)
+		// Universal variables among this clause's positions (dedup by var).
+		uvars := map[int]bool{}
+		for _, i := range upos {
+			uvars[c[i].Var] = true
+		}
+		var uvarList []int
+		for v := range uvars {
+			uvarList = append(uvarList, v)
+		}
+		sortInts(uvarList)
+		n := len(uvarList)
+		for bits := 0; bits < 1<<n; bits++ {
+			bitOf := map[int]bool{}
+			for i, v := range uvarList {
+				bitOf[v] = bits&(1<<i) != 0
+			}
+			conj = append(conj, clauseGadget(c, numFree, freeVar,
+				func(uv int) bool { return bitOf[uv+numFree] }, fresh))
+		}
+	}
+	return logic.Conj(conj...)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// freshener hands out numbered variables.
+type varGen struct{ n int }
+
+func (g *varGen) fresh(base string) logic.Var {
+	g.n++
+	return logic.Var(fmt.Sprintf("%s_%d", base, g.n))
+}
+
+// MembershipFromQBF2 implements the Σp2-hardness reduction of
+// Theorem 1(2): it returns a transducer τϕ in PT(CQ, tuple, normal) and
+// a target tree tϕ such that tϕ ∈ τϕ(R) iff the ∃∀-QBF is true.
+//
+// Two hardenings over the paper's sketch (recorded in EXPERIMENTS.md):
+// the OR-gadget inputs carry RC guards, and four detector children
+// e1..e4 — absent from tϕ — pin the boolean fragment of ROR to exactly
+// IOR; without them junk ROR tuples make the gadget fire spuriously.
+func MembershipFromQBF2(q *QBF2) (*pt.Transducer, *xmltree.Tree, error) {
+	schema := booleanGadgetSchema(false, 0)
+	t := pt.New("qbf2-membership", schema, "q0", "r")
+	t.DeclareTag("b", 1).DeclareTag("c", 1).DeclareTag("d", 1)
+
+	x := logic.Var("x")
+	items := []pt.RHS{}
+
+	// φ1: well-formedness witness child b.
+	phi1 := logic.Conj(wellFormedORFormula(), logic.EqT(x, logic.Const("1")))
+	items = append(items, pt.Item("q1", "b", logic.MustQuery([]logic.Var{x}, nil, phi1)))
+
+	// φ2: a c child per non-boolean RC value (tϕ has none).
+	phi2 := logic.Conj(logic.R("RC", x),
+		logic.NeqT(x, logic.Const("0")), logic.NeqT(x, logic.Const("1")))
+	items = append(items, pt.Item("q1", "c", logic.MustQuery([]logic.Var{x}, nil, phi2)))
+
+	// Detector children e1..e4 for bad boolean OR triples (tϕ has none).
+	for i, tr := range badORTriples {
+		tag := fmt.Sprintf("e%d", i+1)
+		t.DeclareTag(tag, 1)
+		bad := logic.Conj(
+			logic.R("ROR", logic.Const(tr[0]), logic.Const(tr[1]), logic.Const(tr[2])),
+			logic.EqT(x, logic.Const("1")))
+		items = append(items, pt.Item("q1", tag, logic.MustQuery([]logic.Var{x}, nil, bad)))
+		t.AddRule("q1", tag)
+	}
+
+	// φ3: the ∃Y∀Z matrix.
+	gen := &varGen{}
+	ys := make([]logic.Var, q.NumY)
+	for i := range ys {
+		ys[i] = logic.Var(fmt.Sprintf("y%d", i+1))
+	}
+	var phi3Parts []logic.Formula
+	for _, y := range ys {
+		phi3Parts = append(phi3Parts, logic.R("RC", y))
+	}
+	phi3Parts = append(phi3Parts,
+		matrixFormula(q.Clauses, q.NumY, func(i int) logic.Var { return ys[i-1] }, gen.fresh),
+		logic.EqT(x, logic.Const("1")))
+	phi3 := logic.Ex(ys, logic.Conj(phi3Parts...))
+	items = append(items, pt.Item("q1", "d", logic.MustQuery([]logic.Var{x}, nil, phi3)))
+
+	t.AddRule("q0", "r", items...)
+	t.AddRule("q1", "b")
+	t.AddRule("q1", "c")
+	t.AddRule("q1", "d")
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, xmltree.MustParse("r(b,d)"), nil
+}
+
+// CanonicalGadgetInstance is the intended witness instance for the QBF
+// reductions: RC = {0,1} and ROR = IOR (plus RX rows when provided).
+func CanonicalGadgetInstance(withRX bool, m int, xRows [][]string) *relation.Instance {
+	inst := relation.NewInstance(booleanGadgetSchema(withRX, m))
+	inst.Add("RC", "0")
+	inst.Add("RC", "1")
+	for _, tr := range orTriples {
+		inst.Add("ROR", tr[0], tr[1], tr[2])
+	}
+	for _, row := range xRows {
+		inst.Add("RX", row...)
+	}
+	return inst
+}
+
+// EquivalenceFromQBF3 implements the Πp3-hardness reduction of
+// Theorem 2(4): two nonrecursive PT(CQ, tuple, normal) transducers that
+// are equivalent iff the ∀∃∀-QBF is true. τ1's final child fires when
+// the inner ∃Y∀Z matrix holds for the X assignment threaded down the
+// bit-validation chain; τ2's fires unconditionally (both additionally
+// require the OR-gadget well-formedness φ1, a correction to the paper's
+// sketch recorded in EXPERIMENTS.md — without it the two sides differ
+// on gadget-free instances regardless of the QBF).
+func EquivalenceFromQBF3(q *QBF3) (*pt.Transducer, *pt.Transducer, error) {
+	mk := func(name string, conditioned bool) (*pt.Transducer, error) {
+		schema := booleanGadgetSchema(true, q.NumX)
+		t := pt.New(name, schema, "q0", "r")
+
+		xs := make([]logic.Var, q.NumX)
+		terms := make([]logic.Term, q.NumX)
+		for i := range xs {
+			xs[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+			terms[i] = xs[i]
+		}
+		// Level 0: every RX row.
+		t.DeclareTag("a0", q.NumX)
+		t.AddRule("q0", "r", pt.Item("q1", "a0",
+			logic.MustQuery(xs, nil, logic.R("RX", terms...))))
+
+		// Bit-validation chain: level i splits on x_i ∈ {0,1} with two
+		// distinct tags, so only boolean rows reach the end.
+		prevTags := []string{"a0"}
+		for i := 1; i <= q.NumX; i++ {
+			t0 := fmt.Sprintf("a%d_0", i)
+			t1 := fmt.Sprintf("a%d_1", i)
+			t.DeclareTag(t0, q.NumX)
+			t.DeclareTag(t1, q.NumX)
+			st := fmt.Sprintf("q%d", i+1)
+			q0 := logic.MustQuery(xs, nil, logic.Conj(
+				logic.R(pt.RegRel, terms...), logic.EqT(xs[i-1], logic.Const("0"))))
+			q1 := logic.MustQuery(xs, nil, logic.Conj(
+				logic.R(pt.RegRel, terms...), logic.EqT(xs[i-1], logic.Const("1"))))
+			for _, ptag := range prevTags {
+				t.AddRule(fmt.Sprintf("q%d", i), ptag,
+					pt.Item(st, t0, q0), pt.Item(st, t1, q1))
+			}
+			prevTags = []string{t0, t1}
+		}
+
+		// Final level: the c child.
+		t.DeclareTag("c", q.NumX)
+		var final logic.Formula
+		if conditioned {
+			gen := &varGen{}
+			ys := make([]logic.Var, q.NumY)
+			for i := range ys {
+				ys[i] = logic.Var(fmt.Sprintf("y%d", i+1))
+			}
+			var parts []logic.Formula
+			for _, y := range ys {
+				parts = append(parts, logic.R("RC", y))
+			}
+			freeVar := func(i int) logic.Var {
+				if i <= q.NumX {
+					return xs[i-1]
+				}
+				return ys[i-q.NumX-1]
+			}
+			parts = append(parts,
+				matrixFormula(q.Clauses, q.NumX+q.NumY, freeVar, gen.fresh))
+			final = logic.Conj(
+				logic.R(pt.RegRel, terms...),
+				wellFormedORFormula(),
+				logic.Ex(ys, logic.Conj(parts...)))
+		} else {
+			final = logic.Conj(logic.R(pt.RegRel, terms...), wellFormedORFormula())
+		}
+		lastState := fmt.Sprintf("q%d", q.NumX+1)
+		for _, ptag := range prevTags {
+			t.AddRule(lastState, ptag,
+				pt.Item("qc", "c", logic.MustQuery(xs, nil, final)))
+		}
+		t.AddRule("qc", "c")
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	t1, err := mk("qbf3-tau1", true)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := mk("qbf3-tau2", false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, t2, nil
+}

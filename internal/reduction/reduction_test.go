@@ -1,0 +1,579 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/decide"
+	"ptx/internal/logic"
+	"ptx/internal/machines"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// randomCNF generates a small random 3SAT instance.
+func randomCNF(rng *rand.Rand, vars, clauses int) *CNF {
+	f := &CNF{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		var c Clause
+		for j := 0; j < 3; j++ {
+			c[j] = Literal{Var: 1 + rng.Intn(vars), Neg: rng.Intn(2) == 1}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestEmptiness3SATMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lit := func(v int, neg bool) Literal { return Literal{Var: v, Neg: neg} }
+	// Crafted unsatisfiable instances (x ∧ ¬x patterns) plus random ones.
+	crafted := []*CNF{
+		{NumVars: 1, Clauses: []Clause{
+			{lit(1, false), lit(1, false), lit(1, false)},
+			{lit(1, true), lit(1, true), lit(1, true)},
+		}},
+		{NumVars: 2, Clauses: []Clause{
+			{lit(1, false), lit(2, false), lit(2, false)},
+			{lit(1, false), lit(2, true), lit(2, true)},
+			{lit(1, true), lit(2, false), lit(2, false)},
+			{lit(1, true), lit(2, true), lit(2, true)},
+		}},
+	}
+	var formulas []*CNF
+	formulas = append(formulas, crafted...)
+	for trial := 0; trial < 20; trial++ {
+		formulas = append(formulas, randomCNF(rng, 3, 3))
+	}
+	sat, unsat := 0, 0
+	for trial, f := range formulas {
+		_ = trial
+		tr, err := EmptinessFrom3SAT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl := tr.Classify(); cl.Store != pt.TupleStore || cl.Output != pt.VirtualOutput {
+			t.Fatalf("reduction class %s, want tuple/virtual", cl)
+		}
+		nonempty, err := decide.Emptiness(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Satisfiable()
+		if nonempty != want {
+			t.Fatalf("trial %d: emptiness decision %v, brute-force SAT %v\n%s", trial, nonempty, want, tr)
+		}
+		if want {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("unbalanced trials: %d sat, %d unsat", sat, unsat)
+	}
+}
+
+func TestEmptiness3SATExecution(t *testing.T) {
+	// On a satisfying-assignment instance the transducer emits an a; on a
+	// falsifying one it does not.
+	f := &CNF{NumVars: 2, Clauses: []Clause{
+		{{Var: 1, Neg: false}, {Var: 2, Neg: false}, {Var: 1, Neg: false}}, // x1 ∨ x2
+		{{Var: 1, Neg: true}, {Var: 2, Neg: false}, {Var: 1, Neg: true}},   // ¬x1 ∨ x2
+	}}
+	tr, err := EmptinessFrom3SAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := AssignmentInstance(f, []bool{false, true}) // satisfies both
+	out, err := tr.Output(good, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountTag("a") != 1 {
+		t.Fatalf("satisfying assignment should yield one a: %s", out.Canonical())
+	}
+	bad := AssignmentInstance(f, []bool{true, false}) // violates clause 2
+	out, err = tr.Output(bad, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountTag("a") != 0 {
+		t.Fatalf("falsifying assignment should yield no a: %s", out.Canonical())
+	}
+}
+
+func TestQBF2Eval(t *testing.T) {
+	// ∃y ∀z (y ∨ z) — true with y=1.
+	q := &QBF2{NumY: 1, NumZ: 1, Clauses: []Clause{
+		{{Var: 1}, {Var: 2}, {Var: 1}},
+	}}
+	if !q.Eval() {
+		t.Error("∃y∀z (y∨z) is true")
+	}
+	// ∃y ∀z (y ∧ z effect): ∃y ∀z (z) — false.
+	q2 := &QBF2{NumY: 1, NumZ: 1, Clauses: []Clause{
+		{{Var: 2}, {Var: 2}, {Var: 2}},
+	}}
+	if q2.Eval() {
+		t.Error("∃y∀z z is false")
+	}
+}
+
+func TestMembershipQBF2Canonical(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *QBF2
+		want bool
+	}{
+		{"true ∃y∀z (y∨z)", &QBF2{NumY: 1, NumZ: 1,
+			Clauses: []Clause{{{Var: 1}, {Var: 2}, {Var: 1}}}}, true},
+		{"false ∃y∀z z", &QBF2{NumY: 1, NumZ: 1,
+			Clauses: []Clause{{{Var: 2}, {Var: 2}, {Var: 2}}}}, false},
+		{"true ∃y (y∧¬?)", &QBF2{NumY: 2, NumZ: 0,
+			Clauses: []Clause{
+				{{Var: 1}, {Var: 1}, {Var: 1}},
+				{{Var: 2, Neg: true}, {Var: 2, Neg: true}, {Var: 2, Neg: true}},
+			}}, true},
+		{"false ∃y (y∧¬y)", &QBF2{NumY: 1, NumZ: 0,
+			Clauses: []Clause{
+				{{Var: 1}, {Var: 1}, {Var: 1}},
+				{{Var: 1, Neg: true}, {Var: 1, Neg: true}, {Var: 1, Neg: true}},
+			}}, false},
+	}
+	for _, c := range cases {
+		if c.q.Eval() != c.want {
+			t.Fatalf("%s: brute force disagrees with expectation", c.name)
+		}
+		tr, target, err := MembershipFromQBF2(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := tr.Output(CanonicalGadgetInstance(false, 0, nil), pt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Equal(target); got != c.want {
+			t.Errorf("%s: canonical run gives %s, want match=%v", c.name, out.Canonical(), c.want)
+		}
+	}
+}
+
+func TestMembershipQBF2Decision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded membership search")
+	}
+	opts := decide.MembershipOptions{FreshValues: 0, MaxTuplesPerRel: 4, MaxCandidates: 500000}
+	qTrue := &QBF2{NumY: 1, NumZ: 1, Clauses: []Clause{{{Var: 1}, {Var: 2}, {Var: 1}}}}
+	tr, target, err := MembershipFromQBF2(qTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := decide.Membership(tr, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("true QBF: target tree should be producible")
+	}
+	qFalse := &QBF2{NumY: 1, NumZ: 1, Clauses: []Clause{{{Var: 2}, {Var: 2}, {Var: 2}}}}
+	tr, target, err = MembershipFromQBF2(qFalse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = decide.Membership(tr, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("false QBF: target tree should not be producible over the boolean domain")
+	}
+}
+
+func TestQBF3Eval(t *testing.T) {
+	// ∀x ∃y (x∨y)(¬x∨¬y): y := ¬x works — true.
+	q := &QBF3{NumX: 1, NumY: 1, Clauses: []Clause{
+		{{Var: 1}, {Var: 2}, {Var: 1}},
+		{{Var: 1, Neg: true}, {Var: 2, Neg: true}, {Var: 1, Neg: true}},
+	}}
+	if !q.Eval() {
+		t.Error("∀x∃y (x∨y)(¬x∨¬y) is true")
+	}
+	// ∀x ∃y (x): false (x=0 kills it).
+	q2 := &QBF3{NumX: 1, NumY: 1, Clauses: []Clause{
+		{{Var: 1}, {Var: 1}, {Var: 1}},
+	}}
+	if q2.Eval() {
+		t.Error("∀x x is false")
+	}
+}
+
+func TestEquivalenceQBF3Execution(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *QBF3
+	}{
+		{"true", &QBF3{NumX: 1, NumY: 1, Clauses: []Clause{
+			{{Var: 1}, {Var: 2}, {Var: 1}},
+			{{Var: 1, Neg: true}, {Var: 2, Neg: true}, {Var: 1, Neg: true}},
+		}}},
+		{"false", &QBF3{NumX: 1, NumY: 1, Clauses: []Clause{
+			{{Var: 1}, {Var: 1}, {Var: 1}},
+		}}},
+		{"true with universal", &QBF3{NumX: 1, NumY: 1, NumZ: 1, Clauses: []Clause{
+			{{Var: 2}, {Var: 3}, {Var: 2}}, // y ∨ z: y=1 works
+		}}},
+		{"false with universal", &QBF3{NumX: 1, NumY: 1, NumZ: 1, Clauses: []Clause{
+			{{Var: 3}, {Var: 3}, {Var: 3}}, // z alone: false
+		}}},
+	}
+	for _, c := range cases {
+		t1, t2, err := EquivalenceFromQBF3(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.q.Eval()
+		// Execute on the canonical instances for every X assignment; the
+		// transducers agree on all of them iff the QBF holds.
+		agree := true
+		for bits := 0; bits < 1<<c.q.NumX; bits++ {
+			row := make([]string, c.q.NumX)
+			for i := range row {
+				if bits&(1<<i) != 0 {
+					row[i] = "1"
+				} else {
+					row[i] = "0"
+				}
+			}
+			inst := CanonicalGadgetInstance(true, c.q.NumX, [][]string{row})
+			o1, err := t1.Output(inst, pt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, err := t2.Output(inst, pt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !o1.Equal(o2) {
+				agree = false
+			}
+		}
+		if agree != want {
+			t.Errorf("%s: canonical executions agree=%v, QBF=%v", c.name, agree, want)
+		}
+	}
+}
+
+func TestEquivalenceQBF3NonBooleanRowsFiltered(t *testing.T) {
+	// Rows of RX that are not boolean never reach the final level on
+	// either side.
+	q := &QBF3{NumX: 1, NumY: 1, Clauses: []Clause{{{Var: 1}, {Var: 2}, {Var: 1}}}}
+	t1, _, err := EquivalenceFromQBF3(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := CanonicalGadgetInstance(true, 1, [][]string{{"junk"}})
+	out, err := t1.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountTag("c") != 0 {
+		t.Fatalf("non-boolean row leaked to the final level: %s", out.Canonical())
+	}
+}
+
+// --- 2RM (Theorem 1(3)) -------------------------------------------------
+
+// haltingMachine: add r1; then subtract until zero; halt at state 2.
+func haltingMachine() *machines.TwoRegisterMachine {
+	return &machines.TwoRegisterMachine{
+		Instrs: []machines.Instr{
+			machines.AddInstr(machines.R1, 1),
+			machines.SubInstr(machines.R1, 2, 1),
+		},
+		Halt: 2,
+	}
+}
+
+// loopingMachine increments register 1 forever.
+func loopingMachine() *machines.TwoRegisterMachine {
+	return &machines.TwoRegisterMachine{
+		Instrs: []machines.Instr{machines.AddInstr(machines.R1, 0)},
+		Halt:   1,
+	}
+}
+
+func TestMachineSimulators(t *testing.T) {
+	if !haltingMachine().HaltsWithin(100) {
+		t.Error("halting machine should halt")
+	}
+	if loopingMachine().HaltsWithin(1000) {
+		t.Error("looping machine should not halt")
+	}
+}
+
+func Test2RMReductionHalting(t *testing.T) {
+	m := haltingMachine()
+	t1, t2, err := EquivalenceFrom2RM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := EncodeRun(m, 100)
+	o1, err := t1.Output(inst, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := t2.Output(inst, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Equal(o2) {
+		t.Fatalf("halting run encoding should separate τ1 and τ2:\nτ1: %s\nτ2: %s",
+			o1.Canonical(), o2.Canonical())
+	}
+	// τ1 has exactly one more h than τ2 on the well-formed encoding.
+	if o1.CountTag("h") != o2.CountTag("h")+1 {
+		t.Fatalf("h counts: τ1=%d τ2=%d", o1.CountTag("h"), o2.CountTag("h"))
+	}
+}
+
+func Test2RMReductionLooping(t *testing.T) {
+	m := loopingMachine()
+	t1, t2, err := EquivalenceFrom2RM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial run encodings never separate the transducers.
+	for _, steps := range []int{1, 3, 7} {
+		inst := EncodeRun(m, steps)
+		o1, err := t1.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := t2.Output(inst, pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o1.Equal(o2) {
+			t.Fatalf("steps=%d: non-halting machine should keep τ1 ≡ τ2", steps)
+		}
+	}
+}
+
+func Test2RMKeyViolationCompensation(t *testing.T) {
+	// Inject key violations into a halting encoding: with exactly one key
+	// broken τ1 and τ2 both add one h; with both broken both add one more.
+	m := haltingMachine()
+	t1, t2, err := EquivalenceFrom2RM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := EncodeRun(m, 100)
+
+	oneBroken := base.Clone()
+	oneBroken.Add("R", "0", "99", "sX", "0", "0", "sX") // same prev 0, different next
+	o1, err := t1.Output(oneBroken, pt.Options{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := t2.Output(oneBroken, pt.Options{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o1.Equal(o2) {
+		t.Fatalf("one broken key: compensation should equalize:\nτ1: %s\nτ2: %s",
+			o1.Canonical(), o2.Canonical())
+	}
+
+	bothBroken := oneBroken.Clone()
+	bothBroken.Add("R", "98", "1", "sY", "0", "0", "sY") // same next 1 as tuple (0,1,...)
+	o1, err = t1.Output(bothBroken, pt.Options{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err = t2.Output(bothBroken, pt.Options{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o1.Equal(o2) {
+		t.Fatalf("both broken keys: compensation should equalize:\nτ1: %s\nτ2: %s",
+			o1.Canonical(), o2.Canonical())
+	}
+}
+
+// --- 2-head DFA (Theorem 1(2)) -----------------------------------------
+
+// onesDFA accepts words beginning with 1 (both heads read the first
+// symbol, then accept).
+func onesDFA() *machines.TwoHeadDFA {
+	return &machines.TwoHeadDFA{
+		States: 2, Start: 0, Accept: 1,
+		Delta: map[machines.DFAKey]machines.DFAMove{
+			{State: 0, In1: '1', In2: '1'}: {State: 1, Move1: machines.Right, Move2: machines.Right},
+		},
+	}
+}
+
+func TestDFASimulator(t *testing.T) {
+	a := onesDFA()
+	if !a.Accepts("1") || !a.Accepts("10") {
+		t.Error("words starting with 1 should be accepted")
+	}
+	if a.Accepts("0") || a.Accepts("") {
+		t.Error("other words should be rejected")
+	}
+	if a.EmptyUpTo(3) {
+		t.Error("language is nonempty")
+	}
+	empty := &machines.TwoHeadDFA{States: 1, Start: 0, Accept: 99,
+		Delta: map[machines.DFAKey]machines.DFAMove{}}
+	if !empty.EmptyUpTo(4) {
+		t.Error("no-transition automaton has empty language")
+	}
+}
+
+func TestDFAMembershipReduction(t *testing.T) {
+	a := onesDFA()
+	tr, target, err := MembershipFrom2HeadDFA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := tr.Classify(); cl.Output != pt.VirtualOutput || cl.Store != pt.TupleStore {
+		t.Fatalf("reduction class %s", cl)
+	}
+	// Accepted word: the encoding produces exactly the target tree.
+	out, err := tr.Output(EncodeWord("1"), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(target) {
+		t.Fatalf("accepted word: got %s, want %s", out.Canonical(), target.Canonical())
+	}
+	// Rejected word: no s child.
+	out, err = tr.Output(EncodeWord("0"), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Equal(target) {
+		t.Fatal("rejected word must not produce the target tree")
+	}
+	if out.CountTag("s") != 0 {
+		t.Fatalf("rejected word produced an s node: %s", out.Canonical())
+	}
+}
+
+func TestDFAMembershipEmptyLanguage(t *testing.T) {
+	empty := &machines.TwoHeadDFA{States: 1, Start: 0, Accept: 99,
+		Delta: map[machines.DFAKey]machines.DFAMove{}}
+	tr, target, err := MembershipFrom2HeadDFA(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"", "0", "1", "01", "10"} {
+		out, err := tr.Output(EncodeWord(w), pt.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Equal(target) {
+			t.Fatalf("empty language: word %q must not produce the target", w)
+		}
+	}
+}
+
+// --- Proposition 2: FO query equivalence -------------------------------
+
+func foPair() (*relation.Schema, *FOQuery, *FOQuery) {
+	s := relation.NewSchema().MustDeclare("A", 1).MustDeclare("B", 1)
+	x := logic.Var("x")
+	q1 := &FOQuery{Head: []logic.Var{x}, F: logic.R("A", x)}
+	q2 := &FOQuery{Head: []logic.Var{x},
+		F: logic.Conj(logic.R("A", x), &logic.Not{F: logic.R("B", x)})}
+	return s, q1, q2
+}
+
+func TestFOEquivalenceReductions(t *testing.T) {
+	s, q1, q2 := foPair()
+
+	// Witness instance where Q1 ≠ Q2: a value in both A and B.
+	witness := relation.NewInstance(s)
+	witness.Add("A", "w")
+	witness.Add("B", "w")
+	// Instance where they agree: A and B disjoint.
+	agree := relation.NewInstance(s)
+	agree.Add("A", "a")
+	agree.Add("B", "b")
+
+	// Membership reduction: r(a) produced exactly on disagreement.
+	tm, err := MembershipFromFOEquivalence(s, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := xmltree.MustParse("r(a)")
+	out, err := tm.Output(witness, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(target) {
+		t.Fatalf("membership reduction on witness: %s", out.Canonical())
+	}
+	out, err = tm.Output(agree, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Equal(target) {
+		t.Fatal("membership reduction fired on agreeing instance")
+	}
+
+	// Emptiness reduction: nontrivial tree exactly on disagreement.
+	te, err := EmptinessFromFOEquivalence(s, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = te.Output(witness, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() == 1 {
+		t.Fatal("emptiness reduction should be nontrivial on witness")
+	}
+
+	// Equivalence reduction: trees differ exactly on disagreement.
+	t1, t2, err := EquivalenceFromFOEquivalence(s, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, _ := t1.Output(witness, pt.Options{})
+	o2, _ := t2.Output(witness, pt.Options{})
+	if o1.Equal(o2) {
+		t.Fatal("equivalence reduction should differ on witness")
+	}
+	o1, _ = t1.Output(agree, pt.Options{})
+	o2, _ = t2.Output(agree, pt.Options{})
+	if !o1.Equal(o2) {
+		t.Fatal("equivalence reduction should agree on disjoint A/B")
+	}
+}
+
+func TestFOEquivalenceIdenticalQueries(t *testing.T) {
+	s, q1, _ := foPair()
+	t1, t2, err := EquivalenceFromFOEquivalence(s, q1, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][][2]string{
+		{{"A", "a"}},
+		{{"A", "a"}, {"B", "a"}},
+		{{"B", "b"}},
+	} {
+		inst := relation.NewInstance(s)
+		for _, r := range rows {
+			inst.Add(r[0], r[1])
+		}
+		o1, _ := t1.Output(inst, pt.Options{})
+		o2, _ := t2.Output(inst, pt.Options{})
+		if !o1.Equal(o2) {
+			t.Fatalf("identical queries must agree on %v", rows)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package reduction
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/machines"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// RMSchema is the 6-ary run-encoding relation of Theorem 1(3):
+// R(prev, next, cs, reg1, reg2, ns). prev/next chain the tuples into a
+// sequence and double as the number line for the register counters;
+// cs/ns are the current and announced next state.
+func RMSchema() *relation.Schema {
+	return relation.NewSchema().MustDeclare("R", 6)
+}
+
+func stateConst(s int) logic.Const { return logic.Const(fmt.Sprintf("s%d", s)) }
+
+// EquivalenceFrom2RM implements the Theorem 1(3) reduction: two
+// transducers τ1, τ2 in PT(CQ, tuple, normal) over RMSchema such that
+// τ1 ≡ τ2 iff the machine does not halt. Both walk the encoded run
+// identically; when a halting configuration is reached, τ1 emits one h
+// plus another iff both chain keys are violated, while τ2 emits one h
+// per violated key — so the counts differ exactly on well-formed
+// (both-keys) encodings, which exist iff M halts.
+func EquivalenceFrom2RM(m *machines.TwoRegisterMachine) (*pt.Transducer, *pt.Transducer, error) {
+	t1, err := rmTransducer(m, "rm-tau1", true)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := rmTransducer(m, "rm-tau2", false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, t2, nil
+}
+
+// rmTransducer builds one side of the reduction.
+func rmTransducer(m *machines.TwoRegisterMachine, name string, tau1 bool) (*pt.Transducer, error) {
+	t := pt.New(name, RMSchema(), "q0", "r")
+	t.DeclareTag("a", 6)
+	t.DeclareTag("h", 1)
+
+	// Head variables of every chain query: the new run tuple.
+	na1, na2 := logic.Var("na1"), logic.Var("na2")
+	ncs, nm, nn, nns := logic.Var("ncs"), logic.Var("nm"), logic.Var("nn"), logic.Var("nns")
+	head := []logic.Var{na1, na2, ncs, nm, nn, nns}
+	headTerms := logic.TermVars(head)
+
+	// φ0: the initial tuple (prev 0, state s0, both counters 0).
+	phi0 := logic.MustQuery(head, nil, logic.Conj(
+		logic.R("R", headTerms...),
+		logic.EqT(na1, logic.Const("0")),
+		logic.EqT(ncs, stateConst(0)),
+		logic.EqT(nm, logic.Const("0")),
+		logic.EqT(nn, logic.Const("0")),
+	))
+	t.AddRule("q0", "r", pt.Item("q1", "a", phi0))
+
+	// Register (old tuple) variables shared by the transition bodies.
+	b1, b2 := logic.Var("b1"), logic.Var("b2")
+	ocs, om, on, ons := logic.Var("ocs"), logic.Var("om"), logic.Var("on"), logic.Var("ons")
+	oldVars := []logic.Var{b1, b2, ocs, om, on, ons}
+
+	// succWitness asserts that hi is the chain successor of lo: some
+	// tuple has prev=lo, next=hi.
+	succWitness := func(lo, hi logic.Var) logic.Formula {
+		c := make([]logic.Var, 6)
+		for i := range c {
+			c[i] = logic.Var(fmt.Sprintf("w%d", i))
+		}
+		return logic.Ex(c, logic.Conj(
+			logic.R("R", logic.TermVars(c)...),
+			logic.EqT(c[0], lo),
+			logic.EqT(c[1], hi),
+		))
+	}
+
+	// Every transition shares a frame: the register holds the old tuple,
+	// the new tuple chains on (na1 = b2), and its state matches the old
+	// tuple's announced next state (ncs = ons).
+	var chainItems []pt.RHS
+	addChain := func(parts ...logic.Formula) {
+		all := []logic.Formula{
+			logic.R(pt.RegRel, logic.TermVars(oldVars)...),
+			logic.R("R", headTerms...),
+			logic.EqT(na1, b2),
+			logic.EqT(ncs, ons),
+		}
+		all = append(all, parts...)
+		q := logic.MustQuery(head, nil, logic.Ex(oldVars, logic.Conj(all...)))
+		chainItems = append(chainItems, pt.Item("q1", "a", q))
+	}
+
+	for i, in := range m.Instrs {
+		var regOld, regNew logic.Var // the register being operated on
+		var othOld, othNew logic.Var // the untouched register
+		if in.Reg == machines.R1 {
+			regOld, regNew, othOld, othNew = om, nm, on, nn
+		} else {
+			regOld, regNew, othOld, othNew = on, nn, om, nm
+		}
+		if in.Add {
+			addChain(
+				logic.EqT(ocs, stateConst(i)),
+				logic.EqT(ncs, stateConst(in.Zero)),
+				logic.EqT(othNew, othOld),
+				succWitness(regOld, regNew),
+			)
+			continue
+		}
+		// Subtraction, zero branch.
+		addChain(
+			logic.EqT(ocs, stateConst(i)),
+			logic.EqT(ncs, stateConst(in.Zero)),
+			logic.EqT(regOld, logic.Const("0")),
+			logic.EqT(regNew, logic.Const("0")),
+			logic.EqT(othNew, othOld),
+		)
+		// Subtraction, nonzero branch: regNew is the chain predecessor.
+		addChain(
+			logic.EqT(ocs, stateConst(i)),
+			logic.EqT(ncs, stateConst(in.Next)),
+			logic.NeqT(regOld, logic.Const("0")),
+			logic.EqT(othNew, othOld),
+			succWitness(regNew, regOld),
+		)
+	}
+
+	// Halting detection and key checks.
+	hx := logic.Var("hx")
+	haltCond := func() logic.Formula {
+		return logic.Ex(oldVars, logic.Conj(
+			logic.R(pt.RegRel, logic.TermVars(oldVars)...),
+			logic.EqT(ocs, stateConst(m.Halt)),
+			logic.EqT(om, logic.Const("0")),
+			logic.EqT(on, logic.Const("0")),
+		))
+	}
+	keyViolation := func(byPrev bool) logic.Formula {
+		u := make([]logic.Var, 6)
+		v := make([]logic.Var, 6)
+		for i := range u {
+			u[i] = logic.Var(fmt.Sprintf("u%d", i))
+			v[i] = logic.Var(fmt.Sprintf("v%d", i))
+		}
+		var eqIdx, neqIdx int
+		if byPrev {
+			eqIdx, neqIdx = 0, 1 // same prev, different next
+		} else {
+			eqIdx, neqIdx = 1, 0 // same next, different prev
+		}
+		return logic.Ex(append(append([]logic.Var{}, u...), v...), logic.Conj(
+			logic.R("R", logic.TermVars(u)...),
+			logic.R("R", logic.TermVars(v)...),
+			logic.EqT(u[eqIdx], v[eqIdx]),
+			logic.NeqT(u[neqIdx], v[neqIdx]),
+		))
+	}
+	mkH := func(parts ...logic.Formula) pt.RHS {
+		all := append([]logic.Formula{}, parts...)
+		all = append(all, logic.EqT(hx, logic.Const("1")))
+		return pt.Item("qh", "h", logic.MustQuery([]logic.Var{hx}, nil, logic.Conj(all...)))
+	}
+
+	var hItems []pt.RHS
+	if tau1 {
+		hItems = []pt.RHS{
+			mkH(haltCond()),
+			mkH(haltCond(), keyViolation(true), keyViolation(false)),
+		}
+	} else {
+		hItems = []pt.RHS{
+			mkH(haltCond(), keyViolation(true)),
+			mkH(haltCond(), keyViolation(false)),
+		}
+	}
+
+	t.AddRule("q1", "a", append(chainItems, hItems...)...)
+	t.AddRule("qh", "h")
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeRun encodes the machine's run (capped at maxSteps) as a
+// well-formed instance of RMSchema: one tuple per executed transition,
+// positions 0,1,2,… chaining the sequence and doubling as counter
+// values, plus a final halting tuple when the machine halts.
+func EncodeRun(m *machines.TwoRegisterMachine, maxSteps int) *relation.Instance {
+	inst := relation.NewInstance(RMSchema())
+	trace, halted := m.Run(maxSteps)
+	pos := func(k int) string { return fmt.Sprint(k) }
+	st := func(s int) string { return fmt.Sprintf("s%d", s) }
+	for k := 0; k+1 < len(trace); k++ {
+		cur, next := trace[k], trace[k+1]
+		inst.Add("R", pos(k), pos(k+1), st(cur.State), pos(cur.Reg1), pos(cur.Reg2), st(next.State))
+	}
+	if halted {
+		last := len(trace) - 1
+		inst.Add("R", pos(last), pos(last+1), st(m.Halt), "0", "0", st(m.Halt))
+	}
+	return inst
+}

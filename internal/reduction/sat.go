@@ -1,0 +1,197 @@
+// Package reduction implements the paper's hardness and undecidability
+// reductions as executable constructions:
+//
+//   - 3SAT → emptiness of PT(CQ, tuple, virtual) (Theorem 1(1),
+//     NP-hardness);
+//   - ∃*∀*-3SAT → membership of PT(CQ, tuple, normal) (Theorem 1(2),
+//     Σp2-hardness);
+//   - ∀*∃*∀*-3SAT → equivalence of PTnr(CQ, tuple, normal)
+//     (Theorem 2(4), Πp3-hardness);
+//   - 2RM halting → equivalence of PT(CQ, tuple, normal)
+//     (Theorem 1(3), undecidability);
+//   - FO query equivalence → membership/emptiness/equivalence of
+//     PTnr(FO, tuple, normal) (Proposition 2, undecidability).
+//
+// Each reduction comes with the brute-force reference decision procedure
+// for its source problem, so tests can validate the reduction (and the
+// target decision algorithms) end to end on small inputs.
+package reduction
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Literal is a possibly negated propositional variable (1-based index).
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// CNF is a 3SAT instance over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Eval evaluates the formula under an assignment (asg[i] is the value
+// of variable i+1).
+func (f *CNF) Eval(asg []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v := asg[l.Var-1]
+			if v != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable brute-forces the 2^NumVars assignments.
+func (f *CNF) Satisfiable() bool {
+	asg := make([]bool, f.NumVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == f.NumVars {
+			return f.Eval(asg)
+		}
+		asg[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		asg[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// satisfyingTriples enumerates the (up to 7) truth assignments of the
+// three literal variables of clause c that make c true, as {0,1}
+// strings per literal position.
+func satisfyingTriples(c Clause) [][3]string {
+	var out [][3]string
+	for bits := 0; bits < 8; bits++ {
+		vals := [3]bool{bits&1 != 0, bits&2 != 0, bits&4 != 0}
+		// Consistency: if two literal positions share a variable, their
+		// assigned values must agree.
+		consistent := true
+		sat := false
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if c[i].Var == c[j].Var && vals[i] != vals[j] {
+					consistent = false
+				}
+			}
+			if vals[i] != c[i].Neg {
+				sat = true
+			}
+		}
+		if !consistent || !sat {
+			continue
+		}
+		var t [3]string
+		for i := 0; i < 3; i++ {
+			if vals[i] {
+				t[i] = "1"
+			} else {
+				t[i] = "0"
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// EmptinessFrom3SAT builds the Theorem 1(1) NP-hardness transducer τφ in
+// PT(CQ, tuple, virtual) over the schema {RX(m)}: τφ produces a
+// nontrivial tree on some instance iff φ is satisfiable. The virtual
+// chain checks one clause per level (one virtual tag per satisfying
+// triple) and ends in the normal tag a.
+func EmptinessFrom3SAT(f *CNF) (*pt.Transducer, error) {
+	if f.NumVars == 0 || len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("reduction: degenerate formula")
+	}
+	schema := relation.NewSchema().MustDeclare("RX", f.NumVars)
+	t := pt.New("sat-emptiness", schema, "q0", "r")
+
+	xs := make([]logic.Var, f.NumVars)
+	terms := make([]logic.Term, f.NumVars)
+	for i := range xs {
+		xs[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+		terms[i] = xs[i]
+	}
+
+	vtag := func(level, choice int) string { return fmt.Sprintf("v%d_%d", level, choice) }
+	state := func(level int) string { return fmt.Sprintf("q%d", level) }
+
+	// Items entering level: for each satisfying triple of clause level-1.
+	levelItems := func(level int, regAtom logic.Formula) []pt.RHS {
+		c := f.Clauses[level-1]
+		var items []pt.RHS
+		for choice, trip := range satisfyingTriples(c) {
+			parts := []logic.Formula{regAtom}
+			for i := 0; i < 3; i++ {
+				parts = append(parts, logic.EqT(xs[c[i].Var-1], logic.Const(trip[i])))
+			}
+			q := logic.MustQuery(xs, nil, logic.Conj(parts...))
+			tag := vtag(level, choice)
+			t.DeclareTag(tag, f.NumVars)
+			t.MarkVirtual(tag)
+			items = append(items, pt.Item(state(level), tag, q))
+		}
+		return items
+	}
+
+	// Start: copy each RX assignment into a level-1 virtual node.
+	t.AddRule("q0", "r", levelItems(1, logic.R("RX", terms...))...)
+
+	// Middle levels: from every level-i choice tag to level i+1.
+	for level := 1; level < len(f.Clauses); level++ {
+		items := levelItems(level+1, logic.R(pt.RegRel, terms...))
+		for choice := range satisfyingTriples(f.Clauses[level-1]) {
+			t.AddRule(state(level), vtag(level, choice), items...)
+		}
+	}
+
+	// Final level: emit the normal tag a.
+	t.DeclareTag("a", f.NumVars)
+	last := len(f.Clauses)
+	finalItem := pt.Item("qt", "a", logic.MustQuery(xs, nil, logic.R(pt.RegRel, terms...)))
+	for choice := range satisfyingTriples(f.Clauses[last-1]) {
+		t.AddRule(state(last), vtag(last, choice), finalItem)
+	}
+	t.AddRule("qt", "a")
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AssignmentInstance encodes a truth assignment as an RX singleton, for
+// running the reduction transducer on concrete inputs.
+func AssignmentInstance(f *CNF, asg []bool) *relation.Instance {
+	schema := relation.NewSchema().MustDeclare("RX", f.NumVars)
+	inst := relation.NewInstance(schema)
+	row := make([]string, f.NumVars)
+	for i, b := range asg {
+		if b {
+			row[i] = "1"
+		} else {
+			row[i] = "0"
+		}
+	}
+	inst.Add("RX", row...)
+	return inst
+}

@@ -1,0 +1,290 @@
+// Package registrar implements the paper's running example: the
+// registrar database R0 with relations course(cno, title, dept) and
+// prereq(cno1, cno2), instance generators for prerequisite hierarchies,
+// and the three XML views of Figure 1 as publishing transducers:
+//
+//   - τ1 (Example 3.1): the recursive prerequisite hierarchy of every
+//     CS course — PT(CQ, tuple, normal);
+//   - τ2 (Example 3.2): the depth-three view collecting the entire
+//     prerequisite closure under each course using a virtual tag and an
+//     FO fixpoint test — PT(FO, relation, virtual);
+//   - τ3 (Fig. 1(c)): the depth-two view of courses that do not have DB
+//     as an immediate prerequisite — PTnr(FO, tuple, normal).
+package registrar
+
+import (
+	"fmt"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// Schema returns the registrar schema R0.
+func Schema() *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("course", 3)
+	s.MustDeclare("prereq", 2)
+	return s
+}
+
+// NewInstance returns an empty registrar instance.
+func NewInstance() *relation.Instance { return relation.NewInstance(Schema()) }
+
+// AddCourse inserts a course tuple.
+func AddCourse(i *relation.Instance, cno, title, dept string) {
+	i.Add("course", cno, title, dept)
+}
+
+// AddPrereq records that c2 is an immediate prerequisite of c1.
+func AddPrereq(i *relation.Instance, c1, c2 string) {
+	i.Add("prereq", c1, c2)
+}
+
+// ChainInstance builds n CS courses c1,…,cn where c(i+1) is the
+// immediate prerequisite of ci — a linear prerequisite hierarchy of
+// depth n.
+func ChainInstance(n int) *relation.Instance {
+	inst := NewInstance()
+	for i := 1; i <= n; i++ {
+		AddCourse(inst, courseNo(i), fmt.Sprintf("Course %d", i), "CS")
+		if i < n {
+			AddPrereq(inst, courseNo(i), courseNo(i+1))
+		}
+	}
+	return inst
+}
+
+// CycleInstance builds n CS courses forming a prerequisite cycle
+// c1→c2→…→cn→c1; the stop condition of the transducer is what makes
+// τ1 terminate on it.
+func CycleInstance(n int) *relation.Instance {
+	inst := ChainInstance(n)
+	AddPrereq(inst, courseNo(n), courseNo(1))
+	return inst
+}
+
+// DiamondInstance builds the "chain of diamonds" prerequisite graph of
+// Proposition 1(3) over courses: course a_k has two prerequisites
+// b_k1, b_k2, both of which require a_(k+1). Unfolding it as a tree
+// (which τ1 does) yields 2^n leaves from an O(n)-size instance.
+func DiamondInstance(n int) *relation.Instance {
+	inst := NewInstance()
+	a := func(k int) string { return fmt.Sprintf("A%03d", k) }
+	b := func(k, j int) string { return fmt.Sprintf("B%03d%d", k, j) }
+	for k := 0; k <= n; k++ {
+		AddCourse(inst, a(k), fmt.Sprintf("Hub %d", k), "CS")
+		if k == n {
+			break
+		}
+		for j := 1; j <= 2; j++ {
+			AddCourse(inst, b(k, j), fmt.Sprintf("Branch %d.%d", k, j), "CS")
+			AddPrereq(inst, a(k), b(k, j))
+			AddPrereq(inst, b(k, j), a(k+1))
+		}
+	}
+	return inst
+}
+
+// SampleInstance is the small illustrative instance used by examples and
+// documentation: CS401 requires CS301 and CS302, both of which require
+// CS201; MA101 is a non-CS course; DB100 is titled DB and is an
+// immediate prerequisite of CS302.
+func SampleInstance() *relation.Instance {
+	inst := NewInstance()
+	AddCourse(inst, "CS401", "Compilers", "CS")
+	AddCourse(inst, "CS301", "Algorithms", "CS")
+	AddCourse(inst, "CS302", "Databases II", "CS")
+	AddCourse(inst, "CS201", "Data Structures", "CS")
+	AddCourse(inst, "DB100", "DB", "CS")
+	AddCourse(inst, "MA101", "Calculus", "Math")
+	AddPrereq(inst, "CS401", "CS301")
+	AddPrereq(inst, "CS401", "CS302")
+	AddPrereq(inst, "CS301", "CS201")
+	AddPrereq(inst, "CS302", "CS201")
+	AddPrereq(inst, "CS302", "DB100")
+	return inst
+}
+
+func courseNo(i int) string { return fmt.Sprintf("CS%03d", i) }
+
+var (
+	vCno   = logic.Var("cno")
+	vTitle = logic.Var("title")
+	vDept  = logic.Var("dept")
+	vC     = logic.Var("c")
+	vC2    = logic.Var("c2")
+	vT     = logic.Var("t")
+	vD     = logic.Var("d")
+)
+
+// phiCSCourses is φ1 of Example 3.1: the CS courses with cno and title.
+func phiCSCourses() *logic.Query {
+	f := logic.Ex([]logic.Var{vDept}, logic.Conj(
+		logic.R("course", vCno, vTitle, vDept),
+		logic.EqT(vDept, logic.Const("CS")),
+	))
+	return logic.MustQuery([]logic.Var{vCno, vTitle}, nil, f)
+}
+
+// Tau1 builds the transducer τ1 of Example 3.1 — the recursive
+// prerequisite-hierarchy view of Fig. 1(a).
+func Tau1() *pt.Transducer {
+	t := pt.New("tau1", Schema(), "q0", "db")
+	t.DeclareTag("course", 2).
+		DeclareTag("prereq", 1).
+		DeclareTag("cno", 1).
+		DeclareTag("title", 1).
+		DeclareTag("text", 1)
+
+	// δ1(q0, db) = (q, course, φ1(cno,title;∅))
+	t.AddRule("q0", "db", pt.Item("q", "course", phiCSCourses()))
+
+	// δ1(q, course) = (q, cno, φ(cno;∅)), (q, title, φ(title;∅)),
+	//                 (q, prereq, φ(cno;∅))
+	cnoOfReg := logic.MustQuery([]logic.Var{vCno}, nil,
+		logic.Ex([]logic.Var{vTitle}, logic.R(pt.RegRel, vCno, vTitle)))
+	titleOfReg := logic.MustQuery([]logic.Var{vTitle}, nil,
+		logic.Ex([]logic.Var{vCno}, logic.R(pt.RegRel, vCno, vTitle)))
+	t.AddRule("q", "course",
+		pt.Item("q", "cno", cnoOfReg),
+		pt.Item("q", "title", titleOfReg),
+		pt.Item("q", "prereq", cnoOfReg),
+	)
+
+	// δ1(q, prereq) = (q, course, φ3(c,t;∅)) with
+	// φ3(c,t) = ∃c',d (Reg(c') ∧ prereq(c',c) ∧ course(c,t,d))
+	phi3 := logic.MustQuery([]logic.Var{vC, vT}, nil,
+		logic.Ex([]logic.Var{vC2, vD}, logic.Conj(
+			logic.R(pt.RegRel, vC2),
+			logic.R("prereq", vC2, vC),
+			logic.R("course", vC, vT, vD),
+		)))
+	t.AddRule("q", "prereq", pt.Item("q", "course", phi3))
+
+	// δ1(q, cno) = (q, text, Reg(c)); similarly for title.
+	textOfReg := logic.MustQuery([]logic.Var{vC}, nil, logic.R(pt.RegRel, vC))
+	t.AddRule("q", "cno", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "title", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "text")
+	return t
+}
+
+// Tau2 builds the transducer τ2 of Example 3.2 — the depth-three
+// prerequisite-closure view of Fig. 1(b), using the virtual tag l.
+func Tau2() *pt.Transducer {
+	t := pt.New("tau2", Schema(), "q0", "db")
+	t.DeclareTag("course", 2).
+		DeclareTag("prereq", 1).
+		DeclareTag("l", 1).
+		DeclareTag("cno", 1).
+		DeclareTag("title", 1).
+		DeclareTag("text", 1)
+	t.MarkVirtual("l")
+
+	t.AddRule("q0", "db", pt.Item("q", "course", phiCSCourses()))
+
+	cnoOfReg := logic.MustQuery([]logic.Var{vCno}, nil,
+		logic.Ex([]logic.Var{vTitle}, logic.R(pt.RegRel, vCno, vTitle)))
+	titleOfReg := logic.MustQuery([]logic.Var{vTitle}, nil,
+		logic.Ex([]logic.Var{vCno}, logic.R(pt.RegRel, vCno, vTitle)))
+	t.AddRule("q", "course",
+		pt.Item("q", "prereq", cnoOfReg),
+		pt.Item("q", "cno", cnoOfReg),
+		pt.Item("q", "title", titleOfReg),
+	)
+
+	// δ2(q, prereq) = (q, l, ϕ1(∅;c)) with
+	// ϕ1(c) = ∃c' (Reg(c') ∧ prereq(c',c))
+	phi1 := logic.MustQuery(nil, []logic.Var{vC},
+		logic.Ex([]logic.Var{vC2}, logic.Conj(
+			logic.R(pt.RegRel, vC2),
+			logic.R("prereq", vC2, vC),
+		)))
+	t.AddRule("q", "prereq", pt.Item("q", "l", phi1))
+
+	// ϕ'1(c) = Reg(c) ∨ ∃c' (Reg(c') ∧ prereq(c',c)) — one closure step.
+	phi1p := func(c logic.Var) logic.Formula {
+		return logic.Disj(
+			logic.R(pt.RegRel, c),
+			logic.Ex([]logic.Var{vC2}, logic.Conj(
+				logic.R(pt.RegRel, vC2),
+				logic.R("prereq", vC2, c),
+			)),
+		)
+	}
+	// ϕ2(c) = ϕ'1(c) ∧ ∀c3 (Reg(c3) ↔ ϕ'1(c3)) — emit cno's only at the
+	// fixpoint.
+	vC3 := logic.Var("c3")
+	iff := func(a, b logic.Formula) logic.Formula {
+		return logic.Conj(
+			logic.Disj(&logic.Not{F: a}, b),
+			logic.Disj(&logic.Not{F: b}, a),
+		)
+	}
+	phi2 := logic.Conj(
+		phi1p(vC),
+		logic.All([]logic.Var{vC3}, iff(logic.R(pt.RegRel, vC3), phi1pAt(vC3))),
+	)
+	t.AddRule("q", "l",
+		pt.Item("q", "l", logic.MustQuery(nil, []logic.Var{vC}, phi1p(vC))),
+		pt.Item("q", "cno", logic.MustQuery([]logic.Var{vC}, nil, phi2)),
+	)
+
+	textOfReg := logic.MustQuery([]logic.Var{vC}, nil, logic.R(pt.RegRel, vC))
+	t.AddRule("q", "cno", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "title", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "text")
+	return t
+}
+
+// phi1pAt instantiates ϕ'1 at the given variable with fresh bound names
+// to avoid capture inside the ∀ of ϕ2.
+func phi1pAt(c logic.Var) logic.Formula {
+	fresh := logic.Var("c4")
+	return logic.Disj(
+		logic.R(pt.RegRel, c),
+		logic.Ex([]logic.Var{fresh}, logic.Conj(
+			logic.R(pt.RegRel, fresh),
+			logic.R("prereq", fresh, c),
+		)),
+	)
+}
+
+// Tau3 builds the transducer for the view of Fig. 1(c): the depth-two
+// list of courses that do not have a course titled DB as an immediate
+// prerequisite (the FOR XML example of Fig. 2).
+func Tau3() *pt.Transducer {
+	t := pt.New("tau3", Schema(), "q0", "db")
+	t.DeclareTag("course", 2).
+		DeclareTag("cno", 1).
+		DeclareTag("title", 1).
+		DeclareTag("text", 1)
+
+	vT2 := logic.Var("t2")
+	vD2 := logic.Var("d2")
+	noDBPrereq := logic.Conj(
+		logic.Ex([]logic.Var{vDept}, logic.R("course", vCno, vTitle, vDept)),
+		&logic.Not{F: logic.Ex([]logic.Var{vC2, vT2, vD2}, logic.Conj(
+			logic.R("prereq", vCno, vC2),
+			logic.R("course", vC2, vT2, vD2),
+			logic.EqT(vT2, logic.Const("DB")),
+		))},
+	)
+	t.AddRule("q0", "db",
+		pt.Item("q", "course", logic.MustQuery([]logic.Var{vCno, vTitle}, nil, noDBPrereq)))
+
+	cnoOfReg := logic.MustQuery([]logic.Var{vCno}, nil,
+		logic.Ex([]logic.Var{vTitle}, logic.R(pt.RegRel, vCno, vTitle)))
+	titleOfReg := logic.MustQuery([]logic.Var{vTitle}, nil,
+		logic.Ex([]logic.Var{vCno}, logic.R(pt.RegRel, vCno, vTitle)))
+	t.AddRule("q", "course",
+		pt.Item("q", "cno", cnoOfReg),
+		pt.Item("q", "title", titleOfReg),
+	)
+	textOfReg := logic.MustQuery([]logic.Var{vC}, nil, logic.R(pt.RegRel, vC))
+	t.AddRule("q", "cno", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "title", pt.Item("q", "text", textOfReg))
+	t.AddRule("q", "text")
+	return t
+}

@@ -1,0 +1,455 @@
+// Package relation implements finite relations over the data domain,
+// relational schemas, and database instances — the source side of a
+// publishing transducer and the register contents of generated trees.
+//
+// Relations are sets (no duplicates) of fixed-arity tuples with
+// deterministic sorted iteration, which underpins the unique-output
+// guarantee of Proposition 1(1).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptx/internal/value"
+)
+
+// Relation is a finite set of tuples of a fixed arity.
+type Relation struct {
+	arity  int
+	tuples map[string]value.Tuple
+}
+
+// New returns an empty relation of the given arity.
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity")
+	}
+	return &Relation{arity: arity, tuples: make(map[string]value.Tuple)}
+}
+
+// FromTuples builds a relation of the given arity containing ts.
+func FromTuples(arity int, ts ...value.Tuple) *Relation {
+	r := New(arity)
+	for _, t := range ts {
+		r.Add(t)
+	}
+	return r
+}
+
+// FromRows builds a relation from rows of strings; all rows must share
+// one arity, which becomes the relation's arity. FromRows panics on
+// ragged input (it is intended for literals in tests and examples).
+func FromRows(rows ...[]string) *Relation {
+	if len(rows) == 0 {
+		panic("relation: FromRows needs at least one row; use New for empty relations")
+	}
+	r := New(len(rows[0]))
+	for _, row := range rows {
+		t := make(value.Tuple, len(row))
+		for i, s := range row {
+			t[i] = value.V(s)
+		}
+		r.Add(t)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Add inserts t, which must match the relation's arity.
+func (r *Relation) Add(t value.Tuple) {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: arity mismatch: tuple %v into arity-%d relation", t, r.arity))
+	}
+	r.tuples[t.Key()] = t.Clone()
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t value.Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Remove deletes t if present.
+func (r *Relation) Remove(t value.Tuple) {
+	delete(r.tuples, t.Key())
+}
+
+// Tuples returns all tuples in the canonical sorted order.
+func (r *Relation) Tuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	value.SortTuples(out)
+	return out
+}
+
+// Each calls f for every tuple in sorted order; it stops early if f
+// returns false.
+func (r *Relation) Each(f func(value.Tuple) bool) {
+	for _, t := range r.Tuples() {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// EachUnordered calls f for every tuple in arbitrary (map) order; use it
+// in order-insensitive hot paths such as joins and grouping.
+func (r *Relation) EachUnordered(f func(value.Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t.Clone()
+	}
+	return c
+}
+
+// Equal reports set equality of two relations of the same arity.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r is in o.
+func (r *Relation) SubsetOf(o *Relation) bool {
+	if r.arity != o.arity {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every tuple of o into r and reports whether r grew.
+func (r *Relation) UnionWith(o *Relation) bool {
+	if r.arity != o.arity {
+		panic("relation: union of different arities")
+	}
+	grew := false
+	for k, t := range o.tuples {
+		if _, ok := r.tuples[k]; !ok {
+			r.tuples[k] = t.Clone()
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Union returns a fresh relation r ∪ o.
+func Union(r, o *Relation) *Relation {
+	u := r.Clone()
+	u.UnionWith(o)
+	return u
+}
+
+// Intersect returns a fresh relation r ∩ o.
+func Intersect(r, o *Relation) *Relation {
+	if r.arity != o.arity {
+		panic("relation: intersection of different arities")
+	}
+	out := New(r.arity)
+	for k, t := range r.tuples {
+		if _, ok := o.tuples[k]; ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out
+}
+
+// Difference returns a fresh relation r \ o.
+func Difference(r, o *Relation) *Relation {
+	if r.arity != o.arity {
+		panic("relation: difference of different arities")
+	}
+	out := New(r.arity)
+	for k, t := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out
+}
+
+// Product returns the Cartesian product r × o.
+func Product(r, o *Relation) *Relation {
+	out := New(r.arity + o.arity)
+	for _, a := range r.tuples {
+		for _, b := range o.tuples {
+			out.Add(value.Concat(a, b))
+		}
+	}
+	return out
+}
+
+// Project returns π_cols(r), keeping the listed column indices in order.
+func (r *Relation) Project(cols ...int) *Relation {
+	out := New(len(cols))
+	for _, t := range r.tuples {
+		p := make(value.Tuple, len(cols))
+		for i, c := range cols {
+			if c < 0 || c >= r.arity {
+				panic(fmt.Sprintf("relation: projection column %d out of range for arity %d", c, r.arity))
+			}
+			p[i] = t[c]
+		}
+		out.Add(p)
+	}
+	return out
+}
+
+// Select returns σ_pred(r) for an arbitrary tuple predicate.
+func (r *Relation) Select(pred func(value.Tuple) bool) *Relation {
+	out := New(r.arity)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// SelectEqCols returns the tuples whose columns i and j agree.
+func (r *Relation) SelectEqCols(i, j int) *Relation {
+	return r.Select(func(t value.Tuple) bool { return t[i] == t[j] })
+}
+
+// SelectEqConst returns the tuples whose column i equals v.
+func (r *Relation) SelectEqConst(i int, v value.V) *Relation {
+	return r.Select(func(t value.Tuple) bool { return t[i] == v })
+}
+
+// ActiveDomain returns the sorted set of values occurring in r.
+func (r *Relation) ActiveDomain() []value.V {
+	seen := make(map[value.V]bool)
+	for _, t := range r.tuples {
+		for _, v := range t {
+			seen[v] = true
+		}
+	}
+	out := make([]value.V, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	value.SortValues(out)
+	return out
+}
+
+// String renders the relation as {(..),(..)} in sorted order.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Schema maps relation names to arities.
+type Schema struct {
+	arities map[string]int
+	names   []string
+}
+
+// NewSchema builds a schema from name→arity pairs.
+func NewSchema() *Schema {
+	return &Schema{arities: make(map[string]int)}
+}
+
+// Declare records a relation name with its arity; redeclaring with a
+// different arity is an error.
+func (s *Schema) Declare(name string, arity int) error {
+	if a, ok := s.arities[name]; ok {
+		if a != arity {
+			return fmt.Errorf("schema: %s redeclared with arity %d (was %d)", name, arity, a)
+		}
+		return nil
+	}
+	s.arities[name] = arity
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	return nil
+}
+
+// MustDeclare is Declare that panics on conflict; for literals.
+func (s *Schema) MustDeclare(name string, arity int) *Schema {
+	if err := s.Declare(name, arity); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the declared arity of name.
+func (s *Schema) Arity(name string) (int, bool) {
+	a, ok := s.arities[name]
+	return a, ok
+}
+
+// Names returns the declared relation names in sorted order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Instance is a database instance: one relation per schema name.
+type Instance struct {
+	schema *Schema
+	rels   map[string]*Relation
+}
+
+// NewInstance returns an empty instance of schema s (every relation
+// empty at its declared arity).
+func NewInstance(s *Schema) *Instance {
+	inst := &Instance{schema: s, rels: make(map[string]*Relation)}
+	for _, n := range s.Names() {
+		a, _ := s.Arity(n)
+		inst.rels[n] = New(a)
+	}
+	return inst
+}
+
+// Schema returns the instance's schema.
+func (i *Instance) Schema() *Schema { return i.schema }
+
+// Rel returns the relation for name; it panics on undeclared names so
+// that typos surface immediately.
+func (i *Instance) Rel(name string) *Relation {
+	r, ok := i.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("instance: relation %q not in schema", name))
+	}
+	return r
+}
+
+// Has reports whether name is a relation of this instance.
+func (i *Instance) Has(name string) bool {
+	_, ok := i.rels[name]
+	return ok
+}
+
+// SetRel replaces the relation stored under name; the arity must match
+// the schema.
+func (i *Instance) SetRel(name string, r *Relation) {
+	a, ok := i.schema.Arity(name)
+	if !ok {
+		panic(fmt.Sprintf("instance: relation %q not in schema", name))
+	}
+	if r.Arity() != a {
+		panic(fmt.Sprintf("instance: relation %q has arity %d, schema says %d", name, r.Arity(), a))
+	}
+	i.rels[name] = r
+}
+
+// Add inserts a tuple given as strings into the named relation.
+func (i *Instance) Add(name string, vals ...string) {
+	t := make(value.Tuple, len(vals))
+	for k, s := range vals {
+		t[k] = value.V(s)
+	}
+	i.Rel(name).Add(t)
+}
+
+// Clone returns a deep copy sharing the schema.
+func (i *Instance) Clone() *Instance {
+	c := &Instance{schema: i.schema, rels: make(map[string]*Relation, len(i.rels))}
+	for n, r := range i.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}
+
+// Size returns the total number of tuples across all relations.
+func (i *Instance) Size() int {
+	n := 0
+	for _, r := range i.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns the sorted set of values occurring anywhere in
+// the instance.
+func (i *Instance) ActiveDomain() []value.V {
+	seen := make(map[value.V]bool)
+	for _, r := range i.rels {
+		for _, v := range r.ActiveDomain() {
+			seen[v] = true
+		}
+	}
+	out := make([]value.V, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	value.SortValues(out)
+	return out
+}
+
+// Equal reports whether two instances of the same schema hold the same
+// relations.
+func (i *Instance) Equal(o *Instance) bool {
+	if len(i.rels) != len(o.rels) {
+		return false
+	}
+	for n, r := range i.rels {
+		or, ok := o.rels[n]
+		if !ok || !r.Equal(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every relation of i is contained in the
+// corresponding relation of o (the ⊆ used by monotonicity arguments).
+func (i *Instance) SubsetOf(o *Instance) bool {
+	for n, r := range i.rels {
+		or, ok := o.rels[n]
+		if !ok || !r.SubsetOf(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the instance deterministically for diagnostics.
+func (i *Instance) String() string {
+	names := make([]string, 0, len(i.rels))
+	for n := range i.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s%s\n", n, i.rels[n])
+	}
+	return sb.String()
+}

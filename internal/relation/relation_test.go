@@ -1,0 +1,221 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptx/internal/value"
+)
+
+func rel(rows ...[]string) *Relation { return FromRows(rows...) }
+
+func TestAddDeduplicates(t *testing.T) {
+	r := New(2)
+	r.Add(value.Tuple{"a", "b"})
+	r.Add(value.Tuple{"a", "b"})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Add(value.Tuple{"a"})
+}
+
+func TestTuplesSortedDeterministic(t *testing.T) {
+	r := New(1)
+	for _, v := range []string{"10", "2", "1", "x", "a"} {
+		r.Add(value.Tuple{value.V(v)})
+	}
+	ts := r.Tuples()
+	want := []string{"1", "2", "10", "a", "x"}
+	for i, w := range want {
+		if string(ts[i][0]) != w {
+			t.Fatalf("position %d = %s, want %s", i, ts[i][0], w)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := rel([]string{"1"}, []string{"2"})
+	b := rel([]string{"2"}, []string{"3"})
+	if u := Union(a, b); u.Len() != 3 {
+		t.Errorf("union: %s", u)
+	}
+	if i := Intersect(a, b); i.Len() != 1 || !i.Contains(value.Tuple{"2"}) {
+		t.Errorf("intersect: %s", i)
+	}
+	if d := Difference(a, b); d.Len() != 1 || !d.Contains(value.Tuple{"1"}) {
+		t.Errorf("difference: %s", d)
+	}
+	if p := Product(a, b); p.Len() != 4 || p.Arity() != 2 {
+		t.Errorf("product: %s", p)
+	}
+}
+
+func TestProjectSelect(t *testing.T) {
+	r := rel([]string{"1", "a"}, []string{"2", "a"}, []string{"2", "b"})
+	if p := r.Project(1); p.Len() != 2 {
+		t.Errorf("project dedup: %s", p)
+	}
+	if p := r.Project(1, 0); !p.Contains(value.Tuple{"a", "1"}) {
+		t.Errorf("project reorder: %s", p)
+	}
+	if s := r.SelectEqConst(0, "2"); s.Len() != 2 {
+		t.Errorf("select const: %s", s)
+	}
+	rr := rel([]string{"1", "1"}, []string{"1", "2"})
+	if s := rr.SelectEqCols(0, 1); s.Len() != 1 {
+		t.Errorf("select eq cols: %s", s)
+	}
+}
+
+func TestUnionWithReportsGrowth(t *testing.T) {
+	a := rel([]string{"1"})
+	b := rel([]string{"1"})
+	if a.UnionWith(b) {
+		t.Error("no growth expected")
+	}
+	c := rel([]string{"2"})
+	if !a.UnionWith(c) {
+		t.Error("growth expected")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := rel([]string{"1"}, []string{"2"})
+	b := rel([]string{"1"}, []string{"2"}, []string{"3"})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := rel([]string{"1"})
+	b := a.Clone()
+	b.Add(value.Tuple{"2"})
+	if a.Len() != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestActiveDomainSorted(t *testing.T) {
+	r := rel([]string{"10", "b"}, []string{"2", "a"})
+	ad := r.ActiveDomain()
+	want := []value.V{"2", "10", "a", "b"}
+	if len(ad) != len(want) {
+		t.Fatalf("adom = %v", ad)
+	}
+	for i := range want {
+		if ad[i] != want[i] {
+			t.Fatalf("adom = %v, want %v", ad, want)
+		}
+	}
+}
+
+func TestSchemaRedeclare(t *testing.T) {
+	s := NewSchema()
+	if err := s.Declare("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Declare("R", 2); err != nil {
+		t.Fatal("same-arity redeclare should be fine:", err)
+	}
+	if err := s.Declare("R", 3); err == nil {
+		t.Fatal("conflicting redeclare should error")
+	}
+}
+
+func TestInstanceBasics(t *testing.T) {
+	s := NewSchema().MustDeclare("E", 2)
+	i := NewInstance(s)
+	i.Add("E", "a", "b")
+	i.Add("E", "b", "c")
+	if i.Size() != 2 {
+		t.Fatalf("Size = %d", i.Size())
+	}
+	j := i.Clone()
+	j.Add("E", "c", "d")
+	if i.Size() != 2 {
+		t.Fatal("clone shares storage")
+	}
+	if !i.SubsetOf(j) || j.SubsetOf(i) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if i.Equal(j) || !i.Equal(i.Clone()) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestInstanceUnknownRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInstance(NewSchema()).Rel("missing")
+}
+
+// Property: union is commutative, associative and idempotent on random
+// relations.
+func TestUnionPropertiesQuick(t *testing.T) {
+	gen := func(seed int64) *Relation {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(2)
+		for k := 0; k < rng.Intn(10); k++ {
+			r.Add(value.Tuple{value.Of(rng.Intn(5)), value.Of(rng.Intn(5))})
+		}
+		return r
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) {
+			return false
+		}
+		return Union(a, a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: difference and intersection relate as A\(A\B) = A∩B.
+func TestDiffIntersectProperty(t *testing.T) {
+	gen := func(seed int64) *Relation {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(1)
+		for k := 0; k < rng.Intn(12); k++ {
+			r.Add(value.Tuple{value.Of(rng.Intn(6))})
+		}
+		return r
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		return Difference(a, Difference(a, b)).Equal(Intersect(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	r := rel([]string{"2"}, []string{"1"})
+	if r.String() != "{(1),(2)}" {
+		t.Fatalf("String = %s", r.String())
+	}
+}

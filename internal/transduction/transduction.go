@@ -1,0 +1,363 @@
+// Package transduction implements logical L-transductions (Section 6.3
+// of the paper): mappings from relational structures to trees defined by
+// a tuple of formulas (φdom, φroot, φe, φ<, φfc, φns, (φa)a∈Σ) over
+// width-k tuples of domain elements, plus the two translations of
+// Theorem 4:
+//
+//   - ToTransducer (Thm 4(1)): every L-transduction is definable in
+//     PT(L, tuple, virtual);
+//   - FromTransducer (Thm 4(2,4)): every nonrecursive PT(L, tuple, O)
+//     transducer is a fixed-depth transduction (over unordered trees).
+package transduction
+
+import (
+	"fmt"
+	"sort"
+
+	"ptx/internal/eval"
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+	"ptx/internal/xmltree"
+)
+
+// X, Y and Z name the conventional variable blocks of a transduction of
+// width k: φroot and φa are over X(0..k-1); φe, φfc and φns over X;Y;
+// φ< over X;Y;Z.
+func X(i int) logic.Var { return logic.Var(fmt.Sprintf("tx%d", i)) }
+func Y(i int) logic.Var { return logic.Var(fmt.Sprintf("ty%d", i)) }
+func Z(i int) logic.Var { return logic.Var(fmt.Sprintf("tz%d", i)) }
+
+func varBlock(f func(int) logic.Var, k int) []logic.Var {
+	out := make([]logic.Var, k)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// Transduction is an L-transduction of width Width. Root and Labels are
+// mandatory; ordering uses Less when present and falls back to the
+// canonical tuple order (the "unordered" reading of Theorem 4(4)).
+// FirstChild/NextSibling are the φfc/φns components required by
+// ToTransducer; DeriveNavigation fills them from Edge and Less in FO.
+type Transduction struct {
+	Width       int
+	Root        logic.Formula // φroot over X
+	Edge        logic.Formula // φe over X;Y
+	Less        logic.Formula // φ< over X;Y;Z (may be nil: tuple order)
+	FirstChild  logic.Formula // φfc over X;Y (may be nil until derived)
+	NextSibling logic.Formula // φns over X;Y (may be nil until derived)
+	Labels      map[string]logic.Formula
+	RootTag     string // tag of the synthetic tree root added on top
+}
+
+// Validate checks arities of the variable blocks used by each formula.
+func (t *Transduction) Validate() error {
+	if t.Width <= 0 {
+		return fmt.Errorf("transduction: nonpositive width")
+	}
+	if t.Root == nil || t.Edge == nil || len(t.Labels) == 0 {
+		return fmt.Errorf("transduction: Root, Edge and Labels are mandatory")
+	}
+	allowed := map[logic.Var]bool{}
+	for i := 0; i < t.Width; i++ {
+		allowed[X(i)] = true
+		allowed[Y(i)] = true
+		allowed[Z(i)] = true
+	}
+	check := func(name string, f logic.Formula) error {
+		if f == nil {
+			return nil
+		}
+		for _, v := range logic.FreeVars(f) {
+			if !allowed[v] {
+				return fmt.Errorf("transduction: %s uses unexpected free variable %s", name, v)
+			}
+		}
+		return nil
+	}
+	for name, f := range map[string]logic.Formula{
+		"Root": t.Root, "Edge": t.Edge, "Less": t.Less,
+		"FirstChild": t.FirstChild, "NextSibling": t.NextSibling,
+	} {
+		if err := check(name, f); err != nil {
+			return err
+		}
+	}
+	for l, f := range t.Labels {
+		if err := check("Label "+l, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveNavigation fills FirstChild and NextSibling from Edge and Less
+// using the FO definitions of the paper:
+//
+//	φfc(x̄,ȳ) = φe(x̄,ȳ) ∧ ¬∃z̄ (φe(x̄,z̄) ∧ φ<(x̄,z̄,ȳ))
+//	φns(ȳ,z̄) = ∃x̄ (φe(x̄,ȳ) ∧ φe(x̄,z̄) ∧ φ<(x̄,ȳ,z̄)
+//	            ∧ ¬∃w̄(φe(x̄,w̄) ∧ φ<(x̄,ȳ,w̄) ∧ φ<(x̄,w̄,z̄)))
+//
+// It requires Less (an explicit sibling order).
+func (t *Transduction) DeriveNavigation() error {
+	if t.Less == nil {
+		return fmt.Errorf("transduction: DeriveNavigation requires Less")
+	}
+	k := t.Width
+	xs, ys, zs := varBlock(X, k), varBlock(Y, k), varBlock(Z, k)
+
+	// φfc over X;Y.
+	lessXZtoY := renameBlock(t.Less, k, map[string]func(int) logic.Var{"y": Z, "z": Y})
+	t.FirstChild = logic.Conj(
+		t.Edge,
+		&logic.Not{F: logic.Ex(zs, logic.Conj(
+			renameBlock(t.Edge, k, map[string]func(int) logic.Var{"y": Z}),
+			lessXZtoY,
+		))},
+	)
+
+	// φns over X(parent-free form): the paper's φns(ȳ,z̄) has free blocks
+	// ȳ,z̄; we expose it over X;Y meaning "Y is the next sibling of X".
+	// Build it with X as the elder sibling and Y the next one; the parent
+	// block is existentially quantified as Z, and the "nothing between"
+	// witness uses a fourth fresh block.
+	ws := make([]logic.Var, k)
+	for i := range ws {
+		ws[i] = logic.Var(fmt.Sprintf("tw%d", i))
+	}
+	edgePX := renameBlock(t.Edge, k, map[string]func(int) logic.Var{"x": Z, "y": X})
+	edgePY := renameBlock(t.Edge, k, map[string]func(int) logic.Var{"x": Z}) // Z;Y
+	lessPXY := renameBlock(t.Less, k, map[string]func(int) logic.Var{"x": Z, "y": X, "z": Y})
+	edgePW := renameBlock(t.Edge, k, map[string]func(int) logic.Var{"x": Z, "y": wBlock(ws)})
+	lessPXW := renameBlock(t.Less, k, map[string]func(int) logic.Var{"x": Z, "y": X, "z": wBlock(ws)})
+	lessPWY := renameBlock(t.Less, k, map[string]func(int) logic.Var{"x": Z, "y": wBlock(ws), "z": Y})
+	t.NextSibling = logic.Ex(zs, logic.Conj(
+		edgePX, edgePY, lessPXY,
+		&logic.Not{F: logic.Ex(ws, logic.Conj(edgePW, lessPXW, lessPWY))},
+	))
+	_ = xs
+	_ = ys
+	return nil
+}
+
+func wBlock(ws []logic.Var) func(int) logic.Var {
+	return func(i int) logic.Var { return ws[i] }
+}
+
+// renameBlock rewrites the conventional variable blocks (width k) of a
+// formula: keys "x", "y", "z" map the X/Y/Z blocks to new block
+// generators.
+func renameBlock(f logic.Formula, k int, m map[string]func(int) logic.Var) logic.Formula {
+	sub := map[logic.Var]logic.Term{}
+	for i := 0; i < k; i++ {
+		if g, ok := m["x"]; ok {
+			sub[X(i)] = g(i)
+		}
+		if g, ok := m["y"]; ok {
+			sub[Y(i)] = g(i)
+		}
+		if g, ok := m["z"]; ok {
+			sub[Z(i)] = g(i)
+		}
+	}
+	return logic.Substitute(f, sub)
+}
+
+// Apply evaluates the transduction on inst and unfolds the resulting
+// dag into a tree under a synthetic root (tag RootTag, default "r").
+// Only nodes reachable from the φroot node are materialized; maxNodes
+// guards against runaway unfoldings (0 = 1,000,000).
+func (t *Transduction) Apply(inst *relation.Instance, maxNodes int) (*xmltree.Tree, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1_000_000
+	}
+	env := eval.NewEnv(inst)
+
+	rootTuples, err := evalBlock(t.Root, env, varBlock(X, t.Width))
+	if err != nil {
+		return nil, err
+	}
+	if len(rootTuples) != 1 {
+		return nil, fmt.Errorf("transduction: φroot defines %d nodes, want exactly 1", len(rootTuples))
+	}
+
+	// Edge relation as adjacency over tuple keys.
+	edgeBinds, err := eval.Eval(t.Edge, env)
+	if err != nil {
+		return nil, err
+	}
+	adj := map[string][]value.Tuple{}
+	xIdx, yIdx := blockIndices(edgeBinds.Vars, X, t.Width), blockIndices(edgeBinds.Vars, Y, t.Width)
+	edgeBinds.Rel.Each(func(tp value.Tuple) bool {
+		from := pick(tp, xIdx)
+		to := pick(tp, yIdx)
+		adj[from.Key()] = append(adj[from.Key()], to)
+		return true
+	})
+
+	// Label lookup per node.
+	labelOf := func(tp value.Tuple) (string, error) {
+		found := ""
+		names := make([]string, 0, len(t.Labels))
+		for n := range t.Labels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sub := map[logic.Var]logic.Term{}
+			for i := 0; i < t.Width; i++ {
+				sub[X(i)] = logic.Const(tp[i])
+			}
+			ok, err := eval.EvalSentence(logic.Substitute(t.Labels[name], sub), env)
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				if found != "" {
+					return "", fmt.Errorf("transduction: node %v has labels %s and %s", tp, found, name)
+				}
+				found = name
+			}
+		}
+		if found == "" {
+			return "", fmt.Errorf("transduction: node %v has no label", tp)
+		}
+		return found, nil
+	}
+
+	// Child ordering: Less when present, else canonical tuple order.
+	orderChildren := func(parent value.Tuple, kids []value.Tuple) ([]value.Tuple, error) {
+		if t.Less == nil {
+			value.SortTuples(kids)
+			return kids, nil
+		}
+		var orderErr error
+		less := func(a, b value.Tuple) bool {
+			sub := map[logic.Var]logic.Term{}
+			for i := 0; i < t.Width; i++ {
+				sub[X(i)] = logic.Const(parent[i])
+				sub[Y(i)] = logic.Const(a[i])
+				sub[Z(i)] = logic.Const(b[i])
+			}
+			ok, err := eval.EvalSentence(logic.Substitute(t.Less, sub), env)
+			if err != nil {
+				orderErr = err
+			}
+			return ok
+		}
+		sort.SliceStable(kids, func(i, j int) bool { return less(kids[i], kids[j]) })
+		return kids, orderErr
+	}
+
+	count := 0
+	var build func(tp value.Tuple, onPath map[string]bool) (*xmltree.Node, error)
+	build = func(tp value.Tuple, onPath map[string]bool) (*xmltree.Node, error) {
+		count++
+		if count > maxNodes {
+			return nil, fmt.Errorf("transduction: unfolding exceeded %d nodes", maxNodes)
+		}
+		lbl, err := labelOf(tp)
+		if err != nil {
+			return nil, err
+		}
+		n := &xmltree.Node{Tag: lbl}
+		k := tp.Key()
+		if onPath[k] {
+			return nil, fmt.Errorf("transduction: φe has a cycle through %v", tp)
+		}
+		onPath[k] = true
+		kids := append([]value.Tuple{}, adj[k]...)
+		kids, err = orderChildren(tp, kids)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range kids {
+			cn, err := build(c, onPath)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, cn)
+		}
+		delete(onPath, k)
+		return n, nil
+	}
+
+	rootTag := t.RootTag
+	if rootTag == "" {
+		rootTag = "r"
+	}
+	top := &xmltree.Node{Tag: rootTag}
+	child, err := build(rootTuples[0], map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	top.Children = []*xmltree.Node{child}
+	return &xmltree.Tree{Root: top}, nil
+}
+
+// evalBlock evaluates a formula over a single variable block and
+// returns the satisfying tuples in block order.
+func evalBlock(f logic.Formula, env *eval.Env, block []logic.Var) ([]value.Tuple, error) {
+	b, err := eval.Eval(f, env)
+	if err != nil {
+		return nil, err
+	}
+	idx := blockIndices(b.Vars, func(i int) logic.Var { return block[i] }, len(block))
+	var out []value.Tuple
+	b.Rel.Each(func(tp value.Tuple) bool {
+		out = append(out, pick(tp, idx))
+		return true
+	})
+	value.SortTuples(out)
+	return dedupTuples(out), nil
+}
+
+func dedupTuples(ts []value.Tuple) []value.Tuple {
+	var out []value.Tuple
+	seen := map[string]bool{}
+	for _, t := range ts {
+		if !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// blockIndices maps block positions to columns of a bindings row;
+// missing variables panic (a transduction formula must use its blocks).
+func blockIndices(vars []logic.Var, block func(int) logic.Var, k int) []int {
+	pos := map[logic.Var]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		p, ok := pos[block(i)]
+		if !ok {
+			out[i] = -1
+			continue
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// pick extracts the block columns; a missing column (unconstrained
+// variable) is filled with "0".
+func pick(tp value.Tuple, idx []int) value.Tuple {
+	out := make(value.Tuple, len(idx))
+	for i, p := range idx {
+		if p < 0 {
+			out[i] = "0"
+			continue
+		}
+		out[i] = tp[p]
+	}
+	return out
+}

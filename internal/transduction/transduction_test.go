@@ -1,0 +1,278 @@
+package transduction
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// treeSchema: a node set with edges, an explicit sibling order, a root
+// marker and two label relations.
+func treeSchema() *relation.Schema {
+	s := relation.NewSchema()
+	s.MustDeclare("E", 2)
+	s.MustDeclare("Rt", 1)
+	s.MustDeclare("Ord", 2)
+	s.MustDeclare("LabA", 1)
+	s.MustDeclare("LabB", 1)
+	return s
+}
+
+// sampleTransduction is a width-1 FO-transduction reading a tree out of
+// the instance: root from Rt, edges from E, sibling order from Ord,
+// labels from LabA/LabB.
+func sampleTransduction() *Transduction {
+	return &Transduction{
+		Width: 1,
+		Root:  logic.R("Rt", X(0)),
+		Edge:  logic.R("E", X(0), Y(0)),
+		Less:  logic.R("Ord", Y(0), Z(0)),
+		Labels: map[string]logic.Formula{
+			"a": logic.R("LabA", X(0)),
+			"b": logic.R("LabB", X(0)),
+		},
+	}
+}
+
+// sampleInstance: 1 → {2,3} (ordered 2 before 3), 2 → 4;
+// labels: a = {1,2,4}, b = {3}.
+func sampleInstance() *relation.Instance {
+	inst := relation.NewInstance(treeSchema())
+	inst.Add("Rt", "1")
+	inst.Add("E", "1", "2")
+	inst.Add("E", "1", "3")
+	inst.Add("E", "2", "4")
+	for _, p := range [][2]string{{"1", "2"}, {"1", "3"}, {"1", "4"}, {"2", "3"}, {"2", "4"}, {"3", "4"}} {
+		inst.Add("Ord", p[0], p[1])
+	}
+	for _, v := range []string{"1", "2", "4"} {
+		inst.Add("LabA", v)
+	}
+	inst.Add("LabB", "3")
+	return inst
+}
+
+func TestApply(t *testing.T) {
+	tr := sampleTransduction()
+	out, err := tr.Apply(sampleInstance(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "r(a(a(a),b))"
+	if out.Canonical() != want {
+		t.Fatalf("Apply = %s, want %s", out.Canonical(), want)
+	}
+}
+
+func TestApplySiblingOrderFromLess(t *testing.T) {
+	// Reverse the order relation: 3 before 2.
+	tr := sampleTransduction()
+	inst := sampleInstance()
+	inst.SetRel("Ord", relation.FromRows(
+		[]string{"3", "2"}, []string{"3", "4"}, []string{"4", "2"},
+		[]string{"3", "1"}, []string{"4", "1"}, []string{"2", "1"},
+	))
+	out, err := tr.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "r(a(b,a(a)))"
+	if out.Canonical() != want {
+		t.Fatalf("Apply = %s, want %s", out.Canonical(), want)
+	}
+}
+
+func TestApplyRejectsAmbiguousLabels(t *testing.T) {
+	tr := sampleTransduction()
+	inst := sampleInstance()
+	inst.Add("LabB", "1") // node 1 now has two labels
+	if _, err := tr.Apply(inst, 0); err == nil {
+		t.Fatal("ambiguous labels should be rejected")
+	}
+}
+
+func TestApplyRejectsCycles(t *testing.T) {
+	tr := sampleTransduction()
+	inst := sampleInstance()
+	inst.Add("E", "4", "1")
+	if _, err := tr.Apply(inst, 0); err == nil {
+		t.Fatal("cyclic φe should be rejected")
+	}
+}
+
+func TestApplyDagUnfoldsShared(t *testing.T) {
+	// A diamond: 1 → 2, 1 → 3, 2 → 4, 3 → 4: node 4 unfolds twice.
+	tr := sampleTransduction()
+	inst := relation.NewInstance(treeSchema())
+	inst.Add("Rt", "1")
+	inst.Add("E", "1", "2")
+	inst.Add("E", "1", "3")
+	inst.Add("E", "2", "4")
+	inst.Add("E", "3", "4")
+	for _, p := range [][2]string{{"1", "2"}, {"1", "3"}, {"1", "4"}, {"2", "3"}, {"2", "4"}, {"3", "4"}} {
+		inst.Add("Ord", p[0], p[1])
+	}
+	for _, v := range []string{"1", "2", "3", "4"} {
+		inst.Add("LabA", v)
+	}
+	out, err := tr.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.CountTag("a"); got != 5 { // 1,2,3 + two copies of 4
+		t.Fatalf("diamond unfolding has %d a-nodes, want 5: %s", got, out.Canonical())
+	}
+}
+
+func TestDeriveNavigationAndToTransducer(t *testing.T) {
+	// Theorem 4(1): the transduction and its transducer agree exactly
+	// (ordering included, via φfc/φns).
+	td := sampleTransduction()
+	if err := td.DeriveNavigation(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ToTransducer(td, treeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tr.Classify()
+	if cl.Store != pt.TupleStore || cl.Output != pt.VirtualOutput {
+		t.Fatalf("Thm 4(1) class: got %s", cl)
+	}
+	inst := sampleInstance()
+	fromT, err := td.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTr, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromT.Equal(fromTr) {
+		t.Fatalf("Thm 4(1) round trip:\ntransduction: %s\ntransducer:   %s",
+			fromT.Canonical(), fromTr.Canonical())
+	}
+}
+
+func TestToTransducerReversedOrder(t *testing.T) {
+	td := sampleTransduction()
+	if err := td.DeriveNavigation(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ToTransducer(td, treeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := sampleInstance()
+	inst.SetRel("Ord", relation.FromRows(
+		[]string{"3", "2"}, []string{"3", "4"}, []string{"4", "2"},
+		[]string{"3", "1"}, []string{"4", "1"}, []string{"2", "1"},
+	))
+	fromT, err := td.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTr, err := tr.Output(inst, pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromT.Equal(fromTr) {
+		t.Fatalf("reversed order round trip:\ntransduction: %s\ntransducer:   %s",
+			fromT.Canonical(), fromTr.Canonical())
+	}
+}
+
+// twoLevelTransducer is a nonrecursive PT(CQ, tuple, normal) view over a
+// graph (a-children for edges, b-grandchildren for successors).
+func twoLevelTransducer() *pt.Transducer {
+	s := relation.NewSchema().MustDeclare("G", 2)
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	tr := pt.New("2lvl", s, "q0", "r")
+	tr.DeclareTag("a", 2).DeclareTag("b", 1)
+	tr.AddRule("q0", "r", pt.Item("q", "a",
+		logic.MustQuery([]logic.Var{x, y}, nil, logic.R("G", x, y))))
+	step := logic.Ex([]logic.Var{x, y}, logic.Conj(logic.R(pt.RegRel, x, y), logic.R("G", y, z)))
+	tr.AddRule("q", "a", pt.Item("qb", "b", logic.MustQuery([]logic.Var{z}, nil, step)))
+	tr.AddRule("qb", "b")
+	return tr
+}
+
+func TestFromTransducerRoundTrip(t *testing.T) {
+	tr := twoLevelTransducer()
+	td, err := FromTransducer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := relation.NewInstance(relation.NewSchema().MustDeclare("G", 2))
+	inst.Add("G", "1", "2")
+	inst.Add("G", "2", "3")
+	inst.Add("G", "2", "4")
+
+	fromTr, err := tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := td.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied.Root.Children) != 1 {
+		t.Fatalf("expected one dag root under the synthetic root")
+	}
+	got := (&xmltree.Tree{Root: applied.Root.Children[0]}).SortedCanonical()
+	want := fromTr.SortedCanonical()
+	if got != want {
+		t.Fatalf("Thm 4(2,4) round trip (unordered):\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestFromTransducerVirtualCompression(t *testing.T) {
+	// A virtual hop between root and b must be compressed into a single
+	// φe edge.
+	s := relation.NewSchema().MustDeclare("R1", 1)
+	x := logic.Var("x")
+	tr := pt.New("virt", s, "q0", "r")
+	tr.DeclareTag("v", 1).DeclareTag("b", 1)
+	tr.MarkVirtual("v")
+	tr.AddRule("q0", "r", pt.Item("qv", "v",
+		logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	tr.AddRule("qv", "v", pt.Item("qb", "b",
+		logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	tr.AddRule("qb", "b")
+
+	td, err := FromTransducer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := relation.NewInstance(s)
+	inst.Add("R1", "a")
+	inst.Add("R1", "k")
+	fromTr, err := tr.Output(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := td.Apply(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := (&xmltree.Tree{Root: applied.Root.Children[0]}).SortedCanonical()
+	if got != fromTr.SortedCanonical() {
+		t.Fatalf("virtual compression round trip:\n got  %s\n want %s", got, fromTr.SortedCanonical())
+	}
+}
+
+func TestFromTransducerRejects(t *testing.T) {
+	// Recursive transducers are rejected.
+	s := relation.NewSchema().MustDeclare("R1", 1)
+	x := logic.Var("x")
+	rec := pt.New("rec", s, "q0", "r")
+	rec.DeclareTag("a", 1)
+	rec.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	rec.AddRule("q", "a", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R(pt.RegRel, x))))
+	if _, err := FromTransducer(rec); err == nil {
+		t.Error("recursive transducer must be rejected")
+	}
+}

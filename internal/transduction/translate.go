@@ -1,0 +1,303 @@
+package transduction
+
+import (
+	"fmt"
+	"sort"
+
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// ToTransducer implements Theorem 4(1): every L-transduction is
+// definable in PT(L, tuple, virtual). The construction follows the
+// proof: the start rule emits the φroot node with its label; each
+// emitted node spawns two virtual v-children holding its first child
+// and its second child; a q1-v node emits its register node; a q2-v
+// node emits its register node and chases the next sibling.
+//
+// FirstChild and NextSibling must be present (call DeriveNavigation for
+// FO transductions with an explicit Less).
+func ToTransducer(t *Transduction, schema *relation.Schema) (*pt.Transducer, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.FirstChild == nil || t.NextSibling == nil {
+		return nil, fmt.Errorf("transduction: ToTransducer needs FirstChild/NextSibling (DeriveNavigation)")
+	}
+	k := t.Width
+	rootTag := t.RootTag
+	if rootTag == "" {
+		rootTag = "r"
+	}
+
+	tr := pt.New("transduction", schema, "q0", rootTag)
+	tr.DeclareTag("v", k)
+	tr.MarkVirtual("v")
+
+	labels := make([]string, 0, len(t.Labels))
+	for l := range t.Labels {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		tr.DeclareTag(l, k)
+	}
+
+	xs := varBlock(X, k)
+
+	// emitItems: one item per label, selecting the register node when it
+	// carries that label. guard is conjoined (Reg(x̄) for inner rules,
+	// φroot for the start rule).
+	emitItems := func(state string, guard logic.Formula) []pt.RHS {
+		var items []pt.RHS
+		for _, l := range labels {
+			items = append(items, pt.Item(state, l,
+				logic.MustQuery(xs, nil, logic.Conj(guard, t.Labels[l]))))
+		}
+		return items
+	}
+
+	regAtom := &logic.Atom{Rel: pt.RegRel, Args: logic.TermVars(xs)}
+
+	// Start rule: the root node with its label.
+	tr.AddRule("q0", rootTag, emitItems("q", t.Root)...)
+
+	// (q, a): spawn first child and second child as virtual nodes.
+	ps := make([]logic.Var, k) // parent block
+	ss := make([]logic.Var, k) // intermediate sibling block
+	for i := 0; i < k; i++ {
+		ps[i] = logic.Var(fmt.Sprintf("tp%d", i))
+		ss[i] = logic.Var(fmt.Sprintf("ts%d", i))
+	}
+	pBlock := func(i int) logic.Var { return ps[i] }
+	sBlock := func(i int) logic.Var { return ss[i] }
+
+	// first child of the register node: ∃p̄ Reg(p̄) ∧ φfc(p̄, x̄).
+	fcOfReg := logic.Ex(ps, logic.Conj(
+		&logic.Atom{Rel: pt.RegRel, Args: logic.TermVars(ps)},
+		renameBlock(t.FirstChild, k, map[string]func(int) logic.Var{"x": pBlock, "y": X}),
+	))
+	// second child: ∃p̄,s̄ Reg(p̄) ∧ φfc(p̄,s̄) ∧ φns(s̄,x̄).
+	secondOfReg := logic.Ex(append(append([]logic.Var{}, ps...), ss...), logic.Conj(
+		&logic.Atom{Rel: pt.RegRel, Args: logic.TermVars(ps)},
+		renameBlock(t.FirstChild, k, map[string]func(int) logic.Var{"x": pBlock, "y": sBlock}),
+		renameBlock(t.NextSibling, k, map[string]func(int) logic.Var{"x": sBlock, "y": X}),
+	))
+	for _, l := range labels {
+		tr.AddRule("q", l,
+			pt.Item("q1", "v", logic.MustQuery(xs, nil, fcOfReg)),
+			pt.Item("q2", "v", logic.MustQuery(xs, nil, secondOfReg)),
+		)
+	}
+
+	// (q1, v): emit the register node.
+	tr.AddRule("q1", "v", emitItems("q", regAtom)...)
+
+	// (q2, v): emit the register node and chase the next sibling.
+	nsOfReg := logic.Ex(ss, logic.Conj(
+		&logic.Atom{Rel: pt.RegRel, Args: logic.TermVars(ss)},
+		renameBlock(t.NextSibling, k, map[string]func(int) logic.Var{"x": sBlock, "y": X}),
+	))
+	q2Items := emitItems("q", regAtom)
+	q2Items = append(q2Items, pt.Item("q2", "v", logic.MustQuery(xs, nil, nsOfReg)))
+	tr.AddRule("q2", "v", q2Items...)
+
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// FromTransducer implements Theorem 4(2,4): a nonrecursive
+// PT(L, tuple, O) transducer becomes a fixed-depth transduction of
+// width 2 + maxArity whose node tuples are (state, tag, register…,
+// padding). Virtual tags are compressed into the edge relation as the
+// union of the composed queries along virtual routes (the proof's φe
+// construction). The resulting transduction is unordered (no φ<):
+// Theorem 4(4) equates the two formalisms over unordered trees, so
+// round trips compare trees via xmltree.SortedCanonical.
+func FromTransducer(tr *pt.Transducer) (*Transduction, error) {
+	if tr.IsRecursive() {
+		return nil, fmt.Errorf("transduction: FromTransducer needs a nonrecursive transducer")
+	}
+	cl := tr.Classify()
+	if cl.Store != pt.TupleStore {
+		return nil, fmt.Errorf("transduction: FromTransducer needs tuple stores, got %s", cl)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	for _, tag := range tr.Tags() {
+		if tag == xmltree.TextTag {
+			return nil, fmt.Errorf("transduction: text payloads are not representable; remove text tags")
+		}
+	}
+
+	maxAr := 0
+	for _, tag := range tr.Tags() {
+		if a := tr.Arity(tag); a > maxAr {
+			maxAr = a
+		}
+	}
+	k := maxAr + 2
+	pad := logic.Const("0")
+
+	// Node encoding: col 0 = state, col 1 = tag, cols 2.. = register
+	// padded with "0".
+	nodeEq := func(block func(int) logic.Var, state, tag string, regArity int) []logic.Formula {
+		out := []logic.Formula{
+			logic.EqT(block(0), logic.Const(state)),
+			logic.EqT(block(1), logic.Const(tag)),
+		}
+		for i := 2 + regArity; i < k; i++ {
+			out = append(out, logic.EqT(block(i), pad))
+		}
+		return out
+	}
+
+	t := &Transduction{
+		Width:   k,
+		Labels:  map[string]logic.Formula{},
+		RootTag: "synthetic",
+	}
+	t.Root = logic.Conj(nodeEq(X, tr.Start, tr.RootTag, 0)...)
+
+	// Labels by the tag column. States sharing a tag share the label.
+	for _, tag := range tr.Tags() {
+		if tr.Virtual[tag] {
+			continue
+		}
+		t.Labels[tag] = logic.EqT(X(1), logic.Const(tag))
+	}
+
+	// Edge disjuncts: for every normal rule node and every virtual-
+	// compressed route to a normal child.
+	var disjuncts []logic.Formula
+	var buildErr error
+	g := tr.DependencyGraph()
+	reach := g.Reachable()
+	var nodes []pt.GraphNode
+	for n := range reach {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].State != nodes[j].State {
+			return nodes[i].State < nodes[j].State
+		}
+		return nodes[i].Tag < nodes[j].Tag
+	})
+	for _, n := range nodes {
+		if tr.Virtual[n.Tag] {
+			continue
+		}
+		routes := routesFrom(tr, n, nil, &buildErr)
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		for _, rt := range routes {
+			f := routeFormula(tr, n, rt)
+			disjuncts = append(disjuncts, f)
+		}
+	}
+	if len(disjuncts) == 0 {
+		// No edges at all: the φe must still be a valid (empty) relation.
+		disjuncts = append(disjuncts, logic.False)
+	}
+	t.Edge = logic.Disj(disjuncts...)
+	return t, nil
+}
+
+// frRoute is a virtual-compressed step: the item queries traversed
+// (first from the normal source, intermediate ones through virtual
+// tags) and the normal node reached.
+type frRoute struct {
+	queries []*logic.Query
+	end     pt.GraphNode
+}
+
+func routesFrom(tr *pt.Transducer, n pt.GraphNode, prefix []*logic.Query, errOut *error) []frRoute {
+	rule, ok := tr.Rule(n.State, n.Tag)
+	if !ok {
+		return nil
+	}
+	var out []frRoute
+	for _, it := range rule.Items {
+		chain := append(append([]*logic.Query{}, prefix...), it.Query)
+		child := pt.GraphNode{State: it.State, Tag: it.Tag}
+		if tr.Virtual[it.Tag] {
+			out = append(out, routesFrom(tr, child, chain, errOut)...)
+			continue
+		}
+		out = append(out, frRoute{queries: chain, end: child})
+	}
+	return out
+}
+
+var composeCounter int
+
+// routeFormula builds one φe disjunct: source node = (n.State, n.Tag,
+// X-register), target node = (end.State, end.Tag, composed-query head
+// bound to the Y-register columns).
+func routeFormula(tr *pt.Transducer, n pt.GraphNode, rt frRoute) logic.Formula {
+	// Compose the route queries front to back.
+	cur := rt.queries[0].F
+	curHead := rt.queries[0].Head()
+	for i := 1; i < len(rt.queries); i++ {
+		inner := cur
+		innerHead := curHead
+		cur = logic.ReplaceAtom(rt.queries[i].F, pt.RegRel, func(args []logic.Term) logic.Formula {
+			composeCounter++
+			suffix := fmt.Sprintf("_c%d", composeCounter)
+			fresh := logic.RenameAllVars(inner, suffix)
+			freshHead := make([]logic.Var, len(innerHead))
+			parts := []logic.Formula{fresh}
+			for j, h := range innerHead {
+				freshHead[j] = logic.Var(string(h) + suffix)
+				parts = append(parts, logic.EqT(freshHead[j], args[j]))
+			}
+			return logic.Ex(freshHead, logic.Conj(parts...))
+		})
+		curHead = rt.queries[i].Head()
+	}
+	// Bind the remaining Reg atoms (the source register) to the X block
+	// and the head to the Y block.
+	srcArity := tr.Arity(n.Tag)
+	cur = logic.ReplaceAtom(cur, pt.RegRel, func(args []logic.Term) logic.Formula {
+		parts := make([]logic.Formula, len(args))
+		for j, a := range args {
+			parts[j] = logic.EqT(a, X(2+j))
+		}
+		return logic.Conj(parts...)
+	})
+	sub := map[logic.Var]logic.Term{}
+	for j, h := range curHead {
+		sub[h] = Y(2 + j)
+	}
+	cur = logic.Substitute(cur, sub)
+
+	k := len(curHead)
+	parts := []logic.Formula{
+		logic.EqT(X(0), logic.Const(n.State)),
+		logic.EqT(X(1), logic.Const(n.Tag)),
+		logic.EqT(Y(0), logic.Const(rt.end.State)),
+		logic.EqT(Y(1), logic.Const(rt.end.Tag)),
+		cur,
+	}
+	_ = srcArity
+	// Pad the unused register columns of both blocks.
+	width := 0
+	for _, tag := range tr.Tags() {
+		if a := tr.Arity(tag); a > width {
+			width = a
+		}
+	}
+	for i := 2 + srcArity; i < width+2; i++ {
+		parts = append(parts, logic.EqT(X(i), logic.Const("0")))
+	}
+	for i := 2 + k; i < width+2; i++ {
+		parts = append(parts, logic.EqT(Y(i), logic.Const("0")))
+	}
+	return logic.Conj(parts...)
+}

@@ -1,0 +1,212 @@
+// Package typecheck implements a sound static typechecker for
+// publishing transducers against DTDs — the open problem the paper's
+// conclusion singles out ("Another interesting topic is the
+// typechecking problem for publishing transducers. Our preliminary
+// results show that while this is undecidable in general, there are
+// interesting decidable cases.").
+//
+// The checker is sound but incomplete: Check(τ, d) == nil guarantees
+// that τ(I) conforms to d for every instance I; a non-nil result is a
+// potential violation (a child word some instance might produce that
+// the content model rejects).
+//
+// The abstraction: a transducer node with rule items (a1,…,ak) always
+// emits its children as a word in a1* a2* … ak* (grouped per item, in
+// item order), so it suffices that the content model of the parent's
+// tag accepts *every* word of that star-concatenation language (items
+// with unsatisfiable CQ queries contribute nothing and are dropped when
+// that can be established). Language inclusion a1*…ak* ⊆ L(d(tag)) is
+// decided exactly by a lazy subset construction over the content
+// model's NFA.
+package typecheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptx/internal/cq"
+	"ptx/internal/dtd"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/xmltree"
+)
+
+// Violation describes a potential type error: a rule whose emitted
+// child words are not all accepted by the parent tag's content model.
+type Violation struct {
+	State string
+	Tag   string
+	Word  []string // a child word the content model rejects
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("typecheck: rule (%s,%s) can emit children %q outside the content model",
+		v.State, v.Tag, strings.Join(v.Word, " "))
+}
+
+// Check verifies, soundly, that every output tree of the transducer
+// conforms to the DTD. Virtual tags are not supported (splicing changes
+// the child words); transducers with virtual tags are rejected with an
+// error distinct from a violation.
+func Check(t *pt.Transducer, d *dtd.DTD) (*Violation, error) {
+	if len(t.Virtual) > 0 {
+		return nil, fmt.Errorf("typecheck: virtual tags are not supported by the sound checker")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.RootTag != d.Root {
+		return nil, fmt.Errorf("typecheck: transducer root %q vs DTD root %q", t.RootTag, d.Root)
+	}
+	g := t.DependencyGraph()
+	reach := g.Reachable()
+	var nodes []pt.GraphNode
+	for n := range reach {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].State != nodes[j].State {
+			return nodes[i].State < nodes[j].State
+		}
+		return nodes[i].Tag < nodes[j].Tag
+	})
+
+	for _, n := range nodes {
+		if n.Tag == xmltree.TextTag {
+			continue
+		}
+		rule, ok := t.Rule(n.State, n.Tag)
+		var stages []stage
+		if ok {
+			for _, it := range rule.Items {
+				if it.Tag == xmltree.TextTag {
+					// pcdata: not part of the element content model here.
+					continue
+				}
+				m := multiplicity(it)
+				if m == multDead {
+					continue
+				}
+				stages = append(stages, stage{tag: it.Tag, mult: m})
+			}
+		}
+		nfa := dtd.Compile(d.Rule(n.Tag))
+		if word, ok := wordsIncluded(stages, nfa); !ok {
+			return &Violation{State: n.State, Tag: n.Tag, Word: word}, nil
+		}
+	}
+	return nil, nil
+}
+
+// mult abstracts how many children one rule item can emit on a single
+// node.
+type mult int
+
+const (
+	multDead mult = iota // never emits (unsatisfiable CQ)
+	multOne              // exactly one (total register projection)
+	multOpt              // zero or one (register-determined head)
+	multStar             // any number
+)
+
+type stage struct {
+	tag  string
+	mult mult
+}
+
+// multiplicity performs the static count analysis on a CQ item over a
+// tuple register: a head fully determined by the register (or by
+// constants) yields at most one child; if additionally the query has
+// only Reg atoms and no constraints it yields exactly one. Everything
+// else — and all FO/IFP items — is conservatively unbounded.
+func multiplicity(it pt.RHS) mult {
+	if it.Query.Logic() != logic.CQ {
+		return multStar
+	}
+	nf, err := cq.Normalize(it.Query.Head(), it.Query.F)
+	if err != nil {
+		return multStar
+	}
+	if !nf.Satisfiable() {
+		return multDead
+	}
+	if !nf.HeadDeterminedBy(pt.RegRel) {
+		return multStar
+	}
+	// Exactly one when nothing can fail: only Reg atoms, no constraints.
+	onlyReg := true
+	for _, a := range nf.Atoms {
+		if a.Rel != pt.RegRel {
+			onlyReg = false
+		}
+	}
+	if onlyReg && len(nf.Constraints) == 0 {
+		return multOne
+	}
+	return multOpt
+}
+
+// wordsIncluded decides whether every word in the stage language
+// (w1 w2 … wk with wi ∈ {ε, tag, tag tag, …} per the stage's
+// multiplicity) is accepted by the NFA, via a lazy subset construction
+// memoized on (stage, consumed-in-stage>0 for exactly-one stages,
+// state set). On failure it returns a rejected word.
+func wordsIncluded(stages []stage, nfa *dtd.NFA) ([]string, bool) {
+	type cfg struct {
+		stage int
+		key   string
+	}
+	visited := map[cfg]bool{}
+	type item struct {
+		stage int
+		set   map[int]bool
+		word  []string
+	}
+	queue := []item{{stage: 0, set: nfa.StartSet()}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		key := cfg{cur.stage, dtd.StateSetKey(cur.set)}
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+
+		if cur.stage == len(stages) {
+			if !nfa.Accepting(cur.set) {
+				return cur.word, false
+			}
+			continue
+		}
+		st := stages[cur.stage]
+		consume := func() (map[int]bool, []string, bool) {
+			next := nfa.StepSet(cur.set, st.tag)
+			w := append(append([]string{}, cur.word...), st.tag)
+			return next, w, len(next) > 0
+		}
+		switch st.mult {
+		case multOne:
+			next, w, ok := consume()
+			if !ok {
+				return w, false
+			}
+			queue = append(queue, item{stage: cur.stage + 1, set: next, word: w})
+		case multOpt:
+			next, w, ok := consume()
+			if !ok {
+				return w, false
+			}
+			queue = append(queue, item{stage: cur.stage + 1, set: next, word: w})
+			queue = append(queue, item{stage: cur.stage + 1, set: cur.set, word: cur.word})
+		default: // multStar
+			next, w, ok := consume()
+			if !ok {
+				return w, false
+			}
+			queue = append(queue, item{stage: cur.stage, set: next, word: w})
+			queue = append(queue, item{stage: cur.stage + 1, set: cur.set, word: cur.word})
+		}
+	}
+	return nil, true
+}

@@ -1,0 +1,197 @@
+package typecheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptx/internal/dtd"
+	"ptx/internal/logic"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+	"ptx/internal/relation"
+	"ptx/internal/xmltree"
+)
+
+// courseDTD matches the shape of τ1's output.
+func tau1DTD() *dtd.DTD {
+	return dtd.New("db", map[string]dtd.Regex{
+		"db":     dtd.Rep(dtd.S("course")),
+		"course": dtd.Cat(dtd.S("cno"), dtd.S("title"), dtd.S("prereq")),
+		"prereq": dtd.Rep(dtd.S("course")),
+	})
+}
+
+func TestTau1Typechecks(t *testing.T) {
+	v, err := Check(registrar.Tau1(), tau1DTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("τ1 should typecheck against its natural DTD: %v", v)
+	}
+	// Sanity: outputs really conform.
+	out, err := registrar.Tau1().Output(registrar.SampleInstance(), pt.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripText := out.Clone()
+	stripText.Walk(func(n *xmltree.Node) bool {
+		var kept []*xmltree.Node
+		for _, c := range n.Children {
+			if !c.IsText() {
+				kept = append(kept, c)
+			}
+		}
+		n.Children = kept
+		return true
+	})
+	if !tau1DTD().Validate(stripText) {
+		t.Fatal("τ1 output (sans pcdata) should conform to the DTD")
+	}
+}
+
+func TestViolationDetected(t *testing.T) {
+	// DTD requires exactly one course under db, but τ1 emits one per CS
+	// course — a genuine violation (two courses possible).
+	d := dtd.New("db", map[string]dtd.Regex{
+		"db":     dtd.Cat(dtd.S("course")),
+		"course": dtd.Cat(dtd.S("cno"), dtd.S("title"), dtd.S("prereq")),
+		"prereq": dtd.Rep(dtd.S("course")),
+	})
+	v, err := Check(registrar.Tau1(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("star-vs-one mismatch should be flagged")
+	}
+	if v.Tag != "db" {
+		t.Fatalf("violation at %s/%s, want the db rule", v.State, v.Tag)
+	}
+}
+
+func TestWrongChildOrderFlagged(t *testing.T) {
+	// DTD expects title before cno: τ1 emits cno first.
+	d := dtd.New("db", map[string]dtd.Regex{
+		"db":     dtd.Rep(dtd.S("course")),
+		"course": dtd.Cat(dtd.S("title"), dtd.S("cno"), dtd.S("prereq")),
+		"prereq": dtd.Rep(dtd.S("course")),
+	})
+	v, err := Check(registrar.Tau1(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Tag != "course" {
+		t.Fatalf("order mismatch should be flagged at course, got %v", v)
+	}
+}
+
+func TestDeadItemsIgnored(t *testing.T) {
+	// A rule with an unsatisfiable CQ item doesn't pollute the child
+	// language.
+	s := relation.NewSchema().MustDeclare("R1", 1)
+	x := logic.Var("x")
+	tr := pt.New("dead", s, "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	dead := logic.Conj(logic.EqT(x, logic.Const("0")), logic.NeqT(x, logic.Const("0")))
+	tr.AddRule("q0", "r",
+		pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))),
+		pt.Item("q", "b", logic.MustQuery([]logic.Var{x}, nil, dead)))
+	tr.AddRule("q", "a")
+	tr.AddRule("q", "b")
+	d := dtd.New("r", map[string]dtd.Regex{"r": dtd.Rep(dtd.S("a"))}) // no b allowed
+	v, err := Check(tr, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("dead b-item should be ignored: %v", v)
+	}
+}
+
+func TestOptionalityRequiresStar(t *testing.T) {
+	// A query may return nothing, so d(a) must accept the empty word
+	// too; requiring at least one child is flagged.
+	s := relation.NewSchema().MustDeclare("R1", 1)
+	x := logic.Var("x")
+	tr := pt.New("opt", s, "q0", "r")
+	tr.DeclareTag("a", 1)
+	tr.AddRule("q0", "r", pt.Item("q", "a", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	tr.AddRule("q", "a")
+	d := dtd.New("r", map[string]dtd.Regex{"r": dtd.OneOrMore(dtd.S("a"))})
+	v, err := Check(tr, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("empty instance gives a bare r, violating a+")
+	}
+	if len(v.Word) != 0 {
+		t.Fatalf("counterexample should be the empty word, got %q", v.Word)
+	}
+}
+
+func TestVirtualRejected(t *testing.T) {
+	if _, err := Check(registrar.Tau2(), tau1DTD()); err == nil {
+		t.Fatal("virtual tags must be rejected by the sound checker")
+	}
+}
+
+// TestSoundnessFuzz: whenever the checker passes a (random view, random
+// DTD) pair, every executed output conforms.
+func TestSoundnessFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	level1 := func(x, y logic.Var) []logic.Formula {
+		return []logic.Formula{
+			logic.Ex([]logic.Var{y}, logic.R("E", x, y)),
+			logic.R("E", x, x),
+			logic.Ex([]logic.Var{y}, logic.Conj(logic.R("E", x, y), logic.NeqT(x, y))),
+		}
+	}
+	dtds := []*dtd.DTD{
+		dtd.New("r", map[string]dtd.Regex{"r": dtd.Rep(dtd.S("a"))}),
+		dtd.New("r", map[string]dtd.Regex{"r": dtd.Maybe(dtd.S("a"))}),
+		dtd.New("r", map[string]dtd.Regex{"r": dtd.OneOrMore(dtd.S("a"))}),
+		dtd.New("r", map[string]dtd.Regex{"r": dtd.Cat(dtd.S("a"), dtd.S("a"))}),
+	}
+	passes, violations := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		x, y := logic.Var("x"), logic.Var("y")
+		s := relation.NewSchema().MustDeclare("E", 2)
+		tr := pt.New("fuzz", s, "q0", "r")
+		tr.DeclareTag("a", 1)
+		pool := level1(x, y)
+		tr.AddRule("q0", "r", pt.Item("q", "a",
+			logic.MustQuery([]logic.Var{x}, nil, pool[rng.Intn(len(pool))])))
+		tr.AddRule("q", "a")
+		d := dtds[rng.Intn(len(dtds))]
+		v, err := Check(tr, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			violations++
+			continue
+		}
+		passes++
+		// Soundness: run on random instances and validate.
+		for k := 0; k < 8; k++ {
+			inst := relation.NewInstance(s)
+			for e := 0; e < rng.Intn(5); e++ {
+				a, b := rng.Intn(3), rng.Intn(3)
+				inst.Add("E", string(rune('p'+a)), string(rune('p'+b)))
+			}
+			out, err := tr.Output(inst, pt.Options{MaxNodes: 10000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Validate(out) {
+				t.Fatalf("trial %d: checker passed but output %s violates\n%s%s",
+					trial, out.Canonical(), d, tr)
+			}
+		}
+	}
+	if passes == 0 || violations == 0 {
+		t.Fatalf("unbalanced fuzz: %d passes, %d violations", passes, violations)
+	}
+}

@@ -1,0 +1,428 @@
+// Package xmltree implements Σ-trees with local storage (Section 2 of
+// the paper): unranked, node-labeled ordered trees whose nodes carry a
+// register relation over the data domain. Trees are built by publishing
+// transducers and then stripped of registers/states for output;
+// virtual-tag nodes are spliced out by replacing them with their
+// children.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// TextTag is the reserved tag for text leaves; a text node carries the
+// string representation of its register and has no children.
+const TextTag = "text"
+
+// Node is a tree node. While a transducer is running, a node may carry
+// a State (the (q,a) labeling of the paper); finalized nodes have an
+// empty State. Reg is the node's local register (nil once stripped).
+type Node struct {
+	Tag      string
+	State    string
+	Reg      *relation.Relation
+	Text     string
+	Children []*Node
+}
+
+// Tree is a rooted Σ-tree.
+type Tree struct {
+	Root *Node
+}
+
+// New returns a tree with a single root node labeled tag.
+func New(tag string) *Tree {
+	return &Tree{Root: &Node{Tag: tag}}
+}
+
+// AddChild appends a child labeled tag and returns it.
+func (n *Node) AddChild(tag string) *Node {
+	c := &Node{Tag: tag}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// IsText reports whether the node is a text leaf.
+func (n *Node) IsText() bool { return n.Tag == TextTag }
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Depth returns the height of the subtree rooted at n (a leaf has
+// depth 1).
+func (n *Node) Depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return t.Root.Size() }
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int { return t.Root.Depth() }
+
+// Walk visits every node in document order (pre-order); it stops early
+// if f returns false.
+func (t *Tree) Walk(f func(*Node) bool) {
+	var rec func(n *Node) bool
+	rec = func(n *Node) bool {
+		if !f(n) {
+			return false
+		}
+		for _, c := range n.Children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.Root)
+}
+
+// CountTag returns the number of nodes labeled tag.
+func (t *Tree) CountTag(tag string) int {
+	n := 0
+	t.Walk(func(nd *Node) bool {
+		if nd.Tag == tag {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Labels returns the set of tags used in the tree, sorted.
+func (t *Tree) Labels() []string {
+	set := make(map[string]bool)
+	t.Walk(func(nd *Node) bool {
+		set[nd.Tag] = true
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Clone returns a deep copy of the tree (registers are cloned too).
+func (t *Tree) Clone() *Tree {
+	return &Tree{Root: cloneNode(t.Root)}
+}
+
+func cloneNode(n *Node) *Node {
+	c := &Node{Tag: n.Tag, State: n.State, Text: n.Text}
+	if n.Reg != nil {
+		c.Reg = n.Reg.Clone()
+	}
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = cloneNode(ch)
+	}
+	return c
+}
+
+// Strip removes registers and states in place, producing the plain
+// Σ-tree output of a transformation.
+func (t *Tree) Strip() *Tree {
+	t.Walk(func(n *Node) bool {
+		n.Reg = nil
+		n.State = ""
+		return true
+	})
+	return t
+}
+
+// SpliceVirtual removes every node whose tag is in virtual, replacing
+// it by its children, repeatedly until no virtual tags remain. The root
+// is never virtual (enforced by the transducer definition).
+func (t *Tree) SpliceVirtual(virtual map[string]bool) *Tree {
+	if len(virtual) == 0 {
+		return t
+	}
+	var splice func(n *Node)
+	splice = func(n *Node) {
+		out := make([]*Node, 0, len(n.Children))
+		for _, c := range n.Children {
+			splice(c)
+			if virtual[c.Tag] {
+				out = append(out, c.Children...)
+			} else {
+				out = append(out, c)
+			}
+		}
+		n.Children = out
+	}
+	splice(t.Root)
+	return t
+}
+
+// Equal reports structural equality of two trees: same tags, same text,
+// same child sequences. Registers and states are ignored (they are not
+// part of the output Σ-tree).
+func (t *Tree) Equal(o *Tree) bool { return nodeEqual(t.Root, o.Root) }
+
+func nodeEqual(a, b *Node) bool {
+	if a.Tag != b.Tag || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !nodeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns a canonical single-line rendering of the output
+// tree: tag(child,child,…) with text leaves as tag="…". Two trees are
+// Equal iff their Canonical strings agree, so it doubles as a hash key.
+func (t *Tree) Canonical() string {
+	var sb strings.Builder
+	writeCanonical(&sb, t.Root)
+	return sb.String()
+}
+
+func writeCanonical(sb *strings.Builder, n *Node) {
+	sb.WriteString(n.Tag)
+	if n.IsText() {
+		fmt.Fprintf(sb, "=%q", n.Text)
+		return
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	sb.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeCanonical(sb, c)
+	}
+	sb.WriteByte(')')
+}
+
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+// XML serializes the tree as an indented XML document.
+func (t *Tree) XML() string {
+	var sb strings.Builder
+	writeXML(&sb, t.Root, 0)
+	return sb.String()
+}
+
+func writeXML(sb *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsText() {
+		sb.WriteString(indent)
+		sb.WriteString(xmlEscaper.Replace(n.Text))
+		sb.WriteByte('\n')
+		return
+	}
+	if len(n.Children) == 0 {
+		fmt.Fprintf(sb, "%s<%s/>\n", indent, n.Tag)
+		return
+	}
+	fmt.Fprintf(sb, "%s<%s>\n", indent, n.Tag)
+	for _, c := range n.Children {
+		writeXML(sb, c, depth+1)
+	}
+	fmt.Fprintf(sb, "%s</%s>\n", indent, n.Tag)
+}
+
+// TextOfRegister renders a register relation as the pcdata payload of a
+// text node, using the canonical tuple order. A singleton unary register
+// renders as its bare value, matching the examples in the paper.
+func TextOfRegister(r *relation.Relation) string {
+	if r == nil {
+		return ""
+	}
+	ts := r.Tuples()
+	if len(ts) == 1 && len(ts[0]) == 1 {
+		return string(ts[0][0])
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse parses the Canonical rendering back into a tree; it accepts
+// exactly the grammar produced by Canonical and is used to state
+// expected trees compactly in tests and in membership inputs.
+//
+//	tree  := node
+//	node  := tag | tag '(' node (',' node)* ')' | tag '=' quoted
+func Parse(s string) (*Tree, error) {
+	p := &parser{src: s}
+	n, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xmltree: trailing input at %d in %q", p.pos, s)
+	}
+	return &Tree{Root: n}, nil
+}
+
+// MustParse is Parse that panics on error; for test literals.
+func MustParse(s string) *Tree {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) node() (*Node, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isTagByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("xmltree: expected tag at %d in %q", p.pos, p.src)
+	}
+	n := &Node{Tag: p.src[start:p.pos]}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		txt, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		n.Text = txt
+		return n, nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			c, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("xmltree: unterminated '(' in %q", p.src)
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("xmltree: expected ',' or ')' at %d in %q", p.pos, p.src)
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) quoted() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+		return "", fmt.Errorf("xmltree: expected '\"' at %d in %q", p.pos, p.src)
+	}
+	p.pos++
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			if p.pos+1 < len(p.src) {
+				sb.WriteByte(p.src[p.pos+1])
+				p.pos += 2
+				continue
+			}
+			return "", fmt.Errorf("xmltree: dangling escape in %q", p.src)
+		case '"':
+			p.pos++
+			return sb.String(), nil
+		default:
+			sb.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+	}
+	return "", fmt.Errorf("xmltree: unterminated string in %q", p.src)
+}
+
+func isTagByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_' || b == '-' || b == '.'
+}
+
+// RegisterOfSingle builds a register holding a single tuple of the given
+// string values; a convenience for tests.
+func RegisterOfSingle(vals ...string) *relation.Relation {
+	t := make(value.Tuple, len(vals))
+	for i, s := range vals {
+		t[i] = value.V(s)
+	}
+	return relation.FromTuples(len(vals), t)
+}
+
+// SortedCanonical returns the canonical rendering after recursively
+// sorting siblings, i.e. a representation of the tree as an *unordered*
+// tree. Theorem 4(4) of the paper relates transducers and fixed-depth
+// transductions over unordered trees; round-trip tests compare with
+// this form.
+func (t *Tree) SortedCanonical() string {
+	var render func(n *Node) string
+	render = func(n *Node) string {
+		if n.IsText() {
+			return n.Tag + "=" + fmt.Sprintf("%q", n.Text)
+		}
+		if len(n.Children) == 0 {
+			return n.Tag
+		}
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = render(c)
+		}
+		sortStrings(parts)
+		return n.Tag + "(" + strings.Join(parts, ",") + ")"
+	}
+	return render(t.Root)
+}
