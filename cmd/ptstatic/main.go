@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 	"ptx/internal/decide"
 	"ptx/internal/parser"
 	"ptx/internal/pt"
+	"ptx/internal/runctl"
 	"ptx/internal/typecheck"
 	"ptx/internal/xmltree"
 )
@@ -37,7 +40,15 @@ func main() {
 	treeSrc := fs.String("tree", "", "target tree in canonical form (membership)")
 	label := fs.String("label", "", "output label (ucq)")
 	dtdPath := fs.String("dtd", "", "DTD file (typecheck)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the analysis (0 = unlimited); exceeding it reports UNDECIDED")
 	fs.Parse(os.Args[2:])
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	tr := load(*specPath)
 	switch cmd {
@@ -47,7 +58,7 @@ func main() {
 		fmt.Printf("  recursive: %v\n", cl.Recursive)
 		fmt.Printf("  dependency graph: %d nodes\n", len(tr.DependencyGraph().Nodes()))
 	case "emptiness":
-		nonempty, err := decide.Emptiness(tr)
+		nonempty, err := decide.EmptinessContext(ctx, tr)
 		report(err)
 		if nonempty {
 			fmt.Println("NONEMPTY: some instance yields a nontrivial tree")
@@ -60,7 +71,7 @@ func main() {
 		}
 		target, err := xmltree.Parse(*treeSrc)
 		report(err)
-		ok, err := decide.Membership(tr, target, decide.DefaultMembershipOptions(tr, target))
+		ok, err := decide.MembershipContext(ctx, tr, target, decide.DefaultMembershipOptions(tr, target))
 		report(err)
 		if ok {
 			fmt.Println("MEMBER: some instance produces the tree")
@@ -72,7 +83,7 @@ func main() {
 			usage()
 		}
 		tr2 := load(*spec2Path)
-		eq, err := decide.Equivalence(tr, tr2)
+		eq, err := decide.EquivalenceContext(ctx, tr, tr2)
 		report(err)
 		if eq {
 			fmt.Println("EQUIVALENT: the transducers agree on every instance")
@@ -128,6 +139,16 @@ func report(err error) {
 		fmt.Printf("UNDECIDABLE: %s has no algorithm for %s (Table II)\n", ue.Problem, ue.Class)
 		os.Exit(3)
 	}
+	var ce *runctl.ErrCanceled
+	if errors.As(err, &ce) {
+		fmt.Printf("UNDECIDED: analysis stopped before completion (%v); raise -timeout\n", ce.Cause)
+		os.Exit(4)
+	}
+	var be *runctl.ErrBudget
+	if errors.As(err, &be) {
+		fmt.Printf("UNDECIDED: %s budget exhausted (limit %d)\n", be.Kind, be.Limit)
+		os.Exit(4)
+	}
 	fmt.Fprintln(os.Stderr, "ptstatic:", err)
 	os.Exit(1)
 }
@@ -135,10 +156,12 @@ func report(err error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ptstatic classify    -spec view.pt
-  ptstatic emptiness   -spec view.pt
-  ptstatic membership  -spec view.pt -tree 'r(a,b)'
-  ptstatic equivalence -spec view.pt -spec2 other.pt
+  ptstatic emptiness   -spec view.pt [-timeout D]
+  ptstatic membership  -spec view.pt -tree 'r(a,b)' [-timeout D]
+  ptstatic equivalence -spec view.pt -spec2 other.pt [-timeout D]
   ptstatic ucq         -spec view.pt -label a
-  ptstatic typecheck   -spec view.pt -dtd schema.dtd`)
+  ptstatic typecheck   -spec view.pt -dtd schema.dtd
+
+exceeding -timeout reports UNDECIDED (exit 4) instead of hanging`)
 	os.Exit(2)
 }

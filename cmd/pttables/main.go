@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,9 +32,15 @@ import (
 	"ptx/internal/reduction"
 	"ptx/internal/registrar"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 	"ptx/internal/value"
 	"ptx/internal/xmltree"
 )
+
+// tablesCtx carries the -timeout deadline into every transformation and
+// decision call; exceeding it aborts the current block with a typed
+// error instead of hanging the whole regeneration.
+var tablesCtx = context.Background()
 
 func main() {
 	fig1 := flag.Bool("fig1", false, "Figure 1 views")
@@ -42,7 +50,14 @@ func main() {
 	prop1 := flag.Bool("prop1", false, "Proposition 1 blowups")
 	prop3 := flag.Bool("prop3", false, "Proposition 3 sweep")
 	all := flag.Bool("all", false, "run everything")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = unlimited)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		tablesCtx, cancel = context.WithTimeout(tablesCtx, *timeout)
+		defer cancel()
+	}
 
 	ran := false
 	run := func(want bool, f func()) {
@@ -69,6 +84,12 @@ func header(s string) {
 
 func must[T any](v T, err error) T {
 	if err != nil {
+		var ce *runctl.ErrCanceled
+		var be *runctl.ErrBudget
+		if errors.As(err, &ce) || errors.As(err, &be) {
+			fmt.Fprintf(os.Stderr, "pttables: aborted: %v (raise -timeout or the budget)\n", err)
+			os.Exit(4)
+		}
 		fmt.Fprintln(os.Stderr, "pttables:", err)
 		os.Exit(1)
 	}
@@ -81,7 +102,7 @@ func runFig1() {
 	header("Figure 1: the registrar views τ1, τ2, τ3")
 	inst := registrar.SampleInstance()
 	for _, tr := range []*pt.Transducer{registrar.Tau1(), registrar.Tau2(), registrar.Tau3()} {
-		out := must(tr.Output(inst, pt.Options{MaxNodes: 100000}))
+		out := must(tr.OutputContext(tablesCtx, inst, pt.Options{MaxNodes: 100000}))
 		fmt.Printf("%s  —  %s\n", tr.Name, tr.Classify())
 		fmt.Printf("  canonical: %s\n", out.Canonical())
 		fmt.Printf("  size=%d depth=%d\n\n", out.Size(), out.Depth())
@@ -113,7 +134,7 @@ func runTable2() {
 	for _, n := range []int{4, 8, 16, 32} {
 		tr := chainTransducer(n)
 		start := time.Now()
-		nonempty := must(decide.Emptiness(tr))
+		nonempty := must(decide.EmptinessContext(tablesCtx, tr))
 		fmt.Printf("  %3d rules: nonempty=%v in %v\n", n, nonempty, time.Since(start).Round(time.Microsecond))
 	}
 
@@ -124,7 +145,7 @@ func runTable2() {
 	for i := 0; i < 15; i++ {
 		f := randomCNF(rng, 3, 3)
 		tr := must(reduction.EmptinessFrom3SAT(f))
-		nonempty := must(decide.Emptiness(tr))
+		nonempty := must(decide.EmptinessContext(tablesCtx, tr))
 		total++
 		if nonempty == f.Satisfiable() {
 			agree++
@@ -138,7 +159,7 @@ func runTable2() {
 	for _, tree := range []string{"r(a0(a1))", "r(a0(a1),a0(a1))", "r(a0)", "r(b)"} {
 		target := must(xmltree.Parse(tree))
 		start := time.Now()
-		ok, err := decide.Membership(tr, target, decide.MembershipOptions{
+		ok, err := decide.MembershipContext(tablesCtx, tr, target, decide.MembershipOptions{
 			FreshValues: 3, MaxTuplesPerRel: 3, MaxCandidates: 500000})
 		if err != nil {
 			fmt.Printf("  %-10s error: %v\n", tree, err)
@@ -149,8 +170,8 @@ func runTable2() {
 
 	// Equivalence, PTnr(CQ, tuple, O): Πp3-complete — Claim 4 checker.
 	fmt.Println("\nequivalence, PTnr(CQ, tuple, O) — Πp3-complete (Thm 2(4)); Claim 4 checker:")
-	eqYes := must(decide.Equivalence(chainTransducer(3), chainTransducer(3)))
-	eqNo := must(decide.Equivalence(chainTransducer(3), chainTransducer(4)))
+	eqYes := must(decide.EquivalenceContext(tablesCtx, chainTransducer(3), chainTransducer(3)))
+	eqNo := must(decide.EquivalenceContext(tablesCtx, chainTransducer(3), chainTransducer(4)))
 	fmt.Printf("  identical specs equivalent: %v; different depths equivalent: %v\n", eqYes, eqNo)
 
 	// Undecidable cells, validated through their reductions.
@@ -164,8 +185,8 @@ func runTable2() {
 	}
 	t1, t2 := must2(reduction.EquivalenceFrom2RM(halting))
 	inst := reduction.EncodeRun(halting, 100)
-	o1 := must(t1.Output(inst, pt.Options{MaxNodes: 100000}))
-	o2 := must(t2.Output(inst, pt.Options{MaxNodes: 100000}))
+	o1 := must(t1.OutputContext(tablesCtx, inst, pt.Options{MaxNodes: 100000}))
+	o2 := must(t2.OutputContext(tablesCtx, inst, pt.Options{MaxNodes: 100000}))
 	fmt.Printf("  equivalence ← 2RM halting (Thm 1(3)): halting run separates τ1/τ2: %v\n", !o1.Equal(o2))
 
 	dfa := &machines.TwoHeadDFA{States: 2, Start: 0, Accept: 1,
@@ -173,7 +194,7 @@ func runTable2() {
 			{State: 0, In1: '1', In2: '1'}: {State: 1, Move1: machines.Right, Move2: machines.Right},
 		}}
 	trA, target := must2(reduction.MembershipFrom2HeadDFA(dfa))
-	out := must(trA.Output(reduction.EncodeWord("1"), pt.Options{MaxNodes: 100000}))
+	out := must(trA.OutputContext(tablesCtx, reduction.EncodeWord("1"), pt.Options{MaxNodes: 100000}))
 	fmt.Printf("  membership ← 2-head DFA emptiness (Thm 1(2)): accepted word hits target tree: %v\n",
 		out.Equal(target))
 
@@ -201,7 +222,7 @@ func runTable3() {
 	okA := 0
 	for n := 1; n <= 5; n++ {
 		inst := registrar.ChainInstance(n)
-		a := must(tr.OutputRelation(inst, "course", pt.Options{}))
+		a := must(tr.OutputRelationContext(tablesCtx, inst, "course", pt.Options{}))
 		b := must(prog.Eval(inst))
 		if a.Equal(b) {
 			okA++
@@ -215,7 +236,7 @@ func runTable3() {
 	for i := 0; i < 8; i++ {
 		inst := randomGraph(rng, 5, 7)
 		a := must(tc.Eval(inst))
-		b := must(tr2.OutputRelation(inst, "ans", pt.Options{MaxNodes: 500000}))
+		b := must(tr2.OutputRelationContext(tablesCtx, inst, "ans", pt.Options{MaxNodes: 500000}))
 		if a.Equal(b) {
 			okB++
 		}
@@ -234,7 +255,7 @@ func runTable3() {
 	for _, e := range [][2]string{{"c1", "x"}, {"x", "c2"}, {"c2", "y"}, {"y", "c3"}} {
 		inst.Add("E", e[0], e[1])
 	}
-	rel := must(via.OutputRelation(inst, "ao", pt.Options{MaxNodes: 100000}))
+	rel := must(via.OutputRelationContext(tablesCtx, inst, "ao", pt.Options{MaxNodes: 100000}))
 	fmt.Printf("  equal-length c1→c2→c3 legs fire the relation-register query: %v (%s)\n", !rel.Empty(), rel)
 
 	// Monotonicity of CQ transducers (used by Prop. 4(6) and Thm 5).
@@ -251,8 +272,8 @@ func runTable3() {
 		bi := relation.NewInstance(families.GraphSchema())
 		small.Rel("E").Each(func(t value.Tuple) bool { si.Add("R", string(t[0]), string(t[1])); return true })
 		big.Rel("E").Each(func(t value.Tuple) bool { bi.Add("R", string(t[0]), string(t[1])); return true })
-		a := must(u.OutputRelation(si, "a", pt.Options{MaxNodes: 500000}))
-		b := must(u.OutputRelation(bi, "a", pt.Options{MaxNodes: 500000}))
+		a := must(u.OutputRelationContext(tablesCtx, si, "a", pt.Options{MaxNodes: 500000}))
+		b := must(u.OutputRelationContext(tablesCtx, bi, "a", pt.Options{MaxNodes: 500000}))
 		if !a.SubsetOf(b) {
 			mono = false
 		}
@@ -272,7 +293,7 @@ func runProp1() {
 	for n := 2; n <= 10; n += 2 {
 		inst := families.DiamondChain(n)
 		start := time.Now()
-		out := must(unfold.Output(inst, pt.Options{}))
+		out := must(unfold.OutputContext(tablesCtx, inst, pt.Options{}))
 		fmt.Printf("  n=%2d |I|=%3d |τ(I)|=%8d (2^n=%7d) %v\n",
 			n, inst.Size(), out.Size(), 1<<n, time.Since(start).Round(time.Millisecond))
 	}
@@ -281,7 +302,7 @@ func runProp1() {
 	for n := 1; n <= 3; n++ {
 		inst := families.CounterInstance(n)
 		start := time.Now()
-		out := must(counter.Output(inst, pt.Options{MaxNodes: 5_000_000}))
+		out := must(counter.OutputContext(tablesCtx, inst, pt.Options{MaxNodes: 5_000_000}))
 		fmt.Printf("  n=%d |J|=%2d |τ(J)|=%8d (2^2^n=%5d) %v\n",
 			n, inst.Size(), out.Size(), 1<<(1<<n), time.Since(start).Round(time.Millisecond))
 	}
@@ -295,7 +316,7 @@ func runProp3() {
 	for _, n := range []int{20, 40, 80, 160} {
 		inst := registrar.ChainInstance(n)
 		start := time.Now()
-		out := must(tr.Output(inst, pt.Options{}))
+		out := must(tr.OutputContext(tablesCtx, inst, pt.Options{}))
 		fmt.Printf("  |I|=%4d nodes=%5d elapsed=%v\n", inst.Size(), out.Size(),
 			time.Since(start).Round(time.Millisecond))
 	}

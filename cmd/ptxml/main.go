@@ -3,64 +3,123 @@
 //
 // Usage:
 //
-//	ptxml -spec view.pt -data facts.db [-canonical] [-stats] [-workers N] [-max N]
+//	ptxml -spec view.pt -data facts.db [-canonical] [-stats] [-workers N]
+//	      [-max-nodes N] [-max-depth N] [-timeout D]
 //
 // The spec syntax is documented in internal/parser; the data file holds
 // one fact per line, e.g. course(CS401, Compilers, CS).
+//
+// Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted,
+// 5 deadline exceeded / canceled. Budgets matter because relation-store
+// transducers can legitimately produce doubly-exponential output
+// (Proposition 1(4)): a hostile or buggy spec is indistinguishable from
+// a slow one without them.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"ptx/internal/parser"
 	"ptx/internal/pt"
+	"ptx/internal/runctl"
 )
 
 func main() {
-	specPath := flag.String("spec", "", "transducer spec file")
-	dataPath := flag.String("data", "", "relational data file")
-	canonical := flag.Bool("canonical", false, "print the canonical one-line form instead of XML")
-	stats := flag.Bool("stats", false, "print run statistics to stderr")
-	workers := flag.Int("workers", 1, "parallel subtree expansion workers")
-	maxNodes := flag.Int("max", 1_000_000, "node budget (0 = unlimited)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *specPath == "" || *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: ptxml -spec view.pt -data facts.db")
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ptxml", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "transducer spec file")
+	dataPath := fs.String("data", "", "relational data file")
+	canonical := fs.Bool("canonical", false, "print the canonical one-line form instead of XML")
+	stats := fs.Bool("stats", false, "print run statistics to stderr")
+	workers := fs.Int("workers", 1, "parallel subtree expansion workers")
+	maxNodes := fs.Int("max-nodes", 1_000_000, "node budget (0 = unlimited)")
+	maxNodesOld := fs.Int("max", 0, "deprecated alias for -max-nodes")
+	maxDepth := fs.Int("max-depth", 0, "tree-depth budget (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	spec, err := os.ReadFile(*specPath)
-	fatal(err)
-	tr, err := parser.ParseTransducer(string(spec))
-	fatal(err)
-	data, err := os.ReadFile(*dataPath)
-	fatal(err)
-	inst, err := parser.ParseInstance(string(data), tr.Schema)
-	fatal(err)
+	if *specPath == "" || *dataPath == "" {
+		fmt.Fprintln(stderr, "usage: ptxml -spec view.pt -data facts.db [-timeout 1s] [-max-nodes N] [-max-depth N]")
+		return 2
+	}
+	if *maxNodesOld > 0 {
+		*maxNodes = *maxNodesOld
+	}
 
-	opts := pt.Options{MaxNodes: *maxNodes, Workers: *workers}
-	res, err := tr.Run(inst, opts)
-	fatal(err)
+	spec, err := os.ReadFile(*specPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	tr, err := parser.ParseTransducer(string(spec))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	data, err := os.ReadFile(*dataPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	inst, err := parser.ParseInstance(string(data), tr.Schema)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	opts := pt.Options{
+		MaxNodes: *maxNodes,
+		MaxDepth: *maxDepth,
+		Workers:  *workers,
+		Limits:   &runctl.Limits{Timeout: *timeout},
+	}
+	start := time.Now()
+	res, err := tr.RunContext(context.Background(), inst, opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	out := res.Xi.Clone().Strip()
 	out.SpliceVirtual(tr.Virtual)
 
 	if *canonical {
-		fmt.Println(out.Canonical())
+		fmt.Fprintln(stdout, out.Canonical())
 	} else {
-		fmt.Print(out.XML())
+		fmt.Fprint(stdout, out.XML())
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d\n",
+		fmt.Fprintf(stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d elapsed=%v\n",
 			tr.Classify(), res.Stats.Nodes, res.Stats.MaxDepth,
-			res.Stats.QueriesRun, res.Stats.StopsApplied)
+			res.Stats.QueriesRun, res.Stats.StopsApplied, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptxml:", err)
-		os.Exit(1)
+// fail prints a typed, human-readable diagnosis and picks the exit
+// code by error class.
+func fail(stderr io.Writer, err error) int {
+	var be *runctl.ErrBudget
+	var ce *runctl.ErrCanceled
+	var ie *runctl.ErrInternal
+	switch {
+	case errors.As(err, &be):
+		fmt.Fprintf(stderr, "ptxml: aborted: %s budget exhausted (limit %d); raise -max-nodes/-max-depth or fix the spec (relation-store transducers can produce doubly-exponential trees, Proposition 1)\n",
+			be.Kind, be.Limit)
+		return 4
+	case errors.As(err, &ce):
+		fmt.Fprintf(stderr, "ptxml: aborted: %v; raise -timeout or fix the spec\n", ce.Cause)
+		return 5
+	case errors.As(err, &ie):
+		fmt.Fprintf(stderr, "ptxml: internal error in %s: %v\n", ie.Op, ie.Panic)
+		return 1
+	default:
+		fmt.Fprintln(stderr, "ptxml:", err)
+		return 1
 	}
 }

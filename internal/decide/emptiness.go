@@ -15,11 +15,13 @@
 package decide
 
 import (
+	"context"
 	"fmt"
 
 	"ptx/internal/cq"
 	"ptx/internal/logic"
 	"ptx/internal/pt"
+	"ptx/internal/runctl"
 )
 
 // ErrUndecidable reports that the requested analysis has no algorithm
@@ -55,6 +57,16 @@ func itemNF(it pt.RHS) (*cq.NF, error) {
 // virtual nodes it is the NP search: a simple path in Gτ from the root
 // to a non-virtual tag whose composed query chain is satisfiable.
 func Emptiness(t *pt.Transducer) (nonempty bool, err error) {
+	return EmptinessContext(context.Background(), t)
+}
+
+// EmptinessContext is Emptiness under a context: the NP path search for
+// virtual-output transducers polls ctx and returns a typed
+// *runctl.ErrCanceled when the deadline expires, so callers get
+// "undecided" instead of a hang. Internal panics are contained as
+// *runctl.ErrInternal.
+func EmptinessContext(ctx context.Context, t *pt.Transducer) (nonempty bool, err error) {
+	defer runctl.Recover(&err, "decide.Emptiness")
 	if err := requireCQ(t, "emptiness"); err != nil {
 		return false, err
 	}
@@ -64,7 +76,7 @@ func Emptiness(t *pt.Transducer) (nonempty bool, err error) {
 	if len(t.Virtual) == 0 {
 		return emptinessNormal(t)
 	}
-	return emptinessVirtual(t)
+	return emptinessVirtual(runctl.New(ctx, runctl.Limits{}), t)
 }
 
 // emptinessNormal: nontrivial output iff a start query is satisfiable.
@@ -88,12 +100,20 @@ func emptinessNormal(t *pt.Transducer) (bool, error) {
 }
 
 // emptinessVirtual: search simple paths from the root whose last edge
-// reaches a non-virtual tag and whose query chain is satisfiable.
-func emptinessVirtual(t *pt.Transducer) (bool, error) {
+// reaches a non-virtual tag and whose query chain is satisfiable. The
+// number of simple paths is exponential in the worst case, so the walk
+// polls the controller between paths.
+func emptinessVirtual(ctl *runctl.Controller, t *pt.Transducer) (bool, error) {
 	g := t.DependencyGraph()
 	found := false
 	var searchErr error
 	g.SimplePaths(func(p *pt.Path) bool {
+		// Each path costs a satisfiability check, so poll the context
+		// directly rather than through the sampled Tick.
+		if err := ctl.Canceled(); err != nil {
+			searchErr = err
+			return false
+		}
 		if len(p.Nodes) < 2 {
 			return true // root only: trivial tree
 		}

@@ -1,10 +1,12 @@
 package decide
 
 import (
+	"context"
 	"fmt"
 
 	"ptx/internal/cq"
 	"ptx/internal/pt"
+	"ptx/internal/runctl"
 	"ptx/internal/xmltree"
 )
 
@@ -22,6 +24,16 @@ import (
 // land on a single dependency-graph node; exotic transducers violating
 // this are rejected with an error rather than mis-decided.
 func Equivalence(t1, t2 *pt.Transducer) (bool, error) {
+	return EquivalenceContext(context.Background(), t1, t2)
+}
+
+// EquivalenceContext is Equivalence under a context. The Πp3-hard check
+// polls ctx between route expansions and UCQ containment calls, so a
+// deadline turns a long-running comparison into a typed
+// *runctl.ErrCanceled ("undecided") instead of a hang. Internal panics
+// are contained as *runctl.ErrInternal.
+func EquivalenceContext(ctx context.Context, t1, t2 *pt.Transducer) (eq bool, err error) {
+	defer runctl.Recover(&err, "decide.Equivalence")
 	for _, t := range []*pt.Transducer{t1, t2} {
 		if err := requireCQ(t, "equivalence"); err != nil {
 			return false, err
@@ -43,7 +55,7 @@ func Equivalence(t1, t2 *pt.Transducer) (bool, error) {
 	if t1.RootTag != t2.RootTag {
 		return false, nil
 	}
-	e := &equivChecker{t1: t1, t2: t2}
+	e := &equivChecker{t1: t1, t2: t2, ctl: runctl.New(ctx, runctl.Limits{})}
 	return e.compare(
 		pt.GraphNode{State: t1.Start, Tag: t1.RootTag}, nil,
 		pt.GraphNode{State: t2.Start, Tag: t2.RootTag}, nil,
@@ -69,6 +81,7 @@ type block struct {
 
 type equivChecker struct {
 	t1, t2 *pt.Transducer
+	ctl    *runctl.Controller
 }
 
 const maxEquivDepth = 64
@@ -76,8 +89,12 @@ const maxEquivDepth = 64
 // compare recursively checks the pair of normal nodes n1/n2 reached via
 // the (satisfiable) query chains c1/c2.
 func (e *equivChecker) compare(n1 pt.GraphNode, c1 []*cq.NF, n2 pt.GraphNode, c2 []*cq.NF, depth int) (bool, error) {
+	if err := e.ctl.Canceled(); err != nil {
+		return false, err
+	}
 	if depth > maxEquivDepth {
-		return false, fmt.Errorf("decide: equivalence recursion exceeded depth %d", maxEquivDepth)
+		return false, fmt.Errorf("decide: equivalence undecided: %w",
+			&runctl.ErrBudget{Kind: runctl.BudgetDepth, Limit: maxEquivDepth})
 	}
 	b1, err := e.normalBlocks(e.t1, n1, c1)
 	if err != nil {
@@ -91,6 +108,9 @@ func (e *equivChecker) compare(n1 pt.GraphNode, c1 []*cq.NF, n2 pt.GraphNode, c2
 		return false, nil
 	}
 	for i := range b1 {
+		if err := e.ctl.Canceled(); err != nil {
+			return false, err
+		}
 		if b1[i].tag != b2[i].tag {
 			return false, nil
 		}
@@ -140,9 +160,13 @@ func (e *equivChecker) normalBlocks(t *pt.Transducer, n pt.GraphNode, prefix []*
 	if err := collectRoutes(t, n, prefix, &routes, 0); err != nil {
 		return nil, err
 	}
-	// Keep satisfiable routes only.
+	// Keep satisfiable routes only. Satisfiability of composed chains is
+	// the NP-hard inner step, so poll cancellation per route.
 	live := routes[:0]
 	for _, r := range routes {
+		if err := e.ctl.Canceled(); err != nil {
+			return nil, err
+		}
 		ok, err := cq.PathSatisfiable(r.chain, pt.RegRel)
 		if err != nil {
 			return nil, err

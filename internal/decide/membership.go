@@ -1,12 +1,15 @@
 package decide
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ptx/internal/eval"
 	"ptx/internal/logic"
 	"ptx/internal/pt"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 	"ptx/internal/value"
 	"ptx/internal/xmltree"
 )
@@ -57,6 +60,17 @@ func DefaultMembershipOptions(t *pt.Transducer, target *xmltree.Tree) Membership
 // first. Recursive transducers with virtual nodes, and relation stores,
 // are undecidable (Theorem 1(2)) and rejected.
 func Membership(t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (bool, error) {
+	return MembershipContext(context.Background(), t, target, opts)
+}
+
+// MembershipContext is Membership under a context: the small-model
+// search polls ctx between candidate instances and inside each
+// transformation run, so a deadline yields a typed *runctl.ErrCanceled
+// ("undecided") instead of a hang. Exhausting MaxCandidates likewise
+// yields an error wrapping *runctl.ErrBudget. Internal panics are
+// contained as *runctl.ErrInternal.
+func MembershipContext(ctx context.Context, t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (member bool, err error) {
+	defer runctl.Recover(&err, "decide.Membership")
 	if err := requireCQ(t, "membership"); err != nil {
 		return false, err
 	}
@@ -79,7 +93,7 @@ func Membership(t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) 
 	if cl.Output == pt.NormalOutput && !AnnotateStates(t, target) {
 		return false, nil
 	}
-	return searchInstances(t, target, opts)
+	return searchInstances(ctx, t, target, opts)
 }
 
 // AnnotateStates runs the PTIME structural pass: walking the target
@@ -125,7 +139,8 @@ func AnnotateStates(t *pt.Transducer, target *xmltree.Tree) bool {
 
 // searchInstances enumerates instances over the canonical domain and
 // compares τ(I) with the target tree.
-func searchInstances(t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (bool, error) {
+func searchInstances(ctx context.Context, t *pt.Transducer, target *xmltree.Tree, opts MembershipOptions) (bool, error) {
+	ctl := runctl.New(ctx, runctl.Limits{})
 	domain := canonicalDomain(t, target, opts.FreshValues)
 	names := t.Schema.Names()
 
@@ -155,15 +170,24 @@ func searchInstances(t *pt.Transducer, target *xmltree.Tree, opts MembershipOpti
 	var tryRel func(ri int) (bool, error)
 	tryRel = func(ri int) (bool, error) {
 		if ri == len(names) {
+			// Each candidate costs a full transducer run, so poll the
+			// context directly rather than through the sampled Tick.
+			if err := ctl.Canceled(); err != nil {
+				return false, err
+			}
 			if budget > 0 {
 				budget--
 				if budget == 0 {
-					return false, fmt.Errorf("decide: membership search exceeded candidate budget")
+					return false, fmt.Errorf("decide: membership undecided: %w",
+						&runctl.ErrBudget{Kind: runctl.BudgetCandidates, Limit: opts.MaxCandidates})
 				}
 			}
-			out, err := t.Output(inst, pt.Options{MaxNodes: runBudget})
+			out, err := t.OutputContext(ctx, inst, pt.Options{MaxNodes: runBudget})
 			if err != nil {
-				if _, isBudget := err.(*pt.ErrBudget); isBudget {
+				// A blown node budget just rules this candidate out; any
+				// other error (including cancellation) aborts the search.
+				var be *runctl.ErrBudget
+				if errors.As(err, &be) && be.Kind == runctl.BudgetNodes {
 					return false, nil
 				}
 				return false, err

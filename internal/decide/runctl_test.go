@@ -1,0 +1,69 @@
+package decide
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ptx/internal/runctl"
+	"ptx/internal/xmltree"
+)
+
+func TestEquivalenceCanceledContext(t *testing.T) {
+	t1 := copyATransducer(false, "")
+	t2 := copyATransducer(false, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the comparison starts
+	_, err := EquivalenceContext(ctx, t1, t2)
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+}
+
+func TestEquivalenceDeadline(t *testing.T) {
+	// An already-expired deadline must surface as a typed cancellation
+	// that unwraps to context.DeadlineExceeded, quickly.
+	t1 := copyATransducer(false, "")
+	t2 := copyATransducer(true, "k")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	start := time.Now()
+	_, err := EquivalenceContext(ctx, t1, t2)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("expired-deadline check took %v", elapsed)
+	}
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should unwrap to DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestEmptinessCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A virtual-store transducer takes the path-search route, which
+	// polls the controller per candidate path.
+	_, err := EmptinessContext(ctx, virtualTransducer(true))
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+}
+
+func TestMembershipCanceledContext(t *testing.T) {
+	tr := liveTransducer()
+	target := xmltree.MustParse("r(a)")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MembershipContext(ctx, tr, target, DefaultMembershipOptions(tr, target))
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"ptx/internal/logic"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 	"ptx/internal/value"
 )
 
@@ -29,6 +30,9 @@ import (
 type Env struct {
 	inst  *relation.Instance
 	extra map[string]*relation.Relation
+	// ctl carries the run-control checkpoints (cancellation, fixpoint
+	// iteration budget) down into the evaluator; nil means unlimited.
+	ctl *runctl.Controller
 	// instAdom caches the instance's active domain; the instance is
 	// immutable for the lifetime of an Env chain (registers live in
 	// extra), and concurrent transducer workers share the cache.
@@ -50,13 +54,24 @@ func NewEnv(inst *relation.Instance) *Env {
 // WithRelation returns a copy of the environment in which name resolves
 // to rel, shadowing any instance relation of the same name.
 func (e *Env) WithRelation(name string, rel *relation.Relation) *Env {
-	ne := &Env{inst: e.inst, extra: make(map[string]*relation.Relation, len(e.extra)+1), instAdom: e.instAdom}
+	ne := &Env{inst: e.inst, extra: make(map[string]*relation.Relation, len(e.extra)+1), ctl: e.ctl, instAdom: e.instAdom}
 	for k, v := range e.extra {
 		ne.extra[k] = v
 	}
 	ne.extra[name] = rel
 	return ne
 }
+
+// WithControl returns a copy of the environment whose evaluations check
+// the given run controller (cancellation ticks in quantifier expansion
+// and the fixpoint-iteration budget).
+func (e *Env) WithControl(ctl *runctl.Controller) *Env {
+	ne := &Env{inst: e.inst, extra: e.extra, ctl: ctl, instAdom: e.instAdom}
+	return ne
+}
+
+// Control returns the environment's run controller (possibly nil).
+func (e *Env) Control() *runctl.Controller { return e.ctl }
 
 // Lookup resolves a relation name: extra relations shadow the instance.
 func (e *Env) Lookup(name string) (*relation.Relation, bool) {
@@ -134,14 +149,14 @@ func (b *Bindings) varIndex() map[logic.Var]int {
 // negation normal form so that negations evaluate as anti-join filters
 // instead of active-domain complements wherever possible.
 func Eval(f logic.Formula, env *Env) (*Bindings, error) {
-	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(f))}
+	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(f))}
 	return ev.eval(pushNeg(f))
 }
 
 // EvalNaive evaluates without the negation-pushdown and filter-join
 // optimizations — the ablation baseline (see BenchmarkAblationEval).
 func EvalNaive(f logic.Formula, env *Env) (*Bindings, error) {
-	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(f)), naive: true}
+	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(f)), naive: true}
 	return ev.eval(f)
 }
 
@@ -165,8 +180,11 @@ func EvalQuery(q *logic.Query, env *Env) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev := &evaluator{env: env, adom: env.Domain(logic.Constants(q.F))}
-	b = ev.expandTo(b, q.Head())
+	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(q.F))}
+	b, err = ev.expandTo(b, q.Head())
+	if err != nil {
+		return nil, err
+	}
 	// Reorder columns to head order.
 	idx := b.varIndex()
 	head := q.Head()
@@ -179,11 +197,15 @@ func EvalQuery(q *logic.Query, env *Env) (*relation.Relation, error) {
 
 type evaluator struct {
 	env   *Env
+	ctl   *runctl.Controller
 	adom  []value.V
 	naive bool
 }
 
 func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
+	if err := ev.ctl.Tick(); err != nil {
+		return nil, err
+	}
 	switch g := f.(type) {
 	case *logic.Truth:
 		if g.B {
@@ -220,13 +242,13 @@ func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ev.union(l, r), nil
+		return ev.union(l, r)
 	case *logic.Not:
 		inner, err := ev.eval(g.F)
 		if err != nil {
 			return nil, err
 		}
-		return ev.complement(inner), nil
+		return ev.complement(inner)
 	case *logic.Exists:
 		inner, err := ev.eval(g.F)
 		if err != nil {
@@ -242,10 +264,16 @@ func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
 				return nil, err
 			}
 			want := append(append([]logic.Var{}, logic.FreeVars(g.F)...), missingVars(g.Bound, logic.FreeVars(g.F))...)
-			inner = ev.expandTo(inner, want)
-			neg := ev.complement(inner)
+			inner, err = ev.expandTo(inner, want)
+			if err != nil {
+				return nil, err
+			}
+			neg, err := ev.complement(inner)
+			if err != nil {
+				return nil, err
+			}
 			exNeg := ev.projectOut(neg, g.Bound)
-			return ev.complement(exNeg), nil
+			return ev.complement(exNeg)
 		}
 		// Optimized: ∀x̄ φ ≡ ¬∃x̄ ¬φ with the inner negation pushed to
 		// NNF, so only the final (low-arity) complement touches the
@@ -255,9 +283,12 @@ func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
 			return nil, err
 		}
 		free := logic.FreeVars(g)
-		exNeg = ev.expandTo(exNeg, free)
+		exNeg, err = ev.expandTo(exNeg, free)
+		if err != nil {
+			return nil, err
+		}
 		exNeg = ev.projectTo(exNeg, free)
-		return ev.complement(exNeg), nil
+		return ev.complement(exNeg)
 	case *logic.Fixpoint:
 		return ev.evalFixpoint(g)
 	}
@@ -429,7 +460,7 @@ func (ev *evaluator) join(l, r *Bindings) *Bindings {
 
 // union computes l ∪ r after expanding both sides to the union of their
 // variables over the active domain.
-func (ev *evaluator) union(l, r *Bindings) *Bindings {
+func (ev *evaluator) union(l, r *Bindings) (*Bindings, error) {
 	outVars := append([]logic.Var{}, l.Vars...)
 	set := make(map[logic.Var]bool, len(outVars))
 	for _, v := range outVars {
@@ -441,8 +472,14 @@ func (ev *evaluator) union(l, r *Bindings) *Bindings {
 			set[v] = true
 		}
 	}
-	le := ev.expandTo(l, outVars)
-	re := ev.expandTo(r, outVars)
+	le, err := ev.expandTo(l, outVars)
+	if err != nil {
+		return nil, err
+	}
+	re, err := ev.expandTo(r, outVars)
+	if err != nil {
+		return nil, err
+	}
 	// Align re's columns to le's order.
 	reIdx := re.varIndex()
 	cols := make([]int, len(outVars))
@@ -451,16 +488,25 @@ func (ev *evaluator) union(l, r *Bindings) *Bindings {
 	}
 	aligned := re.Rel.Project(cols...)
 	out := &Bindings{Vars: le.Vars, Rel: relation.Union(le.Rel, aligned)}
-	return out
+	return out, nil
 }
 
 // complement returns adom^k minus the bindings, over the same variables.
-func (ev *evaluator) complement(b *Bindings) *Bindings {
+// The adom^k sweep is one of the two places evaluation cost explodes
+// with the active domain, so it polls the run controller as it goes.
+func (ev *evaluator) complement(b *Bindings) (*Bindings, error) {
 	out := newBindings(b.Vars)
 	t := make(value.Tuple, len(b.Vars))
+	var stop error
 	var rec func(i int)
 	rec = func(i int) {
+		if stop != nil {
+			return
+		}
 		if i == len(b.Vars) {
+			if stop = ev.ctl.Tick(); stop != nil {
+				return
+			}
 			if !b.Rel.Contains(t) {
 				out.Rel.Add(t)
 			}
@@ -469,10 +515,16 @@ func (ev *evaluator) complement(b *Bindings) *Bindings {
 		for _, d := range ev.adom {
 			t[i] = d
 			rec(i + 1)
+			if stop != nil {
+				return
+			}
 		}
 	}
 	rec(0)
-	return out
+	if stop != nil {
+		return nil, stop
+	}
+	return out, nil
 }
 
 // projectOut removes the given variables from the bindings.
@@ -493,8 +545,9 @@ func (ev *evaluator) projectOut(b *Bindings, drop []logic.Var) *Bindings {
 }
 
 // expandTo extends the bindings to cover vars, letting new variables
-// range over the active domain.
-func (ev *evaluator) expandTo(b *Bindings, vars []logic.Var) *Bindings {
+// range over the active domain. Like complement, the expansion is
+// adom^|missing| per tuple, so it polls the run controller.
+func (ev *evaluator) expandTo(b *Bindings, vars []logic.Var) (*Bindings, error) {
 	have := make(map[logic.Var]bool, len(b.Vars))
 	for _, v := range b.Vars {
 		have[v] = true
@@ -508,27 +561,40 @@ func (ev *evaluator) expandTo(b *Bindings, vars []logic.Var) *Bindings {
 		}
 	}
 	if len(missing) == 0 {
-		return b
+		return b, nil
 	}
 	outVars := append(append([]logic.Var{}, b.Vars...), missing...)
 	out := newBindings(outVars)
 	ext := make(value.Tuple, len(missing))
+	var stop error
 	var rec func(base value.Tuple, i int)
 	rec = func(base value.Tuple, i int) {
+		if stop != nil {
+			return
+		}
 		if i == len(missing) {
+			if stop = ev.ctl.Tick(); stop != nil {
+				return
+			}
 			out.Rel.Add(value.Concat(base, ext))
 			return
 		}
 		for _, d := range ev.adom {
 			ext[i] = d
 			rec(base, i+1)
+			if stop != nil {
+				return
+			}
 		}
 	}
 	b.Rel.EachUnordered(func(t value.Tuple) bool {
 		rec(t, 0)
-		return true
+		return stop == nil
 	})
-	return out
+	if stop != nil {
+		return nil, stop
+	}
+	return out, nil
 }
 
 // evalFixpoint computes the inflationary fixpoint of the body and then
@@ -539,14 +605,23 @@ func (ev *evaluator) evalFixpoint(fp *logic.Fixpoint) (*Bindings, error) {
 		return nil, fmt.Errorf("eval: fixpoint %s applied to %d terms, expects %d", fp.Rel, len(fp.Args), k)
 	}
 	stage := relation.New(k)
-	for {
+	for iter := 1; ; iter++ {
+		// The loop is guaranteed to terminate over the finite active
+		// domain, but the number of iterations is only bounded by
+		// |adom|^k — enforce the budget and the deadline here.
+		if err := ev.ctl.FixpointIter(iter); err != nil {
+			return nil, err
+		}
 		stageEnv := ev.env.WithRelation(fp.Rel, stage)
-		inner := &evaluator{env: stageEnv, adom: ev.adom}
+		inner := &evaluator{env: stageEnv, ctl: ev.ctl, adom: ev.adom}
 		b, err := inner.eval(fp.Body)
 		if err != nil {
 			return nil, err
 		}
-		b = inner.expandTo(b, fp.Vars)
+		b, err = inner.expandTo(b, fp.Vars)
+		if err != nil {
+			return nil, err
+		}
 		idx := b.varIndex()
 		cols := make([]int, k)
 		for i, v := range fp.Vars {
@@ -563,7 +638,7 @@ func (ev *evaluator) evalFixpoint(fp *logic.Fixpoint) (*Bindings, error) {
 	}
 	// Apply the fixpoint relation to the argument terms like an atom.
 	atomEnv := ev.env.WithRelation(fp.Rel, stage)
-	inner := &evaluator{env: atomEnv, adom: ev.adom}
+	inner := &evaluator{env: atomEnv, ctl: ev.ctl, adom: ev.adom}
 	return inner.evalAtom(&logic.Atom{Rel: fp.Rel, Args: fp.Args})
 }
 

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/runctl"
+)
+
+// tcFixpoint is the transitive-closure fixpoint over E, the canonical
+// IFP workload: it needs one iteration per chain hop plus one to
+// stabilize.
+func tcFixpoint() *logic.Fixpoint {
+	u, v, w := logic.Var("u"), logic.Var("v"), logic.Var("w")
+	body := logic.Disj(
+		logic.R("E", u, v),
+		logic.Ex([]logic.Var{w}, logic.Conj(logic.R("S", u, w), logic.R("E", w, v))),
+	)
+	return &logic.Fixpoint{Rel: "S", Vars: []logic.Var{u, v}, Body: body, Args: []logic.Term{x, y}}
+}
+
+func chainN(n int) [][2]string {
+	edges := make([][2]string, n)
+	for i := range edges {
+		edges[i] = [2]string{string(rune('a' + i)), string(rune('a' + i + 1))}
+	}
+	return edges
+}
+
+func TestFixpointContextCancel(t *testing.T) {
+	inst := graphInstance(chainN(6)...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done before evaluation starts
+	env := NewEnv(inst).WithControl(runctl.New(ctx, runctl.Limits{}))
+	_, err := Eval(tcFixpoint(), env)
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled fixpoint: got %v, want *runctl.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause should unwrap to context.Canceled, got %v", err)
+	}
+}
+
+func TestFixpointIterationBudget(t *testing.T) {
+	// TC over a 6-hop chain needs 6 productive iterations; cap at 2.
+	inst := graphInstance(chainN(6)...)
+	ctl := runctl.New(context.Background(), runctl.Limits{MaxFixpointIters: 2})
+	env := NewEnv(inst).WithControl(ctl)
+	_, err := Eval(tcFixpoint(), env)
+	var be *runctl.ErrBudget
+	if !errors.As(err, &be) {
+		t.Fatalf("capped fixpoint: got %v, want *runctl.ErrBudget", err)
+	}
+	if be.Kind != runctl.BudgetFixpoint || be.Limit != 2 {
+		t.Fatalf("budget kind/limit = %s/%d, want %s/2", be.Kind, be.Limit, runctl.BudgetFixpoint)
+	}
+
+	// A generous cap must not change the result.
+	env2 := NewEnv(inst).WithControl(runctl.New(context.Background(), runctl.Limits{MaxFixpointIters: 100}))
+	b, err := Eval(tcFixpoint(), env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rel.Len() != 6*7/2 {
+		t.Fatalf("TC size = %d, want 21", b.Rel.Len())
+	}
+}
+
+func TestQuantifierExpansionCancel(t *testing.T) {
+	// ∀u,v.¬E(u,v) forces a complement sweep over adom²; with enough
+	// edges the per-tuple Tick (sampled every 256 calls) must observe a
+	// context canceled before evaluation began.
+	edges := make([][2]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		edges = append(edges, chainN(41)[i])
+	}
+	inst := graphInstance(edges...)
+	u, v := logic.Var("u"), logic.Var("v")
+	f := &logic.Forall{Bound: []logic.Var{u, v}, F: &logic.Not{F: logic.R("E", u, v)}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	env := NewEnv(inst).WithControl(runctl.New(ctx, runctl.Limits{}))
+	// EvalNaive uses the textbook ¬∃¬ route through complement; the
+	// optimized path short-circuits too early to exercise the sweep.
+	_, err := EvalNaive(f, env)
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled quantifier sweep: got %v, want *runctl.ErrCanceled", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ptx/internal/dtd"
+	"ptx/internal/runctl"
 )
 
 // ParseDTD parses the small DTD surface syntax used by the CLI:
@@ -16,7 +17,8 @@ import (
 //
 // Content models use ',' for concatenation, '|' for disjunction,
 // postfix '*', '+', '?', parentheses, and 'empty' for ε.
-func ParseDTD(src string) (*dtd.DTD, error) {
+func ParseDTD(src string) (d *dtd.DTD, err error) {
+	defer runctl.Recover(&err, "parser.ParseDTD")
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -32,7 +34,7 @@ func ParseDTD(src string) (*dtd.DTD, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := dtd.New(root, map[string]dtd.Regex{})
+	d = dtd.New(root, map[string]dtd.Regex{})
 	for p.cur().kind != tokEOF {
 		sym, err := p.expectIdent()
 		if err != nil {

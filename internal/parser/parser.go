@@ -7,6 +7,7 @@ import (
 	"ptx/internal/logic"
 	"ptx/internal/pt"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 )
 
 type parser struct {
@@ -57,15 +58,18 @@ func (p *parser) acceptKeyword(kw string) bool {
 	return false
 }
 
-// ParseTransducer parses a transducer spec.
-func ParseTransducer(src string) (*pt.Transducer, error) {
+// ParseTransducer parses a transducer spec. Malformed input returns an
+// error, never a panic: structural mistakes (duplicate tags, duplicate
+// rules, a virtual root) are reported as parse errors, and any residual
+// panic in the pipeline is contained as a *runctl.ErrInternal.
+func ParseTransducer(src string) (t *pt.Transducer, err error) {
+	defer runctl.Recover(&err, "parser.ParseTransducer")
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
 	schema := relation.NewSchema()
-	var t *pt.Transducer
 	type pendingRule struct {
 		state, tag string
 		items      []pt.RHS
@@ -182,6 +186,29 @@ func ParseTransducer(src string) (*pt.Transducer, error) {
 	if name == "" || rootTag == "" || start == "" {
 		return nil, fmt.Errorf("parser: missing 'transducer <name> root <tag> start <state>' declaration")
 	}
+	// The pt builder methods panic on structural duplicates (they are
+	// programmer errors in API use); for file input they are user
+	// errors, so check them here and report cleanly.
+	arities := map[string]int{rootTag: 0}
+	for _, td := range tags {
+		if a, ok := arities[td.name]; ok && a != td.arity {
+			return nil, fmt.Errorf("parser: tag %q redeclared with arity %d (was %d)", td.name, td.arity, a)
+		}
+		arities[td.name] = td.arity
+	}
+	for _, v := range virtuals {
+		if v == rootTag {
+			return nil, fmt.Errorf("parser: root tag %q cannot be virtual", v)
+		}
+	}
+	seenRules := make(map[[2]string]bool, len(rules))
+	for _, r := range rules {
+		k := [2]string{r.state, r.tag}
+		if seenRules[k] {
+			return nil, fmt.Errorf("parser: duplicate rule for (%s,%s)", r.state, r.tag)
+		}
+		seenRules[k] = true
+	}
 	t = pt.New(name, schema, start, rootTag)
 	for _, td := range tags {
 		t.DeclareTag(td.name, td.arity)
@@ -279,13 +306,14 @@ func (p *parser) parseVarList(end string) ([]logic.Var, error) {
 }
 
 // ParseFormula parses a standalone formula.
-func ParseFormula(src string) (logic.Formula, error) {
+func ParseFormula(src string) (f logic.Formula, err error) {
+	defer runctl.Recover(&err, "parser.ParseFormula")
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	f, err := p.parseFormula()
+	f, err = p.parseFormula()
 	if err != nil {
 		return nil, err
 	}
@@ -511,7 +539,8 @@ func (p *parser) parseAtomOrComparison() (logic.Formula, error) {
 
 // ParseInstance parses a data file of facts rel(v1, v2, …), one per
 // line, against a schema (facts over undeclared relations extend it).
-func ParseInstance(src string, schema *relation.Schema) (*relation.Instance, error) {
+func ParseInstance(src string, schema *relation.Schema) (inst *relation.Instance, err error) {
+	defer runctl.Recover(&err, "parser.ParseInstance")
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -560,7 +589,7 @@ func ParseInstance(src string, schema *relation.Schema) (*relation.Instance, err
 			return nil, err
 		}
 	}
-	inst := relation.NewInstance(schema)
+	inst = relation.NewInstance(schema)
 	for _, f := range facts {
 		inst.Add(f.rel, f.vals...)
 	}

@@ -1,6 +1,7 @@
 package pt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"ptx/internal/eval"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 	"ptx/internal/value"
 	"ptx/internal/xmltree"
 )
@@ -20,12 +22,41 @@ type Options struct {
 	// legitimately produce doubly-exponential trees, so callers may want
 	// a guard.
 	MaxNodes int
+	// MaxDepth aborts the transformation once the tree grows deeper than
+	// this many levels (the root is level 1); 0 means unlimited.
+	// Relation-store transducers can be deep as well as wide: the
+	// register grows along a path, so the ancestor stop condition may
+	// fire only after exponentially many levels.
+	MaxDepth int
 	// Workers > 1 expands independent subtrees concurrently. The output
 	// is identical to the sequential run: each subtree is uniquely
 	// determined by its root's (state, tag, register) and the database
 	// (the paper's determinism argument), and children are ordered
 	// before recursion.
 	Workers int
+	// Limits optionally carries the full run-control limit set (wall
+	// clock, query and fixpoint-iteration budgets). The MaxNodes and
+	// MaxDepth fields above override the corresponding Limits fields
+	// when nonzero.
+	Limits *runctl.Limits
+	// Faults injects deterministic test-only failures (see
+	// runctl.FaultPlan); nil in production.
+	Faults *runctl.FaultPlan
+}
+
+// limits merges the flat Options fields into the optional Limits set.
+func (o Options) limits() runctl.Limits {
+	var l runctl.Limits
+	if o.Limits != nil {
+		l = *o.Limits
+	}
+	if o.MaxNodes > 0 {
+		l.MaxNodes = o.MaxNodes
+	}
+	if o.MaxDepth > 0 {
+		l.MaxDepth = o.MaxDepth
+	}
+	return l
 }
 
 // Stats reports what a run did.
@@ -42,22 +73,47 @@ type Result struct {
 	Stats Stats
 }
 
-// ErrBudget is returned when MaxNodes is exceeded.
-type ErrBudget struct{ Limit int }
-
-func (e *ErrBudget) Error() string {
-	return fmt.Sprintf("pt: transformation exceeded node budget %d", e.Limit)
-}
+// ErrBudget is returned when a resource budget (MaxNodes, MaxDepth, or
+// one of the runctl.Limits budgets) is exceeded; the Kind field names
+// which. It is an alias for runctl.ErrBudget so callers can match it
+// from either package with errors.As.
+type ErrBudget = runctl.ErrBudget
 
 type runner struct {
 	t    *Transducer
 	base *eval.Env
 	opts Options
+	ctl  *runctl.Controller
 
-	nodes   atomic.Int64
+	// cancel tears down the run-scoped context; fail invokes it so that
+	// sibling subtrees abandon work as soon as any branch errors.
+	cancel   context.CancelFunc
+	failOnce sync.Once
+	firstErr error
+
 	queries atomic.Int64
 	stops   atomic.Int64
 	sem     chan struct{}
+}
+
+// fail records the first error of the run and cancels the run context
+// so concurrent siblings stop early. It returns err for convenience.
+func (r *runner) fail(err error) error {
+	r.failOnce.Do(func() {
+		r.firstErr = err
+		r.cancel()
+	})
+	return err
+}
+
+// cause returns the error that actually stopped the run: the first
+// recorded failure if any, else the error bubbled up by expansion.
+// Derived cancellations in sibling branches never mask the root cause.
+func (r *runner) cause(err error) error {
+	if r.firstErr != nil {
+		return r.firstErr
+	}
+	return err
 }
 
 // ancKey identifies an (state, tag, register) ancestor configuration for
@@ -77,19 +133,44 @@ func regKey(reg *relation.Relation) string {
 }
 
 // Run executes the τ-transformation on inst and returns the final tree
-// ξ with registers and states still attached, plus statistics.
+// ξ with registers and states still attached, plus statistics. It is
+// RunContext with a background context.
 func (t *Transducer) Run(inst *relation.Instance, opts Options) (*Result, error) {
+	return t.RunContext(context.Background(), inst, opts)
+}
+
+// RunContext executes the τ-transformation under ctx and the limits in
+// opts. Cancellation (and the Limits.Timeout deadline) is observed
+// between rule-query evaluations, inside quantifier expansion and
+// inside IFP fixpoint loops; on any failure all in-flight sibling
+// expansions are abandoned. Errors are runctl-typed: *runctl.ErrCanceled
+// for cancellation/deadline, *runctl.ErrBudget for exhausted budgets,
+// *runctl.ErrInternal for contained panics.
+func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, opts Options) (res *Result, err error) {
+	defer runctl.Recover(&err, "pt.Run")
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	r := &runner{t: t, base: eval.NewEnv(inst), opts: opts}
+	limits := opts.limits()
+	ctx, cancelT := limits.WithTimeout(ctx)
+	defer cancelT()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ctl := runctl.New(runCtx, limits).WithFaults(opts.Faults)
+	r := &runner{
+		t:      t,
+		base:   eval.NewEnv(inst).WithControl(ctl),
+		opts:   opts,
+		ctl:    ctl,
+		cancel: cancel,
+	}
 	if opts.Workers > 1 {
 		r.sem = make(chan struct{}, opts.Workers)
 	}
 	root := &xmltree.Node{Tag: t.RootTag, State: t.Start, Reg: relation.New(0)}
 	ancestors := map[string]bool{}
 	if err := r.expand(root, ancestors, 1); err != nil {
-		return nil, err
+		return nil, r.cause(err)
 	}
 	tree := &xmltree.Tree{Root: root}
 	stats := Stats{
@@ -104,7 +185,12 @@ func (t *Transducer) Run(inst *relation.Instance, opts Options) (*Result, error)
 // Output executes the transformation and returns the output Σ-tree τ(I):
 // registers and states stripped, virtual tags spliced out.
 func (t *Transducer) Output(inst *relation.Instance, opts Options) (*xmltree.Tree, error) {
-	res, err := t.Run(inst, opts)
+	return t.OutputContext(context.Background(), inst, opts)
+}
+
+// OutputContext is Output under a context (see RunContext).
+func (t *Transducer) OutputContext(ctx context.Context, inst *relation.Instance, opts Options) (*xmltree.Tree, error) {
+	res, err := t.RunContext(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +203,12 @@ func (t *Transducer) Output(inst *relation.Instance, opts Options) (*xmltree.Tre
 // the transformation and returns the union of the registers of all
 // nodes labeled label in the final ξ. label must not be virtual.
 func (t *Transducer) OutputRelation(inst *relation.Instance, label string, opts Options) (*relation.Relation, error) {
+	return t.OutputRelationContext(context.Background(), inst, label, opts)
+}
+
+// OutputRelationContext is OutputRelation under a context (see
+// RunContext).
+func (t *Transducer) OutputRelationContext(ctx context.Context, inst *relation.Instance, label string, opts Options) (*relation.Relation, error) {
 	if t.Virtual[label] {
 		return nil, fmt.Errorf("pt: output label %q is virtual", label)
 	}
@@ -124,7 +216,7 @@ func (t *Transducer) OutputRelation(inst *relation.Instance, label string, opts 
 	if !ok {
 		return nil, fmt.Errorf("pt: output label %q has no declared arity", label)
 	}
-	res, err := t.Run(inst, opts)
+	res, err := t.RunContext(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -138,21 +230,21 @@ func (t *Transducer) OutputRelation(inst *relation.Instance, label string, opts 
 	return out, nil
 }
 
-func (r *runner) checkBudget(extra int) error {
-	if r.opts.MaxNodes <= 0 {
-		return nil
-	}
-	if r.nodes.Add(int64(extra)) > int64(r.opts.MaxNodes) {
-		return &ErrBudget{Limit: r.opts.MaxNodes}
-	}
-	return nil
-}
-
 // expand realizes the step relation ⇒ repeatedly below node n, whose
 // (State, Tag, Reg) describe its current (q, a) labeling and register.
 // ancestors maps ancKey → true for every proper ancestor configuration
 // on the path from the root (the stop condition of Section 3).
+//
+// Every error path goes through r.fail so that concurrent siblings see
+// the run context canceled and abandon their subtrees.
 func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) error {
+	if err := r.ctl.Canceled(); err != nil {
+		return r.fail(err)
+	}
+	if err := r.ctl.Depth(depth); err != nil {
+		return r.fail(err)
+	}
+
 	// Text nodes finalize immediately, carrying the string rendering of
 	// their register.
 	if n.Tag == xmltree.TextTag {
@@ -184,11 +276,14 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	}
 	var specs []childSpec
 	for _, it := range rule.Items {
+		if err := r.ctl.Query(); err != nil {
+			return r.fail(err)
+		}
 		r.queries.Add(1)
 		result, err := eval.EvalQuery(it.Query, env)
 		if err != nil {
-			return fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %v",
-				r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err)
+			return r.fail(fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %w",
+				r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err))
 		}
 		for _, g := range groupByPrefix(result, len(it.Query.GroupVars)) {
 			specs = append(specs, childSpec{state: it.State, tag: it.Tag, reg: g})
@@ -200,8 +295,8 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 		n.State = ""
 		return nil
 	}
-	if err := r.checkBudget(len(specs)); err != nil {
-		return err
+	if err := r.ctl.AddNodes(len(specs)); err != nil {
+		return r.fail(err)
 	}
 
 	n.Children = make([]*xmltree.Node, len(specs))
@@ -228,7 +323,11 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 		return nil
 	}
 
-	// Parallel expansion of independent subtrees.
+	// Parallel expansion of independent subtrees. Each worker contains
+	// its own panics (a panic in a bare goroutine would kill the whole
+	// process) and the first failing child cancels the run context, so
+	// its siblings stop at their next checkpoint instead of expanding
+	// to completion.
 	errs := make([]error, len(n.Children))
 	var wg sync.WaitGroup
 	for i, c := range n.Children {
@@ -238,10 +337,10 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 			go func(i int, c *xmltree.Node) {
 				defer wg.Done()
 				defer func() { <-r.sem }()
-				errs[i] = r.expand(c, childAnc, depth+1)
+				errs[i] = r.safeExpand(c, childAnc, depth+1)
 			}(i, c)
 		default:
-			errs[i] = r.expand(c, childAnc, depth+1)
+			errs[i] = r.safeExpand(c, childAnc, depth+1)
 		}
 	}
 	wg.Wait()
@@ -251,6 +350,19 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 		}
 	}
 	return nil
+}
+
+// safeExpand is expand with panic containment: a panic anywhere below
+// becomes a *runctl.ErrInternal and cancels the run like any other
+// failure.
+func (r *runner) safeExpand(n *xmltree.Node, ancestors map[string]bool, depth int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = r.fail(runctl.InternalFrom(
+				fmt.Sprintf("pt %s: expand (%s,%s)", r.t.Name, n.State, n.Tag), p))
+		}
+	}()
+	return r.expand(n, ancestors, depth)
 }
 
 // groupByPrefix splits a query result (columns x̄·ȳ) into the groups

@@ -1,0 +1,162 @@
+// Run-control acceptance tests for the pt layer. These live in an
+// external test package so they can drive the real divergent workloads
+// from internal/families (which itself imports pt).
+package pt_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ptx/internal/families"
+	"ptx/internal/pt"
+	"ptx/internal/runctl"
+)
+
+// settledGoroutines polls until the goroutine count drops back to at
+// most base+slack, tolerating runtime/test-harness stragglers.
+func settledGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d before\n%s", n, base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelFaultStopsSiblings is the regression test for the
+// sibling-waste bug: when one parallel worker fails, its siblings must
+// abandon their subtrees instead of expanding them to completion. The
+// fault plan fails the 10th query of a run whose full expansion needs
+// thousands; the observed query count after the failed run tells us how
+// much work the siblings still did.
+func TestParallelFaultStopsSiblings(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(10) // ≥ 2^10 leaves when fully unfolded
+
+	full, err := tr.Run(inst, pt.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(full.Stats.QueriesRun)
+	if total < 1000 {
+		t.Fatalf("workload too small to be meaningful: %d queries", total)
+	}
+
+	boom := errors.New("injected query fault")
+	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 10, Err: boom}
+	_, err = tr.Run(inst, pt.Options{Workers: 4, Faults: plan})
+	if !errors.Is(err, boom) {
+		t.Fatalf("faulted run: got %v, want the injected fault as root cause", err)
+	}
+	// Workers in flight when the fault fires may each finish the query
+	// they already started, but nobody should begin fresh subtrees: the
+	// post-fault tally must stay a small fraction of the full run.
+	if got := plan.Observed(); got > total/4 {
+		t.Errorf("siblings kept working after fault: %d of %d queries ran", got, total)
+	}
+}
+
+// TestParallelFaultNoGoroutineLeak hammers the parallel expander with
+// injected faults at varying positions and checks every worker exits.
+func TestParallelFaultNoGoroutineLeak(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(8)
+	base := runtime.NumGoroutine()
+	for n := int64(1); n <= 40; n += 3 {
+		boom := fmt.Errorf("fault at query %d", n)
+		plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: n, Err: boom}
+		_, err := tr.Run(inst, pt.Options{Workers: 8, Faults: plan})
+		if !errors.Is(err, boom) {
+			t.Fatalf("N=%d: got %v, want injected fault", n, err)
+		}
+	}
+	settledGoroutines(t, base)
+}
+
+func TestMaxDepthBudget(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(12)
+	_, err := tr.Run(inst, pt.Options{MaxDepth: 5})
+	var be *runctl.ErrBudget
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *runctl.ErrBudget", err)
+	}
+	if be.Kind != runctl.BudgetDepth || be.Limit != 5 {
+		t.Fatalf("budget kind/limit = %s/%d, want %s/5", be.Kind, be.Limit, runctl.BudgetDepth)
+	}
+}
+
+// TestDeadlineAcceptance is the ISSUE acceptance criterion: the
+// doubly-exponential counter transducer of Proposition 1(4), run in
+// parallel under a 100ms deadline, must come back with a typed
+// cancellation within ~2× the deadline and leak nothing.
+func TestDeadlineAcceptance(t *testing.T) {
+	tr := families.CounterTransducer()
+	inst := families.CounterInstance(6) // would need 2^64 nodes to finish
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.RunContext(ctx, inst, pt.Options{Workers: 4})
+	elapsed := time.Since(start)
+
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("divergent run under deadline: got %v, want *runctl.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should unwrap to DeadlineExceeded, got %v", err)
+	}
+	// ~2× the deadline, with slack for slow CI machines.
+	if elapsed > 400*time.Millisecond {
+		t.Errorf("run took %v after a 100ms deadline", elapsed)
+	}
+	settledGoroutines(t, base)
+}
+
+// TestTimeoutViaLimits exercises the same deadline through
+// Options.Limits instead of an explicit context.
+func TestTimeoutViaLimits(t *testing.T) {
+	tr := families.CounterTransducer()
+	inst := families.CounterInstance(6)
+	start := time.Now()
+	_, err := tr.Run(inst, pt.Options{
+		Workers: 2,
+		Limits:  &runctl.Limits{Timeout: 100 * time.Millisecond},
+	})
+	elapsed := time.Since(start)
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Errorf("run took %v after a 100ms Limits.Timeout", elapsed)
+	}
+}
+
+// TestSequentialFaultTyped checks fault injection works without the
+// parallel machinery too (Workers=1 path).
+func TestSequentialFaultTyped(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	boom := errors.New("sequential fault")
+	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 5, Err: boom}
+	_, err := tr.Run(inst, pt.Options{Faults: plan})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want injected fault", err)
+	}
+}

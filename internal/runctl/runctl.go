@@ -1,0 +1,279 @@
+// Package runctl is the run-control layer shared by the long-running
+// parts of the system: the transducer runner (internal/pt), the formula
+// evaluator (internal/eval) and the decision procedures
+// (internal/decide).
+//
+// The paper guarantees that every transformation terminates
+// (Proposition 1(1)), but termination is a weak promise in practice:
+// relation-store transducers legitimately produce doubly-exponential
+// trees (Proposition 1(4)), and the static analyses range from NP-hard
+// to non-elementary, so any of these calls can run effectively forever
+// on hostile input. runctl turns "effectively forever" into a typed,
+// inspectable error:
+//
+//   - Limits bounds a run by wall clock, generated nodes, tree depth,
+//     evaluated queries and fixpoint iterations;
+//   - Controller binds a context.Context to a Limits value and hands
+//     out cheap, concurrency-safe checkpoints;
+//   - ErrCanceled / ErrBudget / ErrInternal are errors.Is/As-friendly
+//     error types that callers can dispatch on;
+//   - Recover converts internal panics at an API boundary into
+//     *ErrInternal instead of killing the process;
+//   - FaultPlan is a test-only deterministic fault injector ("fail the
+//     Nth query") used to prove that errors propagate cleanly through
+//     concurrent expansion.
+//
+// All Controller methods are safe on a nil receiver, which means
+// call sites can thread a controller unconditionally and pay nothing
+// when no limits are configured.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// BudgetKind names the resource whose budget was exhausted.
+type BudgetKind string
+
+const (
+	BudgetNodes      BudgetKind = "nodes"
+	BudgetDepth      BudgetKind = "tree-depth"
+	BudgetQueries    BudgetKind = "queries"
+	BudgetFixpoint   BudgetKind = "fixpoint-iterations"
+	BudgetCandidates BudgetKind = "candidates"
+)
+
+// Limits bounds a run. The zero value imposes no limits.
+type Limits struct {
+	// Timeout is the wall-clock budget for the whole run; applied as a
+	// context deadline by WithTimeout. 0 means none.
+	Timeout time.Duration
+	// MaxNodes caps the number of generated tree nodes.
+	MaxNodes int
+	// MaxDepth caps the depth of the generated tree (the root is at
+	// depth 1).
+	MaxDepth int
+	// MaxQueries caps the number of rule-query evaluations.
+	MaxQueries int
+	// MaxFixpointIters caps the iterations of any single inflationary
+	// fixpoint loop.
+	MaxFixpointIters int
+}
+
+// WithTimeout derives a context carrying the wall-clock budget. The
+// returned cancel func must always be called.
+func (l Limits) WithTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if l.Timeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, l.Timeout)
+}
+
+// ErrCanceled reports that a run stopped because its context was
+// canceled or its deadline expired. It unwraps to the context error, so
+// errors.Is(err, context.DeadlineExceeded) works.
+type ErrCanceled struct{ Cause error }
+
+func (e *ErrCanceled) Error() string {
+	return fmt.Sprintf("runctl: run canceled: %v", e.Cause)
+}
+
+func (e *ErrCanceled) Unwrap() error { return e.Cause }
+
+// ErrBudget reports that a resource budget was exhausted. The result of
+// the interrupted computation is unknown ("undecided"), not negative.
+type ErrBudget struct {
+	Kind  BudgetKind
+	Limit int
+}
+
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("runctl: %s budget exhausted (limit %d)", e.Kind, e.Limit)
+}
+
+// ErrInternal wraps a panic recovered at a public API boundary, with
+// the operation that was running and the stack at the panic site.
+type ErrInternal struct {
+	Op    string
+	Panic any
+	Stack []byte
+}
+
+func (e *ErrInternal) Error() string {
+	return fmt.Sprintf("runctl: internal error in %s: %v", e.Op, e.Panic)
+}
+
+// InternalFrom builds an *ErrInternal for a recovered panic value,
+// capturing the current stack.
+func InternalFrom(op string, p any) *ErrInternal {
+	return &ErrInternal{Op: op, Panic: p, Stack: debug.Stack()}
+}
+
+// Recover is deferred at public API boundaries: it converts a panic in
+// the enclosed call into an *ErrInternal assigned to *errp.
+//
+//	func Public() (err error) {
+//	    defer runctl.Recover(&err, "pkg.Public")
+//	    ...
+//	}
+func Recover(errp *error, op string) {
+	if p := recover(); p != nil {
+		*errp = InternalFrom(op, p)
+	}
+}
+
+// Op identifies an operation class for fault injection.
+type Op string
+
+const (
+	// OpQuery is one rule-query evaluation.
+	OpQuery Op = "query"
+	// OpNode is one batch of node materializations.
+	OpNode Op = "node"
+)
+
+// FaultPlan deterministically fails the Nth operation of a kind; it is
+// test-only plumbing for proving error propagation through concurrent
+// expansion. The zero value (and nil) injects nothing.
+type FaultPlan struct {
+	Op  Op
+	N   int64 // 1-based index of the operation to fail; 0 disables
+	Err error // the error to inject
+
+	count atomic.Int64
+}
+
+// check counts an operation and returns the injected error exactly on
+// the Nth occurrence of the planned kind.
+func (p *FaultPlan) check(op Op) error {
+	if p == nil || p.N <= 0 || p.Op != op {
+		return nil
+	}
+	if p.count.Add(1) == p.N {
+		return p.Err
+	}
+	return nil
+}
+
+// Observed reports how many operations of the planned kind have been
+// counted so far — a direct measure of how much work ran before (and
+// concurrently with) the injected fault.
+func (p *FaultPlan) Observed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.count.Load()
+}
+
+// Controller binds a context to a set of limits and shares counters
+// across the goroutines of one run. A nil *Controller is valid and
+// imposes no limits.
+type Controller struct {
+	ctx    context.Context
+	limits Limits
+	faults *FaultPlan
+
+	nodes   atomic.Int64
+	queries atomic.Int64
+	ticks   atomic.Uint64
+}
+
+// New builds a controller for one run. ctx carries cancellation and the
+// wall-clock deadline (see Limits.WithTimeout).
+func New(ctx context.Context, limits Limits) *Controller {
+	return &Controller{ctx: ctx, limits: limits}
+}
+
+// WithFaults attaches a fault-injection plan and returns the receiver.
+func (c *Controller) WithFaults(p *FaultPlan) *Controller {
+	if c != nil {
+		c.faults = p
+	}
+	return c
+}
+
+// Canceled returns a typed *ErrCanceled when the run's context is done.
+func (c *Controller) Canceled() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return &ErrCanceled{Cause: err}
+	}
+	return nil
+}
+
+// Tick is a cheap cancellation probe for tight inner loops: it checks
+// the context only every few hundred calls.
+func (c *Controller) Tick() error {
+	if c == nil {
+		return nil
+	}
+	if c.ticks.Add(1)&0xFF != 0 {
+		return nil
+	}
+	return c.Canceled()
+}
+
+// AddNodes charges n generated nodes against the node budget.
+func (c *Controller) AddNodes(n int) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.faults.check(OpNode); err != nil {
+		return err
+	}
+	if c.limits.MaxNodes > 0 && c.nodes.Add(int64(n)) > int64(c.limits.MaxNodes) {
+		return &ErrBudget{Kind: BudgetNodes, Limit: c.limits.MaxNodes}
+	}
+	return nil
+}
+
+// Depth checks the tree-depth budget for a node at the given depth
+// (root = 1).
+func (c *Controller) Depth(d int) error {
+	if c == nil {
+		return nil
+	}
+	if c.limits.MaxDepth > 0 && d > c.limits.MaxDepth {
+		return &ErrBudget{Kind: BudgetDepth, Limit: c.limits.MaxDepth}
+	}
+	return nil
+}
+
+// Query charges one rule-query evaluation: it checks cancellation, the
+// fault plan and the query budget.
+func (c *Controller) Query() error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Canceled(); err != nil {
+		return err
+	}
+	if err := c.faults.check(OpQuery); err != nil {
+		return err
+	}
+	if c.limits.MaxQueries > 0 && c.queries.Add(1) > int64(c.limits.MaxQueries) {
+		return &ErrBudget{Kind: BudgetQueries, Limit: c.limits.MaxQueries}
+	}
+	return nil
+}
+
+// FixpointIter checks cancellation and the iteration budget at the top
+// of the iter-th pass (1-based) of an inflationary fixpoint loop.
+func (c *Controller) FixpointIter(iter int) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Canceled(); err != nil {
+		return err
+	}
+	if c.limits.MaxFixpointIters > 0 && iter > c.limits.MaxFixpointIters {
+		return &ErrBudget{Kind: BudgetFixpoint, Limit: c.limits.MaxFixpointIters}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilControllerIsUnlimited(t *testing.T) {
+	var c *Controller
+	if err := c.Canceled(); err != nil {
+		t.Fatalf("nil Canceled: %v", err)
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatalf("nil Tick: %v", err)
+	}
+	if err := c.AddNodes(1 << 30); err != nil {
+		t.Fatalf("nil AddNodes: %v", err)
+	}
+	if err := c.Depth(1 << 30); err != nil {
+		t.Fatalf("nil Depth: %v", err)
+	}
+	if err := c.Query(); err != nil {
+		t.Fatalf("nil Query: %v", err)
+	}
+	if err := c.FixpointIter(1 << 30); err != nil {
+		t.Fatalf("nil FixpointIter: %v", err)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxNodes: 10})
+	if err := c.AddNodes(7); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := c.AddNodes(7)
+	var be *ErrBudget
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *ErrBudget, got %T: %v", err, err)
+	}
+	if be.Kind != BudgetNodes || be.Limit != 10 {
+		t.Fatalf("wrong budget report: %+v", be)
+	}
+}
+
+func TestDepthBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxDepth: 3})
+	if err := c.Depth(3); err != nil {
+		t.Fatalf("depth 3 within budget: %v", err)
+	}
+	err := c.Depth(4)
+	var be *ErrBudget
+	if !errors.As(err, &be) || be.Kind != BudgetDepth {
+		t.Fatalf("expected depth budget error, got %v", err)
+	}
+}
+
+func TestQueryBudgetAndCancellation(t *testing.T) {
+	c := New(context.Background(), Limits{MaxQueries: 2})
+	if err := c.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Query(); err != nil {
+		t.Fatal(err)
+	}
+	var be *ErrBudget
+	if err := c.Query(); !errors.As(err, &be) || be.Kind != BudgetQueries {
+		t.Fatalf("expected query budget error, got %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c2 := New(ctx, Limits{})
+	err := c2.Query()
+	var ce *ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *ErrCanceled, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCanceled should unwrap to context.Canceled: %v", err)
+	}
+}
+
+func TestDeadlineUnwrapsToDeadlineExceeded(t *testing.T) {
+	l := Limits{Timeout: time.Millisecond}
+	ctx, cancel := l.WithTimeout(context.Background())
+	defer cancel()
+	<-ctx.Done()
+	err := New(ctx, l).Canceled()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded in chain, got %v", err)
+	}
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	p := &FaultPlan{Op: OpQuery, N: 3, Err: boom}
+	c := New(context.Background(), Limits{}).WithFaults(p)
+	for i := 1; i <= 5; i++ {
+		err := c.Query()
+		if i == 3 && !errors.Is(err, boom) {
+			t.Fatalf("op %d: expected injected fault, got %v", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("op %d: unexpected error %v", i, err)
+		}
+	}
+	if got := p.Observed(); got != 5 {
+		t.Fatalf("Observed() = %d, want 5", got)
+	}
+	// Node ops are not counted against a query plan.
+	if err := c.AddNodes(1); err != nil {
+		t.Fatalf("AddNodes hit a query fault plan: %v", err)
+	}
+	if got := p.Observed(); got != 5 {
+		t.Fatalf("Observed() after node op = %d, want 5", got)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err, "runctl.test")
+		panic("kaboom")
+	}
+	err := f()
+	var ie *ErrInternal
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected *ErrInternal, got %T: %v", err, err)
+	}
+	if ie.Op != "runctl.test" || ie.Panic != "kaboom" || len(ie.Stack) == 0 {
+		t.Fatalf("incomplete internal error: %+v", ie)
+	}
+}
+
+func TestTickEventuallySeesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(ctx, Limits{})
+	var err error
+	for i := 0; i < 1024 && err == nil; i++ {
+		err = c.Tick()
+	}
+	var ce *ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("Tick never observed cancellation: %v", err)
+	}
+}
