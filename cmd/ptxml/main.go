@@ -5,6 +5,7 @@
 //
 //	ptxml -spec view.pt -data facts.db [-canonical] [-stats] [-workers N]
 //	      [-max-nodes N] [-max-depth N] [-timeout D]
+//	      [-cache off|query|subtree] [-cache-size N]
 //
 // The spec syntax is documented in internal/parser; the data file holds
 // one fact per line, e.g. course(CS401, Compilers, CS).
@@ -46,7 +47,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxNodesOld := fs.Int("max", 0, "deprecated alias for -max-nodes")
 	maxDepth := fs.Int("max-depth", 0, "tree-depth budget (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+	cacheFlag := fs.String("cache", "off", "memoization level: off, query or subtree (subtree needs -max-nodes 0 -max-depth 0)")
+	cacheSize := fs.Int("cache-size", 0, "cache capacity in entries (0 = default)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cacheMode, err := pt.ParseCacheMode(*cacheFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "ptxml:", err)
 		return 2
 	}
 	if *specPath == "" || *dataPath == "" {
@@ -75,15 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := pt.Options{
-		MaxNodes: *maxNodes,
-		MaxDepth: *maxDepth,
-		Workers:  *workers,
-		Limits:   &runctl.Limits{Timeout: *timeout},
+		MaxNodes:  *maxNodes,
+		MaxDepth:  *maxDepth,
+		Workers:   *workers,
+		Limits:    &runctl.Limits{Timeout: *timeout},
+		Cache:     cacheMode,
+		CacheSize: *cacheSize,
 	}
 	start := time.Now()
 	res, err := tr.RunContext(context.Background(), inst, opts)
 	if err != nil {
 		return fail(stderr, err)
+	}
+	if cacheMode == pt.CacheSubtrees && res.Stats.CacheMode != pt.CacheSubtrees {
+		fmt.Fprintf(stderr, "ptxml: note: -cache subtree downgraded to %q (node/depth budgets or virtual tags disable subtree sharing; pass -max-nodes 0 -max-depth 0 to enable it)\n",
+			res.Stats.CacheMode)
 	}
 	out := res.Xi.Clone().Strip()
 	out.SpliceVirtual(tr.Virtual)
@@ -94,9 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, out.XML())
 	}
 	if *stats {
-		fmt.Fprintf(stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d elapsed=%v\n",
-			tr.Classify(), res.Stats.Nodes, res.Stats.MaxDepth,
-			res.Stats.QueriesRun, res.Stats.StopsApplied, time.Since(start).Round(time.Millisecond))
+		s := res.Stats
+		fmt.Fprintf(stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d cache=%s hits=%d misses=%d evictions=%d shared=%d shared-nodes=%d elapsed=%v\n",
+			tr.Classify(), s.Nodes, s.MaxDepth, s.QueriesRun, s.StopsApplied,
+			s.CacheMode, s.CacheHits, s.CacheMisses, s.CacheEvictions,
+			s.SubtreesShared, s.NodesShared, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
 }

@@ -176,11 +176,26 @@ func EvalSentence(f logic.Formula, env *Env) (bool, error) {
 // head x̄·ȳ. Head variables that do not occur free in the formula range
 // over the active domain (standard relativized semantics).
 func EvalQuery(q *logic.Query, env *Env) (*relation.Relation, error) {
-	b, err := Eval(q.F, env)
+	return evalQueryWith(q, env, false)
+}
+
+// EvalQueryNaive is EvalQuery on the unoptimized evaluator (no negation
+// pushdown, no filter joins) — the differential baseline used by the
+// fuzz and cache-equivalence suites.
+func EvalQueryNaive(q *logic.Query, env *Env) (*relation.Relation, error) {
+	return evalQueryWith(q, env, true)
+}
+
+func evalQueryWith(q *logic.Query, env *Env, naive bool) (*relation.Relation, error) {
+	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(q.F)), naive: naive}
+	f := q.F
+	if !naive {
+		f = pushNeg(f)
+	}
+	b, err := ev.eval(f)
 	if err != nil {
 		return nil, err
 	}
-	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(q.F))}
 	b, err = ev.expandTo(b, q.Head())
 	if err != nil {
 		return nil, err

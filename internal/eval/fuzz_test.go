@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// fuzzDecoder turns a fuzz byte stream into a small instance and a
+// random CQ/FO formula, deterministically: the same bytes always yield
+// the same workload, so crashes are replayable from the corpus.
+type fuzzDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *fuzzDecoder) byte() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+// instance decodes a few A(1) and E(2) facts over the domain {0,1,2}.
+func (d *fuzzDecoder) instance(s *relation.Schema) *relation.Instance {
+	inst := relation.NewInstance(s)
+	for k := int(d.byte()) % 4; k > 0; k-- {
+		inst.Add("A", string(value.Of(int(d.byte())%3)))
+	}
+	for k := int(d.byte()) % 5; k > 0; k-- {
+		inst.Add("E", string(value.Of(int(d.byte())%3)), string(value.Of(int(d.byte())%3)))
+	}
+	inst.Add("A", "0") // keep the active domain nonempty
+	return inst
+}
+
+// formula decodes a CQ/FO formula of bounded depth over A, E, x/y/z and
+// the constants 0..2. Depth bounds keep the naive evaluator's
+// complement/quantifier blowup affordable per fuzz exec.
+func (d *fuzzDecoder) formula(depth int) logic.Formula {
+	vars := []logic.Var{"x", "y", "z"}
+	v := func() logic.Var { return vars[int(d.byte())%len(vars)] }
+	term := func() logic.Term {
+		if d.byte()%4 == 0 {
+			return logic.Const(value.Of(int(d.byte()) % 3))
+		}
+		return v()
+	}
+	if depth <= 0 {
+		switch d.byte() % 5 {
+		case 0:
+			return logic.R("A", term())
+		case 1:
+			return logic.R("E", term(), term())
+		case 2:
+			return logic.EqT(term(), term())
+		case 3:
+			return logic.NeqT(term(), term())
+		default:
+			return logic.True
+		}
+	}
+	switch d.byte() % 7 {
+	case 0:
+		return &logic.And{L: d.formula(depth - 1), R: d.formula(depth - 1)}
+	case 1:
+		return &logic.Or{L: d.formula(depth - 1), R: d.formula(depth - 1)}
+	case 2:
+		return &logic.Not{F: d.formula(depth - 1)}
+	case 3:
+		return logic.Ex([]logic.Var{v()}, d.formula(depth-1))
+	case 4:
+		return logic.All([]logic.Var{v()}, d.formula(depth-1))
+	default:
+		return d.formula(0)
+	}
+}
+
+// FuzzDifferentialEval is the differential oracle of this package: on
+// every decoded (instance, formula) pair, the optimized evaluator
+// (EvalQuery, NNF + filtered joins), the textbook active-domain
+// evaluator (EvalQueryNaive, ¬ via complement, ∀ via ¬∃¬) and the
+// memoized evaluator (EvalQueryMemo, twice — the second call exercising
+// the hit path) must agree exactly.
+func FuzzDifferentialEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 2, 4, 0, 1, 1, 2, 2, 0, 0, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte("differential eval seed: quantifiers and negation"))
+	f.Add([]byte{1, 2, 2, 1, 0, 2, 4, 3, 3, 2, 1, 0, 255, 128, 64, 32, 16, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &fuzzDecoder{data: data}
+		s := relation.NewSchema().MustDeclare("A", 1).MustDeclare("E", 2)
+		inst := d.instance(s)
+		fla := d.formula(1 + int(d.byte())%3)
+		free := SortedVars(logic.FreeVars(fla))
+		q, err := logic.NewQuery(nil, free, fla)
+		if err != nil {
+			t.Skip() // e.g. sentences with empty heads
+		}
+		env := NewEnv(inst)
+
+		opt, err1 := EvalQuery(q, env)
+		naive, err2 := EvalQueryNaive(q, env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: optimized %v, naive %v on %s", err1, err2, fla)
+		}
+		if err1 != nil {
+			return
+		}
+		if !opt.Equal(naive) {
+			t.Fatalf("optimized and naive disagree on %s\n optimized %s\n naive     %s\n instance %s",
+				fla, opt, naive, inst)
+		}
+
+		m := NewMemo(0)
+		cold, err := EvalQueryMemo(q, env, m)
+		if err != nil {
+			t.Fatalf("memo (cold): %v on %s", err, fla)
+		}
+		warm, err := EvalQueryMemo(q, env, m)
+		if err != nil {
+			t.Fatalf("memo (warm): %v on %s", err, fla)
+		}
+		if !cold.Equal(opt) || !warm.Equal(opt) {
+			t.Fatalf("memoized evaluation disagrees on %s", fla)
+		}
+		if hits, _, _ := m.Stats(); hits != 1 {
+			t.Fatalf("second memo call should hit (hits=%d) on %s", hits, fla)
+		}
+	})
+}

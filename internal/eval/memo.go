@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ptx/internal/logic"
+	"ptx/internal/lru"
+	"ptx/internal/relation"
+)
+
+// Memo is a bounded, concurrency-safe memoization table for rule-query
+// results. A publishing transducer is deterministic: the result of a
+// rule query at a node is a function of only (query, register, database)
+// — the same argument Proposition 1 uses to bound tree sizes — so over a
+// fixed database the pair (query identity, register fingerprint) is a
+// sound cache key. The relation-store families of Proposition 1 revisit
+// the same configuration at exponentially many nodes, which is exactly
+// where the memo pays off.
+//
+// Contract:
+//
+//   - one Memo serves evaluations over ONE immutable database instance
+//     (in pt, the memo is per-run and dropped with the run);
+//   - cached relations are returned by reference and must be treated as
+//     immutable by every caller;
+//   - failed evaluations are never stored (see EvalQueryMemo), so a
+//     canceled, budget-exhausted or fault-injected run cannot poison
+//     the cache for concurrently running siblings.
+type Memo struct {
+	mu  sync.Mutex
+	lru *lru.Cache[*relation.Relation]
+	ids map[*logic.Query]int64
+	nid int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// DefaultMemoSize bounds a memo when the caller passes a non-positive
+// capacity. 64k entries keeps memory proportional to the number of
+// distinct (query, register) configurations, never to tree size.
+const DefaultMemoSize = 1 << 16
+
+// NewMemo returns a memo holding at most capacity results (capacity ≤ 0
+// selects DefaultMemoSize).
+func NewMemo(capacity int) *Memo {
+	if capacity <= 0 {
+		capacity = DefaultMemoSize
+	}
+	m := &Memo{ids: make(map[*logic.Query]int64)}
+	m.lru = lru.New[*relation.Relation](capacity, func(string, *relation.Relation) {
+		m.evictions.Add(1)
+	})
+	return m
+}
+
+// key builds the cache key for (query identity, register fingerprint).
+// Queries are identified by pointer: within one run the rule set is
+// fixed, so pointer identity is stable and cheaper than hashing the
+// formula rendering. Must be called with mu held.
+func (m *Memo) key(q *logic.Query, regFP string) string {
+	id, ok := m.ids[q]
+	if !ok {
+		m.nid++
+		id = m.nid
+		m.ids[q] = id
+	}
+	return strconv.FormatInt(id, 10) + "|" + regFP
+}
+
+// Get returns the cached result of q against a register with the given
+// fingerprint, counting a hit or miss.
+func (m *Memo) Get(q *logic.Query, regFP string) (*relation.Relation, bool) {
+	m.mu.Lock()
+	rel, ok := m.lru.Get(m.key(q, regFP))
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return rel, ok
+}
+
+// Put stores a successful result. Callers must never store a result
+// produced by a failed (canceled, budget-exhausted, fault-injected)
+// evaluation.
+func (m *Memo) Put(q *logic.Query, regFP string, rel *relation.Relation) {
+	m.mu.Lock()
+	m.lru.Put(m.key(q, regFP), rel)
+	m.mu.Unlock()
+}
+
+// Stats reports cumulative hit/miss/eviction counts.
+func (m *Memo) Stats() (hits, misses, evictions int64) {
+	return m.hits.Load(), m.misses.Load(), m.evictions.Load()
+}
+
+// extraFingerprint canonically fingerprints the environment's extra
+// relations (registers, fixpoint stages) — the only evaluation inputs
+// that vary across nodes of one run. Names are sorted so the encoding
+// is deterministic; each component is self-delimiting.
+func (e *Env) extraFingerprint() string {
+	if len(e.extra) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(e.extra))
+	for n := range e.extra {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	var b []byte
+	for _, n := range names {
+		b = strconv.AppendInt(b, int64(len(n)), 10)
+		b = append(b, ':')
+		b = append(b, n...)
+		k := e.extra[n].Key()
+		b = strconv.AppendInt(b, int64(len(k)), 10)
+		b = append(b, ':')
+		b = append(b, k...)
+	}
+	return string(b)
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// EvalQueryMemo is EvalQuery through a memo: it returns the cached
+// result when the (query, extra-relation fingerprint) pair has been
+// evaluated before, and evaluates-then-stores otherwise. Errors are
+// returned without caching. The returned relation is shared with the
+// memo and must not be mutated.
+func EvalQueryMemo(q *logic.Query, env *Env, m *Memo) (*relation.Relation, error) {
+	fp := env.extraFingerprint()
+	if rel, ok := m.Get(q, fp); ok {
+		return rel, nil
+	}
+	rel, err := EvalQuery(q, env)
+	if err != nil {
+		return nil, err
+	}
+	m.Put(q, fp, rel)
+	return rel, nil
+}

@@ -1,0 +1,77 @@
+package lru
+
+import "testing"
+
+func TestGetPutEvictOrder(t *testing.T) {
+	var evicted []string
+	c := New[int](3, func(k string, v int) { evicted = append(evicted, k) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Touch a so b becomes least recently used.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	c.Put("d", 4)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be gone")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should survive", k)
+		}
+	}
+}
+
+func TestPutUpdateDoesNotEvict(t *testing.T) {
+	evictions := 0
+	c := New[int](2, func(string, int) { evictions++ })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // update, not insert
+	if evictions != 0 {
+		t.Fatalf("update evicted %d entries", evictions)
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+	// b is now LRU; one more insert evicts it.
+	c.Put("c", 3)
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New[string](1, nil)
+	for i, k := range []string{"x", "y", "z"} {
+		c.Put(k, k)
+		if c.Len() != 1 {
+			t.Fatalf("step %d: len = %d", i, c.Len())
+		}
+	}
+	if _, ok := c.Get("y"); ok {
+		t.Error("only the last key should remain")
+	}
+	if v, ok := c.Get("z"); !ok || v != "z" {
+		t.Errorf("Get(z) = %q,%v", v, ok)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 should panic")
+		}
+	}()
+	New[int](0, nil)
+}

@@ -1,0 +1,238 @@
+// Cache-equivalence acceptance tests: every cache mode must produce
+// byte-identical output and identical logical-tree statistics on every
+// family, sequentially and in parallel, with and without injected
+// faults. These live in the external test package so they can drive the
+// real paper families from internal/families.
+package pt_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ptx/internal/families"
+	"ptx/internal/parser"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+)
+
+var allModes = []pt.CacheMode{pt.CacheOff, pt.CacheQueries, pt.CacheSubtrees}
+
+// fixture is one (transducer, instance) workload for the equivalence
+// suite.
+type fixture struct {
+	name string
+	tr   *pt.Transducer
+	inst *relation.Instance
+}
+
+func familyFixtures() []fixture {
+	via := relation.NewInstance(families.ViaSchema())
+	via.Add("E", "c1", "x")
+	via.Add("E", "x", "c2")
+	via.Add("E", "c2", "y")
+	via.Add("E", "y", "c3")
+
+	pc := relation.NewInstance(families.PathCountSchema())
+	pc.Add("S", "s")
+	pc.Add("T", "t")
+	pc.Add("R", "s", "m1")
+	pc.Add("R", "s", "m2")
+	pc.Add("R", "m1", "t")
+	pc.Add("R", "m2", "t")
+
+	return []fixture{
+		{"unfold-diamond-6", families.UnfoldTransducer(), families.DiamondChain(6)},
+		{"counter-2", families.CounterTransducer(), families.CounterInstance(2)},
+		{"via-chain", families.ViaTransducer(), via},
+		{"pathcount-virtual", families.PathCountTransducer(), pc},
+	}
+}
+
+// output runs the transducer and returns the rendered XML plus stats.
+func output(t *testing.T, f fixture, opts pt.Options) (string, pt.Stats) {
+	t.Helper()
+	if opts.Limits == nil {
+		opts.Limits = &runctl.Limits{Timeout: 2 * time.Minute}
+	}
+	res, err := f.tr.Run(f.inst, opts)
+	if err != nil {
+		t.Fatalf("%s %v: %v", f.name, opts.Cache, err)
+	}
+	out := res.Xi.Clone().Strip()
+	out.SpliceVirtual(f.tr.Virtual)
+	return out.XML(), res.Stats
+}
+
+// TestCacheEquivalenceFamilies is the core soundness suite: for every
+// family, every cache mode and both sequential and parallel expansion
+// produce byte-identical XML and identical logical-tree statistics.
+func TestCacheEquivalenceFamilies(t *testing.T) {
+	for _, f := range familyFixtures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			base, baseStats := output(t, f, pt.Options{})
+			for _, mode := range allModes {
+				for _, workers := range []int{1, 4} {
+					got, stats := output(t, f, pt.Options{Cache: mode, Workers: workers})
+					if got != base {
+						t.Errorf("cache=%v workers=%d: output differs from cache-off baseline", mode, workers)
+					}
+					if stats.Nodes != baseStats.Nodes || stats.MaxDepth != baseStats.MaxDepth ||
+						stats.StopsApplied != baseStats.StopsApplied {
+						t.Errorf("cache=%v workers=%d: logical stats differ: got %+v want %+v",
+							mode, workers, stats, baseStats)
+					}
+					if mode != pt.CacheOff && stats.QueriesRun > baseStats.QueriesRun {
+						t.Errorf("cache=%v workers=%d: ran MORE queries (%d) than cache-off (%d)",
+							mode, workers, stats.QueriesRun, baseStats.QueriesRun)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCacheEquivalenceSpecs runs every checked-in example spec through
+// all cache modes and demands byte-identical XML.
+func TestCacheEquivalenceSpecs(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	specs, err := filepath.Glob(filepath.Join(dir, "*.pt"))
+	if err != nil || len(specs) == 0 {
+		t.Skipf("no example specs found in %s", dir)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "registrar.db"))
+	if err != nil {
+		t.Skipf("no registrar.db: %v", err)
+	}
+	for _, path := range specs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := parser.ParseTransducer(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := parser.ParseInstance(string(data), tr.Schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := fixture{name: filepath.Base(path), tr: tr, inst: inst}
+			base, _ := output(t, f, pt.Options{})
+			for _, mode := range allModes[1:] {
+				for _, workers := range []int{1, 4} {
+					if got, _ := output(t, f, pt.Options{Cache: mode, Workers: workers}); got != base {
+						t.Errorf("cache=%v workers=%d: output differs from baseline", mode, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubtreeSharingReducesQueries is the Proposition 1(3) acceptance
+// bound of this PR: on the exponential unfold family the subtree cache
+// must cut rule-query evaluations by at least 5× (it actually collapses
+// the 2ⁿ-leaf tree to one expansion per graph vertex).
+func TestSubtreeSharingReducesQueries(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(10)
+	f := fixture{name: "unfold-diamond-10", tr: tr, inst: inst}
+
+	base, off := output(t, f, pt.Options{})
+	shared, sub := output(t, f, pt.Options{Cache: pt.CacheSubtrees})
+	if sub.CacheMode != pt.CacheSubtrees {
+		t.Fatalf("effective mode = %v, want subtree (no budgets, no virtual tags)", sub.CacheMode)
+	}
+	if shared != base {
+		t.Fatal("subtree-shared output differs from baseline")
+	}
+	if off.QueriesRun < 5*sub.QueriesRun {
+		t.Errorf("subtree sharing saved too little: %d queries off vs %d shared (want ≥5×)",
+			off.QueriesRun, sub.QueriesRun)
+	}
+	if sub.SubtreesShared == 0 || sub.NodesShared == 0 {
+		t.Errorf("no sharing recorded: %+v", sub)
+	}
+	if sub.Nodes != off.Nodes || sub.MaxDepth != off.MaxDepth {
+		t.Errorf("logical stats drifted: off %+v sub %+v", off, sub)
+	}
+}
+
+// TestCacheFaultDoesNotPoison injects deterministic query faults into
+// cached runs: the faulted run must fail with the injected error as root
+// cause, and a fresh cached run afterwards must still produce the
+// baseline output — a partial failure never leaves poisoned state
+// behind (caches are per-run, and failed evaluations are never stored).
+func TestCacheFaultDoesNotPoison(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	f := fixture{name: "unfold-diamond-6", tr: tr, inst: inst}
+	base, _ := output(t, f, pt.Options{})
+
+	for _, mode := range allModes[1:] {
+		// Cached runs of diamond(6) evaluate ~19 distinct queries, so
+		// fault positions up to 12 are guaranteed to fire in every mode.
+		for _, n := range []int64{1, 5, 12} {
+			boom := errors.New("injected query fault")
+			plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: n, Err: boom}
+			_, err := tr.Run(inst, pt.Options{Cache: mode, Workers: 4, Faults: plan})
+			if !errors.Is(err, boom) {
+				t.Fatalf("cache=%v fault@%d: got %v, want injected fault", mode, n, err)
+			}
+			if got, _ := output(t, f, pt.Options{Cache: mode, Workers: 4}); got != base {
+				t.Errorf("cache=%v: clean rerun after fault@%d differs from baseline", mode, n)
+			}
+		}
+	}
+}
+
+// TestCacheBudgetEquivalence: a node budget must abort the run with the
+// same typed error in every cache mode (CacheSubtrees silently degrades
+// to the query-level cache under tree-shaped budgets, so per-node
+// accounting is identical).
+func TestCacheBudgetEquivalence(t *testing.T) {
+	tr := families.CounterTransducer()
+	inst := families.CounterInstance(2)
+	for _, mode := range allModes {
+		res, err := tr.Run(inst, pt.Options{Cache: mode, MaxNodes: 100})
+		var be *pt.ErrBudget
+		if !errors.As(err, &be) || be.Kind != runctl.BudgetNodes {
+			t.Fatalf("cache=%v: got (%v, %v), want nodes-budget error", mode, res, err)
+		}
+	}
+	// And the subtree mode must report its downgrade in Stats.
+	res, err := tr.Run(inst, pt.Options{Cache: pt.CacheSubtrees, MaxNodes: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheMode != pt.CacheQueries {
+		t.Errorf("subtree under MaxNodes should downgrade to query, got %v", res.Stats.CacheMode)
+	}
+}
+
+// TestCacheTinyCapacityStillCorrect forces heavy eviction (capacity 2 on
+// both levels) and checks the output is still byte-identical: the caches
+// are a pure optimization, never load-bearing.
+func TestCacheTinyCapacityStillCorrect(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(8)
+	f := fixture{name: "unfold-diamond-8", tr: tr, inst: inst}
+	base, _ := output(t, f, pt.Options{})
+	for _, mode := range allModes[1:] {
+		got, stats := output(t, f, pt.Options{Cache: mode, CacheSize: 2})
+		if got != base {
+			t.Errorf("cache=%v size=2: output differs from baseline", mode)
+		}
+		if stats.CacheEvictions == 0 {
+			t.Errorf("cache=%v size=2: expected evictions, got stats %+v", mode, stats)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package pt
+
+import (
+	"strconv"
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+)
+
+func TestParseCacheMode(t *testing.T) {
+	cases := map[string]CacheMode{
+		"off": CacheOff, "query": CacheQueries, "queries": CacheQueries,
+		"subtree": CacheSubtrees, "subtrees": CacheSubtrees,
+	}
+	for in, want := range cases {
+		got, err := ParseCacheMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCacheMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseCacheMode("bogus"); err == nil {
+		t.Error("bogus mode should fail")
+	}
+	if CacheOff.String() != "off" || CacheQueries.String() != "query" || CacheSubtrees.String() != "subtree" {
+		t.Error("String() spellings drifted from the CLI contract")
+	}
+}
+
+// TestSubtreeModeDowngrade: tree-shaped budgets and virtual tags must
+// silently degrade subtree sharing to the query-level cache, and the
+// effective mode must be visible in Stats.
+func TestSubtreeModeDowngrade(t *testing.T) {
+	inst := relation.NewInstance(unarySchema())
+	inst.Add("R1", "v")
+
+	run := func(tr *Transducer, opts Options) CacheMode {
+		t.Helper()
+		opts.Cache = CacheSubtrees
+		res, err := tr.Run(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.CacheMode
+	}
+
+	if m := run(simple(), Options{}); m != CacheSubtrees {
+		t.Errorf("no budgets, no virtual: mode = %v, want subtree", m)
+	}
+	if m := run(simple(), Options{MaxNodes: 10}); m != CacheQueries {
+		t.Errorf("MaxNodes: mode = %v, want query", m)
+	}
+	if m := run(simple(), Options{MaxDepth: 10}); m != CacheQueries {
+		t.Errorf("MaxDepth: mode = %v, want query", m)
+	}
+	if m := run(simple(), Options{Limits: &runctl.Limits{MaxNodes: 10}}); m != CacheQueries {
+		t.Errorf("Limits.MaxNodes: mode = %v, want query", m)
+	}
+
+	virt := New("virt", unarySchema(), "q0", "r")
+	virt.DeclareTag("v", 1)
+	virt.MarkVirtual("v")
+	virt.AddRule("q0", "r", Item("q", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
+	if m := run(virt, Options{}); m != CacheQueries {
+		t.Errorf("virtual tags: mode = %v, want query", m)
+	}
+}
+
+// TestQueryMemoSharesDuplicateItems: two rule items referencing the same
+// query object against the same register must evaluate once under the
+// query-level cache.
+func TestQueryMemoSharesDuplicateItems(t *testing.T) {
+	q := logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))
+	tr := New("dup", unarySchema(), "q0", "r")
+	tr.DeclareTag("a", 1).DeclareTag("b", 1)
+	tr.AddRule("q0", "r", Item("qa", "a", q), Item("qb", "b", q))
+	inst := relation.NewInstance(unarySchema())
+	inst.Add("R1", "v")
+
+	off, err := tr.Run(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := tr.Run(inst, Options{Cache: CacheQueries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.QueriesRun != 2 || memo.Stats.QueriesRun != 1 {
+		t.Errorf("queries: off=%d memo=%d, want 2 and 1", off.Stats.QueriesRun, memo.Stats.QueriesRun)
+	}
+	if memo.Stats.CacheHits != 1 || memo.Stats.CacheMisses != 1 {
+		t.Errorf("memo stats = %+v, want 1 hit / 1 miss", memo.Stats)
+	}
+}
+
+// TestChildrenOrderedByRegisterAcrossModes: sibling order is fixed by
+// the domain order on group prefixes at grouping time, independent of
+// the order-insensitive register fingerprints the caches key on.
+func TestChildrenOrderedByRegisterAcrossModes(t *testing.T) {
+	tr := simple()
+	inst := relation.NewInstance(unarySchema())
+	for _, v := range []string{"10", "2", "1"} {
+		inst.Add("R1", v)
+	}
+	want := []string{"1", "2", "10"} // numeric order
+	for _, mode := range []CacheMode{CacheOff, CacheQueries, CacheSubtrees} {
+		res, err := tr.Run(inst, Options{Cache: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range res.Xi.Root.Children {
+			if got := string(c.Reg.Tuples()[0][0]); got != want[i] {
+				t.Fatalf("cache=%v: child %d = %s, want %s", mode, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSubdepsPromoteAndValidity exercises the dependency algebra the
+// subtree cache's soundness rests on.
+func TestSubdepsPromoteAndValidity(t *testing.T) {
+	// A node K whose children stopped on outer config H and probed M.
+	cd := &subdeps{}
+	cd.addStop("H")
+	cd.addLeaf("M")
+	mine := cd.promote("K")
+
+	if mine.size != 3 || mine.height != 2 || mine.stops != 1 {
+		t.Fatalf("summary = %+v", mine)
+	}
+	e := &subtreeEntry{hits: mine.hits, misses: mine.misses}
+	if !e.valid(map[string]bool{"H": true}) {
+		t.Error("H present, M/K absent: entry should be valid")
+	}
+	if e.valid(map[string]bool{}) {
+		t.Error("missing hit H: entry must be invalid")
+	}
+	if e.valid(map[string]bool{"H": true, "M": true}) {
+		t.Error("miss M present: entry must be invalid")
+	}
+	if e.valid(map[string]bool{"H": true, "K": true}) {
+		t.Error("own key K present: entry must be invalid")
+	}
+
+	// Internal hits on the node's own key are dropped by promote: they
+	// are resolved inside the subtree, not by the outer ancestor set.
+	cd2 := &subdeps{}
+	cd2.addStop("K2")
+	mine2 := cd2.promote("K2")
+	if _, ok := mine2.hits["K2"]; ok {
+		t.Error("promote must drop internal hits on the node's own key")
+	}
+	if _, ok := mine2.misses["K2"]; !ok {
+		t.Error("promote must record the node's own key as an outer miss")
+	}
+}
+
+func TestSubdepsOverflowDisablesCaching(t *testing.T) {
+	d := &subdeps{}
+	for i := 0; i <= maxSubtreeDeps; i++ {
+		d.miss("k" + strconv.Itoa(i))
+	}
+	if !d.overflow || d.hits != nil || d.misses != nil {
+		t.Fatalf("overflow not triggered: %+v", d)
+	}
+	// Size bookkeeping survives overflow, and overflow is contagious
+	// through merge.
+	d.size = 7
+	acc := &subdeps{}
+	acc.addLeaf("x")
+	acc.merge(d)
+	if !acc.overflow || acc.size != 8 {
+		t.Errorf("merge of overflowed summary: %+v", acc)
+	}
+}

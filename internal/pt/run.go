@@ -42,6 +42,19 @@ type Options struct {
 	// Faults injects deterministic test-only failures (see
 	// runctl.FaultPlan); nil in production.
 	Faults *runctl.FaultPlan
+	// Cache selects the memoization level (see CacheMode). The zero
+	// value CacheOff preserves the historical behavior exactly. With
+	// CacheQueries and above, register relations in ξ may be shared
+	// between nodes and must be treated as immutable; with
+	// CacheSubtrees, ξ itself may be a DAG (shared subtrees) — Output
+	// unfolds it, but callers walking Result.Xi directly should expect
+	// shared nodes. The run's Stats.CacheMode reports the EFFECTIVE
+	// mode after the automatic subtree→query downgrade (node/depth
+	// budgets, virtual tags).
+	Cache CacheMode
+	// CacheSize bounds each cache level in entries; 0 selects
+	// DefaultCacheSize.
+	CacheSize int
 }
 
 // limits merges the flat Options fields into the optional Limits set.
@@ -59,12 +72,22 @@ func (o Options) limits() runctl.Limits {
 	return l
 }
 
-// Stats reports what a run did.
+// Stats reports what a run did. Nodes, StopsApplied and MaxDepth always
+// describe the LOGICAL tree (the unfolding of ξ), so they are identical
+// across cache modes; QueriesRun counts evaluations actually performed,
+// which is exactly what the caches reduce.
 type Stats struct {
-	Nodes        int // nodes in the final ξ (before virtual splicing)
+	Nodes        int // logical nodes in the final ξ (before virtual splicing)
 	QueriesRun   int // rule queries evaluated
-	StopsApplied int // times the ancestor stop condition fired
+	StopsApplied int // times the ancestor stop condition fired (logical)
 	MaxDepth     int // depth of ξ
+
+	CacheMode      CacheMode // effective mode (subtree may downgrade to query)
+	CacheHits      int       // query-memo hits
+	CacheMisses    int       // query-memo misses
+	CacheEvictions int       // evictions across both cache levels
+	SubtreesShared int       // whole expanded subtrees reused by reference
+	NodesShared    int       // logical nodes covered by those reuses (roots excluded)
 }
 
 // Result bundles the raw register-carrying tree ξ and run statistics.
@@ -94,6 +117,13 @@ type runner struct {
 	queries atomic.Int64
 	stops   atomic.Int64
 	sem     chan struct{}
+
+	// mode is the effective cache mode after the subtree→query
+	// downgrade; memo and subtrees are nil below the corresponding mode.
+	mode        CacheMode
+	memo        *eval.Memo
+	subtrees    *subtreeCache
+	nodesShared atomic.Int64
 }
 
 // fail records the first error of the run and cancels the run context
@@ -116,20 +146,16 @@ func (r *runner) cause(err error) error {
 	return err
 }
 
-// ancKey identifies an (state, tag, register) ancestor configuration for
-// the stop condition.
+// ancKey identifies a (state, tag, register) configuration, used both
+// for the ancestor stop condition and as the cache key for subtree
+// sharing. The register component is relation.Key: canonical and
+// order-insensitive (registers are sets), so two nodes that reach the
+// same set of tuples by different evaluation orders share one
+// configuration. Sibling ORDER is unaffected — it is fixed by the
+// domain order on group prefixes at grouping time (see groupByPrefix),
+// before configurations are ever compared.
 func ancKey(state, tag string, reg *relation.Relation) string {
-	return state + "\x00" + tag + "\x00" + regKey(reg)
-}
-
-func regKey(reg *relation.Relation) string {
-	ts := reg.Tuples()
-	var sb []byte
-	for _, t := range ts {
-		sb = append(sb, t.Key()...)
-		sb = append(sb, ';')
-	}
-	return string(sb)
+	return state + "\x00" + tag + "\x00" + reg.Key()
 }
 
 // Run executes the τ-transformation on inst and returns the final tree
@@ -157,27 +183,65 @@ func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, op
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ctl := runctl.New(runCtx, limits).WithFaults(opts.Faults)
+	mode := opts.Cache
+	if mode == CacheSubtrees && (limits.BoundsTree() || len(t.Virtual) > 0) {
+		// Subtree sharing skips per-node budget accounting and produces
+		// a DAG that in-place virtual splicing cannot handle; degrade to
+		// the work-level cache so semantics stay identical.
+		mode = CacheQueries
+	}
 	r := &runner{
 		t:      t,
 		base:   eval.NewEnv(inst).WithControl(ctl),
 		opts:   opts,
 		ctl:    ctl,
 		cancel: cancel,
+		mode:   mode,
+	}
+	if mode >= CacheQueries {
+		r.memo = eval.NewMemo(opts.CacheSize)
+	}
+	if mode == CacheSubtrees {
+		r.subtrees = newSubtreeCache(opts.CacheSize)
 	}
 	if opts.Workers > 1 {
 		r.sem = make(chan struct{}, opts.Workers)
 	}
 	root := &xmltree.Node{Tag: t.RootTag, State: t.Start, Reg: relation.New(0)}
 	ancestors := map[string]bool{}
-	if err := r.expand(root, ancestors, 1); err != nil {
+	var rootDeps *subdeps
+	if mode == CacheSubtrees {
+		rootDeps = &subdeps{}
+	}
+	if err := r.expand(root, ancestors, 1, rootDeps); err != nil {
 		return nil, r.cause(err)
 	}
 	tree := &xmltree.Tree{Root: root}
 	stats := Stats{
-		Nodes:        tree.Size(),
 		QueriesRun:   int(r.queries.Load()),
 		StopsApplied: int(r.stops.Load()),
-		MaxDepth:     tree.Depth(),
+		CacheMode:    mode,
+	}
+	if mode == CacheSubtrees {
+		// ξ may be a DAG whose unfolding is exponentially larger than its
+		// physical size; the expansion summarized the logical tree as it
+		// went, so walking it here is both wrong and unaffordable.
+		stats.Nodes = rootDeps.size
+		stats.MaxDepth = rootDeps.height
+	} else {
+		stats.Nodes = tree.Size()
+		stats.MaxDepth = tree.Depth()
+	}
+	if r.memo != nil {
+		h, m, e := r.memo.Stats()
+		stats.CacheHits = int(h)
+		stats.CacheMisses = int(m)
+		stats.CacheEvictions = int(e)
+	}
+	if r.subtrees != nil {
+		stats.SubtreesShared = int(r.subtrees.hits.Load())
+		stats.NodesShared = int(r.nodesShared.Load())
+		stats.CacheEvictions += int(r.subtrees.evictions.Load())
 	}
 	return &Result{Xi: tree, Stats: stats}, nil
 }
@@ -235,9 +299,15 @@ func (t *Transducer) OutputRelationContext(ctx context.Context, inst *relation.I
 // ancestors maps ancKey → true for every proper ancestor configuration
 // on the path from the root (the stop condition of Section 3).
 //
+// dp, non-nil exactly in CacheSubtrees mode, is the caller's dependency
+// accumulator: this call merges into it the summary (logical size,
+// height, stop count, outer ancestor-set dependencies) of the subtree
+// rooted at n. See subdeps for the validity argument.
+//
 // Every error path goes through r.fail so that concurrent siblings see
-// the run context canceled and abandon their subtrees.
-func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) error {
+// the run context canceled and abandon their subtrees; nothing is ever
+// inserted into a cache on an error path.
+func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int, dp *subdeps) error {
 	if err := r.ctl.Canceled(); err != nil {
 		return r.fail(err)
 	}
@@ -250,6 +320,7 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	if n.Tag == xmltree.TextTag {
 		n.Text = xmltree.TextOfRegister(n.Reg)
 		n.State = ""
+		dp.addLeaf("")
 		return nil
 	}
 
@@ -258,17 +329,39 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	if ancestors[key] {
 		r.stops.Add(1)
 		n.State = ""
+		dp.addStop(key)
 		return nil
+	}
+
+	// Subtree sharing: if this configuration was fully expanded before
+	// and its recorded stop-condition dependencies resolve identically
+	// under the current ancestor set, reuse the expansion by reference.
+	// Determinism (Proposition 1) guarantees the unfolding is exactly
+	// the tree this call would have built.
+	if r.subtrees != nil {
+		if e, ok := r.subtrees.lookup(key, ancestors); ok {
+			n.Children = e.children
+			n.State = ""
+			r.stops.Add(int64(e.stops))
+			r.nodesShared.Add(int64(e.size - 1))
+			dp.addEntry(e)
+			return nil
+		}
 	}
 
 	rule, ok := r.t.Rule(n.State, n.Tag)
 	if !ok || len(rule.Items) == 0 {
 		// Empty right-hand side: finalize.
 		n.State = ""
+		dp.addLeaf(key)
 		return nil
 	}
 
 	env := r.base.WithRelation(RegRel, n.Reg)
+	var regFP string
+	if r.memo != nil {
+		regFP = n.Reg.Key()
+	}
 	type childSpec struct {
 		state string
 		tag   string
@@ -276,14 +369,29 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	}
 	var specs []childSpec
 	for _, it := range rule.Items {
-		if err := r.ctl.Query(); err != nil {
-			return r.fail(err)
+		var result *relation.Relation
+		if r.memo != nil {
+			if rel, ok := r.memo.Get(it.Query, regFP); ok {
+				// Memo hit: the result is shared by reference and was
+				// stored only after a successful evaluation, so neither
+				// the query budget nor the fault plan is charged.
+				result = rel
+			}
 		}
-		r.queries.Add(1)
-		result, err := eval.EvalQuery(it.Query, env)
-		if err != nil {
-			return r.fail(fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %w",
-				r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err))
+		if result == nil {
+			if err := r.ctl.Query(); err != nil {
+				return r.fail(err)
+			}
+			r.queries.Add(1)
+			rel, err := eval.EvalQuery(it.Query, env)
+			if err != nil {
+				return r.fail(fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %w",
+					r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err))
+			}
+			if r.memo != nil {
+				r.memo.Put(it.Query, regFP, rel)
+			}
+			result = rel
 		}
 		for _, g := range groupByPrefix(result, len(it.Query.GroupVars)) {
 			specs = append(specs, childSpec{state: it.State, tag: it.Tag, reg: g})
@@ -293,6 +401,7 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	if len(specs) == 0 {
 		// All forests empty: finalize.
 		n.State = ""
+		dp.addLeaf(key)
 		return nil
 	}
 	if err := r.ctl.AddNodes(len(specs)); err != nil {
@@ -314,21 +423,42 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 	}
 	childAnc[key] = true
 
+	// cd accumulates the children's subtree summaries; promoted to this
+	// node's own summary after a fully successful expansion.
+	var cd *subdeps
+	if dp != nil {
+		cd = &subdeps{}
+	}
+
 	if r.sem == nil || len(n.Children) < 2 {
 		for _, c := range n.Children {
-			if err := r.expand(c, childAnc, depth+1); err != nil {
+			if err := r.expand(c, childAnc, depth+1, cd); err != nil {
 				return err
 			}
 		}
-		return nil
+		return r.finish(n, key, cd, dp)
 	}
 
 	// Parallel expansion of independent subtrees. Each worker contains
 	// its own panics (a panic in a bare goroutine would kill the whole
 	// process) and the first failing child cancels the run context, so
 	// its siblings stop at their next checkpoint instead of expanding
-	// to completion.
+	// to completion. Each child records dependencies into its own
+	// accumulator; they are merged after the barrier.
 	errs := make([]error, len(n.Children))
+	var deps []*subdeps
+	if cd != nil {
+		deps = make([]*subdeps, len(n.Children))
+		for i := range deps {
+			deps[i] = &subdeps{}
+		}
+	}
+	childDeps := func(i int) *subdeps {
+		if deps == nil {
+			return nil
+		}
+		return deps[i]
+	}
 	var wg sync.WaitGroup
 	for i, c := range n.Children {
 		select {
@@ -337,10 +467,10 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 			go func(i int, c *xmltree.Node) {
 				defer wg.Done()
 				defer func() { <-r.sem }()
-				errs[i] = r.safeExpand(c, childAnc, depth+1)
+				errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
 			}(i, c)
 		default:
-			errs[i] = r.safeExpand(c, childAnc, depth+1)
+			errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
 		}
 	}
 	wg.Wait()
@@ -349,20 +479,45 @@ func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int) e
 			return err
 		}
 	}
+	for _, d := range deps {
+		cd.merge(d)
+	}
+	return r.finish(n, key, cd, dp)
+}
+
+// finish completes a successful interior expansion of n (configuration
+// key, accumulated child summaries cd): it caches the expanded subtree
+// when eligible and folds n's summary into the caller's accumulator dp.
+func (r *runner) finish(n *xmltree.Node, key string, cd, dp *subdeps) error {
+	if dp == nil {
+		return nil
+	}
+	mine := cd.promote(key)
+	if r.subtrees != nil && !mine.overflow {
+		r.subtrees.insert(key, &subtreeEntry{
+			children: n.Children,
+			size:     mine.size,
+			height:   mine.height,
+			stops:    mine.stops,
+			hits:     mine.hits,
+			misses:   mine.misses,
+		})
+	}
+	dp.merge(mine)
 	return nil
 }
 
 // safeExpand is expand with panic containment: a panic anywhere below
 // becomes a *runctl.ErrInternal and cancels the run like any other
 // failure.
-func (r *runner) safeExpand(n *xmltree.Node, ancestors map[string]bool, depth int) (err error) {
+func (r *runner) safeExpand(n *xmltree.Node, ancestors map[string]bool, depth int, dp *subdeps) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = r.fail(runctl.InternalFrom(
 				fmt.Sprintf("pt %s: expand (%s,%s)", r.t.Name, n.State, n.Tag), p))
 		}
 	}()
-	return r.expand(n, ancestors, depth)
+	return r.expand(n, ancestors, depth, dp)
 }
 
 // groupByPrefix splits a query result (columns x̄·ȳ) into the groups

@@ -10,7 +10,9 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ptx/internal/value"
 )
@@ -19,6 +21,12 @@ import (
 type Relation struct {
 	arity  int
 	tuples map[string]value.Tuple
+	// fp caches the canonical fingerprint of Key. Mutators clear it; a
+	// nil pointer means "not computed". It is atomic so that concurrent
+	// READERS (e.g. parallel transducer workers fingerprinting a shared
+	// register) are race-free; mutation is not concurrency-safe, as for
+	// the rest of the type.
+	fp atomic.Pointer[string]
 }
 
 // New returns an empty relation of the given arity.
@@ -71,6 +79,42 @@ func (r *Relation) Add(t value.Tuple) {
 		panic(fmt.Sprintf("relation: arity mismatch: tuple %v into arity-%d relation", t, r.arity))
 	}
 	r.tuples[t.Key()] = t.Clone()
+	r.fp.Store(nil)
+}
+
+// Key returns a canonical fingerprint of the relation: an injective
+// encoding of (arity, tuple set) that is identical for equal relations
+// regardless of insertion order. Two relations r, o of any arities
+// satisfy r.Key() == o.Key() iff r.Equal(o).
+//
+// This is the register fingerprint used by the transducer run loop for
+// the ancestor stop condition and the memoization caches: it deliberately
+// forgets insertion order (registers are SETS — Section 2 of the paper),
+// while sibling order in the output tree is fixed separately by the
+// domain order ≤ on tuples at grouping time (see pt.groupByPrefix).
+// The fingerprint is cached until the next mutation; computing it is
+// O(n log n) in the number of tuples.
+func (r *Relation) Key() string {
+	if p := r.fp.Load(); p != nil {
+		return *p
+	}
+	keys := make([]string, 0, len(r.tuples))
+	n := 0
+	for k := range r.tuples {
+		keys = append(keys, k)
+		n += len(k) + 1
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, n+8)
+	b = strconv.AppendInt(b, int64(r.arity), 10)
+	b = append(b, '|')
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, ';')
+	}
+	s := string(b)
+	r.fp.Store(&s)
+	return s
 }
 
 // Contains reports whether t is in the relation.
@@ -82,6 +126,7 @@ func (r *Relation) Contains(t value.Tuple) bool {
 // Remove deletes t if present.
 func (r *Relation) Remove(t value.Tuple) {
 	delete(r.tuples, t.Key())
+	r.fp.Store(nil)
 }
 
 // Tuples returns all tuples in the canonical sorted order.
@@ -160,6 +205,9 @@ func (r *Relation) UnionWith(o *Relation) bool {
 			r.tuples[k] = t.Clone()
 			grew = true
 		}
+	}
+	if grew {
+		r.fp.Store(nil)
 	}
 	return grew
 }

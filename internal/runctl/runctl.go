@@ -64,6 +64,17 @@ type Limits struct {
 	MaxFixpointIters int
 }
 
+// BoundsTree reports whether the limit set constrains the SHAPE of the
+// generated tree (node or depth budgets) rather than just the work done
+// producing it. Optimizations that change how much of the tree is
+// physically expanded — pt's subtree sharing reuses whole expanded
+// subtrees without re-charging them node by node — must degrade to a
+// work-level cache under tree-shaped budgets so that budget semantics
+// stay identical across cache modes.
+func (l Limits) BoundsTree() bool {
+	return l.MaxNodes > 0 || l.MaxDepth > 0
+}
+
 // WithTimeout derives a context carrying the wall-clock budget. The
 // returned cancel func must always be called.
 func (l Limits) WithTimeout(ctx context.Context) (context.Context, context.CancelFunc) {

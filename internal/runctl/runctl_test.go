@@ -146,3 +146,21 @@ func TestTickEventuallySeesCancellation(t *testing.T) {
 		t.Fatalf("Tick never observed cancellation: %v", err)
 	}
 }
+
+func TestBoundsTree(t *testing.T) {
+	cases := []struct {
+		l    Limits
+		want bool
+	}{
+		{Limits{}, false},
+		{Limits{Timeout: time.Second, MaxQueries: 5, MaxFixpointIters: 3}, false},
+		{Limits{MaxNodes: 1}, true},
+		{Limits{MaxDepth: 1}, true},
+		{Limits{MaxNodes: 10, MaxDepth: 10}, true},
+	}
+	for _, c := range cases {
+		if got := c.l.BoundsTree(); got != c.want {
+			t.Errorf("BoundsTree(%+v) = %v, want %v", c.l, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package value
+
+import "testing"
+
+// TestAppendKeyMatchesKey: AppendKey is the allocation-free form of Key
+// used by relation fingerprinting; both must produce the same encoding,
+// and appending to a nonempty prefix must not disturb it.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{"a"},
+		{"a", "b"},
+		{"ab"},
+		{":", ";"},
+		{"", ""},
+	}
+	for _, tp := range tuples {
+		if got := string(tp.AppendKey(nil)); got != tp.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key = %q", tp, got, tp.Key())
+		}
+		prefixed := tp.AppendKey([]byte("prefix|"))
+		if string(prefixed) != "prefix|"+tp.Key() {
+			t.Errorf("AppendKey with prefix broke the encoding: %q", prefixed)
+		}
+	}
+}

@@ -146,15 +146,23 @@ func Concat(a, b Tuple) Tuple {
 }
 
 // Key encodes t as a string usable as a map key. The encoding is
-// injective: each component is length-prefixed.
+// injective: each component is length-prefixed, so no two distinct
+// tuples of any arities share a key (the empty tuple encodes as "").
 func (t Tuple) Key() string {
-	var sb strings.Builder
+	return string(t.AppendKey(nil))
+}
+
+// AppendKey appends the Key encoding of t to dst and returns the
+// extended slice; it is the allocation-free form used by the register
+// fingerprinting hot path (relation.Key, the transducer stop condition
+// and the memoization caches).
+func (t Tuple) AppendKey(dst []byte) []byte {
 	for _, v := range t {
-		sb.WriteString(strconv.Itoa(len(v)))
-		sb.WriteByte(':')
-		sb.WriteString(string(v))
+		dst = strconv.AppendInt(dst, int64(len(v)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v...)
 	}
-	return sb.String()
+	return dst
 }
 
 // String renders t as (v1,v2,…) for diagnostics.
