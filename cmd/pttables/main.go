@@ -104,7 +104,11 @@ func runFig1() {
 	for _, tr := range []*pt.Transducer{registrar.Tau1(), registrar.Tau2(), registrar.Tau3()} {
 		out := must(tr.OutputContext(tablesCtx, inst, pt.Options{MaxNodes: 100000}))
 		fmt.Printf("%s  —  %s\n", tr.Name, tr.Classify())
-		fmt.Printf("  canonical: %s\n", out.Canonical())
+		fmt.Print("  canonical: ")
+		if err := out.WriteCanonical(os.Stdout); err != nil {
+			panic(err)
+		}
+		fmt.Println()
 		fmt.Printf("  size=%d depth=%d\n\n", out.Size(), out.Depth())
 	}
 }

@@ -96,16 +96,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	if cacheMode == pt.CacheSubtrees && res.Stats.CacheMode != pt.CacheSubtrees {
-		fmt.Fprintf(stderr, "ptxml: note: -cache subtree downgraded to %q (node/depth budgets or virtual tags disable subtree sharing; pass -max-nodes 0 -max-depth 0 to enable it)\n",
+		fmt.Fprintf(stderr, "ptxml: note: -cache subtree downgraded to %q (node/depth budgets disable subtree sharing; pass -max-nodes 0 -max-depth 0 to enable it)\n",
 			res.Stats.CacheMode)
 	}
-	out := res.Xi.Clone().Strip()
-	out.SpliceVirtual(tr.Virtual)
 
+	// Stream straight from ξ: the writers skip registers/states and
+	// splice virtual tags at emission, so no stripped/spliced copy of
+	// the tree is ever materialized — and when ξ is a subtree-shared
+	// DAG its unfolding goes to stdout without being built in memory.
 	if *canonical {
-		fmt.Fprintln(stdout, out.Canonical())
+		if err := res.Xi.WriteCanonicalVirtual(stdout, tr.Virtual); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintln(stdout)
 	} else {
-		fmt.Fprint(stdout, out.XML())
+		if err := res.Xi.WriteXMLVirtual(stdout, tr.Virtual); err != nil {
+			return fail(stderr, err)
+		}
 	}
 	if *stats {
 		s := res.Stats

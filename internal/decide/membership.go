@@ -152,7 +152,6 @@ func searchInstances(ctx context.Context, t *pt.Transducer, target *xmltree.Tree
 	}
 
 	budget := opts.MaxCandidates
-	targetCanon := target.Canonical()
 	// Virtual nodes inflate ξ beyond the target's size: allow a chain of
 	// virtual hops per visible node (bounded by the dependency graph).
 	runBudget := 4 * target.Size()
@@ -192,7 +191,9 @@ func searchInstances(ctx context.Context, t *pt.Transducer, target *xmltree.Tree
 				}
 				return false, err
 			}
-			return out.Canonical() == targetCanon, nil
+			// Structural equality instead of comparing canonical strings:
+			// no per-candidate document materialization.
+			return out.Equal(target), nil
 		}
 		name := names[ri]
 		cands := tuplesFor[name]

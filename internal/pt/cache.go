@@ -30,9 +30,9 @@ const (
 	// ancestor stop-condition dependencies agree; the resulting ξ is a
 	// DAG whose unfolding is the tree a cache-off run would build.
 	// Downgraded to CacheQueries when the run carries node/depth budgets
-	// (sharing skips per-node budget accounting) or the transducer has
-	// virtual tags (callers routinely splice Xi in place, which is only
-	// safe on a tree).
+	// (sharing skips per-node budget accounting). Virtual tags are fine:
+	// Output publishes a stripped/spliced copy and the streaming writers
+	// splice at emission, so ξ is never mutated in place.
 	CacheSubtrees
 )
 

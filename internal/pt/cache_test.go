@@ -28,9 +28,11 @@ func TestParseCacheMode(t *testing.T) {
 	}
 }
 
-// TestSubtreeModeDowngrade: tree-shaped budgets and virtual tags must
-// silently degrade subtree sharing to the query-level cache, and the
-// effective mode must be visible in Stats.
+// TestSubtreeModeDowngrade: tree-shaped budgets must silently degrade
+// subtree sharing to the query-level cache, and the effective mode must
+// be visible in Stats. Virtual tags no longer downgrade: the output
+// path splices them at emission instead of mutating ξ, so a shared ξ
+// DAG is fine.
 func TestSubtreeModeDowngrade(t *testing.T) {
 	inst := relation.NewInstance(unarySchema())
 	inst.Add("R1", "v")
@@ -62,8 +64,8 @@ func TestSubtreeModeDowngrade(t *testing.T) {
 	virt.DeclareTag("v", 1)
 	virt.MarkVirtual("v")
 	virt.AddRule("q0", "r", Item("q", "v", logic.MustQuery([]logic.Var{x}, nil, logic.R("R1", x))))
-	if m := run(virt, Options{}); m != CacheQueries {
-		t.Errorf("virtual tags: mode = %v, want query", m)
+	if m := run(virt, Options{}); m != CacheSubtrees {
+		t.Errorf("virtual tags: mode = %v, want subtree (downgrade lifted)", m)
 	}
 }
 

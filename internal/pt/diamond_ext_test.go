@@ -1,0 +1,131 @@
+// Diamond-family regime tests: the τ1/Iₙ construction of Proposition
+// 1(3) has a 2ⁿ-leaf unfolding over O(n) vertices, so it is exactly the
+// case where subtree sharing must keep ξ DAG-sized while every output
+// surface (Output, OutputRelation, serialization) still sees the full
+// unfolding. These live in the external test package so they can use
+// the real paper families from internal/families.
+package pt_test
+
+import (
+	"io"
+	"testing"
+
+	"ptx/internal/families"
+	"ptx/internal/pt"
+	"ptx/internal/xmltree"
+)
+
+func physicalNodes(tr *xmltree.Tree) int {
+	n := 0
+	tr.WalkShared(func(*xmltree.Node) bool { n++; return true })
+	return n
+}
+
+// TestDiamondSubtreeSharingThroughOutput: under subtree sharing the ξ
+// built for diamond-n must be physically DAG-sized even though its
+// logical size (and the published output) is exponential, and all three
+// cache modes must agree byte-for-byte on the output document and on
+// the output relation.
+func TestDiamondSubtreeSharingThroughOutput(t *testing.T) {
+	const n = 10
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(n)
+
+	res, err := tr.Run(inst, pt.Options{Cache: pt.CacheSubtrees})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheMode != pt.CacheSubtrees {
+		t.Fatalf("effective mode = %v, want subtree", res.Stats.CacheMode)
+	}
+	phys := physicalNodes(res.Xi)
+	logical := res.Stats.Nodes
+	// Diamond-10 unfolds to >2^10 logical leaves over ~4n+2 physical
+	// configurations; anything within 10× of the vertex count proves the
+	// DAG, anything near the logical size would mean sharing is broken.
+	if phys*100 > logical {
+		t.Fatalf("physical ξ size %d not ≪ logical size %d", phys, logical)
+	}
+
+	// Output (strip+splice publish) must preserve the sharing rather
+	// than exploding the DAG into its unfolding.
+	out, err := tr.Output(inst, pt.Options{Cache: pt.CacheSubtrees})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := physicalNodes(out); op*100 > logical {
+		t.Fatalf("published output physical size %d not ≪ logical size %d", op, logical)
+	}
+	if out.Size() != logical {
+		t.Fatalf("published logical size %d, want %d", out.Size(), logical)
+	}
+
+	// All three modes agree on the serialized document (streamed, so the
+	// exponential unfolding is never materialized as a tree) and on the
+	// output relation.
+	var baseCanon string
+	var baseRel []string
+	for _, mode := range []pt.CacheMode{pt.CacheOff, pt.CacheQueries, pt.CacheSubtrees} {
+		o, err := tr.Output(inst, pt.Options{Cache: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		canon := o.Canonical()
+		rel, err := tr.OutputRelation(inst, "a", pt.Options{Cache: mode})
+		if err != nil {
+			t.Fatalf("%v: OutputRelation: %v", mode, err)
+		}
+		var tuples []string
+		for _, tp := range rel.Tuples() {
+			tuples = append(tuples, string(tp[0]))
+		}
+		if mode == pt.CacheOff {
+			baseCanon, baseRel = canon, tuples
+			continue
+		}
+		if canon != baseCanon {
+			t.Errorf("%v: canonical output differs from CacheOff", mode)
+		}
+		if len(tuples) != len(baseRel) {
+			t.Fatalf("%v: output relation size %d, want %d", mode, len(tuples), len(baseRel))
+		}
+		for i := range tuples {
+			if tuples[i] != baseRel[i] {
+				t.Errorf("%v: output relation tuple %d = %s, want %s", mode, i, tuples[i], baseRel[i])
+			}
+		}
+	}
+}
+
+// BenchmarkSerializeDiamond measures the end-to-end serialization cost
+// of diamond-10 under subtree sharing: the streaming writer works over
+// the shared ξ directly, the materializing path clones and splices the
+// full document first. The allocation gap is the point of the streaming
+// output path (BENCH_pr3.json).
+func BenchmarkSerializeDiamond(b *testing.B) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(10)
+	res, err := tr.Run(inst, pt.Options{Cache: pt.CacheSubtrees})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := res.Xi.WriteCanonicalVirtual(io.Discard, tr.Virtual); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := res.Xi.Clone().Strip()
+			out.SpliceVirtual(tr.Virtual)
+			if _, err := io.WriteString(io.Discard, out.Canonical()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -164,6 +164,22 @@ func Item(state, tag string, q *logic.Query) RHS {
 	return RHS{State: state, Tag: tag, Query: q}
 }
 
+// GroupArityError reports a rule item whose grouping prefix x̄ is wider
+// than the tuples it groups: slicing a result tuple to the first |x̄|
+// columns would run past its end. Validate returns it (wrapped with the
+// rule's coordinates) for such rules, so no transducer that validates
+// can reach the former slice-bounds panic in grouping; groupByPrefix
+// returns the same error at run time as a defense against mis-sized
+// results from a corrupted cache or evaluator.
+type GroupArityError struct {
+	GroupVars int // |x̄|, the grouping prefix width
+	Arity     int // width of the tuples being grouped
+}
+
+func (e *GroupArityError) Error() string {
+	return fmt.Sprintf("grouping prefix |x̄|=%d exceeds tuple arity %d", e.GroupVars, e.Arity)
+}
+
 // Validate checks the structural requirements of Definition 3.1:
 //
 //   - a start rule for (q0, r) exists, and no other rule uses q0 or r;
@@ -217,6 +233,10 @@ func (t *Transducer) Validate() error {
 			}
 			if err := it.Query.Validate(); err != nil {
 				return fmt.Errorf("pt %s: rule (%s,%s): %v", t.Name, k.state, k.tag, err)
+			}
+			if g := len(it.Query.GroupVars); g > a {
+				return fmt.Errorf("pt %s: rule (%s,%s) item %q: %w",
+					t.Name, k.state, k.tag, it.Tag, &GroupArityError{GroupVars: g, Arity: a})
 			}
 			if it.Query.Arity() != a {
 				return fmt.Errorf("pt %s: rule (%s,%s) item %q: query arity %d ≠ Θ(%s)=%d",

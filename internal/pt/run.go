@@ -47,10 +47,11 @@ type Options struct {
 	// CacheQueries and above, register relations in ξ may be shared
 	// between nodes and must be treated as immutable; with
 	// CacheSubtrees, ξ itself may be a DAG (shared subtrees) — Output
-	// unfolds it, but callers walking Result.Xi directly should expect
-	// shared nodes. The run's Stats.CacheMode reports the EFFECTIVE
-	// mode after the automatic subtree→query downgrade (node/depth
-	// budgets, virtual tags).
+	// preserves the sharing (and the streaming writers serialize the
+	// unfolding without materializing it), but callers walking
+	// Result.Xi directly should expect shared nodes. The run's
+	// Stats.CacheMode reports the EFFECTIVE mode after the automatic
+	// subtree→query downgrade (node/depth budgets).
 	Cache CacheMode
 	// CacheSize bounds each cache level in entries; 0 selects
 	// DefaultCacheSize.
@@ -184,10 +185,11 @@ func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, op
 	defer cancel()
 	ctl := runctl.New(runCtx, limits).WithFaults(opts.Faults)
 	mode := opts.Cache
-	if mode == CacheSubtrees && (limits.BoundsTree() || len(t.Virtual) > 0) {
-		// Subtree sharing skips per-node budget accounting and produces
-		// a DAG that in-place virtual splicing cannot handle; degrade to
-		// the work-level cache so semantics stay identical.
+	if mode == CacheSubtrees && limits.BoundsTree() {
+		// Subtree sharing skips per-node budget accounting; degrade to
+		// the work-level cache so budgets stay exact. Virtual tags no
+		// longer force a downgrade: the output path splices them at
+		// emission (WriteXMLVirtual/Publish) instead of mutating ξ.
 		mode = CacheQueries
 	}
 	r := &runner{
@@ -213,7 +215,7 @@ func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, op
 	if mode == CacheSubtrees {
 		rootDeps = &subdeps{}
 	}
-	if err := r.expand(root, ancestors, 1, rootDeps); err != nil {
+	if err := r.expand(root, ancestors, true, 1, rootDeps); err != nil {
 		return nil, r.cause(err)
 	}
 	tree := &xmltree.Tree{Root: root}
@@ -252,15 +254,17 @@ func (t *Transducer) Output(inst *relation.Instance, opts Options) (*xmltree.Tre
 	return t.OutputContext(context.Background(), inst, opts)
 }
 
-// OutputContext is Output under a context (see RunContext).
+// OutputContext is Output under a context (see RunContext). The result
+// preserves any subtree sharing in ξ: publishing a DAG costs its
+// physical size, and the streaming writers serialize its unfolding
+// without materializing it. Use Tree.WriteXMLVirtual/WriteCanonicalVirtual
+// on Result.Xi directly to skip even the publish copy.
 func (t *Transducer) OutputContext(ctx context.Context, inst *relation.Instance, opts Options) (*xmltree.Tree, error) {
 	res, err := t.RunContext(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := res.Xi.Clone().Strip()
-	out.SpliceVirtual(t.Virtual)
-	return out, nil
+	return res.Xi.Publish(t.Virtual), nil
 }
 
 // OutputRelation treats τ as a relational query (Section 6.1): it runs
@@ -285,7 +289,10 @@ func (t *Transducer) OutputRelationContext(ctx context.Context, inst *relation.I
 		return nil, err
 	}
 	out := relation.New(a)
-	res.Xi.Walk(func(n *xmltree.Node) bool {
+	// Register union is idempotent, so each physically shared node needs
+	// visiting once: WalkShared keeps this linear in the size of the ξ
+	// DAG where Walk would traverse its (possibly exponential) unfolding.
+	res.Xi.WalkShared(func(n *xmltree.Node) bool {
 		if n.Tag == label && n.Reg != nil {
 			out.UnionWith(n.Reg)
 		}
@@ -297,7 +304,21 @@ func (t *Transducer) OutputRelationContext(ctx context.Context, inst *relation.I
 // expand realizes the step relation ⇒ repeatedly below node n, whose
 // (State, Tag, Reg) describe its current (q, a) labeling and register.
 // ancestors maps ancKey → true for every proper ancestor configuration
-// on the path from the root (the stop condition of Section 3).
+// on the path from the root (the stop condition of Section 3). own
+// reports whether this call is the sole referent of the ancestors map
+// and may therefore extend it in place; when false the map may be
+// shared with siblings (or a concurrent worker) and is copied before
+// the first extension.
+//
+// Single-child steps — the shape of the exponentially deep chains that
+// Proposition 1(4) licenses — are a LOOP, not a recursion: the node is
+// finalized, its configuration is pushed on a spine of pending
+// cache-insertions, and expansion descends in place. Combined with the
+// in-place ancestor extension this makes a depth-d chain cost O(d)
+// total (the recursive formulation paid O(d) stack frames and O(d²)
+// ancestor-map copying). Branching nodes still recurse per child, so
+// the Go stack depth is bounded by the number of BRANCHING ancestors,
+// not by tree depth.
 //
 // dp, non-nil exactly in CacheSubtrees mode, is the caller's dependency
 // accumulator: this call merges into it the summary (logical size,
@@ -306,183 +327,240 @@ func (t *Transducer) OutputRelationContext(ctx context.Context, inst *relation.I
 //
 // Every error path goes through r.fail so that concurrent siblings see
 // the run context canceled and abandon their subtrees; nothing is ever
-// inserted into a cache on an error path.
-func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, depth int, dp *subdeps) error {
-	if err := r.ctl.Canceled(); err != nil {
-		return r.fail(err)
+// inserted into a cache on an error path (the pending spine is dropped
+// on error for the same reason).
+func (r *runner) expand(n *xmltree.Node, ancestors map[string]bool, own bool, depth int, dp *subdeps) error {
+	// spine records single-child ancestors of the current node whose
+	// finish (subtree-cache insertion + summary promotion) is pending
+	// until their chain bottoms out; unwound deepest-first so each
+	// node's summary reaches its parent's accumulator.
+	type pendingFinish struct {
+		n   *xmltree.Node
+		key string
+		cd  *subdeps
+		dp  *subdeps
 	}
-	if err := r.ctl.Depth(depth); err != nil {
-		return r.fail(err)
-	}
-
-	// Text nodes finalize immediately, carrying the string rendering of
-	// their register.
-	if n.Tag == xmltree.TextTag {
-		n.Text = xmltree.TextOfRegister(n.Reg)
-		n.State = ""
-		dp.addLeaf("")
-		return nil
-	}
-
-	// Stop condition (1): an ancestor repeats state, tag and register.
-	key := ancKey(n.State, n.Tag, n.Reg)
-	if ancestors[key] {
-		r.stops.Add(1)
-		n.State = ""
-		dp.addStop(key)
-		return nil
-	}
-
-	// Subtree sharing: if this configuration was fully expanded before
-	// and its recorded stop-condition dependencies resolve identically
-	// under the current ancestor set, reuse the expansion by reference.
-	// Determinism (Proposition 1) guarantees the unfolding is exactly
-	// the tree this call would have built.
-	if r.subtrees != nil {
-		if e, ok := r.subtrees.lookup(key, ancestors); ok {
-			n.Children = e.children
-			n.State = ""
-			r.stops.Add(int64(e.stops))
-			r.nodesShared.Add(int64(e.size - 1))
-			dp.addEntry(e)
-			return nil
+	var spine []pendingFinish
+	unwind := func() error {
+		for i := len(spine) - 1; i >= 0; i-- {
+			p := spine[i]
+			if err := r.finish(p.n, p.key, p.cd, p.dp); err != nil {
+				return err
+			}
 		}
-	}
-
-	rule, ok := r.t.Rule(n.State, n.Tag)
-	if !ok || len(rule.Items) == 0 {
-		// Empty right-hand side: finalize.
-		n.State = ""
-		dp.addLeaf(key)
 		return nil
 	}
 
-	env := r.base.WithRelation(RegRel, n.Reg)
-	var regFP string
-	if r.memo != nil {
-		regFP = n.Reg.Key()
-	}
-	type childSpec struct {
-		state string
-		tag   string
-		reg   *relation.Relation
-	}
-	var specs []childSpec
-	for _, it := range rule.Items {
-		var result *relation.Relation
+	for {
+		if err := r.ctl.Canceled(); err != nil {
+			return r.fail(err)
+		}
+		if err := r.ctl.Depth(depth); err != nil {
+			return r.fail(err)
+		}
+
+		// Text nodes finalize immediately, carrying the string rendering
+		// of their register.
+		if n.Tag == xmltree.TextTag {
+			n.Text = xmltree.TextOfRegister(n.Reg)
+			n.State = ""
+			dp.addLeaf("")
+			return unwind()
+		}
+
+		// Stop condition (1): an ancestor repeats state, tag and register.
+		key := ancKey(n.State, n.Tag, n.Reg)
+		if ancestors[key] {
+			r.stops.Add(1)
+			n.State = ""
+			dp.addStop(key)
+			return unwind()
+		}
+
+		// Subtree sharing: if this configuration was fully expanded
+		// before and its recorded stop-condition dependencies resolve
+		// identically under the current ancestor set, reuse the
+		// expansion by reference. Determinism (Proposition 1) guarantees
+		// the unfolding is exactly the tree this call would have built.
+		if r.subtrees != nil {
+			if e, ok := r.subtrees.lookup(key, ancestors); ok {
+				n.Children = e.children
+				n.State = ""
+				r.stops.Add(int64(e.stops))
+				r.nodesShared.Add(int64(e.size - 1))
+				dp.addEntry(e)
+				return unwind()
+			}
+		}
+
+		rule, ok := r.t.Rule(n.State, n.Tag)
+		if !ok || len(rule.Items) == 0 {
+			// Empty right-hand side: finalize.
+			n.State = ""
+			dp.addLeaf(key)
+			return unwind()
+		}
+
+		env := r.base.WithRelation(RegRel, n.Reg)
+		var regFP string
 		if r.memo != nil {
-			if rel, ok := r.memo.Get(it.Query, regFP); ok {
-				// Memo hit: the result is shared by reference and was
-				// stored only after a successful evaluation, so neither
-				// the query budget nor the fault plan is charged.
+			regFP = n.Reg.Key()
+		}
+		type childSpec struct {
+			state string
+			tag   string
+			reg   *relation.Relation
+		}
+		var specs []childSpec
+		for _, it := range rule.Items {
+			var result *relation.Relation
+			if r.memo != nil {
+				if rel, ok := r.memo.Get(it.Query, regFP); ok {
+					// Memo hit: the result is shared by reference and was
+					// stored only after a successful evaluation, so neither
+					// the query budget nor the fault plan is charged.
+					result = rel
+				}
+			}
+			if result == nil {
+				if err := r.ctl.Query(); err != nil {
+					return r.fail(err)
+				}
+				r.queries.Add(1)
+				rel, err := eval.EvalQuery(it.Query, env)
+				if err != nil {
+					return r.fail(fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %w",
+						r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err))
+				}
+				if r.memo != nil {
+					r.memo.Put(it.Query, regFP, rel)
+				}
 				result = rel
 			}
-		}
-		if result == nil {
-			if err := r.ctl.Query(); err != nil {
-				return r.fail(err)
-			}
-			r.queries.Add(1)
-			rel, err := eval.EvalQuery(it.Query, env)
+			groups, err := groupByPrefix(result, len(it.Query.GroupVars))
 			if err != nil {
 				return r.fail(fmt.Errorf("pt %s: rule (%s,%s) item (%s,%s): %w",
 					r.t.Name, rule.State, rule.Tag, it.State, it.Tag, err))
 			}
-			if r.memo != nil {
-				r.memo.Put(it.Query, regFP, rel)
+			for _, g := range groups {
+				specs = append(specs, childSpec{state: it.State, tag: it.Tag, reg: g})
 			}
-			result = rel
 		}
-		for _, g := range groupByPrefix(result, len(it.Query.GroupVars)) {
-			specs = append(specs, childSpec{state: it.State, tag: it.Tag, reg: g})
-		}
-	}
 
-	if len(specs) == 0 {
-		// All forests empty: finalize.
+		if len(specs) == 0 {
+			// All forests empty: finalize.
+			n.State = ""
+			dp.addLeaf(key)
+			return unwind()
+		}
+		if err := r.ctl.AddNodes(len(specs)); err != nil {
+			return r.fail(err)
+		}
+
+		n.Children = make([]*xmltree.Node, len(specs))
+		for i, s := range specs {
+			n.Children[i] = &xmltree.Node{Tag: s.tag, State: s.state, Reg: s.reg}
+		}
 		n.State = ""
-		dp.addLeaf(key)
-		return nil
-	}
-	if err := r.ctl.AddNodes(len(specs)); err != nil {
-		return r.fail(err)
-	}
 
-	n.Children = make([]*xmltree.Node, len(specs))
-	for i, s := range specs {
-		n.Children[i] = &xmltree.Node{Tag: s.tag, State: s.state, Reg: s.reg}
-	}
-	n.State = ""
+		// cd accumulates the children's subtree summaries; promoted to
+		// this node's own summary after a fully successful expansion.
+		var cd *subdeps
+		if dp != nil {
+			cd = &subdeps{}
+		}
 
-	childAnc := ancestors
-	// Extend the ancestor set with this node's configuration. Copy-on-
-	// write keeps sibling subtrees independent (needed for parallelism).
-	childAnc = make(map[string]bool, len(ancestors)+1)
-	for k := range ancestors {
-		childAnc[k] = true
-	}
-	childAnc[key] = true
+		if len(n.Children) == 1 {
+			// Tail step: extend the ancestor set (in place when owned —
+			// nothing else will read this map once the chain is done)
+			// and descend without growing the Go stack.
+			if !own {
+				m := make(map[string]bool, len(ancestors)+1)
+				for k := range ancestors {
+					m[k] = true
+				}
+				ancestors = m
+				own = true
+			}
+			ancestors[key] = true
+			spine = append(spine, pendingFinish{n: n, key: key, cd: cd, dp: dp})
+			n = n.Children[0]
+			dp = cd
+			depth++
+			continue
+		}
 
-	// cd accumulates the children's subtree summaries; promoted to this
-	// node's own summary after a fully successful expansion.
-	var cd *subdeps
-	if dp != nil {
-		cd = &subdeps{}
-	}
+		// Branching step: one extended copy of the ancestor set, shared
+		// read-only by all children (each child copies again on its own
+		// first extension — copy-on-write keeps sibling subtrees
+		// independent, which the parallel path relies on).
+		childAnc := make(map[string]bool, len(ancestors)+1)
+		for k := range ancestors {
+			childAnc[k] = true
+		}
+		childAnc[key] = true
 
-	if r.sem == nil || len(n.Children) < 2 {
-		for _, c := range n.Children {
-			if err := r.expand(c, childAnc, depth+1, cd); err != nil {
+		if r.sem == nil {
+			for _, c := range n.Children {
+				if err := r.expand(c, childAnc, false, depth+1, cd); err != nil {
+					return err
+				}
+			}
+			if err := r.finish(n, key, cd, dp); err != nil {
+				return err
+			}
+			return unwind()
+		}
+
+		// Parallel expansion of independent subtrees. Each worker
+		// contains its own panics (a panic in a bare goroutine would
+		// kill the whole process) and the first failing child cancels
+		// the run context, so its siblings stop at their next checkpoint
+		// instead of expanding to completion. Each child records
+		// dependencies into its own accumulator; they are merged after
+		// the barrier.
+		errs := make([]error, len(n.Children))
+		var deps []*subdeps
+		if cd != nil {
+			deps = make([]*subdeps, len(n.Children))
+			for i := range deps {
+				deps[i] = &subdeps{}
+			}
+		}
+		childDeps := func(i int) *subdeps {
+			if deps == nil {
+				return nil
+			}
+			return deps[i]
+		}
+		var wg sync.WaitGroup
+		for i, c := range n.Children {
+			select {
+			case r.sem <- struct{}{}:
+				wg.Add(1)
+				go func(i int, c *xmltree.Node) {
+					defer wg.Done()
+					defer func() { <-r.sem }()
+					errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
+				}(i, c)
+			default:
+				errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
 				return err
 			}
 		}
-		return r.finish(n, key, cd, dp)
-	}
-
-	// Parallel expansion of independent subtrees. Each worker contains
-	// its own panics (a panic in a bare goroutine would kill the whole
-	// process) and the first failing child cancels the run context, so
-	// its siblings stop at their next checkpoint instead of expanding
-	// to completion. Each child records dependencies into its own
-	// accumulator; they are merged after the barrier.
-	errs := make([]error, len(n.Children))
-	var deps []*subdeps
-	if cd != nil {
-		deps = make([]*subdeps, len(n.Children))
-		for i := range deps {
-			deps[i] = &subdeps{}
+		for _, d := range deps {
+			cd.merge(d)
 		}
-	}
-	childDeps := func(i int) *subdeps {
-		if deps == nil {
-			return nil
-		}
-		return deps[i]
-	}
-	var wg sync.WaitGroup
-	for i, c := range n.Children {
-		select {
-		case r.sem <- struct{}{}:
-			wg.Add(1)
-			go func(i int, c *xmltree.Node) {
-				defer wg.Done()
-				defer func() { <-r.sem }()
-				errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
-			}(i, c)
-		default:
-			errs[i] = r.safeExpand(c, childAnc, depth+1, childDeps(i))
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+		if err := r.finish(n, key, cd, dp); err != nil {
 			return err
 		}
+		return unwind()
 	}
-	for _, d := range deps {
-		cd.merge(d)
-	}
-	return r.finish(n, key, cd, dp)
 }
 
 // finish completes a successful interior expansion of n (configuration
@@ -517,7 +595,7 @@ func (r *runner) safeExpand(n *xmltree.Node, ancestors map[string]bool, depth in
 				fmt.Sprintf("pt %s: expand (%s,%s)", r.t.Name, n.State, n.Tag), p))
 		}
 	}()
-	return r.expand(n, ancestors, depth, dp)
+	return r.expand(n, ancestors, false, depth, dp)
 }
 
 // groupByPrefix splits a query result (columns x̄·ȳ) into the groups
@@ -526,12 +604,22 @@ func (r *runner) safeExpand(n *xmltree.Node, ancestors map[string]bool, depth in
 //
 // With k = 0 (|x̄| = 0) the whole nonempty result is a single group;
 // with k = arity (|ȳ| = 0) every group is a singleton tuple.
-func groupByPrefix(result *relation.Relation, k int) []*relation.Relation {
+//
+// k > result.Arity() — a grouping prefix wider than the tuples it would
+// be sliced from — returns a *GroupArityError. Transducer.Validate
+// rejects such rules statically, so hitting this at run time means the
+// result relation has the wrong width (a corrupted cache entry, or an
+// evaluator bug); the typed error keeps it diagnosable instead of a
+// slice-bounds panic deep in a worker.
+func groupByPrefix(result *relation.Relation, k int) ([]*relation.Relation, error) {
+	if k > result.Arity() {
+		return nil, &GroupArityError{GroupVars: k, Arity: result.Arity()}
+	}
 	if result.Empty() {
-		return nil
+		return nil, nil
 	}
 	if k == 0 {
-		return []*relation.Relation{result}
+		return []*relation.Relation{result}, nil
 	}
 	type group struct {
 		prefix value.Tuple
@@ -561,5 +649,5 @@ func groupByPrefix(result *relation.Relation, k int) []*relation.Relation {
 	for i, g := range order {
 		out[i] = g.rel
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+)
+
+// wideTree returns a root with n leaf children carrying distinct tags in
+// reverse order, the worst case for the old insertion sort used by
+// SortedCanonical and Labels.
+func wideTree(n int) *Tree {
+	tr := New("r")
+	for i := n - 1; i >= 0; i-- {
+		tr.Root.AddChild(fmt.Sprintf("t%06d", i))
+	}
+	return tr
+}
+
+// BenchmarkSortWide contrasts sort.Strings (now used by Labels and
+// SortedCanonical) with the O(n²) insertion sort it replaced, on the
+// reverse-sorted sibling lists a wide tree produces.
+func BenchmarkSortWide(b *testing.B) {
+	base := make([]string, 4096)
+	for i := range base {
+		base[i] = fmt.Sprintf("t%06d", len(base)-i)
+	}
+	scratch := make([]string, len(base))
+	b.Run("sort.Strings", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			sort.Strings(scratch)
+		}
+	})
+	b.Run("insertion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			oracleSortStrings(scratch)
+		}
+	})
+}
+
+func BenchmarkSortedCanonicalWide(b *testing.B) {
+	tr := wideTree(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.SortedCanonical()
+	}
+}
+
+// BenchmarkSerializeDiamond measures serializing the diamond-family DAG
+// (2^n-leaf unfolding, O(n) physical nodes). "stream" writes the
+// unfolding through WriteCanonical without materializing anything;
+// "materialize" is the old path: Clone (which unfolds the DAG), then
+// Canonical into one string. Allocated bytes per op is the headline
+// number: the streamed DAG stays proportional to the DAG.
+func BenchmarkSerializeDiamond(b *testing.B) {
+	const n = 10
+	b.Run("stream", func(b *testing.B) {
+		d := diamondDAG(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.WriteCanonical(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		d := diamondDAG(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = d.Clone().Canonical()
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package xmltree
+
+// raceEnabled mirrors the -race build tag so the deep-regime tests can
+// scale themselves down: the detector multiplies their runtime roughly
+// tenfold without adding coverage at full depth.
+const raceEnabled = false

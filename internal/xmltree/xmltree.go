@@ -4,10 +4,21 @@
 // transducers and then stripped of registers/states for output;
 // virtual-tag nodes are spliced out by replacing them with their
 // children.
+//
+// Proposition 1(4) of the paper allows legitimately exponentially deep
+// and doubly-exponentially large outputs, and pt's subtree sharing
+// represents such outputs as DAGs whose unfolding is the logical tree.
+// Every traversal in this package is therefore ITERATIVE (explicit
+// stacks, no recursion), and the serializers stream to an io.Writer
+// instead of materializing whole documents; see stream.go. Walk, Size,
+// Depth, Equal and Clone keep their logical-tree semantics (a shared
+// node is visited once per occurrence); WalkShared visits each physical
+// node exactly once and is the right traversal for DAGs.
 package xmltree
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ptx/internal/relation"
@@ -29,7 +40,9 @@ type Node struct {
 	Children []*Node
 }
 
-// Tree is a rooted Σ-tree.
+// Tree is a rooted Σ-tree. Under pt's subtree sharing the structure may
+// be a DAG: several parents can reference one physical *Node, and the
+// tree it denotes is the unfolding.
 type Tree struct {
 	Root *Node
 }
@@ -49,11 +62,16 @@ func (n *Node) AddChild(tag string) *Node {
 // IsText reports whether the node is a text leaf.
 func (n *Node) IsText() bool { return n.Tag == TextTag }
 
-// Size returns the number of nodes in the subtree rooted at n.
+// Size returns the number of nodes in the subtree rooted at n (logical
+// count: shared nodes are counted once per occurrence).
 func (n *Node) Size() int {
-	s := 1
-	for _, c := range n.Children {
-		s += c.Size()
+	s := 0
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s++
+		stack = append(stack, nd.Children...)
 	}
 	return s
 }
@@ -61,13 +79,23 @@ func (n *Node) Size() int {
 // Depth returns the height of the subtree rooted at n (a leaf has
 // depth 1).
 func (n *Node) Depth() int {
-	d := 0
-	for _, c := range n.Children {
-		if cd := c.Depth(); cd > d {
-			d = cd
+	type item struct {
+		n *Node
+		d int
+	}
+	max := 0
+	stack := []item{{n, 1}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if it.d > max {
+			max = it.d
+		}
+		for _, c := range it.n.Children {
+			stack = append(stack, item{c, it.d + 1})
 		}
 	}
-	return d + 1
+	return max
 }
 
 // Size returns the number of nodes in the tree.
@@ -76,22 +104,48 @@ func (t *Tree) Size() int { return t.Root.Size() }
 // Depth returns the height of the tree.
 func (t *Tree) Depth() int { return t.Root.Depth() }
 
-// Walk visits every node in document order (pre-order); it stops early
-// if f returns false.
+// Walk visits every node in document order (pre-order); it stops the
+// entire walk as soon as f returns false. On a DAG a shared node is
+// visited once per logical occurrence; use WalkShared to visit each
+// physical node once.
 func (t *Tree) Walk(f func(*Node) bool) {
-	var rec func(n *Node) bool
-	rec = func(n *Node) bool {
+	stack := []*Node{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if !f(n) {
-			return false
+			return
 		}
-		for _, c := range n.Children {
-			if !rec(c) {
-				return false
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			stack = append(stack, n.Children[i])
+		}
+	}
+}
+
+// WalkShared visits each physically distinct node exactly once, in
+// document order of first occurrence; it stops the entire walk as soon
+// as f returns false. On a plain tree it is identical to Walk; on a
+// subtree-shared DAG it does work proportional to the DAG's physical
+// size rather than its (possibly exponential) unfolding.
+func (t *Tree) WalkShared(f func(*Node) bool) {
+	seen := make(map[*Node]bool)
+	stack := []*Node{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if !f(n) {
+			return
+		}
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			if !seen[n.Children[i]] {
+				stack = append(stack, n.Children[i])
 			}
 		}
-		return true
 	}
-	rec(t.Root)
 }
 
 // CountTag returns the number of nodes labeled tag.
@@ -109,7 +163,7 @@ func (t *Tree) CountTag(tag string) int {
 // Labels returns the set of tags used in the tree, sorted.
 func (t *Tree) Labels() []string {
 	set := make(map[string]bool)
-	t.Walk(func(nd *Node) bool {
+	t.WalkShared(func(nd *Node) bool {
 		set[nd.Tag] = true
 		return true
 	})
@@ -117,39 +171,51 @@ func (t *Tree) Labels() []string {
 	for l := range set {
 		out = append(out, l)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
 }
 
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
-}
-
 // Clone returns a deep copy of the tree (registers are cloned too).
+// Sharing is NOT preserved: cloning a DAG materializes its unfolding,
+// which can be exponentially larger than the DAG. Prefer Publish or the
+// streaming writers on shared trees.
 func (t *Tree) Clone() *Tree {
 	return &Tree{Root: cloneNode(t.Root)}
 }
 
 func cloneNode(n *Node) *Node {
+	type pair struct{ src, dst *Node }
+	root := copyShallow(n)
+	stack := []pair{{n, root}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(p.src.Children) == 0 {
+			continue
+		}
+		p.dst.Children = make([]*Node, len(p.src.Children))
+		for i, c := range p.src.Children {
+			cc := copyShallow(c)
+			p.dst.Children[i] = cc
+			stack = append(stack, pair{c, cc})
+		}
+	}
+	return root
+}
+
+func copyShallow(n *Node) *Node {
 	c := &Node{Tag: n.Tag, State: n.State, Text: n.Text}
 	if n.Reg != nil {
 		c.Reg = n.Reg.Clone()
-	}
-	c.Children = make([]*Node, len(n.Children))
-	for i, ch := range n.Children {
-		c.Children[i] = cloneNode(ch)
 	}
 	return c
 }
 
 // Strip removes registers and states in place, producing the plain
-// Σ-tree output of a transformation.
+// Σ-tree output of a transformation. Each physical node is stripped
+// once, so stripping a shared DAG costs its physical size.
 func (t *Tree) Strip() *Tree {
-	t.Walk(func(n *Node) bool {
+	t.WalkShared(func(n *Node) bool {
 		n.Reg = nil
 		n.State = ""
 		return true
@@ -159,16 +225,48 @@ func (t *Tree) Strip() *Tree {
 
 // SpliceVirtual removes every node whose tag is in virtual, replacing
 // it by its children, repeatedly until no virtual tags remain. The root
-// is never virtual (enforced by the transducer definition).
+// is never virtual (enforced by the transducer definition). The splice
+// is in place and processes each physical node once; note that on a
+// shared DAG the splice mutates shared children lists for all parents
+// at once (which is the correct logical result, since every occurrence
+// of a shared node has the same subtree). Publish performs the same
+// splice on a copy, preserving the original.
 func (t *Tree) SpliceVirtual(virtual map[string]bool) *Tree {
 	if len(virtual) == 0 {
 		return t
 	}
-	var splice func(n *Node)
-	splice = func(n *Node) {
+	type frame struct {
+		n *Node
+		i int
+	}
+	seen := map[*Node]bool{t.Root: true}
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.n.Children) {
+			c := f.n.Children[f.i]
+			f.i++
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, frame{c, 0})
+			}
+			continue
+		}
+		// All descendants are spliced; rebuild this node's child list.
+		n := f.n
+		stack = stack[:len(stack)-1]
+		splice := false
+		for _, c := range n.Children {
+			if virtual[c.Tag] {
+				splice = true
+				break
+			}
+		}
+		if !splice {
+			continue
+		}
 		out := make([]*Node, 0, len(n.Children))
 		for _, c := range n.Children {
-			splice(c)
 			if virtual[c.Tag] {
 				out = append(out, c.Children...)
 			} else {
@@ -177,22 +275,81 @@ func (t *Tree) SpliceVirtual(virtual map[string]bool) *Tree {
 		}
 		n.Children = out
 	}
-	splice(t.Root)
 	return t
+}
+
+// Publish returns the output Σ-tree of a transformation: a copy of t
+// with registers and states stripped and virtual tags spliced out
+// (splice-at-copy, the original is untouched). Physical sharing is
+// preserved — a node shared by k parents in t is represented by one
+// shared node in the result — so publishing a subtree-shared DAG costs
+// its physical size, not its unfolding.
+func (t *Tree) Publish(virtual map[string]bool) *Tree {
+	type frame struct {
+		src *Node
+		dst *Node
+		i   int
+	}
+	memo := make(map[*Node]*Node)
+	mk := func(n *Node) *Node {
+		d := &Node{Tag: n.Tag, Text: n.Text}
+		memo[n] = d
+		return d
+	}
+	root := mk(t.Root)
+	stack := []frame{{t.Root, root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i >= len(f.src.Children) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := f.src.Children[f.i]
+		dst, done := memo[c]
+		if !done {
+			dst = mk(c)
+			// First occurrence: build c's copy. The pushed frame
+			// completes (fills dst.Children) before any second
+			// reference to c is reached — the structure is acyclic, so
+			// c cannot occur inside its own subtree, and DFS finishes a
+			// subtree before moving right. A virtual child is spliced
+			// (its finished children copied in place of itself), so its
+			// slot is revisited after the frame completes: leave f.i
+			// unchanged and the memo hit below does the splice.
+			if !virtual[c.Tag] {
+				f.dst.Children = append(f.dst.Children, dst)
+				f.i++
+			}
+			stack = append(stack, frame{c, dst, 0})
+			continue
+		}
+		f.i++
+		if virtual[c.Tag] {
+			f.dst.Children = append(f.dst.Children, dst.Children...)
+		} else {
+			f.dst.Children = append(f.dst.Children, dst)
+		}
+	}
+	return &Tree{Root: root}
 }
 
 // Equal reports structural equality of two trees: same tags, same text,
 // same child sequences. Registers and states are ignored (they are not
 // part of the output Σ-tree).
-func (t *Tree) Equal(o *Tree) bool { return nodeEqual(t.Root, o.Root) }
-
-func nodeEqual(a, b *Node) bool {
-	if a.Tag != b.Tag || a.Text != b.Text || len(a.Children) != len(b.Children) {
-		return false
-	}
-	for i := range a.Children {
-		if !nodeEqual(a.Children[i], b.Children[i]) {
+func (t *Tree) Equal(o *Tree) bool {
+	type pair struct{ a, b *Node }
+	stack := []pair{{t.Root, o.Root}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.a == p.b {
+			continue // physically shared: trivially equal
+		}
+		if p.a.Tag != p.b.Tag || p.a.Text != p.b.Text || len(p.a.Children) != len(p.b.Children) {
 			return false
+		}
+		for i := range p.a.Children {
+			stack = append(stack, pair{p.a.Children[i], p.b.Children[i]})
 		}
 	}
 	return true
@@ -201,62 +358,25 @@ func nodeEqual(a, b *Node) bool {
 // Canonical returns a canonical single-line rendering of the output
 // tree: tag(child,child,…) with text leaves as tag="…". Two trees are
 // Equal iff their Canonical strings agree, so it doubles as a hash key.
+// Prefer WriteCanonical on large trees: this variant materializes the
+// whole document (and hence the full unfolding of a DAG) in memory.
 func (t *Tree) Canonical() string {
 	var sb strings.Builder
-	writeCanonical(&sb, t.Root)
+	if err := t.WriteCanonical(&sb); err != nil {
+		panic(err) // strings.Builder never errors
+	}
 	return sb.String()
 }
 
-func writeCanonical(sb *strings.Builder, n *Node) {
-	sb.WriteString(n.Tag)
-	if n.IsText() {
-		fmt.Fprintf(sb, "=%q", n.Text)
-		return
-	}
-	if len(n.Children) == 0 {
-		return
-	}
-	sb.WriteByte('(')
-	for i, c := range n.Children {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		writeCanonical(sb, c)
-	}
-	sb.WriteByte(')')
-}
-
-var xmlEscaper = strings.NewReplacer(
-	"&", "&amp;",
-	"<", "&lt;",
-	">", "&gt;",
-	`"`, "&quot;",
-)
-
-// XML serializes the tree as an indented XML document.
+// XML serializes the tree as an indented XML document. Prefer WriteXML
+// on large trees: this variant materializes the whole document in
+// memory.
 func (t *Tree) XML() string {
 	var sb strings.Builder
-	writeXML(&sb, t.Root, 0)
+	if err := t.WriteXML(&sb); err != nil {
+		panic(err) // strings.Builder never errors
+	}
 	return sb.String()
-}
-
-func writeXML(sb *strings.Builder, n *Node, depth int) {
-	indent := strings.Repeat("  ", depth)
-	if n.IsText() {
-		sb.WriteString(indent)
-		sb.WriteString(xmlEscaper.Replace(n.Text))
-		sb.WriteByte('\n')
-		return
-	}
-	if len(n.Children) == 0 {
-		fmt.Fprintf(sb, "%s<%s/>\n", indent, n.Tag)
-		return
-	}
-	fmt.Fprintf(sb, "%s<%s>\n", indent, n.Tag)
-	for _, c := range n.Children {
-		writeXML(sb, c, depth+1)
-	}
-	fmt.Fprintf(sb, "%s</%s>\n", indent, n.Tag)
 }
 
 // TextOfRegister renders a register relation as the pcdata payload of a
@@ -316,50 +436,71 @@ func (p *parser) skipSpace() {
 	}
 }
 
+// node parses one node iteratively: open stands in for the recursion
+// stack so that deeply nested canonical inputs cannot overflow it.
 func (p *parser) node() (*Node, error) {
+	var open []*Node // ancestors with an unclosed '('
+	for {
+		n, isText, err := p.leaf()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' && !isText {
+			p.pos++
+			open = append(open, n)
+			continue
+		}
+		// n is complete; attach and close as many parents as possible.
+		for {
+			if len(open) == 0 {
+				return n, nil
+			}
+			parent := open[len(open)-1]
+			parent.Children = append(parent.Children, n)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("xmltree: unterminated '(' in %q", p.src)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				open = open[:len(open)-1]
+				n = parent
+				continue
+			default:
+				return nil, fmt.Errorf("xmltree: expected ',' or ')' at %d in %q", p.pos, p.src)
+			}
+			break
+		}
+	}
+}
+
+// leaf parses tag or tag="…" (without children); isText reports the
+// latter form, which cannot be followed by a child list.
+func (p *parser) leaf() (n *Node, isText bool, err error) {
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.src) && isTagByte(p.src[p.pos]) {
 		p.pos++
 	}
 	if p.pos == start {
-		return nil, fmt.Errorf("xmltree: expected tag at %d in %q", p.pos, p.src)
+		return nil, false, fmt.Errorf("xmltree: expected tag at %d in %q", p.pos, p.src)
 	}
-	n := &Node{Tag: p.src[start:p.pos]}
+	n = &Node{Tag: p.src[start:p.pos]}
 	p.skipSpace()
 	if p.pos < len(p.src) && p.src[p.pos] == '=' {
 		p.pos++
 		txt, err := p.quoted()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		n.Text = txt
-		return n, nil
+		isText = true
 	}
-	if p.pos < len(p.src) && p.src[p.pos] == '(' {
-		p.pos++
-		for {
-			c, err := p.node()
-			if err != nil {
-				return nil, err
-			}
-			n.Children = append(n.Children, c)
-			p.skipSpace()
-			if p.pos >= len(p.src) {
-				return nil, fmt.Errorf("xmltree: unterminated '(' in %q", p.src)
-			}
-			if p.src[p.pos] == ',' {
-				p.pos++
-				continue
-			}
-			if p.src[p.pos] == ')' {
-				p.pos++
-				break
-			}
-			return nil, fmt.Errorf("xmltree: expected ',' or ')' at %d in %q", p.pos, p.src)
-		}
-	}
-	return n, nil
+	return n, isText, nil
 }
 
 func (p *parser) quoted() (string, error) {
@@ -409,20 +550,43 @@ func RegisterOfSingle(vals ...string) *relation.Relation {
 // transductions over unordered trees; round-trip tests compare with
 // this form.
 func (t *Tree) SortedCanonical() string {
-	var render func(n *Node) string
-	render = func(n *Node) string {
+	type frame struct {
+		n     *Node
+		i     int
+		parts []string
+	}
+	render := func(n *Node) (string, bool) {
 		if n.IsText() {
-			return n.Tag + "=" + fmt.Sprintf("%q", n.Text)
+			return n.Tag + "=" + fmt.Sprintf("%q", n.Text), true
 		}
 		if len(n.Children) == 0 {
-			return n.Tag
+			return n.Tag, true
 		}
-		parts := make([]string, len(n.Children))
-		for i, c := range n.Children {
-			parts[i] = render(c)
-		}
-		sortStrings(parts)
-		return n.Tag + "(" + strings.Join(parts, ",") + ")"
+		return "", false
 	}
-	return render(t.Root)
+	if s, ok := render(t.Root); ok {
+		return s
+	}
+	stack := []frame{{n: t.Root, parts: make([]string, 0, len(t.Root.Children))}}
+	for {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.n.Children) {
+			c := f.n.Children[f.i]
+			f.i++
+			if s, ok := render(c); ok {
+				f.parts = append(f.parts, s)
+				continue
+			}
+			stack = append(stack, frame{n: c, parts: make([]string, 0, len(c.Children))})
+			continue
+		}
+		sort.Strings(f.parts)
+		s := f.n.Tag + "(" + strings.Join(f.parts, ",") + ")"
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			return s
+		}
+		p := &stack[len(stack)-1]
+		p.parts = append(p.parts, s)
+	}
 }
