@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Exit-code golden tests for the analysis CLI: 0 decided, 2 usage,
+// 3 undecidable for the class, 4 undecided (budget or deadline).
+
+func spec(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "examples", "specs", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Skipf("%s not present", name)
+	}
+	return p
+}
+
+// validCourse is a tree τ1 can actually produce, in the canonical
+// grammar (text nodes spell out as tag=quoted).
+const validCourse = `db(course(cno(text="X"),title(text="Y"),prereq))`
+
+func TestUsageExit(t *testing.T) {
+	tau1 := spec(t, "tau1.pt")
+	for _, args := range [][]string{
+		nil,
+		{"classify"},                   // no -spec
+		{"membership", "-spec", tau1},  // no -tree
+		{"equivalence", "-spec", tau1}, // no -spec2
+		{"frobnicate", "-spec", tau1},  // unknown subcommand
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestClassifyExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"classify", "-spec", spec(t, "tau1.pt")}, &out, &errBuf); code != 0 {
+		t.Fatalf("classify: exit %d (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "PT") {
+		t.Errorf("classify should print the class: %s", out.String())
+	}
+}
+
+func TestMembershipDecidedExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", "db"}, &out, &errBuf); code != 0 {
+		t.Fatalf("membership: exit %d (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "MEMBER") {
+		t.Errorf("expected MEMBER verdict: %s", out.String())
+	}
+}
+
+// TestMembershipBudgetExit pins the budget path: the candidate cap
+// reports UNDECIDED with the observed count, exit 4.
+func TestMembershipBudgetExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", validCourse, "-max-candidates", "1"}, &out, &errBuf)
+	if code != 4 {
+		t.Fatalf("budget: exit %d, want 4 (out: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "UNDECIDED") || !strings.Contains(out.String(), "observed 1, limit 1") {
+		t.Errorf("budget verdict should include the observed count: %s", out.String())
+	}
+}
+
+// TestMembershipRetriesExit: retries re-run the search (fresh budget,
+// same cap) and the failure is reported with the attempt count.
+func TestMembershipRetriesExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", validCourse, "-max-candidates", "1", "-retries", "2", "-backoff", "1ms"}, &out, &errBuf)
+	if code != 4 {
+		t.Fatalf("budget with retries: exit %d, want 4 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "attempt 1 failed") || !strings.Contains(errBuf.String(), "after 3 attempts") {
+		t.Errorf("retry trace missing from stderr: %s", errBuf.String())
+	}
+}
+
+func TestMembershipTimeoutExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", validCourse, "-timeout", "1ms"}, &out, &errBuf)
+	if code != 4 {
+		t.Fatalf("timeout: exit %d, want 4 (out: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "UNDECIDED") {
+		t.Errorf("timeout verdict should be UNDECIDED: %s", out.String())
+	}
+}
+
+func TestEquivalenceUndecidableExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"equivalence", "-spec", spec(t, "tau1.pt"), "-spec2", spec(t, "tau3.pt")}, &out, &errBuf)
+	if code != 3 {
+		t.Fatalf("equivalence: exit %d, want 3 (out: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "UNDECIDABLE") {
+		t.Errorf("expected Table II verdict: %s", out.String())
+	}
+}
+
+func TestBadSpecExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"classify", "-spec", filepath.Join(t.TempDir(), "missing.pt")}, &out, &errBuf); code != 1 {
+		t.Fatalf("missing spec: exit %d, want 1", code)
+	}
+}

@@ -6,9 +6,17 @@
 //	ptxml -spec view.pt -data facts.db [-canonical] [-stats] [-workers N]
 //	      [-max-nodes N] [-max-depth N] [-timeout D]
 //	      [-cache off|query|subtree] [-cache-size N]
+//	      [-retries N] [-backoff D] [-checkpoint FILE] [-resume FILE]
 //
 // The spec syntax is documented in internal/parser; the data file holds
 // one fact per line, e.g. course(CS401, Compilers, CS).
+//
+// With -retries, -checkpoint or -resume the run goes through the
+// supervision layer (internal/supervise): transient failures — budget
+// exhaustion, deadline expiry, contained panics — are retried with
+// capped exponential backoff, progress carries forward across attempts,
+// and a failed run can leave a checkpoint file that a later invocation
+// resumes with byte-identical output.
 //
 // Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted,
 // 5 deadline exceeded / canceled. Budgets matter because relation-store
@@ -24,11 +32,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ptx/internal/parser"
 	"ptx/internal/pt"
+	"ptx/internal/relation"
 	"ptx/internal/runctl"
+	"ptx/internal/supervise"
 )
 
 func main() {
@@ -49,6 +61,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 	cacheFlag := fs.String("cache", "off", "memoization level: off, query or subtree (subtree needs -max-nodes 0 -max-depth 0)")
 	cacheSize := fs.Int("cache-size", 0, "cache capacity in entries (0 = default)")
+	retries := fs.Int("retries", 0, "retry transient failures up to N times; budgets are fresh per attempt and progress accumulates")
+	backoff := fs.Duration("backoff", 10*time.Millisecond, "base delay between retries (doubles per retry, capped at 2s)")
+	checkpointPath := fs.String("checkpoint", "", "write a resumable checkpoint to FILE when the run fails")
+	resumePath := fs.String("resume", "", "resume from a checkpoint FILE instead of starting fresh")
+	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:transient|permanent|internal (ops: query, node, eval)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,11 +75,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *specPath == "" || *dataPath == "" {
-		fmt.Fprintln(stderr, "usage: ptxml -spec view.pt -data facts.db [-timeout 1s] [-max-nodes N] [-max-depth N]")
+		fmt.Fprintln(stderr, "usage: ptxml -spec view.pt -data facts.db [-timeout 1s] [-max-nodes N] [-max-depth N] [-retries N] [-checkpoint ck] [-resume ck]")
 		return 2
 	}
 	if *maxNodesOld > 0 {
 		*maxNodes = *maxNodesOld
+	}
+	faults, err := parseInject(*inject)
+	if err != nil {
+		fmt.Fprintln(stderr, "ptxml:", err)
+		return 2
 	}
 
 	spec, err := os.ReadFile(*specPath)
@@ -89,14 +111,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Limits:    &runctl.Limits{Timeout: *timeout},
 		Cache:     cacheMode,
 		CacheSize: *cacheSize,
+		Faults:    faults,
 	}
+
+	var res *pt.Result
+	attempts := 1
 	start := time.Now()
-	res, err := tr.RunContext(context.Background(), inst, opts)
+	if supervised := *retries > 0 || *checkpointPath != "" || *resumePath != ""; supervised {
+		res, attempts, err = runSupervised(tr, inst, opts, *retries, *backoff, *checkpointPath, *resumePath, stderr)
+	} else {
+		res, err = tr.RunContext(context.Background(), inst, opts)
+	}
 	if err != nil {
 		return fail(stderr, err)
 	}
 	if cacheMode == pt.CacheSubtrees && res.Stats.CacheMode != pt.CacheSubtrees {
-		fmt.Fprintf(stderr, "ptxml: note: -cache subtree downgraded to %q (node/depth budgets disable subtree sharing; pass -max-nodes 0 -max-depth 0 to enable it)\n",
+		fmt.Fprintf(stderr, "ptxml: note: -cache subtree downgraded to %q (node/depth budgets and supervised runs disable subtree sharing; pass -max-nodes 0 -max-depth 0 without -retries/-checkpoint/-resume to enable it)\n",
 			res.Stats.CacheMode)
 	}
 
@@ -116,12 +146,104 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		s := res.Stats
-		fmt.Fprintf(stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d cache=%s hits=%d misses=%d evictions=%d shared=%d shared-nodes=%d elapsed=%v\n",
+		fmt.Fprintf(stderr, "class=%s nodes=%d depth=%d queries=%d stops=%d cache=%s hits=%d misses=%d evictions=%d shared=%d shared-nodes=%d attempts=%d elapsed=%v\n",
 			tr.Classify(), s.Nodes, s.MaxDepth, s.QueriesRun, s.StopsApplied,
 			s.CacheMode, s.CacheHits, s.CacheMisses, s.CacheEvictions,
-			s.SubtreesShared, s.NodesShared, time.Since(start).Round(time.Millisecond))
+			s.SubtreesShared, s.NodesShared, attempts, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// runSupervised routes the run through the supervision layer, loading
+// and saving checkpoint files as requested.
+func runSupervised(tr *pt.Transducer, inst *relation.Instance, opts pt.Options, retries int, backoff time.Duration, checkpointPath, resumePath string, stderr io.Writer) (*pt.Result, int, error) {
+	sopts := supervise.Options{
+		Run:        opts,
+		Retries:    retries,
+		Backoff:    supervise.Backoff{Base: backoff},
+		Checkpoint: checkpointPath != "",
+		OnRetry: func(attempt int, err error, next pt.Options) {
+			fmt.Fprintf(stderr, "ptxml: attempt %d failed (%v); retrying\n", attempt, err)
+		},
+	}
+	var res *pt.Result
+	var rep *supervise.Report
+	var err error
+	if resumePath != "" {
+		f, openErr := os.Open(resumePath)
+		if openErr != nil {
+			return nil, 1, openErr
+		}
+		snap, decErr := supervise.DecodeSnapshot(f)
+		f.Close()
+		if decErr != nil {
+			return nil, 1, decErr
+		}
+		res, rep, err = supervise.Resume(context.Background(), tr, inst, snap, sopts)
+	} else {
+		res, rep, err = supervise.Run(context.Background(), tr, inst, sopts)
+	}
+	attempts := 1
+	if rep != nil {
+		attempts = rep.Attempts
+	}
+	if err != nil && checkpointPath != "" && rep != nil && rep.Snapshot != nil {
+		if saveErr := saveCheckpoint(checkpointPath, rep.Snapshot); saveErr != nil {
+			fmt.Fprintf(stderr, "ptxml: writing checkpoint: %v\n", saveErr)
+		} else {
+			fmt.Fprintf(stderr, "ptxml: checkpoint written to %s; resume with -resume %s\n", checkpointPath, checkpointPath)
+		}
+	}
+	return res, attempts, err
+}
+
+func saveCheckpoint(path string, snap *supervise.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseInject turns the -inject test-aid flag into a fault plan.
+func parseInject(s string) (*runctl.FaultPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -inject %q: want op:N:kind", s)
+	}
+	op := runctl.Op(parts[0])
+	valid := false
+	for _, known := range runctl.Ops() {
+		if op == known {
+			valid = true
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("bad -inject op %q", parts[0])
+	}
+	n, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad -inject count %q", parts[1])
+	}
+	var injected error
+	switch parts[2] {
+	case "transient":
+		injected = runctl.Transient(errors.New("injected fault"))
+	case "permanent":
+		injected = errors.New("injected fault")
+	case "internal":
+		injected = &runctl.ErrInternal{Op: "inject", Panic: "injected fault"}
+	default:
+		return nil, fmt.Errorf("bad -inject kind %q: want transient, permanent or internal", parts[2])
+	}
+	return &runctl.FaultPlan{Op: op, N: n, Err: injected}, nil
 }
 
 // fail prints a typed, human-readable diagnosis and picks the exit
@@ -132,11 +254,11 @@ func fail(stderr io.Writer, err error) int {
 	var ie *runctl.ErrInternal
 	switch {
 	case errors.As(err, &be):
-		fmt.Fprintf(stderr, "ptxml: aborted: %s budget exhausted (limit %d); raise -max-nodes/-max-depth or fix the spec (relation-store transducers can produce doubly-exponential trees, Proposition 1)\n",
-			be.Kind, be.Limit)
+		fmt.Fprintf(stderr, "ptxml: aborted: %s budget exhausted (observed %d, limit %d); raise -max-nodes/-max-depth, add -retries (budgets are fresh per attempt), or fix the spec (relation-store transducers can produce doubly-exponential trees, Proposition 1)\n",
+			be.Kind, be.Observed, be.Limit)
 		return 4
 	case errors.As(err, &ce):
-		fmt.Fprintf(stderr, "ptxml: aborted: %v; raise -timeout or fix the spec\n", ce.Cause)
+		fmt.Fprintf(stderr, "ptxml: aborted: %v; raise -timeout, add -retries, or fix the spec\n", ce.Cause)
 		return 5
 	case errors.As(err, &ie):
 		fmt.Fprintf(stderr, "ptxml: internal error in %s: %v\n", ie.Op, ie.Panic)

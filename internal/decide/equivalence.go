@@ -94,7 +94,7 @@ func (e *equivChecker) compare(n1 pt.GraphNode, c1 []*cq.NF, n2 pt.GraphNode, c2
 	}
 	if depth > maxEquivDepth {
 		return false, fmt.Errorf("decide: equivalence undecided: %w",
-			&runctl.ErrBudget{Kind: runctl.BudgetDepth, Limit: maxEquivDepth})
+			&runctl.ErrBudget{Kind: runctl.BudgetDepth, Limit: maxEquivDepth, Observed: depth})
 	}
 	b1, err := e.normalBlocks(e.t1, n1, c1)
 	if err != nil {

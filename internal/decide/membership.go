@@ -178,7 +178,7 @@ func searchInstances(ctx context.Context, t *pt.Transducer, target *xmltree.Tree
 				budget--
 				if budget == 0 {
 					return false, fmt.Errorf("decide: membership undecided: %w",
-						&runctl.ErrBudget{Kind: runctl.BudgetCandidates, Limit: opts.MaxCandidates})
+						&runctl.ErrBudget{Kind: runctl.BudgetCandidates, Limit: opts.MaxCandidates, Observed: opts.MaxCandidates})
 				}
 			}
 			out, err := t.OutputContext(ctx, inst, pt.Options{MaxNodes: runBudget})

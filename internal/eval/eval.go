@@ -187,6 +187,11 @@ func EvalQueryNaive(q *logic.Query, env *Env) (*relation.Relation, error) {
 }
 
 func evalQueryWith(q *logic.Query, env *Env, naive bool) (*relation.Relation, error) {
+	// One OpEval fault checkpoint per actual evaluation: memo hits skip
+	// it, so seeded chaos plans can distinguish cached from fresh work.
+	if err := env.ctl.Fault(runctl.OpEval); err != nil {
+		return nil, err
+	}
 	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(q.F)), naive: naive}
 	f := q.F
 	if !naive {

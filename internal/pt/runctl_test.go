@@ -14,26 +14,14 @@ import (
 	"ptx/internal/families"
 	"ptx/internal/pt"
 	"ptx/internal/runctl"
+	"ptx/internal/testutil"
 )
 
-// settledGoroutines polls until the goroutine count drops back to at
-// most base+slack, tolerating runtime/test-harness stragglers.
+// settledGoroutines is the shared leak assertion (internal/testutil),
+// kept under its historical local name.
 func settledGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines leaked: %d now vs %d before\n%s", n, base, buf)
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.SettledGoroutines(t, base)
 }
 
 // TestParallelFaultStopsSiblings is the regression test for the
@@ -89,6 +77,7 @@ func TestParallelFaultNoGoroutineLeak(t *testing.T) {
 func TestMaxDepthBudget(t *testing.T) {
 	tr := families.UnfoldTransducer()
 	inst := families.DiamondChain(12)
+	base := runtime.NumGoroutine()
 	_, err := tr.Run(inst, pt.Options{MaxDepth: 5})
 	var be *runctl.ErrBudget
 	if !errors.As(err, &be) {
@@ -97,6 +86,10 @@ func TestMaxDepthBudget(t *testing.T) {
 	if be.Kind != runctl.BudgetDepth || be.Limit != 5 {
 		t.Fatalf("budget kind/limit = %s/%d, want %s/5", be.Kind, be.Limit, runctl.BudgetDepth)
 	}
+	if be.Observed <= be.Limit {
+		t.Fatalf("ErrBudget.Observed = %d, want > limit %d", be.Observed, be.Limit)
+	}
+	settledGoroutines(t, base)
 }
 
 // TestDeadlineAcceptance is the ISSUE acceptance criterion: the
@@ -133,6 +126,7 @@ func TestDeadlineAcceptance(t *testing.T) {
 func TestTimeoutViaLimits(t *testing.T) {
 	tr := families.CounterTransducer()
 	inst := families.CounterInstance(6)
+	base := runtime.NumGoroutine()
 	start := time.Now()
 	_, err := tr.Run(inst, pt.Options{
 		Workers: 2,
@@ -146,6 +140,7 @@ func TestTimeoutViaLimits(t *testing.T) {
 	if elapsed > 400*time.Millisecond {
 		t.Errorf("run took %v after a 100ms Limits.Timeout", elapsed)
 	}
+	settledGoroutines(t, base)
 }
 
 // TestSequentialFaultTyped checks fault injection works without the
@@ -153,10 +148,15 @@ func TestTimeoutViaLimits(t *testing.T) {
 func TestSequentialFaultTyped(t *testing.T) {
 	tr := families.UnfoldTransducer()
 	inst := families.DiamondChain(6)
+	base := runtime.NumGoroutine()
 	boom := errors.New("sequential fault")
 	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 5, Err: boom}
 	_, err := tr.Run(inst, pt.Options{Faults: plan})
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want injected fault", err)
 	}
+	if got := plan.ObservedOp(runctl.OpQuery); got != 5 {
+		t.Errorf("ObservedOp(query) = %d, want 5 (fault fires on the 5th)", got)
+	}
+	settledGoroutines(t, base)
 }

@@ -30,8 +30,11 @@ package runctl
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -97,13 +100,18 @@ func (e *ErrCanceled) Unwrap() error { return e.Cause }
 
 // ErrBudget reports that a resource budget was exhausted. The result of
 // the interrupted computation is unknown ("undecided"), not negative.
+// Observed is the count actually reached when the budget tripped — at
+// least Limit+1 for counted budgets — so callers can tell a budget that
+// was barely exceeded from one that was swamped (concurrent workers may
+// overshoot before the first error propagates).
 type ErrBudget struct {
-	Kind  BudgetKind
-	Limit int
+	Kind     BudgetKind
+	Limit    int
+	Observed int
 }
 
 func (e *ErrBudget) Error() string {
-	return fmt.Sprintf("runctl: %s budget exhausted (limit %d)", e.Kind, e.Limit)
+	return fmt.Sprintf("runctl: %s budget exhausted (observed %d, limit %d)", e.Kind, e.Observed, e.Limit)
 }
 
 // ErrInternal wraps a panic recovered at a public API boundary, with
@@ -137,6 +145,35 @@ func Recover(errp *error, op string) {
 	}
 }
 
+// ErrTransient marks an error as transient: the operation that failed
+// may succeed if simply retried (possibly under degraded options). The
+// supervision layer retries transient errors and treats everything
+// unmarked — spec bugs, validation failures — as permanent. Fault
+// injectors wrap their errors with Transient so chaos runs exercise the
+// retry path.
+type ErrTransient struct{ Cause error }
+
+func (e *ErrTransient) Error() string {
+	return fmt.Sprintf("runctl: transient: %v", e.Cause)
+}
+
+func (e *ErrTransient) Unwrap() error { return e.Cause }
+
+// Transient wraps err as retryable; Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ErrTransient{Cause: err}
+}
+
+// IsTransient reports whether err carries a transient marker anywhere in
+// its chain.
+func IsTransient(err error) bool {
+	var te *ErrTransient
+	return errors.As(err, &te)
+}
+
 // Op identifies an operation class for fault injection.
 type Op string
 
@@ -145,39 +182,110 @@ const (
 	OpQuery Op = "query"
 	// OpNode is one batch of node materializations.
 	OpNode Op = "node"
+	// OpEval is one formula evaluation inside internal/eval (finer than
+	// OpQuery: memo hits skip it, and the decision procedures hit it
+	// without going through the transducer runner).
+	OpEval Op = "eval"
+	// OpSerialize is one write of the streaming XML serializers; injected
+	// by wrapping the output io.Writer (see supervise/chaos), not by the
+	// controller.
+	OpSerialize Op = "serialize"
 )
 
-// FaultPlan deterministically fails the Nth operation of a kind; it is
-// test-only plumbing for proving error propagation through concurrent
-// expansion. The zero value (and nil) injects nothing.
+// Ops lists every operation kind, for iteration in tests and harnesses.
+func Ops() []Op { return []Op{OpQuery, OpNode, OpEval, OpSerialize} }
+
+// FaultPlan injects deterministic test-only failures. It has two
+// composable modes:
+//
+//   - Nth-op: Op/N/Err fail exactly the Nth operation of one kind (the
+//     historical behavior, byte-compatible with existing tests);
+//   - probabilistic: Probs[op] gives a per-operation failure
+//     probability, driven by a PRNG seeded with Seed, so a whole family
+//     of "randomized" fault schedules is reproducible from one integer.
+//
+// Independent of injection, the plan counts every operation it observes
+// per kind (ObservedOp), which measures how much work ran before — and
+// concurrently with — a fault. The zero value (and nil) injects nothing.
 type FaultPlan struct {
 	Op  Op
 	N   int64 // 1-based index of the operation to fail; 0 disables
 	Err error // the error to inject
 
+	// Probs maps operation kinds to failure probabilities in [0,1];
+	// draws come from a PRNG seeded with Seed. Concurrent runs may
+	// interleave draws differently, so which op fails can vary, but a
+	// serial run is fully reproducible from (Seed, Probs).
+	Probs map[Op]float64
+	Seed  int64
+
 	count atomic.Int64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	observed map[Op]int64
 }
 
-// check counts an operation and returns the injected error exactly on
-// the Nth occurrence of the planned kind.
-func (p *FaultPlan) check(op Op) error {
-	if p == nil || p.N <= 0 || p.Op != op {
+// SeededPlan builds a probabilistic plan failing each op of a listed
+// kind with its given probability, injecting err (callers usually pass a
+// Transient-wrapped error so supervision retries it).
+func SeededPlan(seed int64, err error, probs map[Op]float64) *FaultPlan {
+	return &FaultPlan{Seed: seed, Err: err, Probs: probs}
+}
+
+// Check counts the operation and returns the injected error when either
+// mode fires: the Nth occurrence of the planned kind, or a seeded coin
+// flip under Probs. It is exported so layers the controller cannot see
+// (e.g. serializer wrappers) can participate in the same plan.
+func (p *FaultPlan) Check(op Op) error {
+	if p == nil {
 		return nil
 	}
-	if p.count.Add(1) == p.N {
+	p.mu.Lock()
+	if p.observed == nil {
+		p.observed = make(map[Op]int64, 4)
+	}
+	p.observed[op]++
+	var hit bool
+	if prob := p.Probs[op]; prob > 0 {
+		if p.rng == nil {
+			p.rng = rand.New(rand.NewSource(p.Seed))
+		}
+		hit = p.rng.Float64() < prob
+	}
+	p.mu.Unlock()
+	if hit {
+		return p.Err
+	}
+	if p.N > 0 && p.Op == op && p.count.Add(1) == p.N {
 		return p.Err
 	}
 	return nil
 }
 
-// Observed reports how many operations of the planned kind have been
-// counted so far — a direct measure of how much work ran before (and
-// concurrently with) the injected fault.
+// check is the internal spelling used by the controller.
+func (p *FaultPlan) check(op Op) error { return p.Check(op) }
+
+// Observed reports how many operations of the Nth-op planned kind have
+// been counted so far — a direct measure of how much work ran before
+// (and concurrently with) the injected fault. For per-kind counts
+// across both modes use ObservedOp.
 func (p *FaultPlan) Observed() int64 {
 	if p == nil {
 		return 0
 	}
 	return p.count.Load()
+}
+
+// ObservedOp reports how many operations of the given kind the plan has
+// seen, regardless of mode.
+func (p *FaultPlan) ObservedOp(op Op) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.observed[op]
 }
 
 // Controller binds a context to a set of limits and shares counters
@@ -238,8 +346,8 @@ func (c *Controller) AddNodes(n int) error {
 	if err := c.faults.check(OpNode); err != nil {
 		return err
 	}
-	if c.limits.MaxNodes > 0 && c.nodes.Add(int64(n)) > int64(c.limits.MaxNodes) {
-		return &ErrBudget{Kind: BudgetNodes, Limit: c.limits.MaxNodes}
+	if got := c.nodes.Add(int64(n)); c.limits.MaxNodes > 0 && got > int64(c.limits.MaxNodes) {
+		return &ErrBudget{Kind: BudgetNodes, Limit: c.limits.MaxNodes, Observed: int(got)}
 	}
 	return nil
 }
@@ -251,7 +359,7 @@ func (c *Controller) Depth(d int) error {
 		return nil
 	}
 	if c.limits.MaxDepth > 0 && d > c.limits.MaxDepth {
-		return &ErrBudget{Kind: BudgetDepth, Limit: c.limits.MaxDepth}
+		return &ErrBudget{Kind: BudgetDepth, Limit: c.limits.MaxDepth, Observed: d}
 	}
 	return nil
 }
@@ -268,10 +376,20 @@ func (c *Controller) Query() error {
 	if err := c.faults.check(OpQuery); err != nil {
 		return err
 	}
-	if c.limits.MaxQueries > 0 && c.queries.Add(1) > int64(c.limits.MaxQueries) {
-		return &ErrBudget{Kind: BudgetQueries, Limit: c.limits.MaxQueries}
+	if got := c.queries.Add(1); c.limits.MaxQueries > 0 && got > int64(c.limits.MaxQueries) {
+		return &ErrBudget{Kind: BudgetQueries, Limit: c.limits.MaxQueries, Observed: int(got)}
 	}
 	return nil
+}
+
+// Fault checks only the fault-injection plan for one operation of the
+// given kind; layers that have their own budget accounting (or none)
+// use it to participate in a run's fault schedule.
+func (c *Controller) Fault(op Op) error {
+	if c == nil {
+		return nil
+	}
+	return c.faults.check(op)
 }
 
 // FixpointIter checks cancellation and the iteration budget at the top
@@ -284,7 +402,7 @@ func (c *Controller) FixpointIter(iter int) error {
 		return err
 	}
 	if c.limits.MaxFixpointIters > 0 && iter > c.limits.MaxFixpointIters {
-		return &ErrBudget{Kind: BudgetFixpoint, Limit: c.limits.MaxFixpointIters}
+		return &ErrBudget{Kind: BudgetFixpoint, Limit: c.limits.MaxFixpointIters, Observed: iter}
 	}
 	return nil
 }

@@ -164,3 +164,110 @@ func TestBoundsTree(t *testing.T) {
 		}
 	}
 }
+
+func TestTransientMarking(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) should be nil")
+	}
+	cause := errors.New("socket reset")
+	err := Transient(cause)
+	if !IsTransient(err) {
+		t.Fatal("Transient-wrapped error not classified transient")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("Transient must unwrap to its cause")
+	}
+	if IsTransient(cause) {
+		t.Fatal("plain error misclassified as transient")
+	}
+	if IsTransient(Transient(Transient(cause))) != true {
+		t.Fatal("double wrapping should stay transient")
+	}
+}
+
+// TestSeededPlanDeterministic pins the probabilistic mode: the same
+// (seed, probs) produce the same fault schedule over the same op
+// sequence, and a different seed produces a different one — the
+// property chaos cases replay from.
+func TestSeededPlanDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	schedule := func(seed int64) []int {
+		p := SeededPlan(seed, boom, map[Op]float64{OpQuery: 0.2})
+		var hits []int
+		for i := 0; i < 200; i++ {
+			if p.Check(OpQuery) != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 {
+		t.Fatal("0.2 over 200 draws produced no faults; PRNG not wired")
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	if c := schedule(43); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+// TestObservedOpCounts: the plan counts every op it sees per kind,
+// across both modes, while Observed() tracks only the Nth-op kind.
+func TestObservedOpCounts(t *testing.T) {
+	p := &FaultPlan{Op: OpQuery, N: 100, Err: errors.New("x"),
+		Probs: map[Op]float64{OpSerialize: 0}, Seed: 1}
+	for i := 0; i < 3; i++ {
+		p.Check(OpQuery)
+	}
+	for i := 0; i < 5; i++ {
+		p.Check(OpNode)
+	}
+	p.Check(OpSerialize)
+	if got := p.ObservedOp(OpQuery); got != 3 {
+		t.Errorf("ObservedOp(query) = %d, want 3", got)
+	}
+	if got := p.ObservedOp(OpNode); got != 5 {
+		t.Errorf("ObservedOp(node) = %d, want 5", got)
+	}
+	if got := p.ObservedOp(OpSerialize); got != 1 {
+		t.Errorf("ObservedOp(serialize) = %d, want 1", got)
+	}
+	if got := p.ObservedOp(OpEval); got != 0 {
+		t.Errorf("ObservedOp(eval) = %d, want 0", got)
+	}
+	if got := p.Observed(); got != 3 {
+		t.Errorf("Observed() = %d, want 3 (query-kind only)", got)
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Observed() != 0 || nilPlan.ObservedOp(OpQuery) != 0 || nilPlan.Check(OpQuery) != nil {
+		t.Error("nil plan must observe nothing and inject nothing")
+	}
+}
+
+// TestOpsComplete: Ops() is the registry CLIs validate -inject against;
+// adding an Op without listing it there silently breaks the flag.
+func TestOpsComplete(t *testing.T) {
+	want := map[Op]bool{OpQuery: true, OpNode: true, OpEval: true, OpSerialize: true}
+	got := Ops()
+	if len(got) != len(want) {
+		t.Fatalf("Ops() = %v, want the %d known kinds", got, len(want))
+	}
+	for _, op := range got {
+		if !want[op] {
+			t.Errorf("Ops() lists unknown kind %q", op)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+// Snapshot is the serializable checkpoint of an interrupted run.
+//
+// The paper's determinism argument (Proposition 1(1)) is what makes a
+// small checkpoint sufficient: the children generated at a node depend
+// only on its (state, tag, register) configuration and the fixed
+// database, so the partial tree plus the frontier of unexpanded
+// configurations is a complete description of the remaining work — no
+// evaluator state, cache contents or traversal position needs saving.
+// Resuming from a snapshot therefore reproduces the uninterrupted run's
+// output byte for byte (the invariant the supervise and chaos tests pin).
+//
+// The format is a line-based text format, versioned, with every
+// variable-width field strconv.Quote-d. Nodes are written in
+// post-order, children before parents, referencing each other by index;
+// a reference to a not-yet-defined node is a decode error, which makes
+// cycles structurally unrepresentable. Shared subtrees (the DAG the
+// subtree cache builds) encode once and decode back to shared pointers.
+package supervise
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/value"
+	"ptx/internal/xmltree"
+)
+
+// snapshotMagic identifies the format; the trailing integer is the
+// version and changes on any incompatible layout change.
+const snapshotMagic = "ptx-checkpoint 1"
+
+// Snapshot captures everything needed to resume a run: the partial
+// register-carrying tree, the frontier of pending configurations (which
+// point into that tree), the counter values accumulated so far, and
+// fingerprints binding the checkpoint to one (transducer, instance)
+// pair so a snapshot cannot silently resume against the wrong inputs.
+type Snapshot struct {
+	// TransducerName is informational (error messages); TransducerFP and
+	// InstanceFP are sha256 hex fingerprints of the canonical String()
+	// renderings, checked by Verify before any resume.
+	TransducerName string
+	TransducerFP   string
+	InstanceFP     string
+
+	// Stats carries the counters of the interrupted run so a resumed
+	// run's final statistics match the uninterrupted run's.
+	Stats pt.Stats
+
+	// Tree is the partial output tree; frontier nodes still carry their
+	// State and every node carries its register.
+	Tree *xmltree.Tree
+
+	// Pending is the frontier in StepRun.Pending order (bottom of the
+	// stack first); Node fields point into Tree.
+	Pending []pt.PendingConfig
+}
+
+// Fingerprint returns the sha256 hex digest of a canonical rendering;
+// used to bind snapshots to their transducer and instance.
+func Fingerprint(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+// Capture builds a Snapshot from a live stepwise run. The tree is
+// deep-copied (sharing-preserved) so the snapshot stays valid while the
+// run keeps mutating, which is what periodic checkpoints need.
+func Capture(tr *pt.Transducer, inst *relation.Instance, sr *pt.StepRun) *Snapshot {
+	tree, remap := sr.Tree().CloneShared()
+	pending := sr.Pending()
+	for i := range pending {
+		pending[i].Node = remap[pending[i].Node]
+	}
+	return &Snapshot{
+		TransducerName: tr.Name,
+		TransducerFP:   Fingerprint(tr.String()),
+		InstanceFP:     Fingerprint(inst.String()),
+		Stats:          sr.StatsSoFar(),
+		Tree:           tree,
+		Pending:        pending,
+	}
+}
+
+// Verify checks that the snapshot was taken for exactly this transducer
+// and instance. Resuming against different inputs would not be detected
+// at runtime — determinism guarantees agreement only for identical
+// inputs — so this is the safety check in front of every Resume.
+func (s *Snapshot) Verify(tr *pt.Transducer, inst *relation.Instance) error {
+	if fp := Fingerprint(tr.String()); fp != s.TransducerFP {
+		return fmt.Errorf("supervise: snapshot was taken for transducer %q (fingerprint %.12s…), not this one (%.12s…)",
+			s.TransducerName, s.TransducerFP, fp)
+	}
+	if fp := Fingerprint(inst.String()); fp != s.InstanceFP {
+		return fmt.Errorf("supervise: snapshot instance fingerprint %.12s… does not match this instance (%.12s…)",
+			s.InstanceFP, fp)
+	}
+	return nil
+}
+
+// Encode writes the snapshot in the versioned text format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotMagic)
+	fmt.Fprintf(bw, "transducer %s %s\n", strconv.Quote(s.TransducerName), s.TransducerFP)
+	fmt.Fprintf(bw, "instance %s\n", s.InstanceFP)
+	fmt.Fprintf(bw, "stats %d %d %d %d\n",
+		s.Stats.Nodes, s.Stats.QueriesRun, s.Stats.StopsApplied, s.Stats.MaxDepth)
+
+	ids, order, err := postOrder(s.Tree.Root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "nodes %d\n", len(order))
+	for _, n := range order {
+		bw.WriteString("n ")
+		bw.WriteString(strconv.Quote(n.Tag))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.Quote(n.State))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.Quote(n.Text))
+		if n.Reg == nil {
+			bw.WriteString(" -1 0")
+		} else {
+			tuples := n.Reg.Tuples()
+			fmt.Fprintf(bw, " %d %d", n.Reg.Arity(), len(tuples))
+			for _, t := range tuples {
+				for _, v := range t {
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.Quote(string(v)))
+				}
+			}
+		}
+		fmt.Fprintf(bw, " %d", len(n.Children))
+		for _, c := range n.Children {
+			fmt.Fprintf(bw, " %d", ids[c])
+		}
+		bw.WriteByte('\n')
+	}
+
+	fmt.Fprintf(bw, "pending %d\n", len(s.Pending))
+	for _, p := range s.Pending {
+		id, ok := ids[p.Node]
+		if !ok {
+			return fmt.Errorf("supervise: pending node (%s,%s) is not in the snapshot tree", p.Node.State, p.Node.Tag)
+		}
+		fmt.Fprintf(bw, "p %d %d %d", id, p.Depth, len(p.Ancestors))
+		for _, a := range p.Ancestors {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Quote(a))
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// postOrder assigns ids in children-before-parents order over the
+// shared-node DAG (each physical node once), iteratively.
+func postOrder(root *xmltree.Node) (map[*xmltree.Node]int, []*xmltree.Node, error) {
+	if root == nil {
+		return nil, nil, fmt.Errorf("supervise: snapshot has nil tree root")
+	}
+	ids := make(map[*xmltree.Node]int)
+	var order []*xmltree.Node
+	type frame struct {
+		n *xmltree.Node
+		i int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if _, done := ids[f.n]; done {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if f.i < len(f.n.Children) {
+			c := f.n.Children[f.i]
+			f.i++
+			if c == nil {
+				return nil, nil, fmt.Errorf("supervise: nil child under %q", f.n.Tag)
+			}
+			if _, ok := ids[c]; !ok {
+				stack = append(stack, frame{c, 0})
+			}
+			continue
+		}
+		ids[f.n] = len(order)
+		order = append(order, f.n)
+		stack = stack[:len(stack)-1]
+	}
+	return ids, order, nil
+}
+
+// DecodeSnapshot reads and validates a snapshot. Structural guarantees
+// on success: node references are acyclic by construction, every
+// pending entry points at a reachable, unfinalized, register-carrying
+// node of the decoded tree, and the counters are non-negative. Callers
+// still must Verify against their transducer and instance.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", fmt.Errorf("supervise: reading snapshot: %w", err)
+			}
+			return "", fmt.Errorf("supervise: snapshot truncated")
+		}
+		return sc.Text(), nil
+	}
+
+	l, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if l != snapshotMagic {
+		return nil, fmt.Errorf("supervise: not a checkpoint file (got %q, want %q)", l, snapshotMagic)
+	}
+	s := &Snapshot{}
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	tk := newTok(l)
+	if err := tk.literal("transducer"); err != nil {
+		return nil, err
+	}
+	if s.TransducerName, err = tk.quoted(); err != nil {
+		return nil, err
+	}
+	if s.TransducerFP, err = tk.bare(); err != nil {
+		return nil, err
+	}
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	tk = newTok(l)
+	if err := tk.literal("instance"); err != nil {
+		return nil, err
+	}
+	if s.InstanceFP, err = tk.bare(); err != nil {
+		return nil, err
+	}
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	tk = newTok(l)
+	if err := tk.literal("stats"); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*int{&s.Stats.Nodes, &s.Stats.QueriesRun, &s.Stats.StopsApplied, &s.Stats.MaxDepth} {
+		if *dst, err = tk.integer(); err != nil {
+			return nil, err
+		}
+		if *dst < 0 {
+			return nil, fmt.Errorf("supervise: negative counter in snapshot stats")
+		}
+	}
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	tk = newTok(l)
+	if err := tk.literal("nodes"); err != nil {
+		return nil, err
+	}
+	nNodes, err := tk.integer()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes < 1 {
+		return nil, fmt.Errorf("supervise: snapshot has %d nodes, want at least the root", nNodes)
+	}
+	nodes := make([]*xmltree.Node, 0, nNodes)
+	for i := 0; i < nNodes; i++ {
+		if l, err = line(); err != nil {
+			return nil, err
+		}
+		n, err := decodeNode(l, i, nodes)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	// Post-order emission puts the root last.
+	s.Tree = &xmltree.Tree{Root: nodes[nNodes-1]}
+	reach := make(map[*xmltree.Node]bool, nNodes)
+	s.Tree.WalkShared(func(n *xmltree.Node) bool {
+		reach[n] = true
+		return true
+	})
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	tk = newTok(l)
+	if err := tk.literal("pending"); err != nil {
+		return nil, err
+	}
+	nPend, err := tk.integer()
+	if err != nil {
+		return nil, err
+	}
+	if nPend < 0 {
+		return nil, fmt.Errorf("supervise: negative pending count")
+	}
+	s.Pending = make([]pt.PendingConfig, 0, nPend)
+	for i := 0; i < nPend; i++ {
+		if l, err = line(); err != nil {
+			return nil, err
+		}
+		p, err := decodePending(l, i, nodes, reach)
+		if err != nil {
+			return nil, err
+		}
+		s.Pending = append(s.Pending, p)
+	}
+
+	if l, err = line(); err != nil {
+		return nil, err
+	}
+	if l != "end" {
+		return nil, fmt.Errorf("supervise: snapshot missing end marker (got %q)", l)
+	}
+	return s, nil
+}
+
+func decodeNode(l string, i int, defined []*xmltree.Node) (*xmltree.Node, error) {
+	tk := newTok(l)
+	if err := tk.literal("n"); err != nil {
+		return nil, fmt.Errorf("node %d: %w", i, err)
+	}
+	n := &xmltree.Node{}
+	var err error
+	if n.Tag, err = tk.quoted(); err != nil {
+		return nil, fmt.Errorf("node %d tag: %w", i, err)
+	}
+	if n.State, err = tk.quoted(); err != nil {
+		return nil, fmt.Errorf("node %d state: %w", i, err)
+	}
+	if n.Text, err = tk.quoted(); err != nil {
+		return nil, fmt.Errorf("node %d text: %w", i, err)
+	}
+	arity, err := tk.integer()
+	if err != nil {
+		return nil, fmt.Errorf("node %d arity: %w", i, err)
+	}
+	nTuples, err := tk.integer()
+	if err != nil {
+		return nil, fmt.Errorf("node %d tuple count: %w", i, err)
+	}
+	if arity >= 0 {
+		if nTuples < 0 {
+			return nil, fmt.Errorf("node %d: negative tuple count", i)
+		}
+		n.Reg = relation.New(arity)
+		for t := 0; t < nTuples; t++ {
+			tup := make(value.Tuple, arity)
+			for c := 0; c < arity; c++ {
+				v, err := tk.quoted()
+				if err != nil {
+					return nil, fmt.Errorf("node %d tuple %d: %w", i, t, err)
+				}
+				tup[c] = value.V(v)
+			}
+			n.Reg.Add(tup)
+		}
+	}
+	nKids, err := tk.integer()
+	if err != nil {
+		return nil, fmt.Errorf("node %d child count: %w", i, err)
+	}
+	for k := 0; k < nKids; k++ {
+		id, err := tk.integer()
+		if err != nil {
+			return nil, fmt.Errorf("node %d child %d: %w", i, k, err)
+		}
+		// Children must already be defined: this is what rules out
+		// cycles and forward references in one check.
+		if id < 0 || id >= len(defined) {
+			return nil, fmt.Errorf("node %d references undefined node %d (only %d defined so far)", i, id, len(defined))
+		}
+		n.Children = append(n.Children, defined[id])
+	}
+	if err := tk.end(); err != nil {
+		return nil, fmt.Errorf("node %d: %w", i, err)
+	}
+	return n, nil
+}
+
+func decodePending(l string, i int, nodes []*xmltree.Node, reach map[*xmltree.Node]bool) (pt.PendingConfig, error) {
+	var p pt.PendingConfig
+	tk := newTok(l)
+	if err := tk.literal("p"); err != nil {
+		return p, fmt.Errorf("pending %d: %w", i, err)
+	}
+	id, err := tk.integer()
+	if err != nil {
+		return p, fmt.Errorf("pending %d node id: %w", i, err)
+	}
+	if id < 0 || id >= len(nodes) {
+		return p, fmt.Errorf("pending %d references undefined node %d", i, id)
+	}
+	p.Node = nodes[id]
+	if !reach[p.Node] {
+		return p, fmt.Errorf("pending %d: node %d is not reachable from the root", i, id)
+	}
+	if p.Node.State == "" {
+		return p, fmt.Errorf("pending %d: node %d (%s) is already finalized", i, id, p.Node.Tag)
+	}
+	if p.Node.Reg == nil {
+		return p, fmt.Errorf("pending %d: node %d has no register", i, id)
+	}
+	if p.Depth, err = tk.integer(); err != nil {
+		return p, fmt.Errorf("pending %d depth: %w", i, err)
+	}
+	if p.Depth < 1 {
+		return p, fmt.Errorf("pending %d: depth %d < 1", i, p.Depth)
+	}
+	nAnc, err := tk.integer()
+	if err != nil {
+		return p, fmt.Errorf("pending %d ancestor count: %w", i, err)
+	}
+	if nAnc < 0 {
+		return p, fmt.Errorf("pending %d: negative ancestor count", i)
+	}
+	for a := 0; a < nAnc; a++ {
+		key, err := tk.quoted()
+		if err != nil {
+			return p, fmt.Errorf("pending %d ancestor %d: %w", i, a, err)
+		}
+		p.Ancestors = append(p.Ancestors, key)
+	}
+	if err := tk.end(); err != nil {
+		return p, fmt.Errorf("pending %d: %w", i, err)
+	}
+	return p, nil
+}
+
+// tok consumes one space-separated line of bare and Quote-d tokens.
+type tok struct{ rest string }
+
+func newTok(l string) *tok { return &tok{rest: l} }
+
+func (t *tok) skip() { t.rest = strings.TrimLeft(t.rest, " ") }
+
+func (t *tok) bare() (string, error) {
+	t.skip()
+	if t.rest == "" {
+		return "", fmt.Errorf("unexpected end of line")
+	}
+	if i := strings.IndexByte(t.rest, ' '); i >= 0 {
+		w := t.rest[:i]
+		t.rest = t.rest[i:]
+		return w, nil
+	}
+	w := t.rest
+	t.rest = ""
+	return w, nil
+}
+
+func (t *tok) quoted() (string, error) {
+	t.skip()
+	q, err := strconv.QuotedPrefix(t.rest)
+	if err != nil {
+		return "", fmt.Errorf("malformed quoted token at %q", t.rest)
+	}
+	t.rest = t.rest[len(q):]
+	return strconv.Unquote(q)
+}
+
+func (t *tok) integer() (int, error) {
+	w, err := t.bare()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(w)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", w)
+	}
+	return n, nil
+}
+
+func (t *tok) literal(want string) error {
+	w, err := t.bare()
+	if err != nil {
+		return err
+	}
+	if w != want {
+		return fmt.Errorf("got token %q, want %q", w, want)
+	}
+	return nil
+}
+
+func (t *tok) end() error {
+	t.skip()
+	if t.rest != "" {
+		return fmt.Errorf("trailing garbage %q", t.rest)
+	}
+	return nil
+}

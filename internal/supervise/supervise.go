@@ -1,0 +1,304 @@
+// Package supervise wraps the transducer runner in a self-healing
+// supervision loop: attempts run stepwise (internal/pt.StepRun) so that
+// any failure — timeout, budget, injected fault, contained panic —
+// leaves a consistent (tree, frontier) checkpoint; transient failures
+// are retried with capped exponential backoff and an options
+// degradation ladder; and progress carries FORWARD across attempts, so
+// a sequence of budget-bounded attempts completes work no single budget
+// allows. Checkpoints serialize (snapshot.go) and resume across
+// processes with the same byte-for-byte output guarantee.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+	"ptx/internal/xmltree"
+)
+
+// Backoff shapes the delay between attempts: capped exponential with
+// deterministic seeded jitter, so a whole retry schedule is
+// reproducible from one integer (the same discipline FaultPlan uses for
+// fault schedules).
+type Backoff struct {
+	Base   time.Duration // first delay; default 10ms
+	Max    time.Duration // cap; default 2s
+	Factor float64       // growth per attempt; default 2
+	Jitter float64       // ± fraction of the delay; default 0 (none)
+	Seed   int64         // jitter PRNG seed
+}
+
+// delay returns the wait before retry number n (1-based).
+func (b Backoff) delay(n int, rng *rand.Rand) time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 1; i < n; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if j := b.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 + j*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// Options configures a supervised run.
+type Options struct {
+	// Run is the per-attempt transducer configuration. Budgets are FRESH
+	// each attempt (progress accumulates, so repeated bounded attempts
+	// converge); Cache above CacheQueries is capped by the stepwise
+	// runner and Workers is ignored (checkpointable runs are serial).
+	Run pt.Options
+
+	// Retries is the number of retries after the first attempt; 0 means
+	// fail on the first error.
+	Retries int
+
+	// Backoff shapes the inter-attempt delay.
+	Backoff Backoff
+
+	// Checkpoint captures a Snapshot of the failure frontier into
+	// Report.Snapshot whenever an attempt fails, so callers can persist
+	// it and Resume later (possibly in another process).
+	Checkpoint bool
+
+	// CheckpointEvery additionally captures a snapshot every N completed
+	// steps (0 disables). Periodic snapshots deep-copy the tree, so
+	// small values are expensive on large outputs.
+	CheckpointEvery int64
+
+	// DisableDegrade turns off the options degradation ladder, retrying
+	// every attempt with Run unchanged.
+	DisableDegrade bool
+
+	// Sleep replaces time.Sleep between attempts (tests and chaos runs
+	// pass a recorder so schedules are checked without waiting).
+	Sleep func(time.Duration)
+
+	// OnRetry, when set, observes each retry decision: the attempt that
+	// failed (1-based), its error, and the options the next attempt will
+	// use.
+	OnRetry func(attempt int, err error, next pt.Options)
+}
+
+// Report describes what the supervision loop did, whether or not it
+// succeeded.
+type Report struct {
+	// Attempts is the number of attempts started (≥1).
+	Attempts int
+	// Ops is the total number of completed steps across all attempts.
+	Ops int64
+	// Errs holds each failed attempt's error in order; on overall
+	// success its length is Attempts-1.
+	Errs []error
+	// Snapshot is the most recent checkpoint captured (failure-time when
+	// Options.Checkpoint is set, else the last periodic one); nil when
+	// none was taken.
+	Snapshot *Snapshot
+	// FinalOptions is the per-attempt configuration the last attempt
+	// ran with — shows how far the degradation ladder went.
+	FinalOptions pt.Options
+}
+
+// Retryable classifies an error for the supervision loop: true means a
+// fresh attempt may succeed. Budget exhaustion is retryable because
+// attempts get fresh budgets while progress accumulates; deadline
+// expiry likewise. Explicit cancellation is an instruction to stop, and
+// anything untyped (spec bugs, validation failures) is permanent.
+// Internal errors (contained panics) are retryable because the
+// degradation ladder may route around the failing component.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if runctl.IsTransient(err) {
+		return true
+	}
+	var budget *runctl.ErrBudget
+	if errors.As(err, &budget) {
+		return true
+	}
+	var canceled *runctl.ErrCanceled
+	if errors.As(err, &canceled) {
+		return errors.Is(canceled.Cause, context.DeadlineExceeded)
+	}
+	var internal *runctl.ErrInternal
+	return errors.As(err, &internal)
+}
+
+// degrade is the options ladder: each rung gives up a performance
+// feature that could itself be implicated in the failure. attempt is
+// the 1-based attempt that just failed; the returned options configure
+// attempt+1. Rungs are cumulative: by the fourth retry the run is
+// serial and cache-free — the simplest configuration that can still
+// make progress.
+func degrade(attempt int, o pt.Options) pt.Options {
+	if attempt >= 2 && o.Cache > pt.CacheQueries {
+		o.Cache = pt.CacheQueries
+	}
+	if attempt >= 3 {
+		o.Workers = 1
+	}
+	if attempt >= 4 {
+		o.Cache = pt.CacheOff
+	}
+	return o
+}
+
+// Run executes tr on inst under supervision and returns the final
+// result. The Report is non-nil in every case, including errors.
+func Run(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, o Options) (*pt.Result, *Report, error) {
+	return loop(ctx, tr, inst, o, nil)
+}
+
+// Resume continues a checkpointed run. The snapshot is verified against
+// tr and inst first; budgets in o.Run are fresh for the resumed
+// attempt. The combined output is byte-identical to an uninterrupted
+// run's.
+func Resume(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, snap *Snapshot, o Options) (*pt.Result, *Report, error) {
+	if snap == nil {
+		return nil, &Report{}, errors.New("supervise: nil snapshot")
+	}
+	if err := snap.Verify(tr, inst); err != nil {
+		return nil, &Report{}, err
+	}
+	return loop(ctx, tr, inst, o, snap)
+}
+
+// Output is Run followed by publishing (virtual-tag splicing +
+// register/state stripping), mirroring pt.Output.
+func Output(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, o Options) (*xmltree.Tree, *Report, error) {
+	res, rep, err := Run(ctx, tr, inst, o)
+	if err != nil {
+		return nil, rep, err
+	}
+	return res.Xi.Publish(tr.Virtual), rep, nil
+}
+
+// Retry applies the supervision retry policy — transient
+// classification, capped seeded backoff — to an operation that is
+// cheap to restart from scratch and has no checkpointable state (the
+// CLI decision procedures). f receives the 1-based attempt number; the
+// returned attempt count is how many times f ran.
+func Retry(ctx context.Context, retries int, b Backoff, sleep func(time.Duration), f func(attempt int) error) (int, error) {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	for attempt := 1; ; attempt++ {
+		err := f(attempt)
+		if err == nil {
+			return attempt, nil
+		}
+		if attempt > retries || !Retryable(err) || (ctx != nil && ctx.Err() != nil) {
+			return attempt, err
+		}
+		sleep(b.delay(attempt, rng))
+	}
+}
+
+// loop is the supervision engine shared by Run and Resume.
+func loop(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, o Options, snap *Snapshot) (*pt.Result, *Report, error) {
+	rep := &Report{FinalOptions: o.Run}
+	sleep := o.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(o.Backoff.Seed))
+
+	// Progress state threaded between attempts. A failed attempt's
+	// frontier becomes the next attempt's starting point.
+	var root *xmltree.Node
+	var pending []pt.PendingConfig
+	var prior pt.Stats
+	restored := snap != nil
+	if restored {
+		root, pending, prior = snap.Tree.Root, snap.Pending, snap.Stats
+	}
+
+	cur := o.Run
+	for attempt := 1; ; attempt++ {
+		rep.Attempts = attempt
+		rep.FinalOptions = cur
+
+		var sr *pt.StepRun
+		var err error
+		if restored {
+			sr, err = tr.RestoreStepRun(ctx, inst, cur, root, pending, prior)
+		} else {
+			sr, err = tr.NewStepRun(ctx, inst, cur)
+		}
+		if err != nil {
+			// Setup failures (invalid spec, malformed frontier) are
+			// permanent: retrying cannot change them.
+			return nil, rep, err
+		}
+
+		res, runErr := drive(ctx, tr, inst, sr, o, rep)
+		rep.Ops += sr.Ops()
+		if runErr == nil {
+			sr.Close()
+			return res, rep, nil
+		}
+		rep.Errs = append(rep.Errs, runErr)
+
+		// Atomic steps mean the failed run's (tree, frontier) is exactly
+		// the remaining work; carry it into the next attempt.
+		root = sr.Tree().Root
+		pending = sr.Pending()
+		prior = sr.StatsSoFar()
+		restored = true
+		if o.Checkpoint {
+			rep.Snapshot = Capture(tr, inst, sr)
+		}
+		sr.Close()
+
+		if attempt > o.Retries || !Retryable(runErr) || ctx.Err() != nil {
+			return nil, rep, runErr
+		}
+		next := cur
+		if !o.DisableDegrade {
+			next = degrade(attempt, o.Run)
+		}
+		if o.OnRetry != nil {
+			o.OnRetry(attempt, runErr, next)
+		}
+		cur = next
+		sleep(o.Backoff.delay(attempt, rng))
+	}
+}
+
+// drive steps one attempt to completion, taking periodic checkpoints.
+func drive(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, sr *pt.StepRun, o Options, rep *Report) (*pt.Result, error) {
+	for !sr.Done() {
+		if _, err := sr.Step(); err != nil {
+			return nil, err
+		}
+		if o.CheckpointEvery > 0 && sr.Ops()%o.CheckpointEvery == 0 {
+			rep.Snapshot = Capture(tr, inst, sr)
+		}
+	}
+	return sr.Result()
+}

@@ -1,0 +1,508 @@
+package supervise_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ptx/internal/families"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+	"ptx/internal/supervise"
+	"ptx/internal/testutil"
+)
+
+func workloads() map[string]struct {
+	tr   *pt.Transducer
+	inst *relation.Instance
+} {
+	return map[string]struct {
+		tr   *pt.Transducer
+		inst *relation.Instance
+	}{
+		"tau1/sample": {registrar.Tau1(), registrar.SampleInstance()},
+		"tau3/sample": {registrar.Tau3(), registrar.SampleInstance()},
+		"unfold/d6":   {families.UnfoldTransducer(), families.DiamondChain(6)},
+		"counter/n2":  {families.CounterTransducer(), families.CounterInstance(2)},
+	}
+}
+
+func canonical(t *testing.T, tr *pt.Transducer, res *pt.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := res.Xi.WriteCanonicalVirtual(&sb, tr.Virtual); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return sb.String()
+}
+
+// noSleep makes retries instantaneous while recording the schedule.
+func noSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+// TestSupervisedMatchesRun: the happy path through supervision is
+// byte-identical to the plain runner.
+func TestSupervisedMatchesRun(t *testing.T) {
+	for name, w := range workloads() {
+		t.Run(name, func(t *testing.T) {
+			golden, err := w.tr.Run(w.inst, pt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, rep, err := supervise.Run(context.Background(), w.tr, w.inst, supervise.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Attempts != 1 || len(rep.Errs) != 0 {
+				t.Errorf("clean run: attempts=%d errs=%v", rep.Attempts, rep.Errs)
+			}
+			if canonical(t, w.tr, res) != canonical(t, w.tr, golden) {
+				t.Error("supervised output differs from Run")
+			}
+		})
+	}
+}
+
+// TestSnapshotResumeDifferential is the ISSUE acceptance criterion at
+// the supervise layer: interrupt at the k-th operation (sweep of k),
+// serialize the checkpoint through the full Encode/Decode path, resume,
+// and require canonical bytes identical to the uninterrupted run —
+// across cache modes and worker counts.
+func TestSnapshotResumeDifferential(t *testing.T) {
+	for name, w := range workloads() {
+		t.Run(name, func(t *testing.T) {
+			golden, err := w.tr.Run(w.inst, pt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := canonical(t, w.tr, golden)
+
+			probe, err := w.tr.NewStepRun(context.Background(), w.inst, pt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := probe.Run(); err != nil {
+				t.Fatal(err)
+			}
+			total := int(probe.Ops())
+			probe.Close()
+
+			for _, cfg := range []pt.Options{
+				{},
+				{Cache: pt.CacheQueries},
+				{Cache: pt.CacheSubtrees, Workers: 4},
+			} {
+				for k := 0; k < total; k += 1 + total/8 {
+					sr, err := w.tr.NewStepRun(context.Background(), w.inst, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < k; i++ {
+						if _, err := sr.Step(); err != nil {
+							t.Fatalf("k=%d: %v", k, err)
+						}
+					}
+					snap := supervise.Capture(w.tr, w.inst, sr)
+					sr.Close()
+
+					var buf bytes.Buffer
+					if err := snap.Encode(&buf); err != nil {
+						t.Fatalf("k=%d encode: %v", k, err)
+					}
+					decoded, err := supervise.DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatalf("k=%d decode: %v", k, err)
+					}
+					res, rep, err := supervise.Resume(context.Background(), w.tr, w.inst, decoded, supervise.Options{Run: cfg})
+					if err != nil {
+						t.Fatalf("k=%d resume: %v", k, err)
+					}
+					if rep.Attempts != 1 {
+						t.Errorf("k=%d: resume took %d attempts", k, rep.Attempts)
+					}
+					if got := canonical(t, w.tr, res); got != want {
+						t.Errorf("k=%d cfg=%+v: resumed output differs from uninterrupted run", k, cfg)
+					}
+					if res.Stats.Nodes != golden.Stats.Nodes {
+						t.Errorf("k=%d: resumed Nodes=%d, want %d", k, res.Stats.Nodes, golden.Stats.Nodes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripStable: encode→decode→encode is byte-stable, so
+// checkpoints can themselves be fingerprinted and diffed.
+func TestSnapshotRoundTripStable(t *testing.T) {
+	tr, inst := registrar.Tau1(), registrar.SampleInstance()
+	sr, err := tr.NewStepRun(context.Background(), inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := sr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := supervise.Capture(tr, inst, sr)
+	var a, b bytes.Buffer
+	if err := snap.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := supervise.DecodeSnapshot(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshot encoding is not round-trip stable")
+	}
+}
+
+// TestSelfHealingBudget: no single MaxQueries budget completes the run,
+// but attempts accumulate progress, so supervision converges to the
+// exact golden bytes.
+func TestSelfHealingBudget(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(5)
+	golden, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Stats.QueriesRun <= 10 {
+		t.Fatalf("workload too small: %d queries", golden.Stats.QueriesRun)
+	}
+	// Each attempt completes ~MaxQueries more steps before tripping, so
+	// ceil(total/10)+slack attempts always suffice.
+	retries := golden.Stats.QueriesRun/10 + 10
+	var delays []time.Duration
+	res, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:     pt.Options{Limits: &runctl.Limits{MaxQueries: 10}},
+		Retries: retries,
+		Sleep:   noSleep(&delays),
+	})
+	if err != nil {
+		t.Fatalf("self-healing run failed: %v (attempts=%d)", err, rep.Attempts)
+	}
+	if rep.Attempts < 2 {
+		t.Fatalf("expected multiple attempts, got %d", rep.Attempts)
+	}
+	if canonical(t, tr, res) != canonical(t, tr, golden) {
+		t.Error("self-healed output differs from golden")
+	}
+	for _, e := range rep.Errs {
+		var be *runctl.ErrBudget
+		if !errors.As(e, &be) {
+			t.Errorf("intermediate error not a budget error: %v", e)
+		}
+	}
+}
+
+// TestTransientFaultRetried: an Nth-op fault wrapped Transient fires
+// once; the retry resumes from the failure frontier and succeeds.
+func TestTransientFaultRetried(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	golden, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 7, Err: runctl.Transient(errors.New("blip"))}
+	var delays []time.Duration
+	res, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:     pt.Options{Faults: plan},
+		Retries: 2,
+		Sleep:   noSleep(&delays),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 2 || len(rep.Errs) != 1 || len(delays) != 1 {
+		t.Fatalf("attempts=%d errs=%d delays=%d, want 2/1/1", rep.Attempts, len(rep.Errs), len(delays))
+	}
+	if !runctl.IsTransient(rep.Errs[0]) {
+		t.Errorf("recorded error lost its transient marker: %v", rep.Errs[0])
+	}
+	if canonical(t, tr, res) != canonical(t, tr, golden) {
+		t.Error("retried output differs from golden")
+	}
+}
+
+// TestPermanentErrorNotRetried: an unmarked fault error fails fast.
+func TestPermanentErrorNotRetried(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	boom := errors.New("permanent")
+	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 3, Err: boom}
+	_, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:     pt.Options{Faults: plan},
+		Retries: 5,
+		Sleep:   func(time.Duration) { t.Error("slept before a permanent error") },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the injected permanent error", err)
+	}
+	if rep.Attempts != 1 {
+		t.Errorf("permanent error retried: %d attempts", rep.Attempts)
+	}
+}
+
+// TestCancellationNotRetried: explicit cancellation is an instruction
+// to stop, not a fault to heal.
+func TestCancellationNotRetried(t *testing.T) {
+	tr := families.CounterTransducer()
+	inst := families.CounterInstance(6) // effectively unbounded
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, rep, err := supervise.Run(ctx, tr, inst, supervise.Options{Retries: 5})
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *runctl.ErrCanceled", err)
+	}
+	if rep.Attempts != 1 {
+		t.Errorf("cancellation retried: %d attempts", rep.Attempts)
+	}
+}
+
+// TestDeadlineRetriedWithFreshBudget: per-attempt wall-clock budgets
+// are fresh, so a deadline small enough to interrupt but large enough
+// to make progress eventually completes the run.
+func TestDeadlineRetriedWithFreshBudget(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(8)
+	golden, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delays []time.Duration
+	res, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:     pt.Options{Limits: &runctl.Limits{Timeout: 30 * time.Millisecond}},
+		Retries: 200,
+		Sleep:   noSleep(&delays),
+	})
+	if err != nil {
+		t.Fatalf("deadline self-healing failed after %d attempts: %v", rep.Attempts, err)
+	}
+	if canonical(t, tr, res) != canonical(t, tr, golden) {
+		t.Error("output differs from golden")
+	}
+}
+
+// TestBackoffDeterministic: the same seed yields the same jittered
+// schedule; growth is capped at Max.
+func TestBackoffDeterministic(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		tr := families.UnfoldTransducer()
+		inst := families.DiamondChain(4)
+		plan := runctl.SeededPlan(1, runctl.Transient(errors.New("blip")), map[runctl.Op]float64{runctl.OpQuery: 0.4})
+		var delays []time.Duration
+		supervise.Run(context.Background(), tr, inst, supervise.Options{
+			Run:     pt.Options{Faults: plan},
+			Retries: 30,
+			Backoff: supervise.Backoff{Base: time.Millisecond, Max: 16 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: seed},
+			Sleep:   noSleep(&delays),
+		})
+		return delays
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("no retries happened; fault plan too weak")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] > 24*time.Millisecond { // Max plus full jitter
+			t.Fatalf("delay %d = %v exceeds cap+jitter", i, a[i])
+		}
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical jitter schedules")
+		}
+	}
+}
+
+// TestDegradationLadder: with every query failing, the retry sequence
+// must walk the ladder — cache capped, then serial, then cache off.
+func TestDegradationLadder(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	plan := runctl.SeededPlan(7, runctl.Transient(errors.New("blip")), map[runctl.Op]float64{runctl.OpQuery: 1})
+	var ladder []pt.Options
+	var delays []time.Duration
+	_, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:     pt.Options{Cache: pt.CacheSubtrees, Workers: 4, Faults: plan},
+		Retries: 4,
+		Sleep:   noSleep(&delays),
+		OnRetry: func(attempt int, err error, next pt.Options) { ladder = append(ladder, next) },
+	})
+	if err == nil {
+		t.Fatal("run with p=1 query faults succeeded")
+	}
+	if rep.Attempts != 5 || len(ladder) != 4 {
+		t.Fatalf("attempts=%d ladder=%d, want 5/4", rep.Attempts, len(ladder))
+	}
+	if ladder[0].Cache != pt.CacheSubtrees || ladder[0].Workers != 4 {
+		t.Errorf("retry 1 should be unchanged, got %+v", ladder[0])
+	}
+	if ladder[1].Cache != pt.CacheQueries {
+		t.Errorf("retry 2 should cap the cache, got %+v", ladder[1])
+	}
+	if ladder[2].Workers != 1 || ladder[2].Cache != pt.CacheQueries {
+		t.Errorf("retry 3 should go serial, got %+v", ladder[2])
+	}
+	if ladder[3].Cache != pt.CacheOff || ladder[3].Workers != 1 {
+		t.Errorf("retry 4 should turn caching off, got %+v", ladder[3])
+	}
+	if rep.FinalOptions.Cache != pt.CacheOff {
+		t.Errorf("FinalOptions should reflect the last rung, got %+v", rep.FinalOptions)
+	}
+}
+
+// TestFailureCheckpointResumable: Options.Checkpoint captures the
+// failure frontier; resuming it completes to the golden bytes.
+func TestFailureCheckpointResumable(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	golden, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("permanent")
+	plan := &runctl.FaultPlan{Op: runctl.OpQuery, N: 9, Err: boom}
+	_, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{
+		Run:        pt.Options{Faults: plan},
+		Checkpoint: true,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if rep.Snapshot == nil {
+		t.Fatal("no failure checkpoint captured")
+	}
+	var buf bytes.Buffer
+	if err := rep.Snapshot.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := supervise.DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := supervise.Resume(context.Background(), tr, inst, snap, supervise.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, tr, res) != canonical(t, tr, golden) {
+		t.Error("resumed-from-failure output differs from golden")
+	}
+}
+
+// TestVerifyRejectsMismatch: a snapshot must not resume against a
+// different transducer or instance.
+func TestVerifyRejectsMismatch(t *testing.T) {
+	tr, inst := registrar.Tau1(), registrar.SampleInstance()
+	sr, err := tr.NewStepRun(context.Background(), inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	snap := supervise.Capture(tr, inst, sr)
+	if _, _, err := supervise.Resume(context.Background(), registrar.Tau3(), inst, snap, supervise.Options{}); err == nil {
+		t.Error("resume against a different transducer accepted")
+	}
+	if _, _, err := supervise.Resume(context.Background(), tr, registrar.ChainInstance(3), snap, supervise.Options{}); err == nil {
+		t.Error("resume against a different instance accepted")
+	}
+}
+
+// TestDecodeRejectsCorruption: structural validation on decode.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tr, inst := registrar.Tau1(), registrar.SampleInstance()
+	sr, err := tr.NewStepRun(context.Background(), inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var buf bytes.Buffer
+	if err := supervise.Capture(tr, inst, sr).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	mutations := map[string]string{
+		"bad magic":     strings.Replace(good, "ptx-checkpoint 1", "ptx-checkpoint 9", 1),
+		"truncated":     good[:len(good)/2],
+		"no end marker": strings.TrimSuffix(good, "end\n"),
+		"negative node": strings.Replace(good, "nodes 1", "nodes -1", 1),
+	}
+	for name, bad := range mutations {
+		if _, err := supervise.DecodeSnapshot(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: decode accepted corrupt snapshot", name)
+		}
+	}
+	// Forward/undefined node references must be rejected (cycle guard).
+	fwd := strings.Replace(good, "pending 1\np 0 ", "pending 1\np 7 ", 1)
+	if _, err := supervise.DecodeSnapshot(strings.NewReader(fwd)); err == nil {
+		t.Error("decode accepted out-of-range pending reference")
+	}
+}
+
+// TestPeriodicCheckpoints: CheckpointEvery leaves a recent snapshot in
+// the report even on success.
+func TestPeriodicCheckpoints(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	_, rep, err := supervise.Run(context.Background(), tr, inst, supervise.Options{CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshot == nil {
+		t.Fatal("no periodic snapshot captured")
+	}
+	if err := rep.Snapshot.Verify(tr, inst); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSupervisedNoGoroutineLeaks: faulted, retried and timed-out
+// supervised runs leave no goroutines behind.
+func TestSupervisedNoGoroutineLeaks(t *testing.T) {
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+	base := runtime.NumGoroutine()
+	var delays []time.Duration
+	for seed := int64(0); seed < 8; seed++ {
+		plan := runctl.SeededPlan(seed, runctl.Transient(errors.New("blip")), map[runctl.Op]float64{runctl.OpQuery: 0.2})
+		supervise.Run(context.Background(), tr, inst, supervise.Options{
+			Run:     pt.Options{Faults: plan, Limits: &runctl.Limits{Timeout: 50 * time.Millisecond}},
+			Retries: 3,
+			Sleep:   noSleep(&delays),
+		})
+	}
+	testutil.SettledGoroutines(t, base)
+}

@@ -1,0 +1,31 @@
+// Package testutil holds helpers shared by the robustness test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// SettledGoroutines polls until the goroutine count drops back to at
+// most base+slack (slack 2, tolerating runtime/test-harness
+// stragglers), failing the test with a full stack dump if it does not
+// settle within two seconds. Call it after every canceled or faulted
+// run to assert the run leaked no goroutines.
+func SettledGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d before\n%s", n, base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

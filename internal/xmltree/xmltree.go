@@ -211,6 +211,54 @@ func copyShallow(n *Node) *Node {
 	return c
 }
 
+// SharedSize returns the number of physically distinct nodes reachable
+// from the root — the DAG's size, as opposed to Size, which counts the
+// (possibly exponential) unfolding. On a plain tree the two agree.
+func (t *Tree) SharedSize() int {
+	n := 0
+	t.WalkShared(func(*Node) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// CloneShared returns a deep copy of the tree that PRESERVES physical
+// sharing — a node referenced by k parents is copied once and referenced
+// by the k copied parents — along with the old→new node mapping, so
+// callers holding references into t (e.g. a checkpoint frontier) can
+// translate them into the copy. States, texts and registers are copied;
+// register relations are cloned. Cost is proportional to the physical
+// (DAG) size.
+func (t *Tree) CloneShared() (*Tree, map[*Node]*Node) {
+	memo := make(map[*Node]*Node)
+	mk := func(n *Node) *Node {
+		c := copyShallow(n)
+		memo[n] = c
+		return c
+	}
+	root := mk(t.Root)
+	stack := []*Node{t.Root}
+	for len(stack) > 0 {
+		src := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		dst := memo[src]
+		if len(src.Children) == 0 || dst.Children != nil {
+			continue
+		}
+		dst.Children = make([]*Node, len(src.Children))
+		for i, c := range src.Children {
+			cc, ok := memo[c]
+			if !ok {
+				cc = mk(c)
+				stack = append(stack, c)
+			}
+			dst.Children[i] = cc
+		}
+	}
+	return &Tree{Root: root}, memo
+}
+
 // Strip removes registers and states in place, producing the plain
 // Σ-tree output of a transformation. Each physical node is stripped
 // once, so stripping a shared DAG costs its physical size.
