@@ -1,0 +1,136 @@
+// Command ptserve is the hardened publishing server: it loads a
+// directory of transducer specs (*.pt) and database sources (*.db) into
+// a registry and serves publish requests over HTTP as streamed XML.
+//
+// Usage:
+//
+//	ptserve -specs DIR [-addr :8080] [-workers N] [-queue N]
+//	        [-max-body BYTES] [-timeout D] [-max-timeout D]
+//	        [-drain D] [-checkpoint-dir DIR] [-allow-inject]
+//
+// Endpoints:
+//
+//	POST /publish  {"spec":"tau1","db":"registrar", ...} → XML stream
+//	GET  /healthz  liveness + counters (always 200 while the process runs)
+//	GET  /readyz   readiness (503 once draining starts)
+//
+// The service sheds load instead of queuing it to death: a bounded
+// worker pool admits at most -workers concurrent runs and -queue
+// waiters; everything beyond that is rejected immediately with HTTP 429
+// and a typed JSON error body. SIGTERM/SIGINT triggers a graceful
+// drain: admissions stop, in-flight runs get -drain to finish, then
+// stragglers are canceled and terminate with typed errors (leaving
+// resumable checkpoints under -checkpoint-dir for supervised runs).
+//
+// Exit codes: 0 clean shutdown, 1 error, 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptx/internal/serve"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// run is main minus the process plumbing: tests drive it with an
+// in-memory signal channel and a captured stdout, and read the actual
+// listen address (so -addr :0 works) from the "listening on" line.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("ptserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	specDir := fs.String("specs", "", "directory of *.pt specs and *.db databases (required)")
+	workers := fs.Int("workers", 4, "max concurrently executing publish runs")
+	queue := fs.Int("queue", 16, "max requests waiting for a worker; beyond this requests are shed with 429")
+	maxBody := fs.Int64("max-body", 1<<20, "request body cap in bytes")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline (covers queue time)")
+	maxTimeout := fs.Duration("max-timeout", time.Minute, "cap on the per-request deadline a client may ask for")
+	drain := fs.Duration("drain", 10*time.Second, "how long a SIGTERM drain lets in-flight runs finish before canceling them")
+	checkpointDir := fs.String("checkpoint-dir", "", "persist failed supervised runs' checkpoints here (empty = off)")
+	allowInject := fs.Bool("allow-inject", false, "honor the \"inject\" request field (fault injection; chaos testing only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specDir == "" {
+		fmt.Fprintln(stderr, "usage: ptserve -specs DIR [-addr :8080] [-workers N] [-queue N] [-drain 10s]")
+		return 2
+	}
+
+	reg := serve.NewRegistry()
+	if err := reg.LoadDir(*specDir); err != nil {
+		fmt.Fprintln(stderr, "ptserve:", err)
+		return 1
+	}
+	s, err := serve.New(serve.Config{
+		Registry:       reg,
+		Workers:        *workers,
+		Queue:          *queue,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CheckpointDir:  *checkpointDir,
+		AllowInject:    *allowInject,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ptserve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ptserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ptserve: listening on %s (specs: %v, dbs: %v)\n",
+		ln.Addr(), reg.SpecNames(), reg.DBNames())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ptserve:", err)
+		return 1
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "ptserve: %v received, draining (deadline %v)\n", sig, *drain)
+	}
+
+	// Drain protocol: flip readiness and stop admitting (inside Drain),
+	// let in-flight runs finish within the deadline, cancel stragglers,
+	// then close the listener and idle connections.
+	code := 0
+	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		fmt.Fprintln(stderr, "ptserve: drain:", err)
+		code = 1
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "ptserve: shutdown:", err)
+		code = 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ptserve:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "ptserve: drained, bye")
+	return code
+}

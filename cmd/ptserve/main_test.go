@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptx/internal/testutil"
+)
+
+// syncBuffer lets the test poll stdout while run is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+)`)
+
+// startServer launches run on a :0 listener and returns the base URL,
+// the signal channel that stops it, and the exit-code channel.
+func startServer(t *testing.T, extraArgs ...string) (string, chan os.Signal, chan int, *syncBuffer) {
+	t.Helper()
+	var stdout syncBuffer
+	var stderr bytes.Buffer
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-specs", "../../examples/specs", "-drain", "5s"}, extraArgs...)
+	go func() { exit <- run(args, &stdout, &stderr, sigs) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			return "http://" + m[1], sigs, exit, &stdout
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	url, sigs, exit, stdout := startServer(t)
+
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(url+"/publish", "application/json",
+		strings.NewReader(`{"spec":"tau1","db":"registrar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("<course>")) {
+		t.Fatalf("publish output does not look like the course view: %.120s", body)
+	}
+
+	// Unknown spec stays a typed 400 through the full binary.
+	resp, err = http.Post(url+"/publish", "application/json",
+		strings.NewReader(`{"spec":"nope","db":"registrar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb struct {
+		Error struct{ Kind string }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Kind != "validation" {
+		t.Fatalf("unknown spec: status %d kind %q", resp.StatusCode, eb.Error.Kind)
+	}
+
+	// SIGTERM → graceful drain → exit 0, with the protocol narrated.
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, bye") {
+		t.Fatalf("drain protocol not narrated:\n%s", out)
+	}
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	testutil.SettledGoroutines(t, base)
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	sigs := make(chan os.Signal)
+	if code := run([]string{"-specs", ""}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("missing -specs: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-specs", t.TempDir()}, &out, &errOut, sigs); code != 1 {
+		t.Fatalf("empty spec dir: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no .pt specs") {
+		t.Fatalf("empty-dir error not surfaced: %s", errOut.String())
+	}
+}

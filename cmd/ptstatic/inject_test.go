@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Exit-code goldens for -inject: the analyses build their controllers
+// internally, so the fault plan travels via the context — these tests
+// pin that the flag actually reaches the procedures and that injected
+// failures keep their types all the way to the exit code.
+
+func TestInjectTransientUndecided(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// membership runs candidate transducer runs under the analysis
+	// context; query #1 belongs to the very first candidate, so the
+	// injected transient fault aborts the search → UNDECIDED, exit 4.
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", "db",
+		"-inject", "query:1:transient"}, &out, &errBuf)
+	if code != 4 {
+		t.Fatalf("transient inject: exit %d, want 4 (stdout: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "UNDECIDED") {
+		t.Errorf("expected UNDECIDED verdict: %s", out.String())
+	}
+}
+
+func TestInjectTransientRetried(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// The Nth-op fault fires exactly once, so one retry decides the
+	// analysis; the retry notice must be narrated.
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", "db",
+		"-inject", "query:1:transient", "-retries", "2"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("retried inject: exit %d, want 0 (stdout: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "MEMBER") {
+		t.Errorf("expected MEMBER verdict after retry: %s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "retrying") {
+		t.Errorf("expected a retry notice on stderr: %s", errBuf.String())
+	}
+}
+
+func TestInjectPermanentError(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// A permanent fault is not retryable: even with retries the
+	// analysis fails plainly (exit 1), never UNDECIDED.
+	code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", "db",
+		"-inject", "query:1:permanent", "-retries", "2"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("permanent inject: exit %d, want 1 (stdout: %s, stderr: %s)", code, out.String(), errBuf.String())
+	}
+	if strings.Contains(out.String(), "UNDECIDED") {
+		t.Errorf("permanent fault must not read as UNDECIDED: %s", out.String())
+	}
+}
+
+func TestInjectMalformedUsage(t *testing.T) {
+	for _, bad := range []string{"query", "query:0:transient", "query:1:warp", "teleport:1:transient"} {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"membership", "-spec", spec(t, "tau1.pt"), "-tree", "db",
+			"-inject", bad}, &out, &errBuf); code != 2 {
+			t.Errorf("-inject %q: exit %d, want 2", bad, code)
+		}
+	}
+}

@@ -84,11 +84,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	maxCandidates := fs.Int("max-candidates", 0, "membership: cap the instance-candidate search (0 = default); exceeding it reports UNDECIDED")
 	retries := fs.Int("retries", 0, "re-run an analysis that ended UNDECIDED up to N times")
 	backoff := fs.Duration("backoff", 10*time.Millisecond, "base delay between retries (doubles per retry, capped at 2s)")
+	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:kind as in ptxml")
 	if err := fs.Parse(args[1:]); err != nil {
 		panic(exitCode(2))
 	}
 	a.retries = *retries
 	a.backoff = supervise.Backoff{Base: *backoff}
+	faults, err := runctl.ParseInject(*inject)
+	if err != nil {
+		fmt.Fprintln(stderr, "ptstatic:", err)
+		panic(exitCode(2))
+	}
+	if faults != nil {
+		// Decision procedures build their controllers internally, so the
+		// plan travels via the context rather than an options struct.
+		a.ctx = runctl.WithPlan(a.ctx, faults)
+	}
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -224,6 +235,10 @@ func (a *app) report(err error) {
 	var be *runctl.ErrBudget
 	if errors.As(err, &be) {
 		fmt.Fprintf(a.stdout, "UNDECIDED: %s budget exhausted (observed %d, limit %d); raise the budget or add -retries\n", be.Kind, be.Observed, be.Limit)
+		panic(exitCode(4))
+	}
+	if runctl.IsTransient(err) {
+		fmt.Fprintf(a.stdout, "UNDECIDED: analysis stopped on a transient fault (%v); add -retries\n", err)
 		panic(exitCode(4))
 	}
 	fmt.Fprintln(a.stderr, "ptstatic:", err)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Exit-code goldens for -inject: every block builds its controllers
+// from tablesCtx, so the context-carried fault plan reaches them
+// without block-specific plumbing.
+
+func TestInjectTransientAborts(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig1", "-inject", "query:1:transient"}, &out, &errBuf); code != 4 {
+		t.Fatalf("transient inject: exit %d, want 4 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "aborted") {
+		t.Errorf("stderr should diagnose the abort: %s", errBuf.String())
+	}
+}
+
+func TestInjectTransientRetried(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// The Nth-op fault fires once; the block restarts from its top and
+	// the second attempt regenerates Figure 1 completely.
+	code := run([]string{"-fig1", "-inject", "query:1:transient", "-retries", "2", "-backoff", "1ms"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("retried inject: exit %d, want 0 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "retrying from the top of the block") {
+		t.Errorf("expected the block-restart notice: %s", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("expected the Figure 1 output after retry: %s", out.String())
+	}
+}
+
+func TestInjectPermanentFails(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// Permanent faults are not retryable: the retry budget is not
+	// burned and the block fails plainly.
+	code := run([]string{"-fig1", "-inject", "query:1:permanent", "-retries", "3", "-backoff", "1ms"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("permanent inject: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if strings.Contains(errBuf.String(), "retrying") {
+		t.Errorf("permanent fault must not be retried: %s", errBuf.String())
+	}
+}
+
+func TestInjectMalformedUsage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig1", "-inject", "bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("malformed -inject: exit %d, want 2", code)
+	}
+}

@@ -74,11 +74,22 @@ func run(args []string, out, errw io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = unlimited)")
 	retries := fs.Int("retries", 0, "re-run a transiently failed block up to N times")
 	backoff := fs.Duration("backoff", 10*time.Millisecond, "base delay between block retries (doubles per retry, capped at 2s)")
+	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:kind as in ptxml")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	faults, err := runctl.ParseInject(*inject)
+	if err != nil {
+		fmt.Fprintln(errw, "pttables:", err)
 		return 2
 	}
 
 	tablesCtx = context.Background()
+	if faults != nil {
+		// Every block builds its controllers from tablesCtx, so a
+		// context-carried plan reaches all of them without new knobs.
+		tablesCtx = runctl.WithPlan(tablesCtx, faults)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		tablesCtx, cancel = context.WithTimeout(tablesCtx, *timeout)
@@ -147,7 +158,7 @@ func runBlock(name string, retries int, b supervise.Backoff, f func()) error {
 func exitFor(err error) int {
 	var ce *runctl.ErrCanceled
 	var be *runctl.ErrBudget
-	if errors.As(err, &ce) || errors.As(err, &be) {
+	if errors.As(err, &ce) || errors.As(err, &be) || runctl.IsTransient(err) {
 		fmt.Fprintf(stderrW, "pttables: aborted: %v (raise -timeout or the budget, or add -retries)\n", err)
 		return 4
 	}

@@ -32,8 +32,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"ptx/internal/parser"
@@ -81,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *maxNodesOld > 0 {
 		*maxNodes = *maxNodesOld
 	}
-	faults, err := parseInject(*inject)
+	faults, err := runctl.ParseInject(*inject)
 	if err != nil {
 		fmt.Fprintln(stderr, "ptxml:", err)
 		return 2
@@ -207,43 +205,6 @@ func saveCheckpoint(path string, snap *supervise.Snapshot) error {
 		return err
 	}
 	return f.Close()
-}
-
-// parseInject turns the -inject test-aid flag into a fault plan.
-func parseInject(s string) (*runctl.FaultPlan, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("bad -inject %q: want op:N:kind", s)
-	}
-	op := runctl.Op(parts[0])
-	valid := false
-	for _, known := range runctl.Ops() {
-		if op == known {
-			valid = true
-		}
-	}
-	if !valid {
-		return nil, fmt.Errorf("bad -inject op %q", parts[0])
-	}
-	n, err := strconv.ParseInt(parts[1], 10, 64)
-	if err != nil || n < 1 {
-		return nil, fmt.Errorf("bad -inject count %q", parts[1])
-	}
-	var injected error
-	switch parts[2] {
-	case "transient":
-		injected = runctl.Transient(errors.New("injected fault"))
-	case "permanent":
-		injected = errors.New("injected fault")
-	case "internal":
-		injected = &runctl.ErrInternal{Op: "inject", Panic: "injected fault"}
-	default:
-		return nil, fmt.Errorf("bad -inject kind %q: want transient, permanent or internal", parts[2])
-	}
-	return &runctl.FaultPlan{Op: op, N: n, Err: injected}, nil
 }
 
 // fail prints a typed, human-readable diagnosis and picks the exit

@@ -56,6 +56,16 @@ type Options struct {
 	// CacheSize bounds each cache level in entries; 0 selects
 	// DefaultCacheSize.
 	CacheSize int
+	// Memo, when non-nil and Cache ≥ CacheQueries, is used as the
+	// query-result memo instead of a fresh per-run table, so concurrent
+	// or repeated runs over the SAME transducer and instance share warm
+	// results (eval.Memo is concurrency-safe and failed evaluations are
+	// never stored, so a faulted run cannot poison it). Sharing a memo
+	// across different instances is unsound — its keys do not include
+	// the database. Stats.Cache{Hits,Misses,Evictions} report the memo's
+	// cumulative counters, which with a shared memo include other runs'
+	// traffic.
+	Memo *eval.Memo
 }
 
 // limits merges the flat Options fields into the optional Limits set.
@@ -201,7 +211,11 @@ func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, op
 		mode:   mode,
 	}
 	if mode >= CacheQueries {
-		r.memo = eval.NewMemo(opts.CacheSize)
+		if opts.Memo != nil {
+			r.memo = opts.Memo
+		} else {
+			r.memo = eval.NewMemo(opts.CacheSize)
+		}
 	}
 	if mode == CacheSubtrees {
 		r.subtrees = newSubtreeCache(opts.CacheSize)

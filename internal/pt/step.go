@@ -131,7 +131,11 @@ func (t *Transducer) restore(ctx context.Context, inst *relation.Instance, opts 
 		maxDepth: prior.MaxDepth,
 	}
 	if mode >= CacheQueries {
-		s.memo = eval.NewMemo(opts.CacheSize)
+		if opts.Memo != nil {
+			s.memo = opts.Memo
+		} else {
+			s.memo = eval.NewMemo(opts.CacheSize)
+		}
 	}
 	s.frontier = make([]*stepPending, len(pending))
 	for i, p := range pending {

@@ -1,0 +1,110 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestParseInject pins the shared -inject grammar: op:N:kind with the
+// three error kinds, rejecting malformed spellings.
+func TestParseInject(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		p, err := ParseInject("")
+		if p != nil || err != nil {
+			t.Fatalf("ParseInject(\"\") = %v, %v; want nil, nil", p, err)
+		}
+	})
+
+	t.Run("transient", func(t *testing.T) {
+		p, err := ParseInject("query:3:transient")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Op != OpQuery || p.N != 3 {
+			t.Fatalf("plan = %+v", p)
+		}
+		if !IsTransient(p.Err) {
+			t.Fatalf("transient kind should mark the error: %v", p.Err)
+		}
+	})
+
+	t.Run("internal", func(t *testing.T) {
+		p, err := ParseInject("node:1:internal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ie *ErrInternal
+		if !errors.As(p.Err, &ie) {
+			t.Fatalf("internal kind should inject *ErrInternal: %v", p.Err)
+		}
+	})
+
+	t.Run("permanent", func(t *testing.T) {
+		p, err := ParseInject("eval:2:permanent")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsTransient(p.Err) {
+			t.Fatalf("permanent kind must not be transient: %v", p.Err)
+		}
+	})
+
+	for _, bad := range []string{
+		"query",                // no parts
+		"query:1",              // missing kind
+		"frob:1:transient",     // unknown op
+		"query:0:transient",    // zero count
+		"query:-2:transient",   // negative count
+		"query:x:transient",    // non-numeric count
+		"query:1:catastrophic", // unknown kind
+		"a:b:c:d",              // too many parts
+	} {
+		if _, err := ParseInject(bad); err == nil {
+			t.Errorf("ParseInject(%q) accepted", bad)
+		}
+	}
+}
+
+// TestContextPlan verifies that a WithPlan-carried plan reaches a
+// controller built from the context and fires through its checks.
+func TestContextPlan(t *testing.T) {
+	injected := Transient(errors.New("ctx fault"))
+	plan := &FaultPlan{Op: OpQuery, N: 2, Err: injected}
+	ctx := WithPlan(context.Background(), plan)
+
+	if got := PlanFromContext(ctx); got != plan {
+		t.Fatalf("PlanFromContext = %v, want the attached plan", got)
+	}
+	if got := PlanFromContext(context.Background()); got != nil {
+		t.Fatalf("bare context should carry no plan, got %v", got)
+	}
+	if got := WithPlan(ctx, nil); got != ctx {
+		t.Fatal("WithPlan(ctx, nil) should return ctx unchanged")
+	}
+
+	ctl := New(ctx, Limits{})
+	if err := ctl.Query(); err != nil {
+		t.Fatalf("query 1: %v", err)
+	}
+	if err := ctl.Query(); !errors.Is(err, injected) {
+		t.Fatalf("query 2: got %v, want the injected fault", err)
+	}
+}
+
+// TestWithFaultsPrecedence: an explicit plan overrides the
+// context-carried one, and WithFaults(nil) preserves it.
+func TestWithFaultsPrecedence(t *testing.T) {
+	ctxErr := errors.New("from context")
+	optErr := errors.New("from options")
+	ctxPlan := &FaultPlan{Op: OpNode, N: 1, Err: ctxErr}
+	optPlan := &FaultPlan{Op: OpNode, N: 1, Err: optErr}
+	ctx := WithPlan(context.Background(), ctxPlan)
+
+	if err := New(ctx, Limits{}).WithFaults(nil).AddNodes(1); !errors.Is(err, ctxErr) {
+		t.Fatalf("WithFaults(nil) dropped the context plan: %v", err)
+	}
+	if err := New(ctx, Limits{}).WithFaults(optPlan).AddNodes(1); !errors.Is(err, optErr) {
+		t.Fatalf("explicit plan should win: %v", err)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -288,6 +290,72 @@ func (p *FaultPlan) ObservedOp(op Op) int64 {
 	return p.observed[op]
 }
 
+// planKey carries a *FaultPlan through a context (see WithPlan).
+type planKey struct{}
+
+// WithPlan attaches a fault-injection plan to the context so that
+// layers which build their own controllers deep inside an API — the
+// decision procedures construct runctl.New(ctx, …) internally — still
+// participate in the caller's fault schedule. New picks the plan up
+// automatically; an explicitly attached plan (Controller.WithFaults)
+// takes precedence. WithPlan(ctx, nil) returns ctx unchanged.
+func WithPlan(ctx context.Context, p *FaultPlan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// PlanFromContext returns the fault plan attached by WithPlan, or nil.
+func PlanFromContext(ctx context.Context) *FaultPlan {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(planKey{}).(*FaultPlan)
+	return p
+}
+
+// ParseInject parses the CLI spelling of an Nth-op fault plan,
+// "op:N:kind" — fail the Nth operation of the given kind with a
+// transient, permanent or internal error. It is the shared
+// implementation behind the -inject test-aid flag of ptxml, ptstatic
+// and pttables. The empty string yields a nil plan.
+func ParseInject(s string) (*FaultPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -inject %q: want op:N:kind", s)
+	}
+	op := Op(parts[0])
+	valid := false
+	for _, known := range Ops() {
+		if op == known {
+			valid = true
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("bad -inject op %q", parts[0])
+	}
+	n, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad -inject count %q", parts[1])
+	}
+	var injected error
+	switch parts[2] {
+	case "transient":
+		injected = Transient(errors.New("injected fault"))
+	case "permanent":
+		injected = errors.New("injected fault")
+	case "internal":
+		injected = &ErrInternal{Op: "inject", Panic: "injected fault"}
+	default:
+		return nil, fmt.Errorf("bad -inject kind %q: want transient, permanent or internal", parts[2])
+	}
+	return &FaultPlan{Op: op, N: n, Err: injected}, nil
+}
+
 // Controller binds a context to a set of limits and shares counters
 // across the goroutines of one run. A nil *Controller is valid and
 // imposes no limits.
@@ -302,14 +370,17 @@ type Controller struct {
 }
 
 // New builds a controller for one run. ctx carries cancellation and the
-// wall-clock deadline (see Limits.WithTimeout).
+// wall-clock deadline (see Limits.WithTimeout); a fault plan attached
+// with WithPlan is adopted automatically (overridable via WithFaults).
 func New(ctx context.Context, limits Limits) *Controller {
-	return &Controller{ctx: ctx, limits: limits}
+	return &Controller{ctx: ctx, limits: limits, faults: PlanFromContext(ctx)}
 }
 
 // WithFaults attaches a fault-injection plan and returns the receiver.
+// A nil plan is a no-op, so an explicit per-call plan always wins over a
+// context-carried one but never erases it.
 func (c *Controller) WithFaults(p *FaultPlan) *Controller {
-	if c != nil {
+	if c != nil && p != nil {
 		c.faults = p
 	}
 	return c

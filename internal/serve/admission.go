@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"ptx/internal/runctl"
+)
+
+// Admission is the bounded worker-pool admission controller: at most
+// `workers` requests run concurrently, at most `queue` more wait, and
+// everything beyond that is shed IMMEDIATELY with *ErrOverloaded — a
+// request is never queued to death. Waiting requests also leave on
+// their own deadline (typed *runctl.ErrCanceled) or when the server
+// starts draining (ErrDraining), so the queue can only shrink under
+// overload or shutdown.
+//
+// Drain coordination is exact, not best-effort: admitted work registers
+// in a WaitGroup under the same mutex that guards the draining flag, so
+// once Drain has set the flag, no request can slip past the Wait.
+type Admission struct {
+	sem     chan struct{} // worker slots
+	drainCh chan struct{} // closed when draining starts
+
+	mu       sync.Mutex
+	draining bool
+	waiting  int
+	maxQueue int
+	inflight sync.WaitGroup
+}
+
+// NewAdmission builds a controller with the given worker and wait-queue
+// capacities (minimum 1 worker; a queue of 0 disables waiting entirely,
+// turning every burst beyond the workers into an immediate shed).
+func NewAdmission(workers, queue int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{
+		sem:      make(chan struct{}, workers),
+		drainCh:  make(chan struct{}),
+		maxQueue: queue,
+	}
+}
+
+// Acquire admits one request, blocking in the wait queue if all workers
+// are busy. On success it returns a release func the caller MUST call
+// exactly once when the request finishes. Typed failures: ErrDraining
+// once draining has begun, *ErrOverloaded when the wait queue is full,
+// *runctl.ErrCanceled when ctx expires while waiting.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Fast path: a worker slot is free right now.
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		a.mu.Unlock()
+		return a.releaseFunc(), nil
+	default:
+	}
+	if a.waiting >= a.maxQueue {
+		n := a.waiting
+		a.mu.Unlock()
+		return nil, &ErrOverloaded{Queued: n}
+	}
+	a.waiting++
+	a.mu.Unlock()
+
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		if a.draining {
+			a.mu.Unlock()
+			<-a.sem
+			return nil, ErrDraining
+		}
+		a.inflight.Add(1)
+		a.mu.Unlock()
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, &runctl.ErrCanceled{Cause: ctx.Err()}
+	case <-a.drainCh:
+		return nil, ErrDraining
+	}
+}
+
+// releaseFunc returns the idempotent slot release for one admission.
+func (a *Admission) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.sem
+			a.inflight.Done()
+		})
+	}
+}
+
+// Waiting reports the current wait-queue occupancy.
+func (a *Admission) Waiting() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// Active reports how many worker slots are currently held.
+func (a *Admission) Active() int { return len(a.sem) }
+
+// Draining reports whether Drain has begun.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// Drain stops admissions — queued waiters are released with ErrDraining
+// immediately — and waits for every admitted request to finish, up to
+// ctx's deadline. It returns nil on a clean drain and ctx.Err() when
+// in-flight work outlived the deadline (callers then cancel the runs
+// and may Drain again to collect the stragglers). Safe to call more
+// than once.
+func (a *Admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	if !a.draining {
+		a.draining = true
+		close(a.drainCh)
+	}
+	a.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		a.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

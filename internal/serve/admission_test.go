@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ptx/internal/runctl"
+	"ptx/internal/testutil"
+)
+
+func TestAdmissionFastPathAndShed(t *testing.T) {
+	a := NewAdmission(2, 1)
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := a.Active(); got != 2 {
+		t.Fatalf("Active = %d, want 2", got)
+	}
+
+	// Workers full: one waiter fits the queue, the next is shed NOW.
+	waiterErr := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		waiterErr <- err
+	}()
+	for a.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	_, err = a.Acquire(context.Background())
+	var oe *ErrOverloaded
+	if !errors.As(err, &oe) {
+		t.Fatalf("queue-full acquire: want *ErrOverloaded, got %v", err)
+	}
+	if oe.Queued != 1 {
+		t.Fatalf("ErrOverloaded.Queued = %d, want 1", oe.Queued)
+	}
+
+	// Releasing a worker lets the queued waiter in.
+	r1()
+	r1() // idempotent: a double release must not free a second slot
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	r2()
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = a.Acquire(ctx)
+	var ce *runctl.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("expired waiter: want *runctl.ErrCanceled, got %v", err)
+	}
+	if a.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after deadline, want 0", a.Waiting())
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued waiter must be kicked out the moment draining starts.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background())
+		waiterErr <- err
+	}()
+	for a.Waiting() == 0 {
+		runtime.Gosched()
+	}
+
+	// Drain with work in flight: deadline expires, typed ctx error.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with inflight: want DeadlineExceeded, got %v", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter during drain: want ErrDraining, got %v", err)
+	}
+
+	// New admissions are refused outright.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: want ErrDraining, got %v", err)
+	}
+
+	// Once the in-flight request finishes, a second Drain is clean.
+	release()
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+	testutil.SettledGoroutines(t, base)
+}
+
+// TestAdmissionConcurrent hammers the controller from many goroutines:
+// every outcome must be a success or a typed rejection, releases must
+// balance, and a final drain must come back clean.
+func TestAdmissionConcurrent(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := NewAdmission(3, 2)
+	var wg sync.WaitGroup
+	var admitted, shed, canceled int
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%7)*time.Millisecond)
+			defer cancel()
+			release, err := a.Acquire(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+				release()
+				admitted++
+			case errors.As(err, new(*ErrOverloaded)):
+				shed++
+			case errors.As(err, new(*runctl.ErrCanceled)):
+				canceled++
+			default:
+				t.Errorf("untyped admission outcome: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Fatal("no request was admitted")
+	}
+	if admitted+shed+canceled != 64 {
+		t.Fatalf("outcomes %d+%d+%d != 64", admitted, shed, canceled)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	testutil.SettledGoroutines(t, base)
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ptx/internal/eval"
+	"ptx/internal/parser"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+)
+
+// Registry holds the compiled transducer specs and database sources a
+// server publishes from. Specs are parsed and validated at registration
+// time (behind panic containment — the parser sees untrusted text), so
+// a request can never be the first thing to discover a bad spec.
+// Database sources are stored as text and parsed lazily per (spec, db)
+// pair, because an instance is only meaningful against a concrete
+// spec's schema; parsed instances and their query memos are cached so
+// repeated publishes of the same pair share warm state.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*pt.Transducer
+	dbs   map[string]string // name → source text
+
+	pairs map[string]*pairEntry // spec\x00db → parsed instance + shared memo
+}
+
+// pairEntry caches what one (spec, db) pair shares across requests: the
+// parsed instance (immutable once served) and the query memo
+// (concurrency-safe; sound because it is scoped to exactly this pair).
+type pairEntry struct {
+	once sync.Once
+	inst *relation.Instance
+	memo *eval.Memo
+	err  error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		specs: make(map[string]*pt.Transducer),
+		dbs:   make(map[string]string),
+		pairs: make(map[string]*pairEntry),
+	}
+}
+
+// RegisterSpec parses, validates and installs a transducer spec under
+// name. Duplicate names and unparsable or invalid specs return a
+// *ValidationError — registration failures are caller mistakes, not
+// server faults.
+func (r *Registry) RegisterSpec(name, src string) error {
+	if name == "" {
+		return Validationf("spec", "empty name")
+	}
+	tr, err := parseSpec(name, src)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[name]; dup {
+		return Validationf("spec", "duplicate registration of %q", name)
+	}
+	r.specs[name] = tr
+	return nil
+}
+
+// parseSpec contains the untrusted-input parsing: parser panics are
+// converted by the parser's own recover into errors, and any residual
+// panic in validation is contained here rather than killing the server.
+func parseSpec(name, src string) (tr *pt.Transducer, err error) {
+	defer runctl.Recover(&err, "serve.parseSpec")
+	tr, perr := parser.ParseTransducer(src)
+	if perr != nil {
+		return nil, Validationf("spec", "%q does not parse: %v", name, perr)
+	}
+	if verr := tr.Validate(); verr != nil {
+		return nil, Validationf("spec", "%q does not validate: %v", name, verr)
+	}
+	return tr, nil
+}
+
+// RegisterDB installs a database source under name. The text is parsed
+// lazily against each spec's schema at publish time; registration only
+// rejects duplicates and empty names so one database can serve any
+// spec whose schema accepts it.
+func (r *Registry) RegisterDB(name, src string) error {
+	if name == "" {
+		return Validationf("db", "empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.dbs[name]; dup {
+		return Validationf("db", "duplicate registration of %q", name)
+	}
+	r.dbs[name] = src
+	return nil
+}
+
+// Spec returns the registered transducer, or a typed *ValidationError
+// naming the unknown spec and the available ones.
+func (r *Registry) Spec(name string) (*pt.Transducer, error) {
+	r.mu.RLock()
+	tr, ok := r.specs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, Validationf("spec", "unknown spec %q (have: %s)", name, strings.Join(r.SpecNames(), ", "))
+	}
+	return tr, nil
+}
+
+// Pair resolves a (spec, db) pair to the transducer, the parsed
+// instance and the pair's shared query memo. Unknown names are typed
+// validation errors; a database that does not parse against the spec's
+// schema likewise (cached, so a hopeless pair fails fast forever).
+func (r *Registry) Pair(spec, db string) (*pt.Transducer, *relation.Instance, *eval.Memo, error) {
+	tr, err := r.Spec(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r.mu.RLock()
+	src, ok := r.dbs[db]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, nil, Validationf("db", "unknown database %q (have: %s)", db, strings.Join(r.DBNames(), ", "))
+	}
+
+	key := spec + "\x00" + db
+	r.mu.Lock()
+	e, ok := r.pairs[key]
+	if !ok {
+		e = &pairEntry{}
+		r.pairs[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.inst, e.err = parseInstance(spec, db, src, tr)
+		if e.err == nil {
+			e.memo = eval.NewMemo(0)
+		}
+	})
+	if e.err != nil {
+		return nil, nil, nil, e.err
+	}
+	return tr, e.inst, e.memo, nil
+}
+
+// parseInstance parses a database source against a spec's schema with
+// panic containment, typing parse failures as validation errors.
+func parseInstance(spec, db, src string, tr *pt.Transducer) (inst *relation.Instance, err error) {
+	defer runctl.Recover(&err, "serve.parseInstance")
+	inst, perr := parser.ParseInstance(src, tr.Schema)
+	if perr != nil {
+		return nil, Validationf("db", "%q does not parse against spec %q: %v", db, spec, perr)
+	}
+	return inst, nil
+}
+
+// SpecNames lists the registered specs, sorted.
+func (r *Registry) SpecNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DBNames lists the registered databases, sorted.
+func (r *Registry) DBNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.dbs))
+	for n := range r.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadDir registers every *.pt file as a spec and every *.db file as a
+// database, named by basename without extension. A directory with no
+// loadable spec is a validation error — a server with nothing to
+// publish is a deployment mistake worth failing loudly on.
+func (r *Registry) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: reading spec dir: %w", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext != ".pt" && ext != ".db" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("serve: reading %s: %w", e.Name(), err)
+		}
+		name := strings.TrimSuffix(e.Name(), ext)
+		if ext == ".pt" {
+			if err := r.RegisterSpec(name, string(src)); err != nil {
+				return fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+			}
+			loaded++
+		} else {
+			if err := r.RegisterDB(name, string(src)); err != nil {
+				return fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+			}
+		}
+	}
+	if loaded == 0 {
+		return Validationf("spec", "no .pt specs in %s", dir)
+	}
+	return nil
+}

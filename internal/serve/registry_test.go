@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptx/internal/runctl"
+)
+
+// TestRegistryErrorPaths table-drives every registration and lookup
+// failure: each must surface as a *ValidationError (the client's
+// mistake, HTTP 400) and never as *runctl.ErrInternal — a typo in a
+// request is not a server fault.
+func TestRegistryErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(r *Registry) error
+		want string // substring of the error message
+	}{
+		{"empty spec name", func(r *Registry) error {
+			return r.RegisterSpec("", tinySpec)
+		}, "empty name"},
+		{"empty db name", func(r *Registry) error {
+			return r.RegisterDB("", tinyDB)
+		}, "empty name"},
+		{"duplicate spec", func(r *Registry) error {
+			return r.RegisterSpec("tiny", tinySpec)
+		}, "duplicate registration"},
+		{"duplicate db", func(r *Registry) error {
+			return r.RegisterDB("tinydb", tinyDB)
+		}, "duplicate registration"},
+		{"unparsable spec", func(r *Registry) error {
+			return r.RegisterSpec("broken", badSpec)
+		}, "does not parse"},
+		{"invalid spec", func(r *Registry) error {
+			// Parses but fails Validate: rule for an undeclared tag.
+			return r.RegisterSpec("undeclared", `
+schema R/1
+transducer bad root db start q0
+tag item/1
+rule q0 db -> (q1, ghost, [x;] R(x))
+`)
+		}, "does not"},
+		{"unknown spec lookup", func(r *Registry) error {
+			_, err := r.Spec("nope")
+			return err
+		}, `unknown spec "nope"`},
+		{"unknown spec pair", func(r *Registry) error {
+			_, _, _, err := r.Pair("nope", "tinydb")
+			return err
+		}, `unknown spec "nope"`},
+		{"unknown db pair", func(r *Registry) error {
+			_, _, _, err := r.Pair("tiny", "nope")
+			return err
+		}, `unknown database "nope"`},
+		{"db does not parse against schema", func(r *Registry) error {
+			_, _, _, err := r.Pair("tiny", "badrows")
+			return err
+		}, "does not parse against spec"},
+	}
+	reg := NewRegistry()
+	if err := reg.RegisterSpec("tiny", tinySpec); err != nil {
+		t.Fatalf("seed spec: %v", err)
+	}
+	if err := reg.RegisterDB("tinydb", tinyDB); err != nil {
+		t.Fatalf("seed db: %v", err)
+	}
+	// badrows has the wrong arity for R, so it parses as text but fails
+	// against tiny's schema.
+	if err := reg.RegisterDB("badrows", "R(a, b, c)\n"); err != nil {
+		t.Fatalf("seed badrows: %v", err)
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(reg)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *ValidationError, got %T: %v", err, err)
+			}
+			var ie *runctl.ErrInternal
+			if errors.As(err, &ie) {
+				t.Fatalf("registry error leaked as internal: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if status, _ := Classify(err); status != http.StatusBadRequest {
+				t.Fatalf("registry error classified as %d, want 400", status)
+			}
+		})
+	}
+}
+
+// TestRegistryUnknownListsAvailable: the unknown-name error names what
+// IS registered, so a curl user can self-correct.
+func TestRegistryUnknownListsAvailable(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RegisterSpec("alpha", tinySpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterSpec("beta", tinySpec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := reg.Spec("gamma")
+	if err == nil || !strings.Contains(err.Error(), "alpha, beta") {
+		t.Fatalf("unknown-spec error should list available specs, got: %v", err)
+	}
+}
+
+// TestRegistryPairCachesFailure: a hopeless (spec, db) pair fails fast
+// forever with the SAME typed error, and a good pair returns the same
+// instance and memo on every call (that identity is what makes memo
+// sharing sound).
+func TestRegistryPairCaching(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RegisterSpec("tiny", tinySpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterDB("good", tinyDB); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterDB("bad", "R(a,b)\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, _, err1 := reg.Pair("tiny", "bad")
+	_, _, _, err2 := reg.Pair("tiny", "bad")
+	if err1 == nil || err2 == nil {
+		t.Fatal("bad pair must error")
+	}
+	if err1 != err2 {
+		t.Fatalf("pair failure not cached: %v vs %v", err1, err2)
+	}
+
+	_, inst1, memo1, err := reg.Pair("tiny", "good")
+	if err != nil {
+		t.Fatalf("good pair: %v", err)
+	}
+	_, inst2, memo2, err := reg.Pair("tiny", "good")
+	if err != nil {
+		t.Fatalf("good pair again: %v", err)
+	}
+	if inst1 != inst2 || memo1 != memo2 {
+		t.Fatal("pair instance/memo must be cached, got fresh values")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("tiny.pt", tinySpec)
+	write("tinydb.db", tinyDB)
+	write("notes.txt", "ignored")
+
+	reg := NewRegistry()
+	if err := reg.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got := reg.SpecNames(); len(got) != 1 || got[0] != "tiny" {
+		t.Fatalf("SpecNames = %v", got)
+	}
+	if got := reg.DBNames(); len(got) != 1 || got[0] != "tinydb" {
+		t.Fatalf("DBNames = %v", got)
+	}
+
+	empty := t.TempDir()
+	if err := NewRegistry().LoadDir(empty); err == nil {
+		t.Fatal("LoadDir on a spec-less dir must fail loudly")
+	}
+
+	// The repo's real example specs must all load — the README curl
+	// walkthrough depends on it.
+	exReg := NewRegistry()
+	if err := exReg.LoadDir("../../examples/specs"); err != nil {
+		t.Fatalf("examples/specs does not load: %v", err)
+	}
+	for _, want := range []string{"tau1", "tau2v", "tau3"} {
+		if _, err := exReg.Spec(want); err != nil {
+			t.Fatalf("example spec %s missing: %v", want, err)
+		}
+	}
+}

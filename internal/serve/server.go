@@ -1,0 +1,522 @@
+// Package serve is the long-lived publishing server over the
+// transducer runner: it loads a registry of compiled specs and database
+// sources and serves publish requests as streamed XML, with the
+// robustness machinery of the runctl/supervise layers as its
+// foundation rather than an afterthought.
+//
+// The request path is hardened end to end:
+//
+//   - untrusted input — request bodies are size-capped, JSON is parsed
+//     strictly, spec/db sources go through the parser behind panic
+//     containment, and every option is validated BEFORE any evaluation
+//     work is admitted;
+//   - admission control — a bounded worker pool with a capped wait
+//     queue; when the queue is full the request is shed immediately
+//     (HTTP 429), and a request whose deadline expires while waiting
+//     leaves with HTTP 408: nothing is ever queued to death;
+//   - typed failures — the runctl error taxonomy maps onto a stable
+//     JSON error schema and HTTP status codes (see errors.go), so a
+//     client can always distinguish "your spec is broken" from "the
+//     server is busy" from "your document hit its budget";
+//   - deduplication — identical in-flight (spec, db, options) requests
+//     share one transducer run and its caches (singleflight.go), and
+//     repeated runs of one (spec, db) pair share a query memo through
+//     the registry;
+//   - graceful drain — Drain stops admissions, lets in-flight runs
+//     finish within a deadline, then cancels the stragglers so they
+//     terminate with typed errors; /healthz and /readyz expose the
+//     lifecycle to orchestrators.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+	"ptx/internal/supervise"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a production-sane default.
+type Config struct {
+	// Registry supplies specs and databases; required.
+	Registry *Registry
+
+	// Workers bounds concurrently executing publish runs (default 4).
+	Workers int
+	// Queue bounds requests waiting for a worker; beyond it requests
+	// are shed immediately (default 16; 0 is a valid "never wait").
+	Queue int
+
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout applies when a request sets no timeout (default
+	// 10s); MaxTimeout clamps what a request may ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultMaxNodes is the node budget when a request sets none
+	// (default 1e6). A request passes max_nodes: -1 for unlimited.
+	DefaultMaxNodes int
+	// MaxRetries clamps per-request supervised retries (default 5).
+	MaxRetries int
+	// MaxRunWorkers clamps per-request parallel expansion workers
+	// (default 4).
+	MaxRunWorkers int
+
+	// DrainGrace is how long Drain waits for canceled stragglers after
+	// the drain deadline has expired (default 2s).
+	DrainGrace time.Duration
+
+	// CheckpointDir, when set, makes failed supervised runs persist
+	// their last checkpoint there (the drain protocol's "finish or
+	// checkpoint": a run canceled by shutdown leaves a resumable
+	// snapshot). Empty disables.
+	CheckpointDir string
+
+	// AllowInject enables the "inject" request field — seeded fault
+	// injection for chaos tests. Never enable in production.
+	AllowInject bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DefaultMaxNodes == 0 {
+		c.DefaultMaxNodes = 1_000_000
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.MaxRunWorkers <= 0 {
+		c.MaxRunWorkers = 4
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	return c
+}
+
+// Metrics is a point-in-time snapshot of the server's counters.
+type Metrics struct {
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"` // validation and draining rejections
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"` // admitted runs that ended in a typed error
+	Deduped   int64 `json:"deduped"`
+	InFlight  int   `json:"in_flight"`
+	Queued    int   `json:"queued"`
+}
+
+// Server is the hardened concurrent publishing service. Create with
+// New, mount Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	adm     *Admission
+	flights *flightGroup
+
+	// baseCtx is the lifecycle context publish runs execute under —
+	// detached from any single request, canceled to abort stragglers
+	// at the end of a drain.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	deduped   atomic.Int64
+}
+
+// New builds a server from cfg (cfg.Registry is required).
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, Validationf("config", "nil registry")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		adm:        NewAdmission(cfg.Workers, cfg.Queue),
+		flights:    newFlightGroup(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}, nil
+}
+
+// Handler returns the server's routes: POST /publish, GET /healthz,
+// GET /readyz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/publish", s.handlePublish)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// Metrics snapshots the counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Admitted:  s.admitted.Load(),
+		Shed:      s.shed.Load(),
+		Rejected:  s.rejected.Load(),
+		Succeeded: s.succeeded.Load(),
+		Failed:    s.failed.Load(),
+		Deduped:   s.deduped.Load(),
+		InFlight:  s.adm.Active(),
+		Queued:    s.adm.Waiting(),
+	}
+}
+
+// Drain gracefully shuts the server down: admissions stop (queued
+// waiters leave with ErrDraining, /readyz flips to 503), in-flight runs
+// get until ctx's deadline to finish, and any stragglers are then
+// canceled — they terminate with typed errors (and, with CheckpointDir
+// set and supervision on, a resumable checkpoint) within DrainGrace.
+// Drain returns nil for a clean shutdown, including the forced-cancel
+// path; it errors only if work survived cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	if err := s.adm.Drain(ctx); err == nil {
+		s.baseCancel()
+		return nil
+	}
+	// Deadline expired with runs still in flight: cancel them and give
+	// the typed-error unwind a bounded grace period.
+	s.baseCancel()
+	grace, cancel := context.WithTimeout(context.Background(), s.cfg.DrainGrace)
+	defer cancel()
+	if err := s.adm.Drain(grace); err != nil {
+		return fmt.Errorf("serve: drain: %d runs survived cancellation: %w", s.adm.Active(), err)
+	}
+	return nil
+}
+
+// Close releases the server's lifecycle resources without draining
+// (tests; production should Drain).
+func (s *Server) Close() { s.baseCancel() }
+
+// publishRequest is the wire schema of POST /publish. Unknown fields
+// are rejected — silently ignoring a misspelled option would admit
+// work the client did not mean to pay for.
+type publishRequest struct {
+	Spec      string         `json:"spec"`
+	DB        string         `json:"db"`
+	Canonical bool           `json:"canonical,omitempty"`
+	Cache     string         `json:"cache,omitempty"`
+	Workers   int            `json:"workers,omitempty"`
+	Retries   int            `json:"retries,omitempty"`
+	Limits    limitsRequest  `json:"limits,omitempty"`
+	Inject    *injectRequest `json:"inject,omitempty"`
+}
+
+type limitsRequest struct {
+	TimeoutMS  int64 `json:"timeout_ms,omitempty"`
+	MaxNodes   int   `json:"max_nodes,omitempty"`
+	MaxDepth   int   `json:"max_depth,omitempty"`
+	MaxQueries int   `json:"max_queries,omitempty"`
+}
+
+// injectRequest is the chaos-test fault schedule: each listed op fails
+// with its probability, drawn from a PRNG seeded with Seed, injecting a
+// transient error (see runctl.SeededPlan). Only honored when
+// Config.AllowInject is set.
+type injectRequest struct {
+	Seed  int64              `json:"seed"`
+	Probs map[string]float64 `json:"probs"`
+}
+
+// admitted bundles everything validation produced for one request.
+type admitted struct {
+	req     publishRequest
+	opts    pt.Options
+	limits  runctl.Limits
+	retries int
+	key     string
+}
+
+// validate turns the wire request into run options, or a typed
+// *ValidationError. No evaluation work happens here.
+func (s *Server) validate(req publishRequest) (*admitted, error) {
+	if req.Spec == "" {
+		return nil, Validationf("spec", "missing")
+	}
+	if req.DB == "" {
+		return nil, Validationf("db", "missing")
+	}
+	cacheMode := pt.CacheQueries // server default: share warm results
+	if req.Cache != "" {
+		m, err := pt.ParseCacheMode(req.Cache)
+		if err != nil {
+			return nil, Validationf("cache", "%v", err)
+		}
+		cacheMode = m
+	}
+	if req.Workers < 0 {
+		return nil, Validationf("workers", "negative")
+	}
+	workers := min(req.Workers, s.cfg.MaxRunWorkers)
+	if req.Retries < 0 {
+		return nil, Validationf("retries", "negative")
+	}
+	retries := min(req.Retries, s.cfg.MaxRetries)
+
+	l := req.Limits
+	if l.TimeoutMS < 0 || l.MaxDepth < 0 || l.MaxQueries < 0 || l.MaxNodes < -1 {
+		return nil, Validationf("limits", "negative budget")
+	}
+	timeout := s.cfg.DefaultTimeout
+	if l.TimeoutMS > 0 {
+		timeout = min(time.Duration(l.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	maxNodes := l.MaxNodes
+	switch {
+	case maxNodes == 0:
+		maxNodes = s.cfg.DefaultMaxNodes
+	case maxNodes == -1:
+		maxNodes = 0 // explicit "unlimited"
+	}
+	limits := runctl.Limits{
+		Timeout:    timeout,
+		MaxNodes:   maxNodes,
+		MaxDepth:   l.MaxDepth,
+		MaxQueries: l.MaxQueries,
+	}
+
+	var faults *runctl.FaultPlan
+	injectKey := ""
+	if req.Inject != nil {
+		if !s.cfg.AllowInject {
+			return nil, Validationf("inject", "fault injection is disabled on this server")
+		}
+		probs := make(map[runctl.Op]float64, len(req.Inject.Probs))
+		names := make([]string, 0, len(req.Inject.Probs))
+		for name, p := range req.Inject.Probs {
+			op := runctl.Op(name)
+			known := false
+			for _, k := range runctl.Ops() {
+				if op == k {
+					known = true
+				}
+			}
+			if !known {
+				return nil, Validationf("inject", "unknown op %q", name)
+			}
+			if p < 0 || p > 1 {
+				return nil, Validationf("inject", "probability for %q outside [0,1]", name)
+			}
+			probs[op] = p
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			injectKey += fmt.Sprintf("%s=%g;", n, probs[runctl.Op(n)])
+		}
+		injectKey = fmt.Sprintf("seed=%d;%s", req.Inject.Seed, injectKey)
+		faults = runctl.SeededPlan(req.Inject.Seed,
+			runctl.Transient(fmt.Errorf("injected fault (seed %d)", req.Inject.Seed)), probs)
+	}
+
+	opts := pt.Options{
+		Workers: workers,
+		Limits:  &limits,
+		Cache:   cacheMode,
+		Faults:  faults,
+	}
+	// The dedup key covers every run-relevant option — canonical-vs-XML
+	// rendering is per-request and deliberately excluded.
+	key := fmt.Sprintf("%s\x00%s\x00c=%d;w=%d;r=%d;t=%d;n=%d;d=%d;q=%d;i=%s",
+		req.Spec, req.DB, cacheMode, workers, retries,
+		limits.Timeout, limits.MaxNodes, limits.MaxDepth, limits.MaxQueries, injectKey)
+	return &admitted{req: req, opts: opts, limits: limits, retries: retries, key: key}, nil
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.adm.Draining() {
+		s.rejected.Add(1)
+		writeError(w, ErrDraining)
+		return
+	}
+
+	// Untrusted input path: size cap, strict JSON, full validation —
+	// all before any admission or evaluation work.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req publishRequest
+	if err := dec.Decode(&req); err != nil {
+		s.rejected.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, mbe)
+			return
+		}
+		writeError(w, Validationf("body", "%v", err))
+		return
+	}
+	adm, err := s.validate(req)
+	if err != nil {
+		s.rejected.Add(1)
+		writeError(w, err)
+		return
+	}
+	tr, inst, memo, err := s.reg.Pair(req.Spec, req.DB)
+	if err != nil {
+		s.rejected.Add(1)
+		writeError(w, err)
+		return
+	}
+	if adm.opts.Cache >= pt.CacheQueries && adm.opts.Faults == nil && adm.retries == 0 {
+		// Warm-path sharing: the registry's per-(spec,db) memo. Faulted
+		// and supervised runs keep private memos — supervision's
+		// degradation ladder assumes it owns its caches.
+		adm.opts.Memo = memo
+	}
+
+	// The request's wall clock starts now and covers queue time: a
+	// request that would begin evaluation after its deadline is
+	// rejected while waiting, never run.
+	reqCtx, cancelReq := context.WithTimeout(r.Context(), adm.limits.Timeout)
+	defer cancelReq()
+
+	release, err := s.adm.Acquire(reqCtx)
+	if err != nil {
+		var oe *ErrOverloaded
+		switch {
+		case errors.As(err, &oe):
+			s.shed.Add(1)
+		case errors.Is(err, ErrDraining):
+			s.rejected.Add(1)
+		default:
+			s.rejected.Add(1)
+		}
+		writeError(w, err)
+		return
+	}
+	defer release()
+	s.admitted.Add(1)
+
+	res, attempts, shared, err := s.flights.do(reqCtx, adm.key, func() (*pt.Result, int, error) {
+		return s.execute(tr, inst, adm)
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.succeeded.Add(1)
+
+	h := w.Header()
+	h.Set("Content-Type", "application/xml; charset=utf-8")
+	h.Set("X-Ptserve-Attempts", strconv.Itoa(attempts))
+	h.Set("X-Ptserve-Shared", strconv.FormatBool(shared))
+	h.Set("X-Ptserve-Nodes", strconv.Itoa(res.Stats.Nodes))
+	h.Set("X-Ptserve-Queries", strconv.Itoa(res.Stats.QueriesRun))
+	h.Set("X-Ptserve-Cache", res.Stats.CacheMode.String())
+	// Stream straight from ξ (possibly a shared DAG): the writers
+	// splice virtual tags at emission and never materialize the
+	// unfolding. A write failure here means the client went away; the
+	// status line is already committed, so just stop.
+	if adm.req.Canonical {
+		if werr := res.Xi.WriteCanonicalVirtual(w, tr.Virtual); werr == nil {
+			_, _ = io.WriteString(w, "\n")
+		}
+	} else {
+		_ = res.Xi.WriteXMLVirtual(w, tr.Virtual)
+	}
+}
+
+// execute runs one admitted publish under the server's lifecycle
+// context — detached from the leader's own request so a client
+// disconnect cannot poison the shared result. Supervised runs (retries
+// requested) classify transient failures, retry with fresh budgets, and
+// leave a checkpoint file when CheckpointDir is set.
+func (s *Server) execute(tr *pt.Transducer, inst *relation.Instance, adm *admitted) (*pt.Result, int, error) {
+	if adm.retries == 0 {
+		res, err := tr.RunContext(s.baseCtx, inst, adm.opts)
+		return res, 1, err
+	}
+	sopts := supervise.Options{
+		Run:        adm.opts,
+		Retries:    adm.retries,
+		Backoff:    supervise.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond},
+		Checkpoint: s.cfg.CheckpointDir != "",
+	}
+	res, rep, err := supervise.Run(s.baseCtx, tr, inst, sopts)
+	attempts := 1
+	if rep != nil {
+		attempts = rep.Attempts
+	}
+	if err != nil && s.cfg.CheckpointDir != "" && rep != nil && rep.Snapshot != nil {
+		s.saveCheckpoint(rep.Snapshot)
+	}
+	return res, attempts, err
+}
+
+// saveCheckpoint persists a failed supervised run's snapshot; errors
+// are swallowed (checkpointing is best-effort salvage, never a reason
+// to turn a typed run error into an I/O error).
+func (s *Server) saveCheckpoint(snap *supervise.Snapshot) {
+	f, err := os.CreateTemp(s.cfg.CheckpointDir, "ptserve-*.checkpoint")
+	if err != nil {
+		return
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return
+	}
+	_ = f.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Status   string  `json:"status"`
+		Draining bool    `json:"draining"`
+		Metrics  Metrics `json:"metrics"`
+	}{"ok", s.adm.Draining(), s.Metrics()})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, `{"status":"ready"}`+"\n")
+}

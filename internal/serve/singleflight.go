@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"ptx/internal/pt"
+	"ptx/internal/runctl"
+)
+
+// flightGroup deduplicates identical in-flight publish runs: while a
+// (spec, db, options) run is executing, later arrivals for the same key
+// wait for its result instead of repeating the work, so a thundering
+// herd on one view costs one transformation. The shared value is the
+// raw *pt.Result — serialization stays per-request (writers are
+// read-only over the tree, and canonical-vs-XML rendering may differ
+// between duplicates of one run).
+//
+// The leader executes under the SERVER's lifecycle context, not its own
+// request's, so one impatient client disconnecting cannot poison the
+// result for the followers; each waiter still honors its own deadline
+// while waiting.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done     chan struct{} // closed when the leader finishes
+	res      *pt.Result
+	attempts int
+	err      error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do runs fn for key, or waits for the in-flight execution of the same
+// key. shared reports whether this caller was a follower. A follower
+// whose ctx expires stops waiting with a typed *runctl.ErrCanceled; the
+// leader's run is unaffected.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*pt.Result, int, error)) (res *pt.Result, attempts int, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, f.attempts, true, f.err
+		case <-ctx.Done():
+			return nil, 0, true, &runctl.ErrCanceled{Cause: ctx.Err()}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.attempts, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, f.attempts, false, f.err
+}

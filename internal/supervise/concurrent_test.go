@@ -1,0 +1,153 @@
+// Race-mode test: many goroutines supervise the SAME (transducer,
+// instance) pair concurrently, sharing one query memo while keeping
+// independent checkpoints and retry schedules. The invariants: every
+// successful output is byte-identical, every failure is typed, and
+// nothing leaks a goroutine — exactly what the serving layer relies on
+// when it lets supervised publishes overlap.
+package supervise_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ptx/internal/eval"
+	"ptx/internal/families"
+	"ptx/internal/pt"
+	"ptx/internal/runctl"
+	"ptx/internal/supervise"
+	"ptx/internal/testutil"
+)
+
+type errConcurrent string
+
+func (e errConcurrent) Error() string { return string(e) }
+
+func TestConcurrentSupervisedRuns(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(6)
+
+	baseline, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := baseline.Xi.WriteCanonicalVirtual(&sb, tr.Virtual); err != nil {
+		t.Fatal(err)
+	}
+	want := sb.String()
+
+	memo := eval.NewMemo(0)
+	const workers = 16
+	var wg sync.WaitGroup
+	outputs := make([]string, workers)
+	failures := make([]error, workers)
+	attempts := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := supervise.Options{
+				Run: pt.Options{
+					Cache: pt.CacheQueries,
+					Memo:  memo, // shared: same transducer, same instance
+				},
+				Retries:    2,
+				Checkpoint: true, // checkpoints stay per-run
+				Sleep:      func(time.Duration) {},
+			}
+			// Every third worker runs under a fault plan that trips the
+			// second query of each attempt a couple of times; the others
+			// run clean but race them on the shared memo.
+			if i%3 == 0 {
+				opts.Run.Faults = &runctl.FaultPlan{
+					Op: runctl.OpQuery, N: 2,
+					Err: runctl.Transient(errConcurrent("concurrent fault")),
+				}
+			}
+			res, rep, err := supervise.Run(context.Background(), tr, inst, opts)
+			if rep != nil {
+				attempts[i] = rep.Attempts
+			}
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			var out strings.Builder
+			if serr := res.Xi.WriteCanonicalVirtual(&out, tr.Virtual); serr != nil {
+				failures[i] = serr
+				return
+			}
+			outputs[i] = out.String()
+		}(i)
+	}
+	wg.Wait()
+
+	succeeded, retried := 0, 0
+	for i := 0; i < workers; i++ {
+		if failures[i] != nil {
+			// The only legitimate failure is the injected transient one,
+			// fully typed, after exhausting this worker's own retries.
+			if !runctl.IsTransient(failures[i]) {
+				t.Errorf("worker %d: untyped failure: %v", i, failures[i])
+			}
+			continue
+		}
+		succeeded++
+		if attempts[i] > 1 {
+			retried++
+		}
+		if outputs[i] != want {
+			t.Errorf("worker %d: output diverged from the unsupervised baseline", i)
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no supervised worker succeeded")
+	}
+	// The clean workers (2/3 of the pool) never fault, so at least they
+	// must all have completed.
+	if succeeded < workers-workers/3-1 {
+		t.Errorf("only %d/%d workers succeeded", succeeded, workers)
+	}
+	t.Logf("concurrent supervised runs: %d succeeded (%d via retry), %d failed typed",
+		succeeded, retried, workers-succeeded)
+	testutil.SettledGoroutines(t, base)
+}
+
+// TestConcurrentSupervisedCancel: canceling the shared context
+// mid-flight must surface typed cancellation everywhere and leave no
+// goroutines behind — the drain path of the serving layer in
+// miniature.
+func TestConcurrentSupervisedCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tr := families.UnfoldTransducer()
+	inst := families.DiamondChain(8)
+	memo := eval.NewMemo(0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: every attempt must stop immediately
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := supervise.Run(ctx, tr, inst, supervise.Options{
+				Run:     pt.Options{Cache: pt.CacheQueries, Memo: memo},
+				Retries: 3,
+				Sleep:   func(time.Duration) {},
+			})
+			var ce *runctl.ErrCanceled
+			if err == nil || !errors.As(err, &ce) {
+				t.Errorf("canceled supervised run returned %v, want *runctl.ErrCanceled", err)
+			}
+		}()
+	}
+	wg.Wait()
+	testutil.SettledGoroutines(t, base)
+}
