@@ -1,0 +1,143 @@
+// Command ptcoord is the cluster coordinator: it consistent-hash
+// routes publish requests across a fleet of ptserve workers, probes
+// their health, and fails requests over to ring successors — carrying
+// checkpoint-handoff coordinates so a dead worker's supervised runs
+// resume on their new owner.
+//
+// Usage:
+//
+//	ptcoord [-addr :8070] [-node id=url ...] [-vnodes N] [-replicas N]
+//	        [-probe-interval D] [-fail-threshold N] [-drain D]
+//
+// Endpoints:
+//
+//	POST /publish  routed to the owning worker, failover on death
+//	POST /join     {"id":"n1","url":"http://..."} dynamic registration
+//	GET  /healthz  liveness + routing counters
+//	GET  /readyz   readiness (503 while no worker is up, or draining)
+//
+// Workers can be listed statically with repeated -node flags, register
+// themselves with ptserve's -join flag, or both. SIGTERM/SIGINT drains:
+// readiness flips, the prober stops, in-flight forwards are canceled.
+//
+// Exit codes: 0 clean shutdown, 1 error, 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptx/internal/cluster"
+)
+
+// nodeFlags collects repeated -node id=url arguments.
+type nodeFlags [][2]string
+
+func (n *nodeFlags) String() string { return fmt.Sprint([][2]string(*n)) }
+
+func (n *nodeFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*n = append(*n, [2]string{id, url})
+	return nil
+}
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// run is main minus the process plumbing: tests drive it with an
+// in-memory signal channel and read the listen address (so -addr :0
+// works) from the "listening on" line.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("ptcoord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8070", "listen address")
+	var nodes nodeFlags
+	fs.Var(&nodes, "node", "worker as id=url (repeatable; workers may also self-register via /join)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per worker on the hash ring (0 = default)")
+	replicas := fs.Int("replicas", 0, "max failover attempts per request (0 = every up worker)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "health-probe cadence (negative disables probing)")
+	failThreshold := fs.Int("fail-threshold", 0, "consecutive probe failures before a worker is marked down (0 = default)")
+	drain := fs.Duration("drain", 10*time.Second, "how long a SIGTERM drain waits for in-flight forwards")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	coord := cluster.New(cluster.Config{
+		VNodes:        *vnodes,
+		Replicas:      *replicas,
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+	})
+	// A dead static node joins down, not fatally: the prober brings it
+	// into rotation when it comes up. Join only errors on bad flags.
+	for _, n := range nodes {
+		if err := coord.Join(n[0], n[1]); err != nil {
+			fmt.Fprintf(stderr, "ptcoord: node %q: %v\n", n[0], err)
+			coord.Close()
+			return 2
+		}
+	}
+	up := 0
+	for _, m := range coord.Metrics().Members {
+		if m.Up {
+			up++
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ptcoord:", err)
+		coord.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "ptcoord: listening on %s (%d/%d workers up)\n", ln.Addr(), up, len(nodes))
+
+	hs := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ptcoord:", err)
+		coord.Close()
+		return 1
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "ptcoord: %v received, draining (deadline %v)\n", sig, *drain)
+	}
+
+	code := 0
+	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+	defer dcancel()
+	if err := coord.Drain(dctx); err != nil {
+		fmt.Fprintln(stderr, "ptcoord: drain:", err)
+		code = 1
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "ptcoord: shutdown:", err)
+		code = 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ptcoord:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "ptcoord: drained, bye")
+	return code
+}

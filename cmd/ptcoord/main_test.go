@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptx/internal/serve"
+	"ptx/internal/supervise"
+	"ptx/internal/testutil"
+)
+
+// syncBuffer lets the test poll stdout while run is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ \n]+)`)
+
+// startCoord launches run on a :0 listener and returns the base URL,
+// the signal channel that stops it, and the exit-code channel.
+func startCoord(t *testing.T, extraArgs ...string) (string, chan os.Signal, chan int, *syncBuffer) {
+	t.Helper()
+	var stdout syncBuffer
+	var stderr syncBuffer
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { exit <- run(args, &stdout, &stderr, sigs) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			return "http://" + m[1], sigs, exit, &stdout
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("ptcoord exited %d before listening\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ptcoord never announced its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// worker is an in-process ptserve-equivalent node the test registers
+// with the coordinator over the /join wire, exactly as `ptserve -join`
+// would.
+type worker struct {
+	id  string
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func startWorker(t *testing.T, id string, store supervise.CheckpointStore) *worker {
+	t.Helper()
+	reg := serve.NewRegistry()
+	if err := reg.LoadDir("../../examples/specs"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Registry: reg, NodeID: id, Store: store, Workers: 4, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{id: id, srv: srv, ts: httptest.NewServer(srv.Handler())}
+	t.Cleanup(func() {
+		w.ts.Close()
+		srv.Close()
+	})
+	return w
+}
+
+func joinWire(t *testing.T, coordURL string, w *worker) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"id": w.id, "url": w.ts.URL})
+	resp, err := http.Post(coordURL+"/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("join %s: status %d: %s", w.id, resp.StatusCode, msg)
+	}
+}
+
+// TestCoordLifecycle is the binary-level cluster walkthrough: the
+// coordinator comes up empty (alive, not ready), two workers register
+// over the /join wire, a publish routes to a worker, hard-killing that
+// worker fails the next publish over to the survivor, and SIGTERM
+// drains the coordinator clean.
+func TestCoordLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	url, sigs, exit, stdout := startCoord(t, "-probe-interval", "50ms")
+
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-cluster readyz = %d, want 503", resp.StatusCode)
+	}
+
+	store, err := supervise.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := map[string]*worker{}
+	for _, id := range []string{"w1", "w2"} {
+		w := startWorker(t, id, store)
+		joinWire(t, url, w)
+		workers[id] = w
+	}
+
+	resp, err = http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with two workers = %d, want 200", resp.StatusCode)
+	}
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(url+"/publish", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, b
+	}
+
+	resp, body := post(`{"spec":"tau1","db":"registrar"}`)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("<course>")) {
+		t.Fatalf("routed publish = %d: %.120s", resp.StatusCode, body)
+	}
+	served := resp.Header.Get("X-Ptserve-Node")
+	if _, ok := workers[served]; !ok {
+		t.Fatalf("X-Ptserve-Node %q is not a known worker", served)
+	}
+
+	// Typed errors survive the coordinator hop with their pinned status.
+	resp, body = post(`{"spec":"nope","db":"registrar"}`)
+	var eb struct {
+		Error struct{ Kind string }
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body: %v\n%s", err, body)
+	}
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Kind != "validation" {
+		t.Fatalf("unknown spec through coordinator: status %d kind %q", resp.StatusCode, eb.Error.Kind)
+	}
+
+	// Hard-kill the worker that served the request; the next publish
+	// (a distinct body, so dedup cannot answer from the shared flight)
+	// must fail over to the survivor.
+	workers[served].ts.Close()
+	var survivor string
+	for id := range workers {
+		if id != served {
+			survivor = id
+		}
+	}
+	resp, body = post(`{"spec":"tau1","db":"registrar","limits":{"timeout_ms":5001}}`)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("<course>")) {
+		t.Fatalf("failover publish = %d: %.120s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Ptserve-Node"); got != survivor {
+		t.Fatalf("failover went to %q, want survivor %q", got, survivor)
+	}
+	if resp.Header.Get("X-Ptcoord-Failover") != "true" {
+		t.Fatal("failover response not marked X-Ptcoord-Failover")
+	}
+
+	// SIGTERM → graceful drain → exit 0, with the protocol narrated.
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0\n%s", code, stdout.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ptcoord did not exit after SIGTERM")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, bye") {
+		t.Fatalf("drain protocol not narrated:\n%s", out)
+	}
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	testutil.SettledGoroutines(t, base)
+}
+
+// TestCoordStaticNodes covers the repeated -node flag: a live static
+// worker is in rotation at startup; a dead one joins down without
+// failing the boot.
+func TestCoordStaticNodes(t *testing.T) {
+	store, err := supervise.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorker(t, "static-1", store)
+	url, sigs, exit, stdout := startCoord(t,
+		"-node", "static-1="+w.ts.URL,
+		"-node", "ghost=http://127.0.0.1:1", // nothing listens there
+		"-probe-interval", "-1ms")
+	if !strings.Contains(stdout.String(), "1/2 workers up") {
+		t.Fatalf("startup did not report 1/2 workers up:\n%s", stdout.String())
+	}
+
+	resp, err := http.Post(url+"/publish", "application/json",
+		strings.NewReader(`{"spec":"tau1","db":"registrar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("<course>")) {
+		t.Fatalf("static-node publish = %d: %.120s", resp.StatusCode, body)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ptcoord did not exit")
+	}
+}
+
+func TestCoordUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	sigs := make(chan os.Signal)
+	if code := run([]string{"-bogus"}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-node", "malformed"}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("malformed -node: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "id=url") {
+		t.Fatalf("-node format error not surfaced: %s", errOut.String())
+	}
+}

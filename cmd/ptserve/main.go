@@ -7,6 +7,7 @@
 //	ptserve -specs DIR [-addr :8080] [-workers N] [-queue N]
 //	        [-max-body BYTES] [-timeout D] [-max-timeout D]
 //	        [-drain D] [-checkpoint-dir DIR] [-allow-inject]
+//	        [-node-id ID] [-store-dir DIR] [-join URL] [-advertise URL]
 //
 // Endpoints:
 //
@@ -22,11 +23,19 @@
 // stragglers are canceled and terminate with typed errors (leaving
 // resumable checkpoints under -checkpoint-dir for supervised runs).
 //
+// Cluster mode (see cmd/ptcoord): -node-id names this worker, -store-dir
+// points every worker at one shared checkpoint-handoff store, and -join
+// self-registers with a coordinator at startup (-advertise overrides the
+// URL the coordinator should dial back, defaulting to the listen
+// address — set it when the node sits behind NAT or a hostname).
+//
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"ptx/internal/serve"
+	"ptx/internal/supervise"
 )
 
 func main() {
@@ -63,11 +73,19 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	drain := fs.Duration("drain", 10*time.Second, "how long a SIGTERM drain lets in-flight runs finish before canceling them")
 	checkpointDir := fs.String("checkpoint-dir", "", "persist failed supervised runs' checkpoints here (empty = off)")
 	allowInject := fs.Bool("allow-inject", false, "honor the \"inject\" request field (fault injection; chaos testing only)")
+	nodeID := fs.String("node-id", "", "stable cluster identity for this worker (required with -join)")
+	storeDir := fs.String("store-dir", "", "shared checkpoint-handoff store directory (cluster mode; all workers point at the same one)")
+	join := fs.String("join", "", "coordinator base URL to self-register with at startup")
+	advertise := fs.String("advertise", "", "base URL the coordinator dials this node at (default: the listen address)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *specDir == "" {
 		fmt.Fprintln(stderr, "usage: ptserve -specs DIR [-addr :8080] [-workers N] [-queue N] [-drain 10s]")
+		return 2
+	}
+	if *join != "" && *nodeID == "" {
+		fmt.Fprintln(stderr, "ptserve: -join requires -node-id (the coordinator fences checkpoints by node identity)")
 		return 2
 	}
 
@@ -76,8 +94,19 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "ptserve:", err)
 		return 1
 	}
+	var store supervise.CheckpointStore
+	if *storeDir != "" {
+		ds, err := supervise.NewDirStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "ptserve:", err)
+			return 1
+		}
+		store = ds
+	}
 	s, err := serve.New(serve.Config{
 		Registry:       reg,
+		NodeID:         *nodeID,
+		Store:          store,
 		Workers:        *workers,
 		Queue:          *queue,
 		MaxBodyBytes:   *maxBody,
@@ -102,6 +131,20 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		if err := registerWithCoordinator(*join, *nodeID, self); err != nil {
+			fmt.Fprintln(stderr, "ptserve: join:", err)
+			_ = ln.Close()
+			<-serveErr
+			return 1
+		}
+		fmt.Fprintf(stdout, "ptserve: joined %s as %s (%s)\n", *join, *nodeID, self)
+	}
 
 	select {
 	case err := <-serveErr:
@@ -133,4 +176,25 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	}
 	fmt.Fprintln(stdout, "ptserve: drained, bye")
 	return code
+}
+
+// registerWithCoordinator self-registers this node with a ptcoord
+// instance. The coordinator probes the advertised URL synchronously, so
+// a successful join means the coordinator can actually reach us.
+func registerWithCoordinator(coord, id, self string) error {
+	body, _ := json.Marshal(struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}{id, self})
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post(coord+"/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, msg)
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ptx/internal/cluster"
 	"ptx/internal/testutil"
 )
 
@@ -136,5 +138,83 @@ func TestServeUsageErrors(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "no .pt specs") {
 		t.Fatalf("empty-dir error not surfaced: %s", errOut.String())
+	}
+}
+
+// TestServeJoinsCoordinator covers cluster mode end to end from the
+// worker's side: ptserve boots with -node-id/-store-dir/-join, self-
+// registers with a live coordinator, and a publish routed THROUGH the
+// coordinator lands on this worker (named in X-Ptserve-Node).
+func TestServeJoinsCoordinator(t *testing.T) {
+	coord := cluster.New(cluster.Config{ProbeInterval: -1})
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	url, sigs, exit, stdout := startServer(t,
+		"-node-id", "w1", "-store-dir", t.TempDir(), "-join", cts.URL)
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(stdout.String(), "joined") {
+		if time.Now().After(deadline) {
+			t.Fatalf("join never narrated:\n%s", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var found bool
+	for _, m := range coord.Metrics().Members {
+		if m.ID == "w1" && m.Up && m.URL == url {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("coordinator does not list w1 up at %s: %+v", url, coord.Metrics().Members)
+	}
+
+	resp, err := http.Post(cts.URL+"/publish", "application/json",
+		strings.NewReader(`{"spec":"tau1","db":"registrar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("<course>")) {
+		t.Fatalf("routed publish = %d: %.120s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Ptserve-Node"); got != "w1" {
+		t.Fatalf("X-Ptserve-Node = %q, want w1", got)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+// TestServeJoinErrors pins the cluster-flag failure modes: -join
+// without -node-id is a usage error; an unreachable coordinator fails
+// the boot with exit 1 (a worker that cannot register must not serve
+// silently unrouted).
+func TestServeJoinErrors(t *testing.T) {
+	var out syncBuffer
+	var errOut bytes.Buffer
+	sigs := make(chan os.Signal)
+	args := []string{"-addr", "127.0.0.1:0", "-specs", "../../examples/specs"}
+	if code := run(append(args, "-join", "http://127.0.0.1:1"), &out, &errOut, sigs); code != 2 {
+		t.Fatalf("-join without -node-id: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-node-id") {
+		t.Fatalf("usage error not surfaced: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run(append(args, "-node-id", "w1", "-join", "http://127.0.0.1:1"), &out, &errOut, sigs); code != 1 {
+		t.Fatalf("unreachable coordinator: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "join") {
+		t.Fatalf("join failure not surfaced: %s", errOut.String())
 	}
 }

@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptx/internal/runctl"
+	"ptx/internal/serve"
+)
+
+// Config parameterizes a Coordinator. The zero value of every field
+// selects a production-sane default.
+type Config struct {
+	// VNodes is the number of ring points per member (default 64).
+	VNodes int
+	// Replicas caps how many preference-list members one request may
+	// try before giving up (default 0 = every member).
+	Replicas int
+
+	// ProbeInterval is the health-probe cadence (default 500ms; negative
+	// disables probing — forward-failure mark-down still works).
+	ProbeInterval time.Duration
+	// ProbeJitter spreads each probe tick by ±fraction (default 0.2) so
+	// a fleet of coordinators never thunders in phase; ProbeSeed makes
+	// the schedule reproducible.
+	ProbeJitter float64
+	ProbeSeed   int64
+
+	// FailThreshold is how many CONSECUTIVE probe failures it takes to
+	// mark an up member down (default 3). One slow probe under load must
+	// not evict a healthy node; forward-path transport errors still mark
+	// down immediately — a failed real request is stronger evidence than
+	// a missed probe.
+	FailThreshold int
+
+	// MaxBodyBytes caps proxied request bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// Client issues the forwarded requests and probes (default: a
+	// dedicated client with a 90s overall timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeJitter <= 0 {
+		c.ProbeJitter = 0.2
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 90 * time.Second}
+	}
+	return c
+}
+
+// member is one worker node as the coordinator sees it.
+type member struct {
+	id, url string
+	up      bool
+	fails   int       // consecutive failed probes
+	next    time.Time // earliest next probe (backoff for down nodes)
+}
+
+// MemberStatus is the wire form of a member in /healthz.
+type MemberStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	Up  bool   `json:"up"`
+}
+
+// Metrics is a point-in-time snapshot of the coordinator's counters.
+type Metrics struct {
+	Epoch     uint64         `json:"epoch"`
+	Members   []MemberStatus `json:"members"`
+	Routed    int64          `json:"routed"`
+	Failovers int64          `json:"failovers"` // attempts moved to a ring successor
+	Deduped   int64          `json:"deduped"`   // followers served from a shared flight
+	NoReady   int64          `json:"no_ready"`  // requests refused with no node up
+	Warms     int64          `json:"warms"`     // warm-hint batches sent
+}
+
+// ErrNoReady is returned (as a transient, hence retryable, rejection)
+// when every candidate node for a request is down.
+var ErrNoReady = runctl.Transient(errors.New("cluster: no ready nodes"))
+
+// Coordinator routes publish requests across worker nodes. Create with
+// New, register nodes with Join (or let them self-register via /join),
+// mount Handler, and Drain on shutdown.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ring    *Ring
+	members map[string]*member
+	pairs   map[string][2]string // seen (spec, db) pairs, for warm hints
+	flights map[string]*coordFlight
+
+	// epoch is the cluster ownership epoch: bumped on every membership
+	// or health transition, stamped on every routed request, carried by
+	// every checkpoint write. A node that lost a run learns it through
+	// the store fence, not through a message it might never receive.
+	epoch atomic.Uint64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	probeDone  chan struct{}
+	warmWG     sync.WaitGroup
+
+	routed    atomic.Int64
+	failovers atomic.Int64
+	deduped   atomic.Int64
+	noReady   atomic.Int64
+	warms     atomic.Int64
+}
+
+// New builds a coordinator and starts its health prober (unless
+// probing is disabled).
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		ring:       NewRing(cfg.VNodes),
+		members:    make(map[string]*member),
+		pairs:      make(map[string][2]string),
+		flights:    make(map[string]*coordFlight),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		probeDone:  make(chan struct{}),
+	}
+	if cfg.ProbeInterval > 0 {
+		go c.probeLoop()
+	} else {
+		close(c.probeDone)
+	}
+	return c
+}
+
+// Join registers (or re-registers) a worker node and probes it once
+// synchronously, so a node that joins ready serves the very next
+// request. Either way the epoch is bumped: membership changed.
+func (c *Coordinator) Join(id, url string) error {
+	if id == "" || url == "" {
+		return serve.Validationf("join", "missing id or url")
+	}
+	up := c.probeOne(url)
+	c.mu.Lock()
+	m, known := c.members[id]
+	if !known {
+		m = &member{id: id, url: url}
+		c.members[id] = m
+		c.ring.Add(id)
+	}
+	m.url = url
+	m.up = up
+	m.fails = 0
+	m.next = time.Time{}
+	c.epoch.Add(1)
+	c.mu.Unlock()
+	if up {
+		c.sendWarmHints(id, url)
+	}
+	return nil
+}
+
+// Metrics snapshots the counters and membership.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	members := make([]MemberStatus, 0, len(c.members))
+	for _, id := range c.ring.Members() {
+		m := c.members[id]
+		members = append(members, MemberStatus{ID: m.id, URL: m.url, Up: m.up})
+	}
+	c.mu.Unlock()
+	return Metrics{
+		Epoch:     c.epoch.Load(),
+		Members:   members,
+		Routed:    c.routed.Load(),
+		Failovers: c.failovers.Load(),
+		Deduped:   c.deduped.Load(),
+		NoReady:   c.noReady.Load(),
+		Warms:     c.warms.Load(),
+	}
+}
+
+// Epoch returns the current ownership epoch.
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// Drain stops admitting publishes (readyz flips to 503), stops the
+// prober, cancels in-flight forwards, and waits for the warm-hint
+// senders to finish.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	c.baseCancel()
+	select {
+	case <-c.probeDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	done := make(chan struct{})
+	go func() { c.warmWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close releases resources without the drain protocol (tests).
+func (c *Coordinator) Close() {
+	c.draining.Store(true)
+	c.baseCancel()
+	<-c.probeDone
+	c.warmWG.Wait()
+}
+
+// Handler returns the coordinator's routes: POST /publish (routed),
+// POST /join ({"id":…,"url":…}), GET /healthz, GET /readyz.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/publish", c.handlePublish)
+	mux.HandleFunc("/join", c.handleJoin)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/readyz", c.handleReadyz)
+	return mux
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, serve.Validationf("body", "%v", err))
+		return
+	}
+	if err := c.Join(req.ID, req.URL); err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Epoch   uint64   `json:"epoch"`
+		Members []string `json:"members"`
+	}{c.epoch.Load(), c.membersSnapshot()})
+}
+
+func (c *Coordinator) membersSnapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Members()
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Status   string  `json:"status"`
+		Draining bool    `json:"draining"`
+		Metrics  Metrics `json:"metrics"`
+	}{"ok", c.draining.Load(), c.Metrics()})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		serve.WriteError(w, serve.ErrDraining)
+		return
+	}
+	if !c.anyUp() {
+		serve.WriteError(w, ErrNoReady)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, `{"status":"ready"}`+"\n")
+}
+
+func (c *Coordinator) anyUp() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.up {
+			return true
+		}
+	}
+	return false
+}
+
+// coordFlight is the coordinator-level singleflight: concurrent
+// byte-identical requests share one routed execution (and therefore one
+// worker-side run), so a thundering herd cannot amplify through the
+// proxy. The shared value is the fully buffered upstream response.
+type coordFlight struct {
+	done   chan struct{}
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if c.draining.Load() {
+		serve.WriteError(w, serve.ErrDraining)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			serve.WriteError(w, mbe)
+			return
+		}
+		serve.WriteError(w, serve.Validationf("body", "%v", err))
+		return
+	}
+
+	// The run key doubles as the dedup key: byte-identical bodies are
+	// one logical run, cluster-wide.
+	sum := sha256.Sum256(body)
+	runKey := hex.EncodeToString(sum[:])
+
+	c.mu.Lock()
+	if f, ok := c.flights[runKey]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			c.deduped.Add(1)
+			c.reply(w, f, true)
+		case <-r.Context().Done():
+			serve.WriteError(w, &runctl.ErrCanceled{Cause: r.Context().Err()})
+		}
+		return
+	}
+	f := &coordFlight{done: make(chan struct{})}
+	c.flights[runKey] = f
+	c.mu.Unlock()
+
+	f.status, f.header, f.body = c.forward(body, runKey)
+	c.mu.Lock()
+	delete(c.flights, runKey)
+	c.mu.Unlock()
+	close(f.done)
+	c.reply(w, f, false)
+}
+
+// reply writes a (possibly shared) buffered upstream response.
+func (c *Coordinator) reply(w http.ResponseWriter, f *coordFlight, shared bool) {
+	h := w.Header()
+	for k, vs := range f.header {
+		switch k {
+		case "Content-Length", "Connection", "Transfer-Encoding", "Date":
+		default:
+			h[k] = vs
+		}
+	}
+	h.Set("X-Ptcoord-Shared", strconv.FormatBool(shared))
+	w.WriteHeader(f.status)
+	_, _ = w.Write(f.body)
+}
+
+// forward routes one body along its preference list: the key's owner
+// first, then ring successors. A transport failure or a draining
+// response marks the node down (bumping the epoch) and moves on — the
+// NEXT attempt carries the bumped epoch, which is exactly the authority
+// the successor needs to overwrite the dead node's checkpoints. Any
+// other response, success or typed error, is returned verbatim: the
+// single-node error schema survives the cluster tier untouched.
+func (c *Coordinator) forward(body []byte, runKey string) (int, http.Header, []byte) {
+	spec, db := routingPair(body)
+	prefs := c.preference(spec + "\x00" + db)
+	if len(prefs) == 0 {
+		c.noReady.Add(1)
+		return buffered(ErrNoReady)
+	}
+	c.routed.Add(1)
+	tried := 0
+	for _, m := range prefs {
+		if c.cfg.Replicas > 0 && tried >= c.cfg.Replicas {
+			break
+		}
+		tried++
+		status, header, respBody, err := c.attempt(m, body, runKey)
+		if err != nil {
+			// Transport-level death: fail over now; the prober's backoff
+			// handles recovery.
+			c.markDown(m.ID)
+			c.failovers.Add(1)
+			continue
+		}
+		if status == http.StatusServiceUnavailable && errorKind(respBody) == serve.KindDraining {
+			// The node is shutting down; its successors own its keys now.
+			c.markDown(m.ID)
+			c.failovers.Add(1)
+			continue
+		}
+		if tried > 1 {
+			header.Set("X-Ptcoord-Failover", "true")
+		}
+		header.Set("X-Ptcoord-Attempts", strconv.Itoa(tried))
+		return status, header, respBody
+	}
+	c.noReady.Add(1)
+	return buffered(ErrNoReady)
+}
+
+// attempt forwards the body to one member, stamping the handoff
+// coordinates. The epoch is read per-attempt: a failover bumps it, so
+// the successor's request carries strictly more authority than the
+// attempt that just failed.
+func (c *Coordinator) attempt(m MemberStatus, body []byte, runKey string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, m.URL+"/publish", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderRunKey, runKey)
+	req.Header.Set(serve.HeaderEpoch, strconv.FormatUint(c.epoch.Load(), 10))
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header.Clone(), respBody, nil
+}
+
+// preference snapshots the up members of a key's preference list and
+// remembers the (spec, db) pair for warm hints.
+func (c *Coordinator) preference(pairKey string) []MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pairs[pairKey]; !ok && len(c.pairs) < 4096 {
+		var spec, db string
+		if i := bytes.IndexByte([]byte(pairKey), 0); i >= 0 {
+			spec, db = pairKey[:i], pairKey[i+1:]
+		}
+		if spec != "" && db != "" {
+			c.pairs[pairKey] = [2]string{spec, db}
+		}
+	}
+	ids := c.ring.Prefer(pairKey, len(c.members))
+	out := make([]MemberStatus, 0, len(ids))
+	for _, id := range ids {
+		if m := c.members[id]; m.up {
+			out = append(out, MemberStatus{ID: m.id, URL: m.url, Up: true})
+		}
+	}
+	return out
+}
+
+// markDown transitions a member to down and bumps the epoch; a no-op
+// if it was already down (no spurious epoch churn).
+func (c *Coordinator) markDown(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok || !m.up {
+		return
+	}
+	m.up = false
+	m.fails = 1
+	m.next = time.Now().Add(c.cfg.ProbeInterval)
+	c.epoch.Add(1)
+}
+
+// markUp transitions a member to up, bumps the epoch, and sends it
+// warm hints for the pairs it is about to own.
+func (c *Coordinator) markUp(id string) {
+	c.mu.Lock()
+	m, ok := c.members[id]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	if m.up {
+		// Already up: a good probe forgives accumulated sub-threshold
+		// failures, so only CONSECUTIVE misses can evict.
+		m.fails = 0
+		m.next = time.Time{}
+		c.mu.Unlock()
+		return
+	}
+	m.up = true
+	m.fails = 0
+	m.next = time.Time{}
+	url := m.url
+	c.epoch.Add(1)
+	c.mu.Unlock()
+	c.sendWarmHints(id, url)
+}
+
+// sendWarmHints asynchronously primes a node's registry with every
+// (spec, db) pair this coordinator has routed, so a rebalanced key's
+// first request does not pay compilation latency. Best-effort: a hint
+// that fails changes nothing but warmth.
+func (c *Coordinator) sendWarmHints(id, url string) {
+	c.mu.Lock()
+	pairs := make([][2]string, 0, len(c.pairs))
+	for _, p := range c.pairs {
+		pairs = append(pairs, p)
+	}
+	c.mu.Unlock()
+	if len(pairs) == 0 {
+		return
+	}
+	c.warmWG.Add(1)
+	go func() {
+		defer c.warmWG.Done()
+		payload, err := json.Marshal(struct {
+			Pairs [][2]string `json:"pairs"`
+		}{pairs})
+		if err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, url+"/warm", bytes.NewReader(payload))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		c.warms.Add(1)
+	}()
+}
+
+// routingPair extracts the (spec, db) routing key from a request body.
+// The parse is deliberately loose — a malformed body still routes (by
+// empty pair) to SOME node, whose strict validator then produces the
+// typed 400 the client expects; the coordinator never duplicates the
+// worker's validation logic.
+func routingPair(body []byte) (spec, db string) {
+	var req struct {
+		Spec string `json:"spec"`
+		DB   string `json:"db"`
+	}
+	_ = json.Unmarshal(body, &req)
+	return req.Spec, req.DB
+}
+
+// errorKind extracts the wire-schema kind from an error body ("" when
+// the body is not the schema).
+func errorKind(body []byte) string {
+	var eb struct {
+		Error struct {
+			Kind string `json:"kind"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) != nil {
+		return ""
+	}
+	return eb.Error.Kind
+}
+
+// buffered renders a coordinator-origin error through the same stable
+// schema the workers use.
+func buffered(err error) (int, http.Header, []byte) {
+	rec := newRecorder()
+	serve.WriteError(rec, err)
+	return rec.status, rec.header, rec.buf.Bytes()
+}
+
+// recorder is a minimal ResponseWriter for rendering error bodies into
+// a coordFlight without importing httptest outside tests.
+type recorder struct {
+	status int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{status: http.StatusOK, header: make(http.Header)} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(status int)      { r.status = status }
+func (r *recorder) Write(p []byte) (int, error) { return r.buf.Write(p) }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; the
+// storm batches shrink under it (coverage there is per-shape, not
+// per-seed, and the detector multiplies every request's cost).
+const raceEnabled = false

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"ptx/internal/runctl"
+	"ptx/internal/supervise"
 )
 
 // ValidationError reports a request or registry problem the CLIENT can
@@ -55,6 +57,7 @@ const (
 	KindTooLarge   = "too-large"  // 413: request body exceeds the cap
 	KindBudget     = "budget"     // 413: a resource budget tripped mid-run
 	KindCanceled   = "canceled"   // 408: deadline expired or client gone
+	KindConflict   = "conflict"   // 409: ownership fence — another node owns this run
 	KindOverloaded = "overloaded" // 429: shed at admission, retry later
 	KindDraining   = "draining"   // 503: shutting down
 	KindTransient  = "transient"  // 503: transient fault survived retries
@@ -93,6 +96,7 @@ func Classify(err error) (int, ErrorInfo) {
 	var ve *ValidationError
 	var oe *ErrOverloaded
 	var mbe *http.MaxBytesError
+	var fe *supervise.ErrFenced
 	var be *runctl.ErrBudget
 	var ce *runctl.ErrCanceled
 	var ie *runctl.ErrInternal
@@ -103,6 +107,8 @@ func Classify(err error) (int, ErrorInfo) {
 		return http.StatusRequestEntityTooLarge, ErrorInfo{Kind: KindTooLarge, Message: err.Error()}
 	case errors.As(err, &oe):
 		return http.StatusTooManyRequests, ErrorInfo{Kind: KindOverloaded, Message: oe.Error(), Queued: oe.Queued}
+	case errors.As(err, &fe):
+		return http.StatusConflict, ErrorInfo{Kind: KindConflict, Message: fe.Error()}
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, ErrorInfo{Kind: KindDraining, Message: ErrDraining.Error()}
 	case errors.As(err, &be):
@@ -133,6 +139,8 @@ func StatusForKind(kind string) (int, bool) {
 		return http.StatusRequestEntityTooLarge, true
 	case KindCanceled:
 		return http.StatusRequestTimeout, true
+	case KindConflict:
+		return http.StatusConflict, true
 	case KindOverloaded:
 		return http.StatusTooManyRequests, true
 	case KindDraining, KindTransient:
@@ -143,14 +151,37 @@ func StatusForKind(kind string) (int, bool) {
 	return 0, false
 }
 
-// writeError serializes the stable JSON error schema. Retryable
+// RetryAfter returns the Retry-After hint in seconds for retryable
+// rejections, derived from the pressure the request actually observed:
+// a shed request backs off in proportion to the queue depth at
+// rejection (one second per four waiters, capped — deeper queue means
+// a longer useful wait), draining tells clients to sit out a restart,
+// and a transient fault merits a quick retry. ok is false for kinds
+// where retrying the same request cannot help (validation, budget,
+// conflict, internal); those responses carry no Retry-After at all.
+// TestErrorCodeTable pins the derivation.
+func RetryAfter(err error) (seconds int, ok bool) {
+	_, info := Classify(err)
+	switch info.Kind {
+	case KindOverloaded:
+		return min(1+info.Queued/4, 30), true
+	case KindDraining:
+		return 5, true
+	case KindTransient:
+		return 1, true
+	}
+	return 0, false
+}
+
+// WriteError serializes the stable JSON error schema. Retryable
 // rejections (shedding, draining, transient) advertise Retry-After so
-// well-behaved clients back off instead of hammering a hot server.
-func writeError(w http.ResponseWriter, err error) {
+// well-behaved clients back off instead of hammering a hot server —
+// the value scales with observed queue depth (RetryAfter).
+func WriteError(w http.ResponseWriter, err error) {
 	status, info := Classify(err)
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if secs, ok := RetryAfter(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

@@ -84,6 +84,23 @@ type Config struct {
 	// snapshot). Empty disables.
 	CheckpointDir string
 
+	// NodeID names this node in a cluster; it is echoed on every
+	// response as X-Ptserve-Node so a coordinator's failover decisions
+	// are observable end to end. Empty outside a cluster.
+	NodeID string
+
+	// Store, when set, enables cross-node checkpoint handoff: requests
+	// carrying an X-Ptx-Run-Key header run supervised with periodic
+	// fenced checkpoints into the store, resume from a predecessor's
+	// snapshot when one exists, and leave their own snapshot behind on
+	// failure so the NEXT owner can pick the run up. Nil disables.
+	Store supervise.CheckpointStore
+
+	// CheckpointEvery is the step interval between periodic store
+	// checkpoints for handoff-eligible runs (default 64). Smaller means
+	// less lost work on a hard kill, at more snapshot cost.
+	CheckpointEvery int64
+
 	// AllowInject enables the "inject" request field — seeded fault
 	// injection for chaos tests. Never enable in production.
 	AllowInject bool
@@ -117,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 2 * time.Second
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
 	return c
 }
 
@@ -128,6 +148,9 @@ type Metrics struct {
 	Succeeded int64 `json:"succeeded"`
 	Failed    int64 `json:"failed"` // admitted runs that ended in a typed error
 	Deduped   int64 `json:"deduped"`
+	Resumed   int64 `json:"resumed"` // handoff runs resumed from a store checkpoint
+	Fenced    int64 `json:"fenced"`  // checkpoint writes rejected by the ownership fence
+	Warmed    int64 `json:"warmed"`  // (spec, db) pairs primed via /warm
 	InFlight  int   `json:"in_flight"`
 	Queued    int   `json:"queued"`
 }
@@ -152,6 +175,9 @@ type Server struct {
 	succeeded atomic.Int64
 	failed    atomic.Int64
 	deduped   atomic.Int64
+	resumed   atomic.Int64
+	fenced    atomic.Int64
+	warmed    atomic.Int64
 }
 
 // New builds a server from cfg (cfg.Registry is required).
@@ -171,11 +197,12 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Handler returns the server's routes: POST /publish, GET /healthz,
-// GET /readyz.
+// Handler returns the server's routes: POST /publish, POST /warm,
+// GET /healthz, GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/publish", s.handlePublish)
+	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -190,6 +217,9 @@ func (s *Server) Metrics() Metrics {
 		Succeeded: s.succeeded.Load(),
 		Failed:    s.failed.Load(),
 		Deduped:   s.deduped.Load(),
+		Resumed:   s.resumed.Load(),
+		Fenced:    s.fenced.Load(),
+		Warmed:    s.warmed.Load(),
 		InFlight:  s.adm.Active(),
 		Queued:    s.adm.Waiting(),
 	}
@@ -259,7 +289,22 @@ type admitted struct {
 	limits  runctl.Limits
 	retries int
 	key     string
+
+	// runKey/epoch are the cluster handoff coordinates (the
+	// X-Ptx-Run-Key and X-Ptx-Epoch headers): the shared-store key this
+	// run checkpoints under and the ownership epoch its writes carry.
+	// Zero values outside a cluster.
+	runKey string
+	epoch  uint64
 }
+
+// Handoff protocol headers. The coordinator stamps both on every
+// routed request; a server with a Store honors them, anyone else
+// ignores them.
+const (
+	HeaderRunKey = "X-Ptx-Run-Key"
+	HeaderEpoch  = "X-Ptx-Epoch"
+)
 
 // validate turns the wire request into run options, or a typed
 // *ValidationError. No evaluation work happens here.
@@ -358,6 +403,9 @@ func (s *Server) validate(req publishRequest) (*admitted, error) {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Ptserve-Node", s.cfg.NodeID)
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -365,7 +413,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.adm.Draining() {
 		s.rejected.Add(1)
-		writeError(w, ErrDraining)
+		WriteError(w, ErrDraining)
 		return
 	}
 
@@ -379,27 +427,47 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, mbe)
+			WriteError(w, mbe)
 			return
 		}
-		writeError(w, Validationf("body", "%v", err))
+		WriteError(w, Validationf("body", "%v", err))
 		return
 	}
 	adm, err := s.validate(req)
 	if err != nil {
 		s.rejected.Add(1)
-		writeError(w, err)
+		WriteError(w, err)
 		return
+	}
+	// Handoff coordinates: honored only when this node has a store; a
+	// standalone server ignores them rather than promising checkpoint
+	// durability it cannot deliver.
+	if s.cfg.Store != nil {
+		adm.runKey = r.Header.Get(HeaderRunKey)
+		if e := r.Header.Get(HeaderEpoch); adm.runKey != "" && e != "" {
+			epoch, perr := strconv.ParseUint(e, 10, 64)
+			if perr != nil {
+				s.rejected.Add(1)
+				WriteError(w, Validationf("epoch", "malformed %s header %q", HeaderEpoch, e))
+				return
+			}
+			adm.epoch = epoch
+		}
+		if adm.runKey != "" {
+			// Epoch-scoped dedup: a flight fenced under an old epoch must
+			// not hand its failure to a request routed under a newer one.
+			adm.key += fmt.Sprintf("\x00rk=%s;ep=%d", adm.runKey, adm.epoch)
+		}
 	}
 	tr, inst, memo, err := s.reg.Pair(req.Spec, req.DB)
 	if err != nil {
 		s.rejected.Add(1)
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	if adm.opts.Cache >= pt.CacheQueries && adm.opts.Faults == nil && adm.retries == 0 {
-		// Warm-path sharing: the registry's per-(spec,db) memo. Faulted
-		// and supervised runs keep private memos — supervision's
+	if adm.opts.Cache >= pt.CacheQueries && adm.opts.Faults == nil && adm.retries == 0 && adm.runKey == "" {
+		// Warm-path sharing: the registry's per-(spec,db) memo. Faulted,
+		// supervised and handoff runs keep private memos — supervision's
 		// degradation ladder assumes it owns its caches.
 		adm.opts.Memo = memo
 	}
@@ -421,13 +489,13 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.rejected.Add(1)
 		}
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	defer release()
 	s.admitted.Add(1)
 
-	res, attempts, shared, err := s.flights.do(reqCtx, adm.key, func() (*pt.Result, int, error) {
+	res, attempts, resumed, shared, err := s.flights.do(reqCtx, adm.key, func() (*pt.Result, int, bool, error) {
 		return s.execute(tr, inst, adm)
 	})
 	if shared {
@@ -435,7 +503,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.failed.Add(1)
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	s.succeeded.Add(1)
@@ -444,6 +512,9 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", "application/xml; charset=utf-8")
 	h.Set("X-Ptserve-Attempts", strconv.Itoa(attempts))
 	h.Set("X-Ptserve-Shared", strconv.FormatBool(shared))
+	if adm.runKey != "" {
+		h.Set("X-Ptserve-Resumed", strconv.FormatBool(resumed))
+	}
 	h.Set("X-Ptserve-Nodes", strconv.Itoa(res.Stats.Nodes))
 	h.Set("X-Ptserve-Queries", strconv.Itoa(res.Stats.QueriesRun))
 	h.Set("X-Ptserve-Cache", res.Stats.CacheMode.String())
@@ -464,11 +535,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 // context — detached from the leader's own request so a client
 // disconnect cannot poison the shared result. Supervised runs (retries
 // requested) classify transient failures, retry with fresh budgets, and
-// leave a checkpoint file when CheckpointDir is set.
-func (s *Server) execute(tr *pt.Transducer, inst *relation.Instance, adm *admitted) (*pt.Result, int, error) {
+// leave a checkpoint file when CheckpointDir is set. Handoff runs
+// (runKey set, Store configured) take the clustered path instead.
+func (s *Server) execute(tr *pt.Transducer, inst *relation.Instance, adm *admitted) (*pt.Result, int, bool, error) {
+	if adm.runKey != "" && s.cfg.Store != nil {
+		return s.executeHandoff(tr, inst, adm)
+	}
 	if adm.retries == 0 {
 		res, err := tr.RunContext(s.baseCtx, inst, adm.opts)
-		return res, 1, err
+		return res, 1, false, err
 	}
 	sopts := supervise.Options{
 		Run:        adm.opts,
@@ -484,7 +559,120 @@ func (s *Server) execute(tr *pt.Transducer, inst *relation.Instance, adm *admitt
 	if err != nil && s.cfg.CheckpointDir != "" && rep != nil && rep.Snapshot != nil {
 		s.saveCheckpoint(rep.Snapshot)
 	}
-	return res, attempts, err
+	return res, attempts, false, err
+}
+
+// executeHandoff is the clustered publish path: the run checkpoints
+// into the shared store under adm.runKey with every write fenced by
+// adm.epoch, resumes a predecessor's snapshot when one exists, deletes
+// the entry on success, and leaves its own last checkpoint behind on
+// failure so the run's NEXT owner picks up where this one stopped.
+func (s *Server) executeHandoff(tr *pt.Transducer, inst *relation.Instance, adm *admitted) (*pt.Result, int, bool, error) {
+	// A predecessor stored at a HIGHER epoch means this request was
+	// routed with stale ownership — a successor is already past us.
+	// Refuse before doing any work; the coordinator re-routes.
+	snap, storedEpoch, err := s.cfg.Store.Load(adm.runKey)
+	switch {
+	case err != nil:
+		// A corrupt entry is never resumed from — and never trusted
+		// again. Start fresh; our first fenced Save overwrites it.
+		snap = nil
+	case snap != nil && storedEpoch > adm.epoch:
+		s.fenced.Add(1)
+		return nil, 0, false, &supervise.ErrFenced{Key: adm.runKey, Epoch: adm.epoch, Stored: storedEpoch}
+	case snap != nil:
+		if snap.Verify(tr, inst) != nil {
+			// Snapshot from a different (spec, db) under a colliding key:
+			// resuming it would splice someone else's tree into ours.
+			snap = nil
+		}
+	}
+
+	sopts := supervise.Options{
+		Run:             adm.opts,
+		Retries:         adm.retries,
+		Backoff:         supervise.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond},
+		Checkpoint:      true,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		OnCheckpoint: func(ck *supervise.Snapshot) error {
+			err := s.cfg.Store.Save(adm.runKey, adm.epoch, ck)
+			var fe *supervise.ErrFenced
+			if errors.As(err, &fe) {
+				// Ownership moved while we ran: abort — a successor is
+				// already making progress and our result is unwanted.
+				s.fenced.Add(1)
+				return fe
+			}
+			// Other store failures (disk pressure, transient I/O) are
+			// best-effort: the run keeps going, durability degrades.
+			return nil
+		},
+	}
+
+	var res *pt.Result
+	var rep *supervise.Report
+	if snap != nil {
+		res, rep, err = supervise.Resume(s.baseCtx, tr, inst, snap, sopts)
+	} else {
+		res, rep, err = supervise.Run(s.baseCtx, tr, inst, sopts)
+	}
+	resumed := snap != nil
+	if resumed {
+		s.resumed.Add(1)
+	}
+	attempts := 1
+	if rep != nil {
+		attempts = rep.Attempts
+	}
+	if err == nil {
+		_ = s.cfg.Store.Delete(adm.runKey)
+		return res, attempts, resumed, nil
+	}
+	if rep != nil && rep.Snapshot != nil {
+		// The failure-time frontier is exactly the remaining work; leave
+		// it for the next owner (fenced — a successor may already have
+		// written past us, in which case theirs wins).
+		_ = s.cfg.Store.Save(adm.runKey, adm.epoch, rep.Snapshot)
+	}
+	return nil, attempts, resumed, err
+}
+
+// warmRequest is the wire schema of POST /warm: the coordinator's
+// rebalance hint listing (spec, db) pairs the receiving node is about
+// to own, so their compiled specs and databases are resident before the
+// first routed request lands.
+type warmRequest struct {
+	Pairs [][2]string `json:"pairs"`
+}
+
+// handleWarm primes the registry's per-(spec,db) state. Unknown pairs
+// are skipped, not errors: a hint can outlive a registry change, and a
+// stale hint must never fail a rebalance.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req warmRequest
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, Validationf("body", "%v", err))
+		return
+	}
+	n := 0
+	for _, p := range req.Pairs {
+		if _, _, _, err := s.reg.Pair(p[0], p[1]); err == nil {
+			n++
+		}
+	}
+	s.warmed.Add(int64(n))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Warmed int `json:"warmed"`
+	}{n})
 }
 
 // saveCheckpoint persists a failed supervised run's snapshot; errors
@@ -514,7 +702,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.adm.Draining() {
-		writeError(w, ErrDraining)
+		WriteError(w, ErrDraining)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 
 	"ptx/internal/pt"
 	"ptx/internal/runctl"
+	"ptx/internal/supervise"
 	"ptx/internal/testutil"
 )
 
@@ -298,9 +300,9 @@ func TestDrainCancelsStragglers(t *testing.T) {
 	}
 	flightDone := make(chan error, 1)
 	go func() {
-		_, _, _, err := s.flights.do(context.Background(), "stuck", func() (*pt.Result, int, error) {
+		_, _, _, _, err := s.flights.do(context.Background(), "stuck", func() (*pt.Result, int, bool, error) {
 			<-s.baseCtx.Done()
-			return nil, 1, &runctl.ErrCanceled{Cause: s.baseCtx.Err()}
+			return nil, 1, false, &runctl.ErrCanceled{Cause: s.baseCtx.Err()}
 		})
 		release()
 		flightDone <- err
@@ -365,22 +367,27 @@ func TestPublishDedup(t *testing.T) {
 }
 
 // TestErrorCodeTable pins the full kind↔status mapping — DESIGN.md §9's
-// table is this test.
+// table is this test — and the Retry-After derivation: -1 means the
+// header must be absent, anything else pins the advertised seconds.
 func TestErrorCodeTable(t *testing.T) {
 	cases := []struct {
-		err  error
-		kind string
-		code int
+		err        error
+		kind       string
+		code       int
+		retryAfter int
 	}{
-		{Validationf("spec", "x"), KindValidation, 400},
-		{&http.MaxBytesError{Limit: 1}, KindTooLarge, 413},
-		{&runctl.ErrBudget{Kind: runctl.BudgetNodes, Limit: 1, Observed: 2}, KindBudget, 413},
-		{&runctl.ErrCanceled{Cause: context.DeadlineExceeded}, KindCanceled, 408},
-		{&ErrOverloaded{Queued: 3}, KindOverloaded, 429},
-		{ErrDraining, KindDraining, 503},
-		{runctl.Transient(fmt.Errorf("flaky disk")), KindTransient, 503},
-		{&runctl.ErrInternal{Op: "x", Panic: "boom"}, KindInternal, 500},
-		{fmt.Errorf("untyped"), KindInternal, 500},
+		{Validationf("spec", "x"), KindValidation, 400, -1},
+		{&http.MaxBytesError{Limit: 1}, KindTooLarge, 413, -1},
+		{&runctl.ErrBudget{Kind: runctl.BudgetNodes, Limit: 1, Observed: 2}, KindBudget, 413, -1},
+		{&runctl.ErrCanceled{Cause: context.DeadlineExceeded}, KindCanceled, 408, -1},
+		{&supervise.ErrFenced{Key: "run", Epoch: 1, Stored: 2}, KindConflict, 409, -1},
+		{&ErrOverloaded{Queued: 3}, KindOverloaded, 429, 1},
+		{&ErrOverloaded{Queued: 16}, KindOverloaded, 429, 5},
+		{&ErrOverloaded{Queued: 1000}, KindOverloaded, 429, 30},
+		{ErrDraining, KindDraining, 503, 5},
+		{runctl.Transient(fmt.Errorf("flaky disk")), KindTransient, 503, 1},
+		{&runctl.ErrInternal{Op: "x", Panic: "boom"}, KindInternal, 500, -1},
+		{fmt.Errorf("untyped"), KindInternal, 500, -1},
 	}
 	for _, tc := range cases {
 		code, info := Classify(tc.err)
@@ -390,6 +397,24 @@ func TestErrorCodeTable(t *testing.T) {
 		pinned, ok := StatusForKind(info.Kind)
 		if !ok || pinned != code {
 			t.Errorf("StatusForKind(%q) = %d disagrees with Classify's %d", info.Kind, pinned, code)
+		}
+		secs, ok := RetryAfter(tc.err)
+		switch {
+		case tc.retryAfter == -1 && ok:
+			t.Errorf("RetryAfter(%v) = %d; %q responses must not advertise a retry", tc.err, secs, info.Kind)
+		case tc.retryAfter >= 0 && (!ok || secs != tc.retryAfter):
+			t.Errorf("RetryAfter(%v) = (%d, %v), want (%d, true)", tc.err, secs, ok, tc.retryAfter)
+		}
+		// The header on the wire matches the derivation.
+		rec := httptest.NewRecorder()
+		WriteError(rec, tc.err)
+		got := rec.Header().Get("Retry-After")
+		want := ""
+		if tc.retryAfter >= 0 {
+			want = strconv.Itoa(tc.retryAfter)
+		}
+		if got != want {
+			t.Errorf("WriteError(%v) Retry-After = %q, want %q", tc.err, got, want)
 		}
 	}
 	// A transient-wrapped budget error reports as budget (most specific

@@ -29,6 +29,7 @@ type flight struct {
 	done     chan struct{} // closed when the leader finishes
 	res      *pt.Result
 	attempts int
+	resumed  bool
 	err      error
 }
 
@@ -40,25 +41,25 @@ func newFlightGroup() *flightGroup {
 // key. shared reports whether this caller was a follower. A follower
 // whose ctx expires stops waiting with a typed *runctl.ErrCanceled; the
 // leader's run is unaffected.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*pt.Result, int, error)) (res *pt.Result, attempts int, shared bool, err error) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*pt.Result, int, bool, error)) (res *pt.Result, attempts int, resumed, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.res, f.attempts, true, f.err
+			return f.res, f.attempts, f.resumed, true, f.err
 		case <-ctx.Done():
-			return nil, 0, true, &runctl.ErrCanceled{Cause: ctx.Err()}
+			return nil, 0, false, true, &runctl.ErrCanceled{Cause: ctx.Err()}
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 
-	f.res, f.attempts, f.err = fn()
+	f.res, f.attempts, f.resumed, f.err = fn()
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(f.done)
-	return f.res, f.attempts, false, f.err
+	return f.res, f.attempts, f.resumed, false, f.err
 }

@@ -1,0 +1,133 @@
+package supervise_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+	"ptx/internal/supervise"
+)
+
+// encodedSnapshot builds a real mid-run checkpoint and returns its
+// encoded bytes — the corpus every corruption below mutates.
+func encodedSnapshot(t *testing.T) []byte {
+	t.Helper()
+	tr, inst := registrar.Tau1(), registrar.SampleInstance()
+	sr, err := tr.NewStepRun(context.Background(), inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	// Step a few times so the tree and frontier are non-trivial.
+	for i := 0; i < 3 && !sr.Done(); i++ {
+		if _, err := sr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := supervise.Capture(tr, inst, sr).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeMutant runs the decoder on a mutated checkpoint, converting any
+// panic into a test failure that names the mutation.
+func decodeMutant(t *testing.T, label string, data []byte) (snap *supervise.Snapshot, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: decoder panicked: %v", label, r)
+		}
+	}()
+	return supervise.DecodeSnapshot(bytes.NewReader(data))
+}
+
+// TestDecodeTruncation: a checkpoint cut off at ANY byte boundary must
+// fail with the typed *SnapshotError — a partially-written file (node
+// crash mid-save) can never be resumed from.
+func TestDecodeTruncation(t *testing.T) {
+	good := encodedSnapshot(t)
+	if _, err := supervise.DecodeSnapshot(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot does not decode: %v", err)
+	}
+	// Every cut except the trailing newline after the end marker (the
+	// checksum has already validated the full payload by then) must fail.
+	for cut := 0; cut < len(good)-1; cut++ {
+		_, err := decodeMutant(t, "truncation", good[:cut])
+		if err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded successfully", cut, len(good))
+		}
+		var se *supervise.SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("truncation at byte %d: error is not a *SnapshotError: %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeBitFlips: seeded single-bit flips anywhere in the file must
+// be rejected (typed, no panic) — the payload checksum catches the
+// flips the structural checks cannot see (inside quoted data, inside
+// the fingerprints, inside the checksum line itself).
+func TestDecodeBitFlips(t *testing.T) {
+	good := encodedSnapshot(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		bad := bytes.Clone(good)
+		pos := rng.Intn(len(bad))
+		bad[pos] ^= 1 << rng.Intn(8)
+		_, err := decodeMutant(t, "bit flip", bad)
+		if err == nil {
+			t.Fatalf("trial %d: flip at byte %d decoded successfully", trial, pos)
+		}
+		var se *supervise.SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("trial %d: flip at byte %d: error is not a *SnapshotError: %v", trial, pos, err)
+		}
+	}
+}
+
+// TestDecodeHostileCounts: counts inflated far beyond the data (the
+// worst case a flipped digit produces) must fail by validation, not by
+// attempting a giant allocation.
+func TestDecodeHostileCounts(t *testing.T) {
+	good := string(encodedSnapshot(t))
+	mutants := map[string]string{
+		"huge node count":    mutateFirst(good, "nodes ", "4611686018427387904"),
+		"huge pending count": mutateFirst(good, "pending ", "4611686018427387904"),
+	}
+	for name, bad := range mutants {
+		if bad == good {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		_, err := decodeMutant(t, name, []byte(bad))
+		if err == nil {
+			t.Fatalf("%s: decoded successfully", name)
+		}
+		var se *supervise.SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: error is not a *SnapshotError: %v", name, err)
+		}
+	}
+}
+
+// mutateFirst replaces the number following the first occurrence of
+// prefix, keeping the surrounding line structure intact so only the
+// count goes hostile.
+func mutateFirst(s, prefix, count string) string {
+	i := strings.Index(s, prefix)
+	if i < 0 {
+		return s
+	}
+	j := i + len(prefix)
+	k := j
+	for k < len(s) && s[k] != '\n' && s[k] != ' ' {
+		k++
+	}
+	return s[:j] + count + s[k:]
+}

@@ -33,8 +33,28 @@ import (
 )
 
 // snapshotMagic identifies the format; the trailing integer is the
-// version and changes on any incompatible layout change.
-const snapshotMagic = "ptx-checkpoint 1"
+// version and changes on any incompatible layout change. Version 2
+// added the payload checksum line ("sum <sha256>") before the end
+// marker, so truncation and bit flips are detected even when they land
+// inside quoted data the structural checks cannot see.
+const snapshotMagic = "ptx-checkpoint 2"
+
+// SnapshotError is the typed validation failure of the checkpoint
+// codec: the file is not a well-formed, internally consistent snapshot
+// (truncated, bit-flipped, structurally invalid, or checksum-mismatched).
+// It is the contract corruption tests pin: a damaged checkpoint NEVER
+// panics and NEVER decodes silently — it surfaces as this type so
+// callers can fall back to a fresh run instead of resuming from garbage.
+type SnapshotError struct {
+	Msg string
+}
+
+func (e *SnapshotError) Error() string { return "supervise: corrupt snapshot: " + e.Msg }
+
+// snapErrf builds a *SnapshotError.
+func snapErrf(format string, args ...any) *SnapshotError {
+	return &SnapshotError{Msg: fmt.Sprintf(format, args...)}
+}
 
 // Snapshot captures everything needed to resume a run: the partial
 // register-carrying tree, the frontier of pending configurations (which
@@ -104,9 +124,34 @@ func (s *Snapshot) Verify(tr *pt.Transducer, inst *relation.Instance) error {
 	return nil
 }
 
+// sumWriter tees everything written into a running checksum; Encode
+// writes the payload through it so the trailing "sum" line commits to
+// the exact bytes a decoder will verify.
+type sumWriter struct {
+	w *bufio.Writer
+	h io.Writer // hash.Hash as a sink
+}
+
+func (s *sumWriter) Write(p []byte) (int, error) {
+	_, _ = s.h.Write(p)
+	return s.w.Write(p)
+}
+
+func (s *sumWriter) WriteString(str string) (int, error) {
+	_, _ = io.WriteString(s.h, str)
+	return s.w.WriteString(str)
+}
+
+func (s *sumWriter) WriteByte(b byte) error {
+	_, _ = s.h.Write([]byte{b})
+	return s.w.WriteByte(b)
+}
+
 // Encode writes the snapshot in the versioned text format.
 func (s *Snapshot) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	raw := bufio.NewWriter(w)
+	h := sha256.New()
+	bw := &sumWriter{w: raw, h: h}
 	fmt.Fprintln(bw, snapshotMagic)
 	fmt.Fprintf(bw, "transducer %s %s\n", strconv.Quote(s.TransducerName), s.TransducerFP)
 	fmt.Fprintf(bw, "instance %s\n", s.InstanceFP)
@@ -157,8 +202,11 @@ func (s *Snapshot) Encode(w io.Writer) error {
 		}
 		bw.WriteByte('\n')
 	}
-	fmt.Fprintln(bw, "end")
-	return bw.Flush()
+	// The checksum covers every payload byte above; it is written to the
+	// raw writer only, so the sum commits to exactly what was hashed.
+	fmt.Fprintf(raw, "sum %s\n", hex.EncodeToString(h.Sum(nil)))
+	fmt.Fprintln(raw, "end")
+	return raw.Flush()
 }
 
 // postOrder assigns ids in children-before-parents order over the
@@ -201,19 +249,34 @@ func postOrder(root *xmltree.Node) (map[*xmltree.Node]int, []*xmltree.Node, erro
 // DecodeSnapshot reads and validates a snapshot. Structural guarantees
 // on success: node references are acyclic by construction, every
 // pending entry points at a reachable, unfinalized, register-carrying
-// node of the decoded tree, and the counters are non-negative. Callers
-// still must Verify against their transducer and instance.
+// node of the decoded tree, the counters are non-negative, and the
+// payload checksum matches — so truncation or bit flips anywhere in
+// the file surface as a typed *SnapshotError, never as a panic and
+// never as a silently-wrong resume. Callers still must Verify against
+// their transducer and instance.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	line := func() (string, error) {
+	h := sha256.New()
+	// line reads one payload line and feeds it into the running
+	// checksum; the trailing sum/end lines are read with rawLine.
+	rawLine := func() (string, error) {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
-				return "", fmt.Errorf("supervise: reading snapshot: %w", err)
+				return "", snapErrf("reading snapshot: %v", err)
 			}
-			return "", fmt.Errorf("supervise: snapshot truncated")
+			return "", snapErrf("snapshot truncated")
 		}
 		return sc.Text(), nil
+	}
+	line := func() (string, error) {
+		l, err := rawLine()
+		if err != nil {
+			return "", err
+		}
+		_, _ = io.WriteString(h, l)
+		_, _ = h.Write([]byte{'\n'})
+		return l, nil
 	}
 
 	l, err := line()
@@ -221,7 +284,7 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	if l != snapshotMagic {
-		return nil, fmt.Errorf("supervise: not a checkpoint file (got %q, want %q)", l, snapshotMagic)
+		return nil, snapErrf("not a checkpoint file (got %q, want %q)", l, snapshotMagic)
 	}
 	s := &Snapshot{}
 
@@ -262,7 +325,7 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 			return nil, err
 		}
 		if *dst < 0 {
-			return nil, fmt.Errorf("supervise: negative counter in snapshot stats")
+			return nil, snapErrf("negative counter in snapshot stats")
 		}
 	}
 
@@ -278,16 +341,18 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	if nNodes < 1 {
-		return nil, fmt.Errorf("supervise: snapshot has %d nodes, want at least the root", nNodes)
+		return nil, snapErrf("snapshot has %d nodes, want at least the root", nNodes)
 	}
-	nodes := make([]*xmltree.Node, 0, nNodes)
+	// Preallocation is capped: a bit-flipped count must fail on token
+	// exhaustion, not by provoking a huge up-front allocation.
+	nodes := make([]*xmltree.Node, 0, min(nNodes, 4096))
 	for i := 0; i < nNodes; i++ {
 		if l, err = line(); err != nil {
 			return nil, err
 		}
 		n, err := decodeNode(l, i, nodes)
 		if err != nil {
-			return nil, err
+			return nil, snapErrf("%v", err)
 		}
 		nodes = append(nodes, n)
 	}
@@ -311,25 +376,41 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	if nPend < 0 {
-		return nil, fmt.Errorf("supervise: negative pending count")
+		return nil, snapErrf("negative pending count")
 	}
-	s.Pending = make([]pt.PendingConfig, 0, nPend)
+	s.Pending = make([]pt.PendingConfig, 0, min(nPend, 4096))
 	for i := 0; i < nPend; i++ {
 		if l, err = line(); err != nil {
 			return nil, err
 		}
 		p, err := decodePending(l, i, nodes, reach)
 		if err != nil {
-			return nil, err
+			return nil, snapErrf("%v", err)
 		}
 		s.Pending = append(s.Pending, p)
 	}
 
-	if l, err = line(); err != nil {
+	// Payload complete: the next line commits to its checksum.
+	want := hex.EncodeToString(h.Sum(nil))
+	if l, err = rawLine(); err != nil {
+		return nil, err
+	}
+	tk = newTok(l)
+	if err := tk.literal("sum"); err != nil {
+		return nil, snapErrf("missing checksum line: %v", err)
+	}
+	got, err := tk.bare()
+	if err != nil {
+		return nil, snapErrf("missing checksum: %v", err)
+	}
+	if got != want {
+		return nil, snapErrf("payload checksum mismatch (file says %.12s…, content hashes to %.12s…)", got, want)
+	}
+	if l, err = rawLine(); err != nil {
 		return nil, err
 	}
 	if l != "end" {
-		return nil, fmt.Errorf("supervise: snapshot missing end marker (got %q)", l)
+		return nil, snapErrf("snapshot missing end marker (got %q)", l)
 	}
 	return s, nil
 }
@@ -361,6 +442,13 @@ func decodeNode(l string, i int, defined []*xmltree.Node) (*xmltree.Node, error)
 	if arity >= 0 {
 		if nTuples < 0 {
 			return nil, fmt.Errorf("node %d: negative tuple count", i)
+		}
+		// Every stored value is a quoted token of at least two bytes plus
+		// its separator, so a register claiming more values than the line
+		// could physically hold is corrupt — rejected before any
+		// per-tuple allocation a flipped count could inflate.
+		if nTuples > 0 && (arity > len(l) || nTuples > len(l) || 3*arity*nTuples > len(l)) {
+			return nil, fmt.Errorf("node %d: register claims %d×%d values, line holds only %d bytes", i, nTuples, arity, len(l))
 		}
 		n.Reg = relation.New(arity)
 		for t := 0; t < nTuples; t++ {
@@ -456,7 +544,7 @@ func (t *tok) skip() { t.rest = strings.TrimLeft(t.rest, " ") }
 func (t *tok) bare() (string, error) {
 	t.skip()
 	if t.rest == "" {
-		return "", fmt.Errorf("unexpected end of line")
+		return "", snapErrf("unexpected end of line")
 	}
 	if i := strings.IndexByte(t.rest, ' '); i >= 0 {
 		w := t.rest[:i]
@@ -472,10 +560,14 @@ func (t *tok) quoted() (string, error) {
 	t.skip()
 	q, err := strconv.QuotedPrefix(t.rest)
 	if err != nil {
-		return "", fmt.Errorf("malformed quoted token at %q", t.rest)
+		return "", snapErrf("malformed quoted token at %q", t.rest)
 	}
 	t.rest = t.rest[len(q):]
-	return strconv.Unquote(q)
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return "", snapErrf("malformed quoted token %q", q)
+	}
+	return s, nil
 }
 
 func (t *tok) integer() (int, error) {
@@ -485,7 +577,7 @@ func (t *tok) integer() (int, error) {
 	}
 	n, err := strconv.Atoi(w)
 	if err != nil {
-		return 0, fmt.Errorf("bad integer %q", w)
+		return 0, snapErrf("bad integer %q", w)
 	}
 	return n, nil
 }
@@ -496,7 +588,7 @@ func (t *tok) literal(want string) error {
 		return err
 	}
 	if w != want {
-		return fmt.Errorf("got token %q, want %q", w, want)
+		return snapErrf("got token %q, want %q", w, want)
 	}
 	return nil
 }
@@ -504,7 +596,7 @@ func (t *tok) literal(want string) error {
 func (t *tok) end() error {
 	t.skip()
 	if t.rest != "" {
-		return fmt.Errorf("trailing garbage %q", t.rest)
+		return snapErrf("trailing garbage %q", t.rest)
 	}
 	return nil
 }

@@ -89,6 +89,16 @@ type Options struct {
 	// small values are expensive on large outputs.
 	CheckpointEvery int64
 
+	// OnCheckpoint, when set, observes every periodic snapshot as it is
+	// captured — the hook a clustered server uses to persist progress
+	// into a shared CheckpointStore mid-run. A non-nil return ABORTS the
+	// attempt with that error: a store that rejects the write with
+	// *ErrFenced is telling this node it lost ownership of the run, and
+	// continuing would only burn cycles on a result nobody will accept.
+	// Fencing errors are permanent (not Retryable), so the supervision
+	// loop stops rather than retrying into the same fence.
+	OnCheckpoint func(*Snapshot) error
+
 	// DisableDegrade turns off the options degradation ladder, retrying
 	// every attempt with Run unchanged.
 	DisableDegrade bool
@@ -298,6 +308,11 @@ func drive(ctx context.Context, tr *pt.Transducer, inst *relation.Instance, sr *
 		}
 		if o.CheckpointEvery > 0 && sr.Ops()%o.CheckpointEvery == 0 {
 			rep.Snapshot = Capture(tr, inst, sr)
+			if o.OnCheckpoint != nil {
+				if err := o.OnCheckpoint(rep.Snapshot); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	return sr.Result()

@@ -455,7 +455,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	good := buf.String()
 
 	mutations := map[string]string{
-		"bad magic":     strings.Replace(good, "ptx-checkpoint 1", "ptx-checkpoint 9", 1),
+		"bad magic":     strings.Replace(good, "ptx-checkpoint 2", "ptx-checkpoint 9", 1),
 		"truncated":     good[:len(good)/2],
 		"no end marker": strings.TrimSuffix(good, "end\n"),
 		"negative node": strings.Replace(good, "nodes 1", "nodes -1", 1),
