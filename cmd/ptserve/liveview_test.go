@@ -1,0 +1,108 @@
+// The live-view endpoints through the real binary loop: /mutate
+// repairs, /watch observes, /publish flips to post-delta bytes, and a
+// signal-driven drain still exits clean with a mutated registry.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptx/internal/testutil"
+)
+
+func TestServeMutateAndWatchEndpoints(t *testing.T) {
+	base := runtime.NumGoroutine()
+	url, sigs, exit, _ := startServer(t, "-max-timeout", "2s")
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Pre-delta publish: no CS999 anywhere.
+	code, pre := post("/publish", `{"spec":"tau1","db":"registrar"}`)
+	if code != http.StatusOK {
+		t.Fatalf("publish: %d: %s", code, pre)
+	}
+	if strings.Contains(string(pre), "CS999") {
+		t.Fatal("pre-delta document already contains the storm tuple")
+	}
+
+	// Prime the live view, then mutate through the endpoint.
+	if code, body := get("/watch?spec=tau1&db=registrar"); code != http.StatusOK {
+		t.Fatalf("prime watch: %d: %s", code, body)
+	}
+	code, body := post("/mutate",
+		`{"spec":"tau1","db":"registrar","ops":[{"op":"insert","rel":"course","tuple":["CS999","StormCourse","CS"]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d: %s", code, body)
+	}
+	var mr struct {
+		Views []struct {
+			Spec  string `json:"spec"`
+			Error string `json:"error"`
+		} `json:"views"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("mutate response: %v\n%s", err, body)
+	}
+	for _, v := range mr.Views {
+		if v.Error != "" {
+			t.Fatalf("view %s repair failed: %s", v.Spec, v.Error)
+		}
+	}
+
+	// The change feed has the repair; the document has the course.
+	code, body = get("/watch?spec=tau1&db=registrar&after=1&wait_ms=1000")
+	if code != http.StatusOK {
+		t.Fatalf("watch: %d: %s", code, body)
+	}
+	var wr struct {
+		Version uint64 `json:"version"`
+		Changes []struct {
+			Version uint64 `json:"version"`
+		} `json:"changes"`
+	}
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("watch response: %v\n%s", err, body)
+	}
+	if len(wr.Changes) != 1 || wr.Changes[0].Version != 2 {
+		t.Fatalf("watch changes %+v, want exactly version 2", wr.Changes)
+	}
+	if code, post := post("/publish", `{"spec":"tau1","db":"registrar"}`); code != http.StatusOK || !strings.Contains(string(post), "CS999") {
+		t.Fatalf("post-delta publish (%d) does not contain the inserted course:\n%s", code, post)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case c := <-exit:
+		if c != 0 {
+			t.Fatalf("exit code %d after mutation traffic, want 0", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	testutil.SettledGoroutines(t, base)
+}

@@ -12,6 +12,15 @@
 // Endpoints:
 //
 //	POST /publish  {"spec":"tau1","db":"registrar", ...} → XML stream
+//	POST /mutate   {"spec":…,"db":…,"ops":[{"op":"insert","rel":"course",
+//	               "tuple":["CS999","StormCourse","CS"]}, …]} — applies the
+//	               delta to the registered database and incrementally
+//	               repairs every live view over it; later publishes of
+//	               that db (any spec) see post-delta bytes, never torn ones
+//	GET  /watch    ?spec=…&db=…[&after=N][&wait_ms=D] — long-polls the
+//	               live view's change feed from cursor N (wait capped by
+//	               -max-timeout); with Accept: text/event-stream the
+//	               response is an SSE stream of change/resync events
 //	GET  /healthz  liveness + counters (always 200 while the process runs)
 //	GET  /readyz   readiness (503 once draining starts)
 //
@@ -69,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	queue := fs.Int("queue", 16, "max requests waiting for a worker; beyond this requests are shed with 429")
 	maxBody := fs.Int64("max-body", 1<<20, "request body cap in bytes")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline (covers queue time)")
-	maxTimeout := fs.Duration("max-timeout", time.Minute, "cap on the per-request deadline a client may ask for")
+	maxTimeout := fs.Duration("max-timeout", time.Minute, "cap on the per-request deadline a client may ask for (also caps /watch long-poll waits)")
 	drain := fs.Duration("drain", 10*time.Second, "how long a SIGTERM drain lets in-flight runs finish before canceling them")
 	checkpointDir := fs.String("checkpoint-dir", "", "persist failed supervised runs' checkpoints here (empty = off)")
 	allowInject := fs.Bool("allow-inject", false, "honor the \"inject\" request field (fault injection; chaos testing only)")

@@ -1,0 +1,171 @@
+// The -delta replay path: a script of +fact/-fact/commit batches runs
+// through the incremental engine and must print exactly what a fresh
+// run over the mutated database prints — the CLI-level face of the
+// engine's incremental-equals-rebuild guarantee.
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const deltaScript = `
+# seed a new CS course, then revise the catalog in a second batch
++course(CS999, StormCourse, CS)
+commit
++course(CS888, 'Systems II', CS)
++prereq(CS888, CS301)
+-course(CS999, StormCourse, CS)
+`
+
+// mutatedDB is registrar.db after deltaScript's net effect.
+func mutatedDB(t *testing.T) string {
+	t.Helper()
+	base, err := os.ReadFile(filepath.Join("..", "..", "examples", "specs", "registrar.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := string(base) + "\ncourse(CS888, 'Systems II', CS)\nprereq(CS888, CS301)\n"
+	path := filepath.Join(t.TempDir(), "mutated.db")
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeScript(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deltas.txt")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDeltaReplayEqualsRebuild: for every example spec, replaying the
+// script incrementally prints the same bytes as running fresh over the
+// pre-mutated database — in XML and canonical form.
+func TestDeltaReplayEqualsRebuild(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	specs, err := filepath.Glob(filepath.Join(dir, "*.pt"))
+	if err != nil || len(specs) == 0 {
+		t.Skipf("no example specs found in %s", dir)
+	}
+	data := filepath.Join(dir, "registrar.db")
+	script := writeScript(t, deltaScript)
+	final := mutatedDB(t)
+
+	for _, spec := range specs {
+		spec := spec
+		t.Run(filepath.Base(spec), func(t *testing.T) {
+			for _, form := range []string{"xml", "canonical"} {
+				extra := []string{}
+				if form == "canonical" {
+					extra = append(extra, "-canonical")
+				}
+				var replay, rebuild, errBuf bytes.Buffer
+				args := append([]string{"-spec", spec, "-data", data, "-delta", script}, extra...)
+				if code := run(args, &replay, &errBuf); code != 0 {
+					t.Fatalf("ptxml %v: exit %d, stderr: %s", args, code, errBuf.String())
+				}
+				errBuf.Reset()
+				args = append([]string{"-spec", spec, "-data", final}, extra...)
+				if code := run(args, &rebuild, &errBuf); code != 0 {
+					t.Fatalf("ptxml %v: exit %d, stderr: %s", args, code, errBuf.String())
+				}
+				if !bytes.Equal(replay.Bytes(), rebuild.Bytes()) {
+					t.Errorf("%s: -delta replay diverged from full rebuild\n replay:\n%s\n rebuild:\n%s",
+						form, replay.Bytes(), rebuild.Bytes())
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaReplayGolden pins the replayed tau1 document byte-for-byte
+// (refresh with go test ./cmd/ptxml -update).
+func TestDeltaReplayGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	spec := filepath.Join(dir, "tau1.pt")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skip("tau1.pt not found")
+	}
+	script := writeScript(t, deltaScript)
+
+	var out, errBuf bytes.Buffer
+	args := []string{"-spec", spec, "-data", filepath.Join(dir, "registrar.db"), "-delta", script, "-stats"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("ptxml %v: exit %d, stderr: %s", args, code, errBuf.String())
+	}
+	for _, want := range []string{"delta 1:", "delta 2:", "deltas=2"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("-stats output missing %q:\n%s", want, errBuf.String())
+		}
+	}
+
+	golden := filepath.Join("testdata", "tau1.pt.delta.golden.xml")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("replayed document drifted from %s\n got:\n%s\n want:\n%s", golden, out.Bytes(), want)
+	}
+}
+
+// TestDeltaReplayErrors: malformed scripts and flag conflicts exit with
+// the documented codes and a diagnosis, never a stack trace.
+func TestDeltaReplayErrors(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	spec := filepath.Join(dir, "tau1.pt")
+	data := filepath.Join(dir, "registrar.db")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skip("tau1.pt not found")
+	}
+
+	cases := []struct {
+		name, script, extraFlag, wantSub string
+		wantCode                         int
+	}{
+		{"unsigned fact", "course(CS1, X, CS)\n", "", "expected +fact", 1},
+		{"unknown relation", "+nosuch(a)\n", "", "not in schema", 1},
+		{"arity mismatch", "+course(a, b)\n", "", "arity", 1},
+		{"retries conflict", "+prereq(DB100, CS201)\n", "-retries", "cannot be combined", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			script := writeScript(t, tc.script)
+			args := []string{"-spec", spec, "-data", data, "-delta", script}
+			if tc.extraFlag != "" {
+				args = append(args, tc.extraFlag, "2")
+			}
+			var out, errBuf bytes.Buffer
+			code := run(args, &out, &errBuf)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; stderr: %s", code, tc.wantCode, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.wantSub) {
+				t.Errorf("stderr %q does not mention %q", errBuf.String(), tc.wantSub)
+			}
+			if out.Len() != 0 {
+				t.Errorf("a failed replay still printed %d bytes of document", out.Len())
+			}
+		})
+	}
+
+	t.Run("missing script file", func(t *testing.T) {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-spec", spec, "-data", data, "-delta", filepath.Join(t.TempDir(), "nope.txt")}, &out, &errBuf)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+}

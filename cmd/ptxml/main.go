@@ -7,9 +7,17 @@
 //	      [-max-nodes N] [-max-depth N] [-timeout D]
 //	      [-cache off|query|subtree] [-cache-size N]
 //	      [-retries N] [-backoff D] [-checkpoint FILE] [-resume FILE]
+//	      [-delta deltas.txt]
 //
 // The spec syntax is documented in internal/parser; the data file holds
 // one fact per line, e.g. course(CS401, Compilers, CS).
+//
+// With -delta the run goes through the incremental engine
+// (internal/incr): the document is built once, then each
+// commit-separated batch of +fact(…)/-fact(…) lines is applied as a
+// live-view repair, and the FINAL document is printed — byte-identical
+// to a fresh run over the mutated database (the engine's differential
+// suite proves that equality). -stats adds a per-delta repair line.
 //
 // With -retries, -checkpoint or -resume the run goes through the
 // supervision layer (internal/supervise): transient failures — budget
@@ -34,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"ptx/internal/incr"
 	"ptx/internal/parser"
 	"ptx/internal/pt"
 	"ptx/internal/relation"
@@ -64,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpointPath := fs.String("checkpoint", "", "write a resumable checkpoint to FILE when the run fails")
 	resumePath := fs.String("resume", "", "resume from a checkpoint FILE instead of starting fresh")
 	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:transient|permanent|internal (ops: query, node, eval)")
+	deltaPath := fs.String("delta", "", "replay a delta script (+fact/-fact/commit lines) through the incremental engine and print the final document")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -112,6 +122,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Faults:    faults,
 	}
 
+	if *deltaPath != "" {
+		if *retries > 0 || *checkpointPath != "" || *resumePath != "" {
+			fmt.Fprintln(stderr, "ptxml: -delta cannot be combined with -retries, -checkpoint or -resume")
+			return 2
+		}
+		return runDelta(tr, inst, opts, *deltaPath, *canonical, *stats, stdout, stderr)
+	}
+
 	var res *pt.Result
 	attempts := 1
 	start := time.Now()
@@ -148,6 +166,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 			tr.Classify(), s.Nodes, s.MaxDepth, s.QueriesRun, s.StopsApplied,
 			s.CacheMode, s.CacheHits, s.CacheMisses, s.CacheEvictions,
 			s.SubtreesShared, s.NodesShared, attempts, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// runDelta builds the document as a live view and replays a delta
+// script against it, one incremental repair per commit-separated
+// batch. The printed document is the view's final state, which the
+// incremental engine keeps byte-identical to a full rebuild of the
+// mutated database.
+func runDelta(tr *pt.Transducer, inst *relation.Instance, opts pt.Options, path string, canonical, stats bool, stdout, stderr io.Writer) int {
+	script, err := os.ReadFile(path)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	deltas, err := parser.ParseDeltaScript(string(script), tr.Schema)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	start := time.Now()
+	v, err := incr.NewView(context.Background(), tr, inst, incr.Options{Run: opts})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for i, d := range deltas {
+		rep, err := v.Apply(context.Background(), d)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if stats {
+			fmt.Fprintf(stderr, "delta %d: ops=%d effective=%d full-rebuild=%v dirty=%d fresh=%d dropped=%d queries=%d nodes=%d\n",
+				i+1, d.Len(), rep.Effective, rep.FullRebuild, rep.Dirty, rep.Fresh, rep.Dropped, rep.QueriesRun, rep.Nodes)
+		}
+	}
+	out, version, err := v.Snapshot(canonical)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if _, err := stdout.Write(out); err != nil {
+		return fail(stderr, err)
+	}
+	if canonical {
+		fmt.Fprintln(stdout)
+	}
+	if stats {
+		s := v.Stats()
+		fmt.Fprintf(stderr, "deltas=%d version=%d nodes=%d queries-total=%d elapsed=%v\n",
+			len(deltas), version, s.Nodes, s.QueriesTotal, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
 }

@@ -38,10 +38,11 @@ R(c)
 // a real listener, with a hit counter so tests can assert exactly which
 // node did the work.
 type testNode struct {
-	id   string
-	srv  *serve.Server
-	ts   *httptest.Server
-	hits atomic.Int64 // publish requests that reached this node
+	id    string
+	srv   *serve.Server
+	ts    *httptest.Server
+	hits  atomic.Int64 // publish requests that reached this node
+	mhits atomic.Int64 // mutate requests that reached this node
 }
 
 func (n *testNode) url() string { return n.ts.URL }
@@ -76,8 +77,11 @@ func newTestNode(t testing.TB, id string, store supervise.CheckpointStore, mutat
 	n := &testNode{id: id, srv: srv}
 	inner := srv.Handler()
 	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/publish" {
+		switch r.URL.Path {
+		case "/publish":
 			n.hits.Add(1)
+		case "/mutate":
+			n.mhits.Add(1)
 		}
 		inner.ServeHTTP(w, r)
 	}))

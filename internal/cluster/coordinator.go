@@ -97,6 +97,8 @@ type Metrics struct {
 	Deduped   int64          `json:"deduped"`   // followers served from a shared flight
 	NoReady   int64          `json:"no_ready"`  // requests refused with no node up
 	Warms     int64          `json:"warms"`     // warm-hint batches sent
+	Mutations int64          `json:"mutations"` // mutations routed to a pair's owner
+	Watches   int64          `json:"watches"`   // watch requests proxied
 }
 
 // ErrNoReady is returned (as a transient, hence retryable, rejection)
@@ -132,6 +134,8 @@ type Coordinator struct {
 	deduped   atomic.Int64
 	noReady   atomic.Int64
 	warms     atomic.Int64
+	mutations atomic.Int64
+	watches   atomic.Int64
 }
 
 // New builds a coordinator and starts its health prober (unless
@@ -201,6 +205,8 @@ func (c *Coordinator) Metrics() Metrics {
 		Deduped:   c.deduped.Load(),
 		NoReady:   c.noReady.Load(),
 		Warms:     c.warms.Load(),
+		Mutations: c.mutations.Load(),
+		Watches:   c.watches.Load(),
 	}
 }
 
@@ -237,10 +243,14 @@ func (c *Coordinator) Close() {
 }
 
 // Handler returns the coordinator's routes: POST /publish (routed),
+// POST /mutate (routed to the pair's owner, no failover — see
+// mutate.go), GET /watch (stream-proxied to the pair's owner),
 // POST /join ({"id":…,"url":…}), GET /healthz, GET /readyz.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/publish", c.handlePublish)
+	mux.HandleFunc("/mutate", c.handleMutate)
+	mux.HandleFunc("/watch", c.handleWatch)
 	mux.HandleFunc("/join", c.handleJoin)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
@@ -377,13 +387,7 @@ func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 // reply writes a (possibly shared) buffered upstream response.
 func (c *Coordinator) reply(w http.ResponseWriter, f *coordFlight, shared bool) {
 	h := w.Header()
-	for k, vs := range f.header {
-		switch k {
-		case "Content-Length", "Connection", "Transfer-Encoding", "Date":
-		default:
-			h[k] = vs
-		}
-	}
+	copyProxyHeaders(h, f.header)
 	h.Set("X-Ptcoord-Shared", strconv.FormatBool(shared))
 	w.WriteHeader(f.status)
 	_, _ = w.Write(f.body)

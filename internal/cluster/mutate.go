@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"ptx/internal/runctl"
+	"ptx/internal/serve"
+)
+
+// Cluster mutations and watches.
+//
+// Deltas are node-local: each worker keeps its own registry delta log,
+// so a mutation is visible only on the node that applied it. The
+// coordinator therefore routes /mutate with the SAME preference list
+// /publish uses — the pair's owner sees both the writes and the reads,
+// and single-node coherence (every publish is pre- or post-delta bytes,
+// never torn) extends to the routed path. Two consequences are
+// deliberate, and documented rather than hidden:
+//
+//   - No automatic mutation failover. If the owner dies mid-request the
+//     coordinator cannot know whether the delta landed, and replaying
+//     it on a ring successor would fork the per-node logs. The owner is
+//     marked down (bumping the epoch, which re-homes the pair) and the
+//     client gets a transient, retryable error; its retry lands on the
+//     new owner and the log stays linear per serving node.
+//   - A failed-over pair serves PRE-delta state. The successor rebuilds
+//     from its own registry, which never saw the dead owner's delta
+//     log. Cross-node log replication is out of scope for this tier;
+//     the epoch bump at least makes the regression observable, and
+//     TestClusterMutateOwnerLossServesPreDelta pins the behavior.
+//
+// Watches are read-only, so they DO fail over — but a successor's view
+// has its own version numbering, and a cursor taken on one node is
+// meaningless on another. The worker-side protocol already absorbs
+// this: a long-poll cursor beyond the new view's history returns
+// complete=false, and SSE replies with a resync event.
+
+// ErrOwnerDown is returned for a mutation whose owning node could not
+// be reached. Transient and hence retryable: the failed attempt marked
+// the owner down, so a retry routes to the pair's new owner.
+var ErrOwnerDown = runctl.Transient(errors.New("cluster: pair owner unreachable; retry routes to its successor"))
+
+func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if c.draining.Load() {
+		serve.WriteError(w, serve.ErrDraining)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			serve.WriteError(w, mbe)
+			return
+		}
+		serve.WriteError(w, serve.Validationf("body", "%v", err))
+		return
+	}
+	spec, db := routingPair(body)
+	prefs := c.preference(spec + "\x00" + db)
+	if len(prefs) == 0 {
+		c.noReady.Add(1)
+		serve.WriteError(w, ErrNoReady)
+		return
+	}
+	c.mutations.Add(1)
+
+	// Owner only — no failover walk (see the package comment above).
+	owner := prefs[0]
+	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, owner.URL+"/mutate", bytes.NewReader(body))
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderEpoch, strconv.FormatUint(c.epoch.Load(), 10))
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.markDown(owner.ID)
+		serve.WriteError(w, ErrOwnerDown)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.markDown(owner.ID)
+		serve.WriteError(w, ErrOwnerDown)
+		return
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable && errorKind(respBody) == serve.KindDraining {
+		// The owner is shutting down and never applied the delta; its
+		// successor owns the pair now, so the retry story is the same as
+		// a transport death.
+		c.markDown(owner.ID)
+		serve.WriteError(w, ErrOwnerDown)
+		return
+	}
+	copyProxyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Ptcoord-Attempts", "1")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(respBody)
+}
+
+func (c *Coordinator) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if c.draining.Load() {
+		serve.WriteError(w, serve.ErrDraining)
+		return
+	}
+	q := r.URL.Query()
+	prefs := c.preference(q.Get("spec") + "\x00" + q.Get("db"))
+	if len(prefs) == 0 {
+		c.noReady.Add(1)
+		serve.WriteError(w, ErrNoReady)
+		return
+	}
+	c.watches.Add(1)
+
+	// The upstream request dies with the watcher's connection OR the
+	// coordinator's drain, whichever comes first — a drain must release
+	// proxied long-polls and SSE streams just like the worker releases
+	// its own parked watchers.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(c.baseCtx, cancel)
+	defer stop()
+
+	tried := 0
+	for _, m := range prefs {
+		if c.cfg.Replicas > 0 && tried >= c.cfg.Replicas {
+			break
+		}
+		tried++
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/watch?"+r.URL.RawQuery, nil)
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		if a := r.Header.Get("Accept"); a != "" {
+			req.Header.Set("Accept", a)
+		}
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The watcher hung up or the coordinator is draining; the
+				// node did nothing wrong.
+				return
+			}
+			c.markDown(m.ID)
+			c.failovers.Add(1)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if errorKind(b) == serve.KindDraining {
+				c.markDown(m.ID)
+				c.failovers.Add(1)
+				continue
+			}
+			copyProxyHeaders(w.Header(), resp.Header)
+			c.stampAttempts(w.Header(), tried)
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(b)
+			return
+		}
+		c.streamReply(w, resp, tried)
+		return
+	}
+	c.noReady.Add(1)
+	serve.WriteError(w, ErrNoReady)
+}
+
+// streamReply proxies an upstream response without buffering, flushing
+// after every chunk so proxied SSE events reach the watcher as they
+// happen rather than when the stream ends.
+func (c *Coordinator) streamReply(w http.ResponseWriter, resp *http.Response, attempts int) {
+	defer resp.Body.Close()
+	copyProxyHeaders(w.Header(), resp.Header)
+	c.stampAttempts(w.Header(), attempts)
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		// Push the headers out now: an SSE watcher must see the stream
+		// open before the first event, not when the first event lands.
+		fl.Flush()
+	}
+	buf := make([]byte, 4<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (c *Coordinator) stampAttempts(h http.Header, attempts int) {
+	if attempts > 1 {
+		h.Set("X-Ptcoord-Failover", "true")
+	}
+	h.Set("X-Ptcoord-Attempts", strconv.Itoa(attempts))
+}
+
+// copyProxyHeaders forwards upstream headers minus the hop-by-hop and
+// length-bearing ones the proxy must own.
+func copyProxyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		switch k {
+		case "Content-Length", "Connection", "Transfer-Encoding", "Date":
+		default:
+			dst[k] = vs
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Routed mutations and proxied watches: a delta POSTed at the
+// coordinator lands on the pair's ring owner — the same node its
+// publishes route to — so the single-node coherence story survives the
+// cluster tier; watches long-poll and stream through the proxy; and the
+// documented failover limitation (deltas are node-local) is pinned as a
+// test, not folklore.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ptx/internal/parser"
+	"ptx/internal/pt"
+)
+
+const (
+	insertD = `{"spec":"tiny","db":"tinydb","ops":[{"op":"insert","rel":"R","tuple":["d"]}]}`
+	deleteD = `{"spec":"tiny","db":"tinydb","ops":[{"op":"delete","rel":"R","tuple":["d"]}]}`
+)
+
+// goldenXMLWith is goldenXML over tinyDB plus extra facts.
+func goldenXMLWith(t *testing.T, extra string) []byte {
+	t.Helper()
+	tr, err := parser.ParseTransducer(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := parser.ParseInstance(tinyDB+extra, tr.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(inst, pt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Xi.WriteXMLVirtual(&buf, tr.Virtual); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postMutate sends a delta through the coordinator.
+func postMutate(t *testing.T, cts *httptest.Server, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(cts.URL+"/mutate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST coordinator /mutate: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// getWatch long-polls through the coordinator.
+func getWatch(t *testing.T, cts *httptest.Server, query string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(cts.URL + "/watch?" + query)
+	if err != nil {
+		t.Fatalf("GET coordinator /watch: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+type clusterWatchBody struct {
+	Version uint64 `json:"version"`
+	Resync  bool   `json:"resync"`
+	Changes []struct {
+		Version   uint64 `json:"version"`
+		Effective int    `json:"effective_ops"`
+	} `json:"changes"`
+}
+
+// TestClusterMutateRoutesToPairOwner: a routed mutation lands on the
+// ring owner of its (spec, db) — the node its publishes route to — and
+// subsequent routed publishes serve post-delta bytes, torn-free.
+func TestClusterMutateRoutesToPairOwner(t *testing.T) {
+	coord, cts, nodes := newTestCluster(t, 3, Config{ProbeInterval: -1})
+	owner := coord.ring.Owner("tiny\x00tinydb")
+
+	status, hdr, body := postMutate(t, cts, insertD)
+	if status != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", status, body)
+	}
+	if got := hdr.Get("X-Ptserve-Node"); got != owner {
+		t.Fatalf("mutation applied by %q but ring owner is %q", got, owner)
+	}
+	if got := hdr.Get("X-Ptcoord-Attempts"); got != "1" {
+		t.Fatalf("X-Ptcoord-Attempts = %q, want 1", got)
+	}
+	for _, n := range nodes {
+		want := int64(0)
+		if n.id == owner {
+			want = 1
+		}
+		if got := n.mhits.Load(); got != want {
+			t.Fatalf("node %s saw %d mutations, want %d (deltas are owner-only)", n.id, got, want)
+		}
+	}
+
+	// Publishes for the pair route to the very node that holds the
+	// delta log, so they see post-delta bytes.
+	status, hdr, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
+	if status != http.StatusOK {
+		t.Fatalf("publish status %d: %s", status, body)
+	}
+	if got := hdr.Get("X-Ptserve-Node"); got != owner {
+		t.Fatalf("publish served by %q, want the mutation's owner %q", got, owner)
+	}
+	if want := goldenXMLWith(t, "R(d)\n"); !bytes.Equal(body, want) {
+		t.Fatalf("post-delta publish:\n got %q\nwant %q", body, want)
+	}
+
+	// Toggle back; the pair returns to its pre-delta golden.
+	if status, _, body = postMutate(t, cts, deleteD); status != http.StatusOK {
+		t.Fatalf("delete status %d: %s", status, body)
+	}
+	if status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`); status != http.StatusOK {
+		t.Fatalf("publish status %d: %s", status, body)
+	}
+	if want := goldenXML(t); !bytes.Equal(body, want) {
+		t.Fatalf("post-toggle publish differs from base golden:\n got %q\nwant %q", body, want)
+	}
+	if m := coord.Metrics(); m.Mutations != 2 {
+		t.Fatalf("Metrics.Mutations = %d, want 2", m.Mutations)
+	}
+}
+
+// TestClusterWatchLongPollProxied: a long-poll parked at the
+// coordinator is woken by a routed mutation — watch and mutate share
+// the pair's owner, so the notification actually fires.
+func TestClusterWatchLongPollProxied(t *testing.T) {
+	coord, cts, _ := newTestCluster(t, 2, Config{ProbeInterval: -1})
+	owner := coord.ring.Owner("tiny\x00tinydb")
+
+	// Prime the live view (version 1, no changes yet).
+	status, hdr, body := getWatch(t, cts, "spec=tiny&db=tinydb")
+	if status != http.StatusOK {
+		t.Fatalf("prime watch status %d: %s", status, body)
+	}
+	if got := hdr.Get("X-Ptserve-Node"); got != owner {
+		t.Fatalf("watch served by %q, want owner %q", got, owner)
+	}
+	var prime clusterWatchBody
+	if err := json.Unmarshal(body, &prime); err != nil {
+		t.Fatalf("prime watch body: %v\n%s", err, body)
+	}
+	if prime.Version != 1 || len(prime.Changes) != 0 {
+		t.Fatalf("prime watch: version %d changes %d, want 1 and 0", prime.Version, len(prime.Changes))
+	}
+
+	type pollResult struct {
+		status int
+		body   []byte
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		resp, err := http.Get(cts.URL + "/watch?spec=tiny&db=tinydb&after=1&wait_ms=5000")
+		if err != nil {
+			done <- pollResult{status: -1, body: []byte(err.Error())}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- pollResult{status: resp.StatusCode, body: b}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park upstream
+
+	if status, _, body := postMutate(t, cts, insertD); status != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", status, body)
+	}
+
+	select {
+	case res := <-done:
+		if res.status != http.StatusOK {
+			t.Fatalf("parked poll status %d: %s", res.status, res.body)
+		}
+		var wr clusterWatchBody
+		if err := json.Unmarshal(res.body, &wr); err != nil {
+			t.Fatalf("parked poll body: %v\n%s", err, res.body)
+		}
+		if len(wr.Changes) != 1 || wr.Changes[0].Version != 2 || wr.Changes[0].Effective != 1 {
+			t.Fatalf("parked poll changes %+v, want exactly version 2 with 1 effective op", wr.Changes)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("parked long-poll was not woken by the routed mutation")
+	}
+}
+
+// TestClusterWatchSSEProxiedStreams: a proxied SSE stream delivers the
+// change event WHILE the stream is open — proof the coordinator
+// flushes through instead of buffering to end-of-stream.
+func TestClusterWatchSSEProxiedStreams(t *testing.T) {
+	_, cts, _ := newTestCluster(t, 2, Config{ProbeInterval: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cts.URL+"/watch?spec=tiny&db=tinydb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET SSE: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("SSE status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("Content-Type %q survived the proxy wrong", ct)
+	}
+
+	events := make(chan string, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var event string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				events <- fmt.Sprintf("%s %s", event, strings.TrimPrefix(line, "data: "))
+			}
+		}
+	}()
+
+	if status, _, body := postMutate(t, cts, insertD); status != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", status, body)
+	}
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatal("SSE stream closed before any event")
+		}
+		if !strings.HasPrefix(ev, "change ") || !strings.Contains(ev, `"version":2`) {
+			t.Fatalf("first SSE event %q, want a change at version 2", ev)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("no SSE event arrived while the stream was open (proxy buffering?)")
+	}
+	cancel() // unwind the proxied stream before the servers tear down
+}
+
+// TestClusterMutateOwnerLossServesPreDelta pins the documented
+// limitation: delta logs are node-local. When the owner dies, the
+// mutation path refuses to guess (transient error, owner marked down,
+// epoch bumped), the RETRY lands on the successor, and the successor
+// serves PRE-crash-delta state because it never saw the dead owner's
+// log.
+func TestClusterMutateOwnerLossServesPreDelta(t *testing.T) {
+	coord, cts, nodes := newTestCluster(t, 2, Config{ProbeInterval: -1})
+
+	status, hdr, body := postMutate(t, cts, insertD)
+	if status != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", status, body)
+	}
+	owner := hdr.Get("X-Ptserve-Node")
+	if status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`); status != http.StatusOK {
+		t.Fatalf("publish status %d: %s", status, body)
+	}
+	if want := goldenXMLWith(t, "R(d)\n"); !bytes.Equal(body, want) {
+		t.Fatal("pre-crash publish is not post-delta golden")
+	}
+
+	// Kill the owner. The coordinator has no probe loop, so it learns
+	// of the death only from the next request's transport failure.
+	for _, n := range nodes {
+		if n.id == owner {
+			n.ts.Close()
+		}
+	}
+	epochBefore := coord.Epoch()
+
+	status, _, body = postMutate(t, cts, deleteD)
+	kind := decodeClusterError(t, status, body)
+	if kind != "transient" {
+		t.Fatalf("mutate against dead owner: kind %q, want transient (retryable, never silent failover)", kind)
+	}
+	if coord.Epoch() <= epochBefore {
+		t.Fatal("owner death did not bump the epoch")
+	}
+
+	// The retry routes to the successor and succeeds — but its delete
+	// is a no-op there: the insert only ever lived in the dead owner's
+	// node-local log.
+	status, hdr, body = postMutate(t, cts, deleteD)
+	if status != http.StatusOK {
+		t.Fatalf("retry mutate status %d: %s", status, body)
+	}
+	if got := hdr.Get("X-Ptserve-Node"); got == "" || got == owner {
+		t.Fatalf("retry served by %q, want the surviving successor", got)
+	}
+
+	status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
+	if status != http.StatusOK {
+		t.Fatalf("failover publish status %d: %s", status, body)
+	}
+	if want := goldenXML(t); !bytes.Equal(body, want) {
+		t.Fatalf("failed-over pair should serve PRE-delta base bytes (node-local logs):\n got %q\nwant %q", body, want)
+	}
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"testing"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+)
+
+// A memo bound to its instance must never serve a hit computed before a
+// mutation: Instance.Apply bumps the version, and the next Get flushes.
+func TestMemoStaleHitAfterInsertImpossible(t *testing.T) {
+	inst := graphInstance([2]string{"a", "b"})
+	q := logic.MustQuery(nil, []logic.Var{x, y}, logic.R("E", x, y))
+
+	m := NewMemo(0)
+	m.BindInstance(inst)
+
+	r1, err := EvalQueryMemo(q, NewEnv(inst), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 1 {
+		t.Fatalf("pre-delta result has %d tuples, want 1", r1.Len())
+	}
+	if _, err := EvalQueryMemo(q, NewEnv(inst), m); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := m.Stats(); hits != 1 {
+		t.Fatalf("warm-up: hits = %d, want 1", hits)
+	}
+
+	eff, err := inst.Apply((&relation.Delta{}).Insert("E", "b", "c"))
+	if err != nil || eff.Empty() {
+		t.Fatalf("Apply: eff=%v err=%v", eff, err)
+	}
+
+	// Fresh Env (the Env caches the active domain); the memo must MISS
+	// and recompute against the mutated instance.
+	r2, err := EvalQueryMemo(q, NewEnv(inst), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("post-delta result has %d tuples, want 2 — stale memo hit", r2.Len())
+	}
+	if hits, _, _ := m.Stats(); hits != 1 {
+		t.Fatalf("post-delta evaluation hit the stale table (hits = %d)", hits)
+	}
+	if entries, flushes := m.InvalidationStats(); entries == 0 || flushes != 1 {
+		t.Fatalf("invalidation stats = %d entries/%d flushes, want >0/1", entries, flushes)
+	}
+}
+
+// A Put computed before a mutation but landing after it must be dropped,
+// not stored under the new version.
+func TestMemoDropsRacingPut(t *testing.T) {
+	inst := graphInstance([2]string{"a", "b"})
+	q := logic.MustQuery(nil, []logic.Var{x, y}, logic.R("E", x, y))
+
+	m := NewMemo(0)
+	m.BindInstance(inst)
+
+	stale, err := EvalQuery(q, NewEnv(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Apply((&relation.Delta{}).Insert("E", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	m.Put(q, "", stale) // simulates an in-flight run finishing post-delta
+	if rel, ok := m.Get(q, ""); ok && rel.Len() != 2 {
+		t.Fatalf("stale racing Put was served: %v", rel)
+	}
+}
+
+// Selective invalidation drops exactly the entries whose queries mention
+// a mutated relation; re-binding afterwards keeps the survivors live.
+func TestMemoInvalidateRelationsSelective(t *testing.T) {
+	inst := graphInstance([2]string{"a", "b"})
+	inst.Schema().MustDeclare("A", 1)
+	inst.SetRel("A", relation.New(1))
+	inst.Add("A", "a")
+
+	qe := logic.MustQuery(nil, []logic.Var{x, y}, logic.R("E", x, y))
+	qa := logic.MustQuery(nil, []logic.Var{x}, logic.R("A", x))
+
+	m := NewMemo(0)
+	m.BindInstance(inst)
+	if _, err := EvalQueryMemo(qe, NewEnv(inst), m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQueryMemo(qa, NewEnv(inst), m); err != nil {
+		t.Fatal(err)
+	}
+
+	eff, err := inst.Apply((&relation.Delta{}).Insert("E", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.InvalidateRelations(eff.Rels()); n != 1 {
+		t.Fatalf("invalidated %d entries, want exactly the E query", n)
+	}
+	m.BindInstance(inst) // reconcile: survivors stay valid
+
+	if _, err := EvalQueryMemo(qa, NewEnv(inst), m); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := m.Stats()
+	if hits != 1 {
+		t.Fatalf("A-query should survive invalidation (hits=%d misses=%d)", hits, misses)
+	}
+	r, err := EvalQueryMemo(qe, NewEnv(inst), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("E-query result has %d tuples after invalidation, want 2", r.Len())
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -33,10 +34,20 @@ type Memo struct {
 	lru *lru.Cache[*relation.Relation]
 	ids map[*logic.Query]int64
 	nid int64
+	cap int
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	// Staleness guard (see BindInstance): when bound, any version drift
+	// of the instance flushes the table before the next Get or Put, so a
+	// stale hit after a mutation is impossible even if a caller forgets
+	// to invalidate.
+	inst    *relation.Instance
+	instVer uint64
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	invalidated atomic.Int64
+	flushes     atomic.Int64
 }
 
 // DefaultMemoSize bounds a memo when the caller passes a non-positive
@@ -50,11 +61,85 @@ func NewMemo(capacity int) *Memo {
 	if capacity <= 0 {
 		capacity = DefaultMemoSize
 	}
-	m := &Memo{ids: make(map[*logic.Query]int64)}
+	m := &Memo{ids: make(map[*logic.Query]int64), cap: capacity}
 	m.lru = lru.New[*relation.Relation](capacity, func(string, *relation.Relation) {
 		m.evictions.Add(1)
 	})
 	return m
+}
+
+// BindInstance pins the memo to inst at its CURRENT version. From then
+// on every Get and Put first compares inst.Version() against the pinned
+// version: on drift the whole table is flushed (and a racing Put is
+// dropped), making a stale hit after a mutation impossible. Callers that
+// invalidate selectively (incr.View) re-pin via BindInstance after
+// reconciling, which keeps the surviving entries.
+func (m *Memo) BindInstance(inst *relation.Instance) {
+	m.mu.Lock()
+	m.inst = inst
+	if inst != nil {
+		m.instVer = inst.Version()
+	}
+	m.mu.Unlock()
+}
+
+// syncLocked enforces the BindInstance contract; it reports whether the
+// table was already in sync (false means it was just flushed).
+func (m *Memo) syncLocked() bool {
+	if m.inst == nil {
+		return true
+	}
+	v := m.inst.Version()
+	if v == m.instVer {
+		return true
+	}
+	m.invalidated.Add(int64(m.lru.Len()))
+	m.flushes.Add(1)
+	m.lru = lru.New[*relation.Relation](m.cap, func(string, *relation.Relation) {
+		m.evictions.Add(1)
+	})
+	m.instVer = v
+	return false
+}
+
+// Invalidate removes every cached entry whose query satisfies pred and
+// returns how many entries were dropped. Use it after a database delta
+// with pred matching the queries that reference mutated relations;
+// entries for untouched queries survive and keep their hit rate.
+func (m *Memo) Invalidate(pred func(*logic.Query) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for q, id := range m.ids {
+		if !pred(q) {
+			continue
+		}
+		prefix := strconv.FormatInt(id, 10) + "|"
+		n += m.lru.RemoveIf(func(k string) bool { return strings.HasPrefix(k, prefix) })
+	}
+	m.invalidated.Add(int64(n))
+	return n
+}
+
+// InvalidateRelations drops every entry whose query mentions one of the
+// named relations (the sound over-approximation of "result may have
+// changed" for a delta touching exactly those relations).
+func (m *Memo) InvalidateRelations(names []string) int {
+	if len(names) == 0 {
+		return 0
+	}
+	dirty := make(map[string]bool, len(names))
+	for _, n := range names {
+		dirty[n] = true
+	}
+	return m.Invalidate(func(q *logic.Query) bool {
+		for _, rel := range logic.Relations(q.F) {
+			if dirty[rel] {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // key builds the cache key for (query identity, register fingerprint).
@@ -75,7 +160,13 @@ func (m *Memo) key(q *logic.Query, regFP string) string {
 // fingerprint, counting a hit or miss.
 func (m *Memo) Get(q *logic.Query, regFP string) (*relation.Relation, bool) {
 	m.mu.Lock()
-	rel, ok := m.lru.Get(m.key(q, regFP))
+	var (
+		rel *relation.Relation
+		ok  bool
+	)
+	if m.syncLocked() {
+		rel, ok = m.lru.Get(m.key(q, regFP))
+	}
 	m.mu.Unlock()
 	if ok {
 		m.hits.Add(1)
@@ -90,13 +181,23 @@ func (m *Memo) Get(q *logic.Query, regFP string) (*relation.Relation, bool) {
 // evaluation.
 func (m *Memo) Put(q *logic.Query, regFP string, rel *relation.Relation) {
 	m.mu.Lock()
-	m.lru.Put(m.key(q, regFP), rel)
+	// A Put that races a mutation of the bound instance was computed
+	// against a database state we can no longer identify — drop it.
+	if m.syncLocked() {
+		m.lru.Put(m.key(q, regFP), rel)
+	}
 	m.mu.Unlock()
 }
 
 // Stats reports cumulative hit/miss/eviction counts.
 func (m *Memo) Stats() (hits, misses, evictions int64) {
 	return m.hits.Load(), m.misses.Load(), m.evictions.Load()
+}
+
+// InvalidationStats reports how many entries Invalidate and version-drift
+// flushes have dropped, and how many whole-table flushes occurred.
+func (m *Memo) InvalidationStats() (entries, flushes int64) {
+	return m.invalidated.Load(), m.flushes.Load()
 }
 
 // extraFingerprint canonically fingerprints the environment's extra

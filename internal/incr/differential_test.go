@@ -1,0 +1,207 @@
+// The seeded differential suite: for seeded (spec, db, delta-sequence)
+// triples, incremental repair must stay byte-identical to a
+// from-scratch run after EVERY step. Failures dump the replayable
+// triple to CHAOS_ARTIFACT_DIR, PR-4 chaos style.
+package incr_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptx/internal/families"
+	"ptx/internal/incr"
+	"ptx/internal/pt"
+	"ptx/internal/registrar"
+	"ptx/internal/relation"
+)
+
+// diffSeeds matches the acceptance criterion batch size; the race run
+// shrinks it (coverage is per-shape, not per-seed).
+func diffSeeds() int {
+	if raceEnabled {
+		return 48
+	}
+	return 120
+}
+
+// caseBudget caps both the view and the oracle: a seeded delta sequence
+// on the recursive families can legitimately explode the unfolding, and
+// the suite's business is equivalence, not size.
+const caseBudget = 50_000
+
+// incrCase is one seeded scenario, derived entirely from its seed.
+type incrCase struct {
+	Seed     int64
+	Workload string
+	NoFall   bool // disable the rebuild fallback (force surgical repair)
+	Steps    []*relation.Delta
+}
+
+func (c incrCase) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d workload=%s nofall=%v\n", c.Seed, c.Workload, c.NoFall)
+	for i, d := range c.Steps {
+		fmt.Fprintf(&sb, "step %d: %s\n", i, d)
+	}
+	return sb.String()
+}
+
+// workloadFor returns the transducer and base instance for a case.
+func workloadFor(name string) (*pt.Transducer, *relation.Instance) {
+	switch name {
+	case "tau1":
+		return registrar.Tau1(), registrar.SampleInstance()
+	case "tau3":
+		return registrar.Tau3(), registrar.SampleInstance()
+	case "catalog":
+		return catalogTransducer(), catalogInstance(12, 2)
+	case "unfold":
+		return families.UnfoldTransducer(), families.DiamondChain(3)
+	case "counter":
+		return families.CounterTransducer(), families.CounterInstance(2)
+	default:
+		panic("unknown workload " + name)
+	}
+}
+
+// valuePool is the sampling space for delta tuples: existing values
+// keep deletions and joining inserts likely, a few fresh tokens grow
+// the domain without densifying recursive unfoldings into a blowup.
+func valuePool(inst *relation.Instance) []string {
+	vs := inst.ActiveDomain()
+	pool := make([]string, 0, len(vs)+3)
+	for _, v := range vs {
+		pool = append(pool, string(v))
+	}
+	return append(pool, "w1", "w2", "w3")
+}
+
+func newIncrCase(seed int64) incrCase {
+	rng := rand.New(rand.NewSource(seed))
+	c := incrCase{
+		Seed:     seed,
+		Workload: []string{"tau1", "tau3", "catalog", "unfold", "counter"}[rng.Intn(5)],
+		NoFall:   rng.Intn(2) == 0,
+	}
+	_, inst := workloadFor(c.Workload)
+	pool := valuePool(inst)
+	names := inst.Schema().Names()
+	steps := 2 + rng.Intn(5)
+	for s := 0; s < steps; s++ {
+		d := &relation.Delta{}
+		for o, ops := 0, 1+rng.Intn(3); o < ops; o++ {
+			rel := names[rng.Intn(len(names))]
+			arity, _ := inst.Schema().Arity(rel)
+			switch {
+			case rng.Intn(2) == 0: // delete, usually of an existing tuple
+				if ts := inst.Rel(rel).Tuples(); len(ts) > 0 && rng.Intn(4) > 0 {
+					d.DeleteTuple(rel, ts[rng.Intn(len(ts))])
+					continue
+				}
+				fallthrough
+			default:
+				vals := make([]string, arity)
+				for i := range vals {
+					vals[i] = pool[rng.Intn(len(pool))]
+				}
+				if rng.Intn(2) == 0 {
+					d.Insert(rel, vals...)
+				} else {
+					d.Delete(rel, vals...)
+				}
+			}
+		}
+		// Track the evolving instance so later deletions can target
+		// tuples inserted by earlier steps.
+		if _, err := inst.Apply(d); err != nil {
+			panic(err)
+		}
+		c.Steps = append(c.Steps, d)
+	}
+	return c
+}
+
+func dumpIncrArtifact(t *testing.T, c incrCase, violation string) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	_, base := workloadFor(c.Workload)
+	desc := fmt.Sprintf("%s\nbase instance:\n%s\nviolation=%s\n", c, base, violation)
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("incr-%d.txt", c.Seed)), []byte(desc), 0o644); err != nil {
+		t.Logf("artifact write: %v", err)
+	}
+}
+
+// runIncrCase drives one seeded scenario; it returns a violation
+// description or "" when the case holds.
+func runIncrCase(t *testing.T, c incrCase) string {
+	tr, oracle := workloadFor(c.Workload)
+	opts := incr.Options{Run: pt.Options{MaxNodes: caseBudget}}
+	if c.NoFall {
+		opts.RebuildThreshold = -1
+	}
+	v, err := incr.NewView(context.Background(), tr, oracle.Clone(), opts)
+	if err != nil {
+		return fmt.Sprintf("initial build: %v", err)
+	}
+	for i, d := range c.Steps {
+		_, applyErr := v.Apply(context.Background(), d)
+		if _, err := oracle.Apply(d); err != nil {
+			return fmt.Sprintf("step %d: oracle apply: %v", i, err)
+		}
+		ores, oerr := tr.Run(oracle, pt.Options{MaxNodes: caseBudget, Cache: pt.CacheQueries})
+		if applyErr != nil {
+			// A budget-killed repair is legitimate only if the scenario
+			// actually outgrew the budget — which the oracle confirms —
+			// and the view must KNOW it is broken, not serve stale bytes.
+			if oerr == nil {
+				return fmt.Sprintf("step %d: view failed (%v) but oracle ran fine", i, applyErr)
+			}
+			if _, _, serr := v.Snapshot(true); serr == nil {
+				return fmt.Sprintf("step %d: broken view served a snapshot", i)
+			}
+			return "" // both sides outgrew the budget: case ends here
+		}
+		if oerr != nil {
+			return "" // oracle outgrew the budget with a healthy view: ends
+		}
+		var sb strings.Builder
+		if err := ores.Xi.WriteCanonicalVirtual(&sb, tr.Virtual); err != nil {
+			return fmt.Sprintf("step %d: oracle serialize: %v", i, err)
+		}
+		got, _, err := v.Snapshot(true)
+		if err != nil {
+			return fmt.Sprintf("step %d: snapshot: %v", i, err)
+		}
+		if string(got) != sb.String() {
+			return fmt.Sprintf("step %d (%s): view != rebuild\nview:    %s\nrebuild: %s", i, d, got, sb.String())
+		}
+		if nodes := v.Stats().Nodes; nodes != ores.Stats.Nodes {
+			return fmt.Sprintf("step %d: meta tracks %d nodes, oracle tree has %d", i, nodes, ores.Stats.Nodes)
+		}
+	}
+	return ""
+}
+
+func TestIncrementalDifferential(t *testing.T) {
+	for seed := int64(1); seed <= int64(diffSeeds()); seed++ {
+		c := newIncrCase(seed)
+		t.Run(fmt.Sprintf("seed-%d-%s", seed, c.Workload), func(t *testing.T) {
+			if v := runIncrCase(t, c); v != "" {
+				dumpIncrArtifact(t, c, v)
+				t.Fatalf("differential violation:\n%s\n%s", c, v)
+			}
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package incr_test
+
+// raceEnabled mirrors the -race build tag so the differential suite can
+// scale its seed count down: the detector multiplies the runtime
+// roughly tenfold without adding coverage beyond what a smaller batch
+// already exercises.
+const raceEnabled = false

@@ -73,6 +73,22 @@ func (c *Cache[V]) Put(key string, v V) {
 	}
 }
 
+// RemoveIf removes every entry whose key satisfies pred and returns how
+// many were removed. onEvict is NOT called: removal is invalidation by
+// the owner, not capacity pressure.
+func (c *Cache[V]) RemoveIf(pred func(key string) bool) int {
+	n := 0
+	for k, e := range c.entries {
+		if !pred(k) {
+			continue
+		}
+		c.unlink(e)
+		delete(c.entries, k)
+		n++
+	}
+	return n
+}
+
 func (c *Cache[V]) pushFront(e *entry[V]) {
 	e.prev = nil
 	e.next = c.head

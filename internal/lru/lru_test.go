@@ -75,3 +75,41 @@ func TestZeroCapacityPanics(t *testing.T) {
 	}()
 	New[int](0, nil)
 }
+
+func TestRemoveIf(t *testing.T) {
+	evicted := 0
+	c := New[int](8, func(string, int) { evicted++ })
+	for _, k := range []string{"1|a", "1|b", "2|a", "3|c"} {
+		c.Put(k, 1)
+	}
+	if n := c.RemoveIf(func(k string) bool { return k[0] == '1' }); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if evicted != 0 {
+		t.Fatal("RemoveIf must not invoke onEvict")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("1|a"); ok {
+		t.Fatal("removed key still present")
+	}
+	// The recency list must stay consistent: fill past capacity and
+	// confirm eviction still works from the tail.
+	for i := 0; i < 10; i++ {
+		c.Put(string(rune('a'+i)), i)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want capacity 8", c.Len())
+	}
+	if n := c.RemoveIf(func(string) bool { return true }); n != 8 {
+		t.Fatalf("drain removed %d, want 8", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after full RemoveIf")
+	}
+	c.Put("fresh", 1)
+	if v, ok := c.Get("fresh"); !ok || v != 1 {
+		t.Fatal("cache unusable after full RemoveIf")
+	}
+}

@@ -1,0 +1,92 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ptx/internal/relation"
+)
+
+func deltaSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s := relation.NewSchema()
+	if err := s.Declare("course", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Declare("dept", 1); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseDeltaScript(t *testing.T) {
+	src := `
+# seed the storm tuple, then take it back out
++course(CS999, StormCourse, CS)
++dept(EE)
+commit
+-course(CS999, StormCourse, CS)
+commit
+`
+	deltas, err := ParseDeltaScript(src, deltaSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if got := deltas[0].String(); got != "+course(CS999,StormCourse,CS) +dept(EE)" {
+		t.Fatalf("batch 1 = %q", got)
+	}
+	if got := deltas[1].String(); got != "-course(CS999,StormCourse,CS)" {
+		t.Fatalf("batch 2 = %q", got)
+	}
+}
+
+func TestParseDeltaScriptTrailingBatchAndEmptyCommits(t *testing.T) {
+	src := "commit\n+dept(CS)\ncommit\ncommit\n-dept(CS)\n" // no final commit
+	deltas, err := ParseDeltaScript(src, deltaSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (empty batches dropped, trailing commit implied)", len(deltas))
+	}
+	if deltas[0].String() != "+dept(CS)" || deltas[1].String() != "-dept(CS)" {
+		t.Fatalf("batches = %q, %q", deltas[0], deltas[1])
+	}
+}
+
+func TestParseDeltaScriptNilSchemaSkipsValidation(t *testing.T) {
+	deltas, err := ParseDeltaScript("+anything(x, y)\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].String() != "+anything(x,y)" {
+		t.Fatalf("deltas = %v", deltas)
+	}
+}
+
+func TestParseDeltaScriptErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unsigned fact", "dept(CS)\n", "expected +fact"},
+		{"bare sign", "+\n", "expected identifier"},
+		{"missing paren", "+dept CS\n", `expected "("`},
+		{"unknown relation", "+nosuch(x)\n", "not in schema"},
+		{"arity mismatch", "+dept(a, b)\n", "arity"},
+		{"unexpected token", "+dept(,)\n", "expected a value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDeltaScript(tc.src, deltaSchema(t))
+			if err == nil {
+				t.Fatalf("ParseDeltaScript(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -92,7 +92,7 @@ func lex(src string) ([]token, error) {
 			l.emit(tokNeq, "!=")
 			l.advance()
 			l.advance()
-		case strings.ContainsRune("(),;/.[]&|!=@*+?", rune(c)):
+		case strings.ContainsRune("(),;/.[]&|!=@*+?-", rune(c)):
 			l.emit(tokPunct, string(c))
 			l.advance()
 		default:

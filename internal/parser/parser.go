@@ -595,3 +595,83 @@ func ParseInstance(src string, schema *relation.Schema) (inst *relation.Instance
 	}
 	return inst, nil
 }
+
+// ParseDeltaScript parses a delta replay script: one signed fact per
+// step — `+rel(v, …)` inserts, `-rel(v, …)` deletes — with `commit`
+// closing a batch and `#` starting a comment. It returns one Delta per
+// batch in script order; a trailing batch without a commit is implied,
+// and batches with no operations are dropped. With a non-nil schema
+// every batch is validated against it (unknown relation, arity).
+func ParseDeltaScript(src string, schema *relation.Schema) (deltas []*relation.Delta, err error) {
+	defer runctl.Recover(&err, "parser.ParseDeltaScript")
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	cur := &relation.Delta{}
+	flush := func() {
+		if !cur.Empty() {
+			deltas = append(deltas, cur)
+			cur = &relation.Delta{}
+		}
+	}
+	for p.cur().kind != tokEOF {
+		if p.acceptKeyword("commit") {
+			flush()
+			continue
+		}
+		t := p.cur()
+		var insert bool
+		switch {
+		case t.kind == tokPunct && t.text == "+":
+			insert = true
+			p.pos++
+		case t.kind == tokPunct && t.text == "-":
+			p.pos++
+		default:
+			return nil, p.errf("expected +fact(…), -fact(…) or commit, found %s", t)
+		}
+		rel, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var vals []string
+		if !p.acceptPunct(")") {
+			for {
+				t := p.cur()
+				switch t.kind {
+				case tokIdent, tokNumber, tokString:
+					vals = append(vals, t.text)
+					p.pos++
+				default:
+					return nil, p.errf("expected a value, found %s", t)
+				}
+				if p.acceptPunct(",") {
+					continue
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		if insert {
+			cur.Insert(rel, vals...)
+		} else {
+			cur.Delete(rel, vals...)
+		}
+	}
+	flush()
+	if schema != nil {
+		for _, d := range deltas {
+			if err := d.Validate(schema); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return deltas, nil
+}

@@ -169,6 +169,15 @@ func ancKey(state, tag string, reg *relation.Relation) string {
 	return state + "\x00" + tag + "\x00" + reg.Key()
 }
 
+// ConfigKey is the exported form of the configuration key: by
+// determinism (Proposition 1(1)) it completely identifies the subtree a
+// configuration generates over a fixed database, which is what lets
+// incremental repair (internal/incr) reuse an old subtree whenever the
+// key survives a delta unchanged.
+func ConfigKey(state, tag string, reg *relation.Relation) string {
+	return ancKey(state, tag, reg)
+}
+
 // Run executes the τ-transformation on inst and returns the final tree
 // ξ with registers and states still attached, plus statistics. It is
 // RunContext with a background context.

@@ -38,6 +38,7 @@ type StepRun struct {
 
 	root     *xmltree.Node
 	frontier []*stepPending
+	observe  func(StepEvent)
 
 	ops      int64
 	queries  int
@@ -225,6 +226,23 @@ func (s *StepRun) Run() (*Result, error) {
 	return s.Result()
 }
 
+// StepEvent describes one COMMITTED step: the node it finalized or
+// expanded, the state it carried before finalization cleared it, its
+// depth, and whether the ancestor stop condition fired. Incremental
+// repair (internal/incr) records these to know each live node's
+// configuration after the run erased State from the tree.
+type StepEvent struct {
+	Node    *xmltree.Node
+	State   string
+	Depth   int
+	Stopped bool
+}
+
+// Observe registers f to be called after every committed step; failed
+// steps emit nothing, preserving the atomic-step invariant. f runs on
+// the stepping goroutine and must not mutate the tree.
+func (s *StepRun) Observe(f func(StepEvent)) { s.observe = f }
+
 // Step performs one operation: it takes the top frontier configuration
 // and either finalizes it (text leaf, ancestor stop, empty or missing
 // rule, all-empty forests) or evaluates its rule queries and pushes its
@@ -248,30 +266,34 @@ func (s *StepRun) Step() (done bool, err error) {
 		return false, err
 	}
 	n := p.node
+	state := n.State
 
 	// finalize commits a completed step that produced no children.
-	finalize := func() bool {
+	finalize := func(stopped bool) bool {
 		n.State = ""
 		s.frontier = s.frontier[:len(s.frontier)-1]
 		s.ops++
 		if p.depth > s.maxDepth {
 			s.maxDepth = p.depth
 		}
+		if s.observe != nil {
+			s.observe(StepEvent{Node: n, State: state, Depth: p.depth, Stopped: stopped})
+		}
 		return len(s.frontier) == 0
 	}
 
 	if n.Tag == xmltree.TextTag {
 		n.Text = xmltree.TextOfRegister(n.Reg)
-		return finalize(), nil
+		return finalize(false), nil
 	}
 	key := ancKey(n.State, n.Tag, n.Reg)
 	if p.anc[key] {
 		s.stops++
-		return finalize(), nil
+		return finalize(true), nil
 	}
 	rule, ok := s.t.Rule(n.State, n.Tag)
 	if !ok || len(rule.Items) == 0 {
-		return finalize(), nil
+		return finalize(false), nil
 	}
 
 	env := s.base.WithRelation(RegRel, n.Reg)
@@ -322,7 +344,7 @@ func (s *StepRun) Step() (done bool, err error) {
 	}
 	if len(specs) == 0 {
 		s.queries += queriesRun
-		return finalize(), nil
+		return finalize(false), nil
 	}
 	if err := s.ctl.AddNodes(len(specs)); err != nil {
 		return false, err
@@ -342,6 +364,9 @@ func (s *StepRun) Step() (done bool, err error) {
 	s.ops++
 	if p.depth > s.maxDepth {
 		s.maxDepth = p.depth
+	}
+	if s.observe != nil {
+		s.observe(StepEvent{Node: n, State: state, Depth: p.depth})
 	}
 
 	if len(children) == 1 {

@@ -15,6 +15,7 @@ import (
 	"ptx/internal/registrar"
 	"ptx/internal/relation"
 	"ptx/internal/runctl"
+	"ptx/internal/xmltree"
 )
 
 // stepWorkloads covers tuple- and relation-store transducers, recursive
@@ -266,5 +267,61 @@ func TestRestoreValidation(t *testing.T) {
 	}
 	if _, err := tr.RestoreStepRun(context.Background(), inst, pt.Options{}, root, []pt.PendingConfig{{Node: root, Depth: 0}}, pt.Stats{}); err == nil {
 		t.Error("zero depth accepted")
+	}
+}
+
+// TestStepRunObserver: every live node of the finished tree gets exactly
+// one committed-step event carrying the state it had, and stop events
+// are flagged. The observer is the bookkeeping channel incremental
+// repair relies on, so completeness matters.
+func TestStepRunObserver(t *testing.T) {
+	for name, w := range stepWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			sr, err := w.tr.NewStepRun(context.Background(), w.inst, pt.Options{Cache: pt.CacheQueries})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sr.Close()
+			events := make(map[interface{}]pt.StepEvent)
+			stops := 0
+			sr.Observe(func(ev pt.StepEvent) {
+				if ev.State == "" {
+					t.Fatalf("event for %s has empty state", ev.Node.Tag)
+				}
+				if _, dup := events[ev.Node]; dup {
+					t.Fatalf("node %s observed twice", ev.Node.Tag)
+				}
+				events[ev.Node] = ev
+				if ev.Stopped {
+					stops++
+				}
+			})
+			res, err := sr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := 0
+			var check func(n *xmltree.Node, depth int)
+			check = func(n *xmltree.Node, depth int) {
+				seen++
+				ev, ok := events[n]
+				if !ok {
+					t.Fatalf("tree node %s has no event", n.Tag)
+				}
+				if ev.Depth != depth {
+					t.Fatalf("node %s: event depth %d, walk depth %d", n.Tag, ev.Depth, depth)
+				}
+				for _, c := range n.Children {
+					check(c, depth+1)
+				}
+			}
+			check(res.Xi.Root, 1)
+			if seen != len(events) {
+				t.Fatalf("%d events for %d tree nodes", len(events), seen)
+			}
+			if stops != res.Stats.StopsApplied {
+				t.Fatalf("observed %d stops, stats say %d", stops, res.Stats.StopsApplied)
+			}
+		})
 	}
 }

@@ -372,6 +372,11 @@ func (s *Schema) Names() []string {
 type Instance struct {
 	schema *Schema
 	rels   map[string]*Relation
+	// version counts effective mutations (Add, SetRel, Apply). It is
+	// atomic so concurrent READERS (eval.Memo's staleness guard) are
+	// race-free; mutation itself is not concurrency-safe, as for the
+	// rest of the type.
+	version atomic.Uint64
 }
 
 // NewInstance returns an empty instance of schema s (every relation
@@ -415,6 +420,7 @@ func (i *Instance) SetRel(name string, r *Relation) {
 		panic(fmt.Sprintf("instance: relation %q has arity %d, schema says %d", name, r.Arity(), a))
 	}
 	i.rels[name] = r
+	i.version.Add(1)
 }
 
 // Add inserts a tuple given as strings into the named relation.
@@ -424,6 +430,7 @@ func (i *Instance) Add(name string, vals ...string) {
 		t[k] = value.V(s)
 	}
 	i.Rel(name).Add(t)
+	i.version.Add(1)
 }
 
 // Clone returns a deep copy sharing the schema.
@@ -432,6 +439,7 @@ func (i *Instance) Clone() *Instance {
 	for n, r := range i.rels {
 		c.rels[n] = r.Clone()
 	}
+	c.version.Store(i.version.Load())
 	return c
 }
 

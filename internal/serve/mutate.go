@@ -1,0 +1,378 @@
+// Live views under mutation: POST /mutate applies a delta to a
+// registered database and incrementally repairs every live view over
+// it; GET /watch exposes the resulting change feed as a long-poll or an
+// SSE stream. The coherence contract is before-or-after, never torn:
+// publishes resolve an immutable (instance, memo) pair (swapped whole
+// by Registry.MutateDB), views repair under their own write lock, and
+// watchers only ever see committed repair reports.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptx/internal/incr"
+	"ptx/internal/pt"
+	"ptx/internal/relation"
+)
+
+// liveView pairs a spec name with the incr.View maintaining its tree.
+// The view owns a cloned instance; repairs are serialized by the
+// server's liveMu, so mutation order IS the version order watchers see.
+type liveView struct {
+	spec string
+	db   string
+	view *incr.View
+}
+
+// mutateRequest is the wire schema of POST /mutate. Unknown fields are
+// rejected, like /publish.
+type mutateRequest struct {
+	Spec string     `json:"spec"`
+	DB   string     `json:"db"`
+	Ops  []mutateOp `json:"ops"`
+}
+
+type mutateOp struct {
+	Op    string   `json:"op"` // "insert" or "delete"
+	Rel   string   `json:"rel"`
+	Tuple []string `json:"tuple"`
+}
+
+// mutateResponse reports what one mutation did: the registry refresh
+// plus one repair report per live view over the database.
+type mutateResponse struct {
+	DB           string       `json:"db"`
+	Delta        string       `json:"delta"`
+	PairsDropped int          `json:"pairs_dropped"`
+	Views        []viewRepair `json:"views"`
+}
+
+type viewRepair struct {
+	Spec   string       `json:"spec"`
+	Report *incr.Report `json:"report,omitempty"`
+	Error  string       `json:"error,omitempty"` // repair failed; the view self-heals on the next apply
+}
+
+// decodeDelta validates the wire ops into a relation.Delta (schema
+// validation happens against the caller's spec in handleMutate).
+func decodeDelta(ops []mutateOp) (*relation.Delta, error) {
+	if len(ops) == 0 {
+		return nil, Validationf("ops", "empty delta")
+	}
+	d := &relation.Delta{}
+	for i, op := range ops {
+		if op.Rel == "" {
+			return nil, Validationf("ops", "op %d: empty relation name", i)
+		}
+		switch op.Op {
+		case "insert":
+			d.Insert(op.Rel, op.Tuple...)
+		case "delete":
+			d.Delete(op.Rel, op.Tuple...)
+		default:
+			return nil, Validationf("ops", "op %d: unknown op %q (want insert or delete)", i, op.Op)
+		}
+	}
+	return d, nil
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Ptserve-Node", s.cfg.NodeID)
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.adm.Draining() {
+		s.rejected.Add(1)
+		WriteError(w, ErrDraining)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req mutateRequest
+	if err := dec.Decode(&req); err != nil {
+		s.rejected.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			WriteError(w, mbe)
+			return
+		}
+		WriteError(w, Validationf("body", "%v", err))
+		return
+	}
+	if req.Spec == "" {
+		s.rejected.Add(1)
+		WriteError(w, Validationf("spec", "missing"))
+		return
+	}
+	if req.DB == "" {
+		s.rejected.Add(1)
+		WriteError(w, Validationf("db", "missing"))
+		return
+	}
+	d, err := decodeDelta(req.Ops)
+	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+	// The caller's spec anchors schema validation, so a bad delta is a
+	// typed 400 naming the violation before anything is touched.
+	tr, err := s.reg.Spec(req.Spec)
+	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+	if verr := d.Validate(tr.Schema); verr != nil {
+		s.rejected.Add(1)
+		WriteError(w, Validationf("ops", "%v", verr))
+		return
+	}
+
+	resp, err := s.mutate(req.DB, d)
+	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+	s.mutated.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// mutate is the serialized mutation path: liveMu makes (registry swap,
+// view repairs) atomic with respect to view creation, so a view can
+// never be born pre-delta yet miss the repair pass.
+func (s *Server) mutate(db string, d *relation.Delta) (*mutateResponse, error) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	dropped, err := s.reg.MutateDB(db, d)
+	if err != nil {
+		return nil, err
+	}
+	resp := &mutateResponse{DB: db, Delta: d.String(), PairsDropped: dropped, Views: []viewRepair{}}
+	for _, lv := range s.views {
+		if lv.db != db {
+			continue
+		}
+		vr := viewRepair{Spec: lv.spec}
+		// A spec whose vocabulary rejects the delta is untouched by it
+		// (the registry replay skips it for the same reason).
+		if lv.view != nil {
+			if verr := d.Validate(s.viewSchema(lv)); verr != nil {
+				resp.Views = append(resp.Views, vr)
+				continue
+			}
+			rep, aerr := lv.view.Apply(s.baseCtx, d)
+			if aerr != nil {
+				s.failed.Add(1)
+				vr.Error = aerr.Error()
+			} else {
+				s.repaired.Add(1)
+				vr.Report = rep
+			}
+		}
+		resp.Views = append(resp.Views, vr)
+	}
+	return resp, nil
+}
+
+func (s *Server) viewSchema(lv *liveView) *relation.Schema {
+	tr, err := s.reg.Spec(lv.spec)
+	if err != nil {
+		return relation.NewSchema() // spec vanished: validate against nothing
+	}
+	return tr.Schema
+}
+
+// liveViewFor returns the live view for (spec, db), creating it on
+// first use from the registry's CURRENT pair state. Creation runs under
+// liveMu: a concurrent mutation either precedes it (the pair replay
+// already carries the delta) or follows it (the repair pass covers this
+// view) — no window where a fresh view silently misses a delta.
+func (s *Server) liveViewFor(spec, db string) (*liveView, error) {
+	key := spec + "\x00" + db
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if lv, ok := s.views[key]; ok {
+		return lv, nil
+	}
+	tr, inst, _, err := s.reg.Pair(spec, db)
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := s.cfg.DefaultMaxNodes
+	if maxNodes < 0 {
+		maxNodes = 0
+	}
+	v, err := incr.NewView(s.baseCtx, tr, inst.Clone(), incr.Options{
+		Run: pt.Options{MaxNodes: maxNodes},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lv := &liveView{spec: spec, db: db, view: v}
+	s.views[key] = lv
+	return lv, nil
+}
+
+// watchResponse is the long-poll reply: the view's current version, the
+// missed-history flag (resync with a fresh /publish when true), and the
+// change reports after the client's cursor.
+type watchResponse struct {
+	Spec    string         `json:"spec"`
+	DB      string         `json:"db"`
+	Version uint64         `json:"version"`
+	Resync  bool           `json:"resync,omitempty"`
+	Changes []*incr.Report `json:"changes"`
+}
+
+// handleWatch serves the change feed for one (spec, db) live view.
+//
+//	GET /watch?spec=S&db=D&after=N&wait_ms=M      → long-poll JSON
+//	GET /watch?spec=S&db=D&after=N  (Accept: text/event-stream) → SSE
+//
+// after is the client's version cursor (0 = everything buffered);
+// wait_ms long-polls until a change lands past the cursor, the wait
+// clamp expires, or the server drains. The SSE stream emits one
+// `change` event per repair report (data: the report JSON) and a
+// `resync` event when the client's cursor fell off the history ring.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Ptserve-Node", s.cfg.NodeID)
+	}
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.adm.Draining() {
+		s.rejected.Add(1)
+		WriteError(w, ErrDraining)
+		return
+	}
+	q := r.URL.Query()
+	spec, db := q.Get("spec"), q.Get("db")
+	if spec == "" || db == "" {
+		s.rejected.Add(1)
+		WriteError(w, Validationf("watch", "spec and db query parameters are required"))
+		return
+	}
+	after := uint64(0)
+	if a := q.Get("after"); a != "" {
+		n, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			s.rejected.Add(1)
+			WriteError(w, Validationf("after", "malformed cursor %q", a))
+			return
+		}
+		after = n
+	}
+	var wait time.Duration
+	if ms := q.Get("wait_ms"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n < 0 {
+			s.rejected.Add(1)
+			WriteError(w, Validationf("wait_ms", "malformed wait %q", ms))
+			return
+		}
+		wait = min(time.Duration(n)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	lv, err := s.liveViewFor(spec, db)
+	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+	s.watched.Add(1)
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.watchSSE(w, r, lv, after)
+		return
+	}
+	s.watchPoll(w, r, lv, after, wait)
+}
+
+// watchPoll is the long-poll arm: answer immediately when the cursor is
+// behind, otherwise park on the view's notify channel until a change,
+// the wait clamp, client disconnect, or server drain.
+func (s *Server) watchPoll(w http.ResponseWriter, r *http.Request, lv *liveView, after uint64, wait time.Duration) {
+	reports, notify, complete := lv.view.Changes(after)
+	if len(reports) == 0 && complete && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-notify:
+			reports, _, complete = lv.view.Changes(after)
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			// Drain: answer with what we have so the poller regroups.
+		}
+	}
+	if reports == nil {
+		reports = []*incr.Report{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(watchResponse{
+		Spec: lv.spec, DB: lv.db,
+		Version: lv.view.Version(),
+		Resync:  !complete,
+		Changes: reports,
+	})
+}
+
+// watchSSE is the streaming arm: one `change` event per repair report,
+// `resync` when the cursor fell off the ring, until the client goes
+// away or the server drains.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, lv *liveView, after uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, Validationf("watch", "streaming unsupported by this connection"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		reports, notify, complete := lv.view.Changes(after)
+		if !complete {
+			fmt.Fprintf(w, "event: resync\ndata: {\"version\":%d}\n\n", lv.view.Version())
+			after = lv.view.Version()
+			fl.Flush()
+			continue
+		}
+		for _, rep := range reports {
+			data, err := json.Marshal(rep)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: change\ndata: %s\n\n", data)
+			after = rep.Version
+		}
+		if len(reports) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}

@@ -31,6 +31,11 @@ type Registry struct {
 	dbs   map[string]string // name → source text
 
 	pairs map[string]*pairEntry // spec\x00db → parsed instance + shared memo
+
+	// deltas is the per-database mutation log: every delta accepted by
+	// MutateDB, in order. A pair parsed AFTER mutations replays the log
+	// so all pairs over one database agree on its current contents.
+	deltas map[string][]*relation.Delta
 }
 
 // pairEntry caches what one (spec, db) pair shares across requests: the
@@ -46,9 +51,10 @@ type pairEntry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		specs: make(map[string]*pt.Transducer),
-		dbs:   make(map[string]string),
-		pairs: make(map[string]*pairEntry),
+		specs:  make(map[string]*pt.Transducer),
+		dbs:    make(map[string]string),
+		pairs:  make(map[string]*pairEntry),
+		deltas: make(map[string][]*relation.Delta),
 	}
 }
 
@@ -144,6 +150,18 @@ func (r *Registry) Pair(spec, db string) (*pt.Transducer, *relation.Instance, *e
 	e.once.Do(func() {
 		e.inst, e.err = parseInstance(spec, db, src, tr)
 		if e.err == nil {
+			// Replay the database's mutation log so a pair parsed after
+			// mutations agrees with pairs that lived through them. Deltas
+			// another spec's vocabulary rejects are skipped: they concern
+			// relations this schema does not publish.
+			r.mu.RLock()
+			log := append([]*relation.Delta(nil), r.deltas[db]...)
+			r.mu.RUnlock()
+			for _, d := range log {
+				if d.Validate(e.inst.Schema()) == nil {
+					_, _ = e.inst.Apply(d)
+				}
+			}
 			e.memo = eval.NewMemo(0)
 		}
 	})
@@ -164,6 +182,47 @@ func parseInstance(spec, db, src string, tr *pt.Transducer) (inst *relation.Inst
 	return inst, nil
 }
 
+// MutateDB applies a delta to a registered database: the delta is
+// appended to the database's mutation log and every cached (spec, db)
+// pair over it is dropped, so the next Pair call re-parses the source
+// and replays the full log into a fresh instance with a fresh memo.
+//
+// Dropping instead of mutating in place is the concurrency contract:
+// a publish in flight keeps the (instance, memo) pair it resolved —
+// internally consistent, pre-delta — while every later resolution sees
+// post-delta state. Readers observe before-or-after, never torn.
+//
+// It returns the number of cached pairs refreshed. Unknown databases
+// are typed validation errors; per-schema validation happens at replay
+// (and, for the caller's schema, before calling — see Server.mutate).
+func (r *Registry) MutateDB(db string, d *relation.Delta) (int, error) {
+	if d == nil || d.Empty() {
+		return 0, Validationf("delta", "empty delta")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dbs[db]; !ok {
+		return 0, Validationf("db", "unknown database %q (have: %s)", db, strings.Join(r.dbNamesLocked(), ", "))
+	}
+	r.deltas[db] = append(r.deltas[db], d)
+	dropped := 0
+	suffix := "\x00" + db
+	for key := range r.pairs {
+		if strings.HasSuffix(key, suffix) {
+			delete(r.pairs, key)
+			dropped++
+		}
+	}
+	return dropped, nil
+}
+
+// DeltaLog returns the database's mutation log (most recent last).
+func (r *Registry) DeltaLog(db string) []*relation.Delta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*relation.Delta(nil), r.deltas[db]...)
+}
+
 // SpecNames lists the registered specs, sorted.
 func (r *Registry) SpecNames() []string {
 	r.mu.RLock()
@@ -180,6 +239,10 @@ func (r *Registry) SpecNames() []string {
 func (r *Registry) DBNames() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.dbNamesLocked()
+}
+
+func (r *Registry) dbNamesLocked() []string {
 	names := make([]string, 0, len(r.dbs))
 	for n := range r.dbs {
 		names = append(names, n)

@@ -38,6 +38,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -148,9 +149,12 @@ type Metrics struct {
 	Succeeded int64 `json:"succeeded"`
 	Failed    int64 `json:"failed"` // admitted runs that ended in a typed error
 	Deduped   int64 `json:"deduped"`
-	Resumed   int64 `json:"resumed"` // handoff runs resumed from a store checkpoint
-	Fenced    int64 `json:"fenced"`  // checkpoint writes rejected by the ownership fence
-	Warmed    int64 `json:"warmed"`  // (spec, db) pairs primed via /warm
+	Resumed   int64 `json:"resumed"`  // handoff runs resumed from a store checkpoint
+	Fenced    int64 `json:"fenced"`   // checkpoint writes rejected by the ownership fence
+	Warmed    int64 `json:"warmed"`   // (spec, db) pairs primed via /warm
+	Mutated   int64 `json:"mutated"`  // deltas accepted by /mutate
+	Repaired  int64 `json:"repaired"` // successful live-view repairs
+	Watched   int64 `json:"watched"`  // /watch requests served (poll + SSE)
 	InFlight  int   `json:"in_flight"`
 	Queued    int   `json:"queued"`
 }
@@ -169,6 +173,11 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// liveMu serializes mutations and live-view creation; views maps
+	// spec\x00db to the live view serving its change feed (mutate.go).
+	liveMu sync.Mutex
+	views  map[string]*liveView
+
 	admitted  atomic.Int64
 	shed      atomic.Int64
 	rejected  atomic.Int64
@@ -178,6 +187,9 @@ type Server struct {
 	resumed   atomic.Int64
 	fenced    atomic.Int64
 	warmed    atomic.Int64
+	mutated   atomic.Int64
+	repaired  atomic.Int64
+	watched   atomic.Int64
 }
 
 // New builds a server from cfg (cfg.Registry is required).
@@ -192,16 +204,19 @@ func New(cfg Config) (*Server, error) {
 		reg:        cfg.Registry,
 		adm:        NewAdmission(cfg.Workers, cfg.Queue),
 		flights:    newFlightGroup(),
+		views:      make(map[string]*liveView),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}, nil
 }
 
-// Handler returns the server's routes: POST /publish, POST /warm,
-// GET /healthz, GET /readyz.
+// Handler returns the server's routes: POST /publish, POST /mutate,
+// POST /warm, GET /watch, GET /healthz, GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/publish", s.handlePublish)
+	mux.HandleFunc("/mutate", s.handleMutate)
+	mux.HandleFunc("/watch", s.handleWatch)
 	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -220,6 +235,9 @@ func (s *Server) Metrics() Metrics {
 		Resumed:   s.resumed.Load(),
 		Fenced:    s.fenced.Load(),
 		Warmed:    s.warmed.Load(),
+		Mutated:   s.mutated.Load(),
+		Repaired:  s.repaired.Load(),
+		Watched:   s.watched.Load(),
 		InFlight:  s.adm.Active(),
 		Queued:    s.adm.Waiting(),
 	}
