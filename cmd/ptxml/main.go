@@ -74,7 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resumePath := fs.String("resume", "", "resume from a checkpoint FILE instead of starting fresh")
 	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:transient|permanent|internal (ops: query, node, eval)")
 	deltaPath := fs.String("delta", "", "replay a delta script (+fact/-fact/commit lines) through the incremental engine and print the final document")
+	planFlag := fs.String("plan", "on", "compiled query plans: on or off (off = optimized interpreter, escape hatch)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *planFlag != "on" && *planFlag != "off" {
+		fmt.Fprintf(stderr, "ptxml: bad -plan %q: want on or off\n", *planFlag)
 		return 2
 	}
 	cacheMode, err := pt.ParseCacheMode(*cacheFlag)
@@ -120,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Cache:     cacheMode,
 		CacheSize: *cacheSize,
 		Faults:    faults,
+		NoPlan:    *planFlag == "off",
 	}
 
 	if *deltaPath != "" {

@@ -37,6 +37,13 @@ type Env struct {
 	// immutable for the lifetime of an Env chain (registers live in
 	// extra), and concurrent transducer workers share the cache.
 	instAdom *adomCache
+	// dom caches the merged inst∪extras active domain for this Env,
+	// revalidated against the relation-level adom caches on each call
+	// (see Domain).
+	dom *domCache
+	// noPlan disables the compiled-plan fast path of EvalQuery; see
+	// WithoutPlanner.
+	noPlan bool
 }
 
 type adomCache struct {
@@ -44,17 +51,33 @@ type adomCache struct {
 	vals []value.V
 }
 
+// domCache memoizes an Env's merged active domain. parts holds the
+// per-source adom slices the cached base was computed from; because
+// relation.Relation itself caches ActiveDomain and reallocates the
+// slice on mutation, slice identity doubles as a validity token — any
+// mutation of the instance or an extra relation yields fresh part
+// slices and forces a re-merge.
+type domCache struct {
+	mu    sync.Mutex
+	ok    bool
+	parts [][]value.V
+	base  []value.V
+}
+
 // NewEnv builds an environment over inst. Register relations (or any
 // other auxiliary relations, e.g. the "Reg" relation of the current
 // node) are added with WithRelation.
 func NewEnv(inst *relation.Instance) *Env {
-	return &Env{inst: inst, extra: make(map[string]*relation.Relation), instAdom: &adomCache{}}
+	return &Env{inst: inst, extra: make(map[string]*relation.Relation), instAdom: &adomCache{}, dom: &domCache{}}
 }
 
 // WithRelation returns a copy of the environment in which name resolves
-// to rel, shadowing any instance relation of the same name.
+// to rel, shadowing any instance relation of the same name. The derived
+// environment gets its own domain cache (the extras changed) but keeps
+// the shared instance-adom cache.
 func (e *Env) WithRelation(name string, rel *relation.Relation) *Env {
-	ne := &Env{inst: e.inst, extra: make(map[string]*relation.Relation, len(e.extra)+1), ctl: e.ctl, instAdom: e.instAdom}
+	ne := &Env{inst: e.inst, extra: make(map[string]*relation.Relation, len(e.extra)+1),
+		ctl: e.ctl, instAdom: e.instAdom, dom: &domCache{}, noPlan: e.noPlan}
 	for k, v := range e.extra {
 		ne.extra[k] = v
 	}
@@ -66,7 +89,16 @@ func (e *Env) WithRelation(name string, rel *relation.Relation) *Env {
 // the given run controller (cancellation ticks in quantifier expansion
 // and the fixpoint-iteration budget).
 func (e *Env) WithControl(ctl *runctl.Controller) *Env {
-	ne := &Env{inst: e.inst, extra: e.extra, ctl: ctl, instAdom: e.instAdom}
+	ne := &Env{inst: e.inst, extra: e.extra, ctl: ctl, instAdom: e.instAdom, dom: e.dom, noPlan: e.noPlan}
+	return ne
+}
+
+// WithoutPlanner returns a copy of the environment in which EvalQuery
+// skips the compiled-plan fast path and runs the optimized interpreter
+// instead — the escape hatch behind pt.Options.NoPlan and the CLIs'
+// -plan=off flag.
+func (e *Env) WithoutPlanner() *Env {
+	ne := &Env{inst: e.inst, extra: e.extra, ctl: e.ctl, instAdom: e.instAdom, dom: e.dom, noPlan: true}
 	return ne
 }
 
@@ -85,33 +117,106 @@ func (e *Env) Lookup(name string) (*relation.Relation, bool) {
 }
 
 // Domain returns the active domain of the environment extended with the
-// given constants, sorted. The instance part is computed once per Env
-// chain and cached.
+// given constants, sorted. The inst∪extras merge is cached per Env and
+// revalidated against the relation-level adom caches, so repeated
+// evaluations against an unchanged environment share one slice; callers
+// must treat the result as read-only.
 func (e *Env) Domain(extraConsts []value.V) []value.V {
-	seen := make(map[value.V]bool)
-	if e.inst != nil {
-		var base []value.V
-		if e.instAdom != nil {
-			e.instAdom.once.Do(func() { e.instAdom.vals = e.inst.ActiveDomain() })
-			base = e.instAdom.vals
-		} else {
-			base = e.inst.ActiveDomain()
-		}
-		for _, v := range base {
-			seen[v] = true
-		}
+	base := e.domainBase()
+	if len(extraConsts) == 0 {
+		return base
 	}
-	for _, r := range e.extra {
-		for _, v := range r.ActiveDomain() {
-			seen[v] = true
-		}
-	}
-	for _, v := range extraConsts {
+	seen := make(map[value.V]bool, len(base)+len(extraConsts))
+	for _, v := range base {
 		seen[v] = true
+	}
+	grew := false
+	for _, v := range extraConsts {
+		if !seen[v] {
+			seen[v] = true
+			grew = true
+		}
+	}
+	if !grew {
+		return base
 	}
 	out := make([]value.V, 0, len(seen))
 	for v := range seen {
 		out = append(out, v)
+	}
+	value.SortValues(out)
+	return out
+}
+
+// domainBase returns the merged active domain of the instance and the
+// extra relations, cached on the Env. Validity tracking is by slice
+// identity: each source's ActiveDomain slice is cached on the relation
+// and reallocated when the relation mutates, so comparing the part
+// slices detects any mutation since the last merge.
+func (e *Env) domainBase() []value.V {
+	parts := make([][]value.V, 0, len(e.extra)+1)
+	if e.inst != nil {
+		if e.instAdom != nil {
+			e.instAdom.once.Do(func() { e.instAdom.vals = e.inst.ActiveDomain() })
+			parts = append(parts, e.instAdom.vals)
+		} else {
+			parts = append(parts, e.inst.ActiveDomain())
+		}
+	}
+	if len(e.extra) > 0 {
+		names := make([]string, 0, len(e.extra))
+		for n := range e.extra {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, e.extra[n].ActiveDomain())
+		}
+	}
+	if e.dom == nil {
+		return mergeDomainParts(parts)
+	}
+	e.dom.mu.Lock()
+	defer e.dom.mu.Unlock()
+	if e.dom.ok && sameDomainParts(e.dom.parts, parts) {
+		return e.dom.base
+	}
+	base := mergeDomainParts(parts)
+	e.dom.ok = true
+	e.dom.parts = parts
+	e.dom.base = base
+	return base
+}
+
+func sameDomainParts(a, b [][]value.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		if len(a[i]) > 0 && &a[i][0] != &b[i][0] {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeDomainParts(parts [][]value.V) []value.V {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	seen := make(map[value.V]bool, n)
+	out := make([]value.V, 0, n)
+	for _, p := range parts {
+		for _, v := range p {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
 	}
 	value.SortValues(out)
 	return out
@@ -191,6 +296,15 @@ func evalQueryWith(q *logic.Query, env *Env, naive bool) (*relation.Relation, er
 	// it, so seeded chaos plans can distinguish cached from fresh work.
 	if err := env.ctl.Fault(runctl.OpEval); err != nil {
 		return nil, err
+	}
+	// Compiled-plan fast path: the query's operator tree, join layouts
+	// and filter placements are resolved once (planCache) and reused for
+	// every evaluation. The naive evaluator stays the differential
+	// oracle; WithoutPlanner forces the optimized interpreter.
+	if !naive && !env.noPlan {
+		if p := planFor(q); p != nil {
+			return p.Eval(env)
+		}
 	}
 	ev := &evaluator{env: env, ctl: env.ctl, adom: env.Domain(logic.Constants(q.F)), naive: naive}
 	f := q.F
@@ -274,7 +388,16 @@ func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ev.projectOut(inner, g.Bound), nil
+		ex := ev.projectOut(inner, g.Bound)
+		// Bound variables φ does not mention still range over the active
+		// domain: over an empty domain ∃x ψ is false even when ψ holds,
+		// which a bare column drop gets wrong. (With a nonempty domain,
+		// expanding the missing bound vars and dropping them again is the
+		// identity, so the column drop stands.)
+		if len(ev.adom) == 0 && len(missingVars(g.Bound, inner.Vars)) > 0 {
+			return newBindings(ex.Vars), nil
+		}
+		return ex, nil
 	case *logic.Forall:
 		if ev.naive {
 			// ∀x̄ φ ≡ ¬∃x̄ ¬φ over the active domain, computed by direct
@@ -297,11 +420,19 @@ func (ev *evaluator) eval(f logic.Formula) (*Bindings, error) {
 		}
 		// Optimized: ∀x̄ φ ≡ ¬∃x̄ ¬φ with the inner negation pushed to
 		// NNF, so only the final (low-arity) complement touches the
-		// active domain.
-		exNeg, err := ev.eval(&logic.Exists{Bound: g.Bound, F: negate(g.F)})
+		// active domain. Bound variables ¬φ does not mention must still
+		// range over the domain before being projected away — with an
+		// empty active domain, ∀x ψ is vacuously true even when ψ is
+		// false, which a bare column-drop ∃ gets wrong.
+		inner, err := ev.eval(negate(g.F))
 		if err != nil {
 			return nil, err
 		}
+		inner, err = ev.expandTo(inner, g.Bound)
+		if err != nil {
+			return nil, err
+		}
+		exNeg := ev.projectOut(inner, g.Bound)
 		free := logic.FreeVars(g)
 		exNeg, err = ev.expandTo(exNeg, free)
 		if err != nil {
@@ -699,9 +830,10 @@ func (ev *evaluator) evalConj(conjuncts []logic.Formula) (*Bindings, error) {
 		}
 		cur = ev.join(cur, b)
 	}
-	// Apply filters; any filter whose variables are not covered falls
-	// back to a generic join (rare: an equality that binds a fresh
-	// variable, or a negation over unbound variables).
+	// Apply filters; a filter whose variables are not covered binds (=)
+	// or expands (≠, ¬) exactly the variables it is missing — it never
+	// materializes an |adom|² binding set the way the old generic-join
+	// fallback did (see coverFilter).
 	for len(pending) > 0 {
 		applied := false
 		var rest []logic.Formula
@@ -725,19 +857,84 @@ func (ev *evaluator) evalConj(conjuncts []logic.Formula) (*Bindings, error) {
 			}
 			applied = true
 		}
-		if !applied {
-			if len(rest) > 0 {
-				b, err := ev.eval(rest[0])
-				if err != nil {
-					return nil, err
-				}
-				cur = ev.join(cur, b)
-				rest = rest[1:]
+		if !applied && len(rest) > 0 {
+			var err error
+			cur, err = ev.coverFilter(cur, rest[0])
+			if err != nil {
+				return nil, err
 			}
+			rest = rest[1:]
 		}
 		pending = rest
 	}
 	return cur, nil
+}
+
+// coverFilter applies a filter conjunct some of whose variables are not
+// bound by cur. An equality binds its unbound side to the other side's
+// value (row by row, or over the active domain when both sides are
+// unbound variables); ≠ and ¬ expand only their missing variables over
+// the active domain and then filter. The old fallback evaluated the
+// filter standalone — |adom|² tuples for a two-variable (in)equality —
+// and joined, which dominated evaluation on large domains.
+func (ev *evaluator) coverFilter(cur *Bindings, f logic.Formula) (*Bindings, error) {
+	if g, ok := f.(*logic.Eq); ok {
+		return ev.coverEq(cur, g)
+	}
+	cur, err := ev.expandTo(cur, logic.FreeVars(f))
+	if err != nil {
+		return nil, err
+	}
+	return ev.applyFilter(cur, f)
+}
+
+// coverEq makes both terms of an equality bound and then filters.
+func (ev *evaluator) coverEq(cur *Bindings, g *logic.Eq) (*Bindings, error) {
+	for {
+		idx := cur.varIndex()
+		isBound := func(t logic.Term) bool {
+			v, isVar := t.(logic.Var)
+			if !isVar {
+				return true
+			}
+			_, ok := idx[v]
+			return ok
+		}
+		lb, rb := isBound(g.L), isBound(g.R)
+		if lb && rb {
+			return ev.applyFilter(cur, g)
+		}
+		if lb != rb {
+			// Bind the unbound variable to the bound side's value.
+			var uv logic.Var
+			var src logic.Term
+			if lb {
+				uv, src = g.R.(logic.Var), g.L
+			} else {
+				uv, src = g.L.(logic.Var), g.R
+			}
+			out := newBindings(append(append([]logic.Var{}, cur.Vars...), uv))
+			cur.Rel.EachUnordered(func(row value.Tuple) bool {
+				var v value.V
+				switch u := src.(type) {
+				case logic.Const:
+					v = value.V(u)
+				case logic.Var:
+					v = row[idx[u]]
+				}
+				out.Rel.Add(value.Concat(row, value.Tuple{v}))
+				return true
+			})
+			cur = out
+			continue
+		}
+		// Both sides are unbound variables (x=x or x=y): expand the left
+		// over the active domain; the next round binds the right.
+		var err error
+		if cur, err = ev.expandTo(cur, []logic.Var{g.L.(logic.Var)}); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // applyFilter restricts cur by a covered filter conjunct.

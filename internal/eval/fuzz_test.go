@@ -26,8 +26,14 @@ func (d *fuzzDecoder) byte() byte {
 }
 
 // instance decodes a few A(1) and E(2) facts over the domain {0,1,2}.
+// One decode path leaves the instance (and hence the active domain)
+// completely empty — evaluation over an empty domain is a standing
+// edge case for complements, quantifier expansion and fixpoints.
 func (d *fuzzDecoder) instance(s *relation.Schema) *relation.Instance {
 	inst := relation.NewInstance(s)
+	if d.byte()%5 == 0 {
+		return inst
+	}
 	for k := int(d.byte()) % 4; k > 0; k-- {
 		inst.Add("A", string(value.Of(int(d.byte())%3)))
 	}
@@ -64,7 +70,7 @@ func (d *fuzzDecoder) formula(depth int) logic.Formula {
 			return logic.True
 		}
 	}
-	switch d.byte() % 7 {
+	switch d.byte() % 9 {
 	case 0:
 		return &logic.And{L: d.formula(depth - 1), R: d.formula(depth - 1)}
 	case 1:
@@ -75,22 +81,54 @@ func (d *fuzzDecoder) formula(depth int) logic.Formula {
 		return logic.Ex([]logic.Var{v()}, d.formula(depth-1))
 	case 4:
 		return logic.All([]logic.Var{v()}, d.formula(depth-1))
+	case 5:
+		// Transitive closure of E applied to decoded terms: the
+		// canonical recursive fixpoint (IFP).
+		u, w, s := logic.Var("u"), logic.Var("w"), logic.Var("s")
+		return &logic.Fixpoint{
+			Rel:  "S",
+			Vars: []logic.Var{u, w},
+			Body: &logic.Or{
+				L: logic.R("E", u, w),
+				R: logic.Ex([]logic.Var{s},
+					logic.Conj(logic.R("S", u, s), logic.R("E", s, w))),
+			},
+			Args: []logic.Term{term(), term()},
+		}
+	case 6:
+		// Non-recursive fixpoint over a decoded body: converges in one
+		// or two iterations but exercises stage bookkeeping, variable
+		// expansion inside the body and frees escaping the binder.
+		u := logic.Var("u")
+		return &logic.Fixpoint{
+			Rel:  "S",
+			Vars: []logic.Var{u},
+			Body: &logic.Or{L: logic.R("A", u), R: d.formula(0)},
+			Args: []logic.Term{term()},
+		}
 	default:
 		return d.formula(0)
 	}
 }
 
 // FuzzDifferentialEval is the differential oracle of this package: on
-// every decoded (instance, formula) pair, the optimized evaluator
-// (EvalQuery, NNF + filtered joins), the textbook active-domain
+// every decoded (instance, formula) pair, the compiled-plan evaluator
+// (EvalQuery), the optimized interpreter (EvalQuery after
+// WithoutPlanner: NNF + filtered joins), the textbook active-domain
 // evaluator (EvalQueryNaive, ¬ via complement, ∀ via ¬∃¬) and the
 // memoized evaluator (EvalQueryMemo, twice — the second call exercising
-// the hit path) must agree exactly.
+// the hit path) must agree exactly. The grammar includes fixpoints and
+// one decode path yields an entirely empty instance.
 func FuzzDifferentialEval(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 0, 1, 2, 4, 0, 1, 1, 2, 2, 0, 0, 0, 1, 2, 3, 4, 5})
 	f.Add([]byte("differential eval seed: quantifiers and negation"))
 	f.Add([]byte{1, 2, 2, 1, 0, 2, 4, 3, 3, 2, 1, 0, 255, 128, 64, 32, 16, 8})
+	// Seeds biased toward the fixpoint grammar cases (5 and 6 mod 9)
+	// and the empty-instance decode path (first byte ≡ 0 mod 5).
+	f.Add([]byte{1, 2, 1, 0, 1, 1, 2, 5, 1, 0, 5, 2, 1, 14, 0, 1, 2, 3})
+	f.Add([]byte{0, 5, 1, 1, 14, 2, 0, 1, 5, 0, 2, 1})
+	f.Add([]byte{5, 3, 1, 2, 0, 4, 1, 2, 1, 0, 0, 5, 14, 5, 14, 2, 2, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
@@ -115,6 +153,14 @@ func FuzzDifferentialEval(f *testing.F) {
 		if !opt.Equal(naive) {
 			t.Fatalf("optimized and naive disagree on %s\n optimized %s\n naive     %s\n instance %s",
 				fla, opt, naive, inst)
+		}
+		interp, err := EvalQuery(q, env.WithoutPlanner())
+		if err != nil {
+			t.Fatalf("interpreter arm: %v on %s", err, fla)
+		}
+		if !interp.Equal(naive) {
+			t.Fatalf("interpreter and naive disagree on %s\n interp %s\n naive  %s\n instance %s",
+				fla, interp, naive, inst)
 		}
 
 		m := NewMemo(0)

@@ -4,63 +4,15 @@ import (
 	"ptx/internal/logic"
 )
 
-// pushNeg converts a formula to negation normal form: negation is
-// pushed through ∧ ∨ ¬ ∃ ∀ and (in)equalities, stopping at relation
-// atoms and fixpoints. Evaluating the NNF avoids complementing large
-// intermediate relations: a ¬ in front of an 8-variable conjunction
-// costs |adom|⁸ as a complement but only a small anti-join once pushed
-// inward.
-func pushNeg(f logic.Formula) logic.Formula {
-	switch g := f.(type) {
-	case *logic.Not:
-		return negate(g.F)
-	case *logic.And:
-		return &logic.And{L: pushNeg(g.L), R: pushNeg(g.R)}
-	case *logic.Or:
-		return &logic.Or{L: pushNeg(g.L), R: pushNeg(g.R)}
-	case *logic.Exists:
-		return &logic.Exists{Bound: g.Bound, F: pushNeg(g.F)}
-	case *logic.Forall:
-		return &logic.Forall{Bound: g.Bound, F: pushNeg(g.F)}
-	default:
-		return f
-	}
-}
+// pushNeg converts a formula to negation normal form; the rewrite
+// lives in logic.NNF so the compiled-plan layer shares it.
+func pushNeg(f logic.Formula) logic.Formula { return logic.NNF(f) }
 
-// negate returns an NNF formula equivalent to ¬f.
-func negate(f logic.Formula) logic.Formula {
-	switch g := f.(type) {
-	case *logic.Truth:
-		return &logic.Truth{B: !g.B}
-	case *logic.Eq:
-		return &logic.Neq{L: g.L, R: g.R}
-	case *logic.Neq:
-		return &logic.Eq{L: g.L, R: g.R}
-	case *logic.Not:
-		return pushNeg(g.F)
-	case *logic.And:
-		return &logic.Or{L: negate(g.L), R: negate(g.R)}
-	case *logic.Or:
-		return &logic.And{L: negate(g.L), R: negate(g.R)}
-	case *logic.Exists:
-		return &logic.Forall{Bound: g.Bound, F: negate(g.F)}
-	case *logic.Forall:
-		return &logic.Exists{Bound: g.Bound, F: negate(g.F)}
-	default:
-		// Atoms and fixpoints: negation stays in front.
-		return &logic.Not{F: f}
-	}
-}
+// negate returns an NNF formula equivalent to ¬f (logic.Negate).
+func negate(f logic.Formula) logic.Formula { return logic.Negate(f) }
 
 // flattenConj decomposes nested conjunctions into a list.
-func flattenConj(f logic.Formula, out *[]logic.Formula) {
-	if g, ok := f.(*logic.And); ok {
-		flattenConj(g.L, out)
-		flattenConj(g.R, out)
-		return
-	}
-	*out = append(*out, f)
-}
+func flattenConj(f logic.Formula, out *[]logic.Formula) { logic.FlattenConj(f, out) }
 
 // isFilter reports whether a conjunct can be applied as a row filter
 // once its free variables are bound by the positive part of the

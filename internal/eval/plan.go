@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"sync"
+
+	"ptx/internal/logic"
+	"ptx/internal/plan"
+)
+
+// planCache maps *logic.Query to its compiled plan. Transducer queries
+// are long-lived (built once per transducer, evaluated at thousands of
+// nodes), so pointer identity is the natural key and entries are never
+// evicted. A nil entry marks a query the planner cannot compile (e.g. a
+// head that does not cover the formula's free variables); EvalQuery
+// then stays on the interpreter.
+var planCache sync.Map
+
+func planFor(q *logic.Query) *plan.Plan {
+	if v, ok := planCache.Load(q); ok {
+		p, _ := v.(*plan.Plan)
+		return p
+	}
+	p, err := plan.Compile(q)
+	if err != nil {
+		p = nil
+	}
+	actual, _ := planCache.LoadOrStore(q, p)
+	ap, _ := actual.(*plan.Plan)
+	return ap
+}

@@ -40,8 +40,14 @@ func fuzzSchema() *relation.Schema {
 }
 
 // instance decodes a few A(1) and E(2) facts over the domain {0,1,2}.
+// One decode path starts from a completely empty instance (empty active
+// domain) — deltas then grow it, so repair crosses the empty↔nonempty
+// boundary in both directions.
 func (d *fuzzDecoder) instance(s *relation.Schema) *relation.Instance {
 	inst := relation.NewInstance(s)
+	if d.byte()%5 == 0 {
+		return inst
+	}
 	for k := int(d.byte()) % 4; k > 0; k-- {
 		inst.Add("A", string(value.Of(int(d.byte())%3)))
 	}
@@ -57,7 +63,8 @@ func (d *fuzzDecoder) instance(s *relation.Schema) *relation.Instance {
 // Templates 2-4 read the register, making repair's dependency tracking
 // and subtree reuse both reachable.
 func queryPool() []*logic.Query {
-	x, y := logic.Var("x"), logic.Var("y")
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	u, w := logic.Var("u"), logic.Var("w")
 	return []*logic.Query{
 		// all A-elements
 		logic.MustQuery([]logic.Var{x}, nil, logic.R("A", x)),
@@ -73,6 +80,27 @@ func queryPool() []*logic.Query {
 		// edge sources
 		logic.MustQuery([]logic.Var{x}, nil,
 			logic.Ex([]logic.Var{y}, logic.R("E", x, y))),
+		// vertices reachable from the register via E's transitive
+		// closure: a recursive fixpoint on the repair path.
+		logic.MustQuery([]logic.Var{x}, nil,
+			logic.Ex([]logic.Var{y}, logic.Conj(
+				logic.R(pt.RegRel, y),
+				&logic.Fixpoint{
+					Rel:  "S",
+					Vars: []logic.Var{u, w},
+					Body: &logic.Or{
+						L: logic.R("E", u, w),
+						R: logic.Ex([]logic.Var{z},
+							logic.Conj(logic.R("S", u, z), logic.R("E", z, w))),
+					},
+					Args: []logic.Term{y, x},
+				}))),
+		// A-elements guarded by a vacuous ∀ with a shadowed rebind: true
+		// over a nonempty domain, vacuously true over an empty one —
+		// pins the ∀/∃ empty-domain semantics on the repair path.
+		logic.MustQuery([]logic.Var{x}, nil,
+			logic.Conj(logic.R("A", x),
+				logic.All([]logic.Var{y}, logic.Ex([]logic.Var{y}, logic.R("A", y))))),
 	}
 }
 
@@ -93,10 +121,13 @@ func (d *fuzzDecoder) transducer(s *relation.Schema) *pt.Transducer {
 			tags[int(d.byte())%len(tags)],
 			pool[int(d.byte())%len(pool)])
 	}
-	// Root rule: distinct tags per item (a rule may not repeat a tag).
-	rootItems := []pt.RHS{pt.Item(states[int(d.byte())%len(states)], "a", pool[int(d.byte())%len(pool)])}
+	// Root rule: distinct tags per item (a rule may not repeat a tag),
+	// and only templates that do not read Reg — the root register is
+	// 0-ary, so Reg-reading queries fail at birth.
+	rootPool := []*logic.Query{pool[0], pool[4], pool[6]}
+	rootItems := []pt.RHS{pt.Item(states[int(d.byte())%len(states)], "a", rootPool[int(d.byte())%len(rootPool)])}
 	if d.byte()%2 == 0 {
-		rootItems = append(rootItems, pt.Item(states[int(d.byte())%len(states)], "b", pool[int(d.byte())%len(pool)]))
+		rootItems = append(rootItems, pt.Item(states[int(d.byte())%len(states)], "b", rootPool[int(d.byte())%len(rootPool)]))
 	}
 	tr.AddRule("q0", "r", rootItems...)
 	for _, st := range states {
@@ -149,6 +180,10 @@ func FuzzIncrementalEval(f *testing.F) {
 	f.Add([]byte{2, 0, 1, 4, 0, 1, 1, 2, 2, 0, 1, 0, 2, 3, 1, 0, 0, 1, 2, 1, 0, 0, 1, 1, 0})
 	f.Add([]byte("incremental repair differential seed: deltas on E"))
 	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	// Seeds biased toward the empty-instance decode path (first byte ≡ 0
+	// mod 5) and the fixpoint / vacuous-∀ pool templates (indices 5, 6).
+	f.Add([]byte{0, 1, 0, 5, 1, 1, 6, 0, 2, 1, 0, 3, 1, 1, 0, 0, 1, 2})
+	f.Add([]byte{5, 2, 1, 0, 2, 1, 2, 0, 1, 5, 1, 6, 0, 2, 2, 1, 0, 0, 3, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
@@ -162,6 +197,11 @@ func FuzzIncrementalEval(f *testing.F) {
 		if d.byte()%2 == 0 {
 			opts.RebuildThreshold = -1
 		}
+		// Cross-evaluator oracle: alternate which side runs on compiled
+		// plans and which on the interpreter, so plan ≡ interpreter is
+		// asserted through the whole repair pipeline (not just EvalQuery).
+		opts.Run.NoPlan = d.byte()%2 == 0
+		oracleOpts := pt.Options{MaxNodes: fuzzBudget, Cache: pt.CacheQueries, NoPlan: !opts.Run.NoPlan}
 		v, err := incr.NewView(context.Background(), tr, oracle.Clone(), opts)
 		if err != nil {
 			t.Skip() // decoded workload outgrew the budget at birth
@@ -171,7 +211,7 @@ func FuzzIncrementalEval(f *testing.F) {
 			if _, err := oracle.Apply(dl); err != nil {
 				t.Fatalf("step %d: oracle apply: %v", i, err)
 			}
-			ores, oerr := tr.Run(oracle, pt.Options{MaxNodes: fuzzBudget, Cache: pt.CacheQueries})
+			ores, oerr := tr.Run(oracle, oracleOpts)
 			if applyErr != nil {
 				if oerr == nil {
 					t.Fatalf("step %d: view failed (%v) but oracle ran fine on %s", i, applyErr, dl)

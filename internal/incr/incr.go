@@ -311,6 +311,9 @@ func addPath(rep *Report, path string) {
 func (v *View) repair(ctx context.Context, dirty map[ruleKey]bool, rep *Report) error {
 	ctl := runctl.New(ctx, runctl.Limits{})
 	base := eval.NewEnv(v.inst).WithControl(ctl)
+	if v.opts.Run.NoPlan {
+		base = base.WithoutPlanner()
+	}
 	anc := make(map[string]bool)
 	fresh := make(map[*xmltree.Node]bool)
 	var pending []pt.PendingConfig

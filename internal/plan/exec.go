@@ -1,0 +1,811 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"ptx/internal/logic"
+	"ptx/internal/relation"
+	"ptx/internal/runctl"
+	"ptx/internal/value"
+)
+
+// exec is the transient state of one plan evaluation: the environment,
+// the active domain, the overlay of fixpoint stage relations shadowing
+// the environment, and a per-evaluation value interner so join keys and
+// dedup sets hash dense 4-byte ids instead of length-prefixed strings.
+type exec struct {
+	env     Env
+	ctl     *runctl.Controller
+	adom    []value.V
+	overlay map[string]*relation.Relation
+	in      *value.Interner
+	kbuf    []byte
+}
+
+func (x *exec) lookup(name string) (*relation.Relation, bool) {
+	if r, ok := x.overlay[name]; ok {
+		return r, true
+	}
+	return x.env.Lookup(name)
+}
+
+// key packs a tuple into interned ids; equal tuples of equal arity get
+// equal keys within one execution.
+func (x *exec) key(t value.Tuple) string {
+	x.kbuf = x.in.AppendTupleID(x.kbuf[:0], t)
+	return string(x.kbuf)
+}
+
+// bset is a deduplicated set of assignments over a fixed variable order.
+// Rows are owned by the set once added and never mutated afterwards, so
+// derived sets may share them.
+type bset struct {
+	vars []logic.Var
+	rows []value.Tuple
+	keys map[string]struct{}
+}
+
+func newBset(vars []logic.Var) *bset {
+	return &bset{vars: vars, keys: make(map[string]struct{})}
+}
+
+func (b *bset) add(x *exec, t value.Tuple) {
+	k := x.key(t)
+	if _, ok := b.keys[k]; ok {
+		return
+	}
+	b.keys[k] = struct{}{}
+	b.rows = append(b.rows, t)
+}
+
+func unitBset(x *exec) *bset {
+	b := newBset(nil)
+	b.add(x, value.Tuple{})
+	return b
+}
+
+// join hash-joins two binding sets on their shared variables; output
+// variables are l's followed by r's new ones.
+func (x *exec) join(l, r *bset) (*bset, error) {
+	lIdx := varIndex(l.vars)
+	var sharedL, sharedR, rOnlyCols []int
+	var rOnly []logic.Var
+	for i, v := range r.vars {
+		if li, ok := lIdx[v]; ok {
+			sharedL = append(sharedL, li)
+			sharedR = append(sharedR, i)
+		} else {
+			rOnly = append(rOnly, v)
+			rOnlyCols = append(rOnlyCols, i)
+		}
+	}
+	outVars := make([]logic.Var, 0, len(l.vars)+len(rOnly))
+	outVars = append(outVars, l.vars...)
+	outVars = append(outVars, rOnly...)
+	out := newBset(outVars)
+
+	build := make(map[string][]value.Tuple, len(r.rows))
+	var kb []byte
+	for _, rt := range r.rows {
+		kb = kb[:0]
+		for _, c := range sharedR {
+			kb = x.in.AppendID(kb, rt[c])
+		}
+		build[string(kb)] = append(build[string(kb)], rt)
+	}
+	for _, lt := range l.rows {
+		if err := x.ctl.Tick(); err != nil {
+			return nil, err
+		}
+		kb = kb[:0]
+		for _, c := range sharedL {
+			kb = x.in.AppendID(kb, lt[c])
+		}
+		for _, rt := range build[string(kb)] {
+			row := make(value.Tuple, 0, len(outVars))
+			row = append(row, lt...)
+			for _, c := range rOnlyCols {
+				row = append(row, rt[c])
+			}
+			out.add(x, row)
+		}
+	}
+	return out, nil
+}
+
+// expand extends every row with all assignments of the missing
+// variables over the active domain (adom^|missing| per row).
+func (x *exec) expand(b *bset, missing []logic.Var) (*bset, error) {
+	if len(missing) == 0 {
+		return b, nil
+	}
+	outVars := make([]logic.Var, 0, len(b.vars)+len(missing))
+	outVars = append(outVars, b.vars...)
+	outVars = append(outVars, missing...)
+	out := newBset(outVars)
+	row := make(value.Tuple, len(outVars))
+	base := len(b.vars)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(missing) {
+			if err := x.ctl.Tick(); err != nil {
+				return err
+			}
+			out.add(x, row.Clone())
+			return nil
+		}
+		for _, d := range x.adom {
+			row[base+i] = d
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range b.rows {
+		copy(row, t)
+		if err := rec(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// complement returns adom^k minus b, over the same variables.
+func (x *exec) complement(b *bset) (*bset, error) {
+	out := newBset(b.vars)
+	k := len(b.vars)
+	cand := make(value.Tuple, k)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == k {
+			if err := x.ctl.Tick(); err != nil {
+				return err
+			}
+			if _, hit := b.keys[x.key(cand)]; !hit {
+				out.add(x, cand.Clone())
+			}
+			return nil
+		}
+		for _, d := range x.adom {
+			cand[i] = d
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// project restricts/reorders b to out via the given columns.
+func (x *exec) project(b *bset, cols []int, out []logic.Var) *bset {
+	nb := newBset(out)
+	for _, t := range b.rows {
+		row := make(value.Tuple, len(cols))
+		for i, c := range cols {
+			row[i] = t[c]
+		}
+		nb.add(x, row)
+	}
+	return nb
+}
+
+// ---------------------------------------------------------------- nUnit
+
+// nUnit is ⊤: the single empty assignment.
+type nUnit struct{}
+
+func (*nUnit) vars() []logic.Var { return nil }
+
+func (*nUnit) exec(x *exec) (*bset, error) { return unitBset(x), nil }
+
+func (*nUnit) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	sb.WriteString("unit\n")
+}
+
+// nEmpty is ⊥: no assignments.
+type nEmpty struct{}
+
+func (*nEmpty) vars() []logic.Var { return nil }
+
+func (*nEmpty) exec(x *exec) (*bset, error) { return newBset(nil), nil }
+
+func (*nEmpty) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	sb.WriteString("empty\n")
+}
+
+// ---------------------------------------------------------------- nScan
+
+type constCheck struct {
+	pos int
+	v   value.V
+}
+
+// nScan reads one relation atom. Variable layout (first occurrences,
+// duplicate positions, constant checks) is resolved at compile time;
+// when the atom carries a constant, the scan goes through the
+// relation's secondary column index instead of the full extent.
+type nScan struct {
+	rel      string
+	atom     *logic.Atom
+	out      []logic.Var // distinct variables, first-occurrence order
+	varFirst []int       // out[i]'s column in the relation
+	dups     [][2]int    // (pos, firstPos) pairs that must agree
+	consts   []constCheck
+	constCol int // column driving the index lookup, -1 if none
+	constVal value.V
+}
+
+func (n *nScan) vars() []logic.Var { return n.out }
+
+func (n *nScan) exec(x *exec) (*bset, error) {
+	rel, ok := x.lookup(n.rel)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown relation %q in atom %s", n.rel, n.atom)
+	}
+	if rel.Arity() != len(n.atom.Args) {
+		return nil, fmt.Errorf("eval: atom %s has %d args but relation %q has arity %d",
+			n.atom, len(n.atom.Args), n.rel, rel.Arity())
+	}
+	var rows []value.Tuple
+	if n.constCol >= 0 {
+		rows = rel.Lookup(n.constCol, n.constVal)
+	} else {
+		rows = rel.Sorted()
+	}
+	out := newBset(n.out)
+	for _, t := range rows {
+		if err := x.ctl.Tick(); err != nil {
+			return nil, err
+		}
+		match := true
+		for _, c := range n.consts {
+			if t[c.pos] != c.v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for _, dp := range n.dups {
+			if t[dp[0]] != t[dp[1]] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		asg := make(value.Tuple, len(n.out))
+		for i, p := range n.varFirst {
+			asg[i] = t[p]
+		}
+		out.add(x, asg)
+	}
+	return out, nil
+}
+
+func (n *nScan) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "scan %s -> %s", n.atom, varList(n.out))
+	if n.constCol >= 0 {
+		fmt.Fprintf(sb, " [index col %d]", n.constCol)
+	}
+	sb.WriteString("\n")
+}
+
+// ---------------------------------------------------------------- nConj
+
+type fKind int
+
+const (
+	fEq fKind = iota
+	fNeq
+	fNot
+)
+
+// filter is an (in)equality or negation conjunct, applied to the bound
+// prefix as soon as its free variables are covered.
+type filter struct {
+	kind  fKind
+	l, r  logic.Term // fEq/fNeq
+	sub   node       // fNot: the negated operator (anti-join probe)
+	frees []logic.Var
+}
+
+func (f *filter) String() string {
+	switch f.kind {
+	case fEq:
+		return f.l.String() + "=" + f.r.String()
+	case fNeq:
+		return f.l.String() + "!=" + f.r.String()
+	}
+	return "not" + varList(f.frees)
+}
+
+// nConj joins its positive conjuncts greedily by actual cardinality
+// (smallest first, preferring joinable pairs over cross products) and
+// applies filters on bound prefixes the moment they are covered.
+// Filters still uncovered after all joins bind (for =) or expand over
+// the active domain (for ≠/¬) only the variables they mention.
+type nConj struct {
+	out       []logic.Var
+	positives []node
+	filters   []*filter
+}
+
+func (n *nConj) vars() []logic.Var { return n.out }
+
+func (n *nConj) exec(x *exec) (*bset, error) {
+	sets := make([]*bset, len(n.positives))
+	for i, p := range n.positives {
+		b, err := p.exec(x)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = b
+	}
+	applied := make([]bool, len(n.filters))
+	covered := func(cur *bset, f *filter) bool {
+		idx := varIndex(cur.vars)
+		for _, v := range f.frees {
+			if _, ok := idx[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	applyCovered := func(cur *bset) (*bset, error) {
+		for progress := true; progress; {
+			progress = false
+			for i, f := range n.filters {
+				if applied[i] || !covered(cur, f) {
+					continue
+				}
+				nb, err := x.applyFilter(cur, f)
+				if err != nil {
+					return nil, err
+				}
+				cur = nb
+				applied[i] = true
+				progress = true
+			}
+		}
+		return cur, nil
+	}
+
+	var cur *bset
+	used := make([]bool, len(sets))
+	remaining := len(sets)
+	if remaining == 0 {
+		cur = unitBset(x)
+	} else {
+		best := 0
+		for i := 1; i < len(sets); i++ {
+			if len(sets[i].rows) < len(sets[best].rows) {
+				best = i
+			}
+		}
+		cur = sets[best]
+		used[best] = true
+		remaining--
+	}
+	var err error
+	if cur, err = applyCovered(cur); err != nil {
+		return nil, err
+	}
+	for ; remaining > 0; remaining-- {
+		curIdx := varIndex(cur.vars)
+		best, bestShares := -1, false
+		for i := range sets {
+			if used[i] {
+				continue
+			}
+			shares := false
+			for _, v := range sets[i].vars {
+				if _, ok := curIdx[v]; ok {
+					shares = true
+					break
+				}
+			}
+			if best < 0 || (shares && !bestShares) ||
+				(shares == bestShares && len(sets[i].rows) < len(sets[best].rows)) {
+				best, bestShares = i, shares
+			}
+		}
+		used[best] = true
+		if cur, err = x.join(cur, sets[best]); err != nil {
+			return nil, err
+		}
+		if cur, err = applyCovered(cur); err != nil {
+			return nil, err
+		}
+	}
+	// Filters over variables no positive conjunct binds: an equality
+	// binds its unbound side directly; ≠ and ¬ expand just the missing
+	// variables over the active domain and then filter.
+	for i, f := range n.filters {
+		if applied[i] {
+			continue
+		}
+		if f.kind == fEq {
+			if cur, err = x.coverEq(cur, f); err != nil {
+				return nil, err
+			}
+		} else {
+			miss := varsMissing(f.frees, cur.vars)
+			if cur, err = x.expand(cur, miss); err != nil {
+				return nil, err
+			}
+			if cur, err = x.applyFilter(cur, f); err != nil {
+				return nil, err
+			}
+		}
+		applied[i] = true
+	}
+	if varsEqual(cur.vars, n.out) {
+		return cur, nil
+	}
+	proj, err := projection(cur.vars, n.out)
+	if err != nil {
+		return nil, err
+	}
+	return x.project(cur, proj, n.out), nil
+}
+
+// applyFilter restricts cur by a covered filter.
+func (x *exec) applyFilter(cur *bset, f *filter) (*bset, error) {
+	idx := varIndex(cur.vars)
+	valOf := func(t logic.Term, row value.Tuple) value.V {
+		switch u := t.(type) {
+		case logic.Const:
+			return value.V(u)
+		case logic.Var:
+			return row[idx[u]]
+		}
+		panic(fmt.Sprintf("plan: unknown term %T", f.l))
+	}
+	switch f.kind {
+	case fEq, fNeq:
+		want := f.kind == fEq
+		out := newBset(cur.vars)
+		for _, row := range cur.rows {
+			if (valOf(f.l, row) == valOf(f.r, row)) == want {
+				out.add(x, row)
+			}
+		}
+		return out, nil
+	case fNot:
+		sub, err := f.sub.exec(x)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.vars) == 0 {
+			// Sentence: ¬g drops everything when g holds.
+			if len(sub.rows) == 0 {
+				return cur, nil
+			}
+			return newBset(cur.vars), nil
+		}
+		cols := make([]int, len(sub.vars))
+		for i, v := range sub.vars {
+			cols[i] = idx[v]
+		}
+		out := newBset(cur.vars)
+		probe := make(value.Tuple, len(cols))
+		for _, row := range cur.rows {
+			for i, c := range cols {
+				probe[i] = row[c]
+			}
+			if _, hit := sub.keys[x.key(probe)]; !hit {
+				out.add(x, row)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("plan: unknown filter kind %d", f.kind)
+}
+
+// coverEq makes an equality's terms bound — binding an unbound variable
+// to the other side's value where possible, expanding over the active
+// domain only for x=x or when both sides are unbound variables — and
+// then applies the filter.
+func (x *exec) coverEq(cur *bset, f *filter) (*bset, error) {
+	for {
+		idx := varIndex(cur.vars)
+		isBound := func(t logic.Term) bool {
+			v, isVar := t.(logic.Var)
+			if !isVar {
+				return true
+			}
+			_, ok := idx[v]
+			return ok
+		}
+		lb, rb := isBound(f.l), isBound(f.r)
+		if lb && rb {
+			return x.applyFilter(cur, f)
+		}
+		if lb != rb {
+			var uv logic.Var
+			var src logic.Term
+			if lb {
+				uv, src = f.r.(logic.Var), f.l
+			} else {
+				uv, src = f.l.(logic.Var), f.r
+			}
+			outVars := make([]logic.Var, 0, len(cur.vars)+1)
+			outVars = append(outVars, cur.vars...)
+			outVars = append(outVars, uv)
+			out := newBset(outVars)
+			for _, row := range cur.rows {
+				var v value.V
+				switch u := src.(type) {
+				case logic.Const:
+					v = value.V(u)
+				case logic.Var:
+					v = row[idx[u]]
+				}
+				nr := make(value.Tuple, 0, len(row)+1)
+				nr = append(nr, row...)
+				nr = append(nr, v)
+				out.add(x, nr)
+			}
+			cur = out
+			continue
+		}
+		// Both sides are unbound variables (x=x or x=y): expand the left
+		// over the active domain; the next round binds the right.
+		var err error
+		if cur, err = x.expand(cur, []logic.Var{f.l.(logic.Var)}); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (n *nConj) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "conj -> %s", varList(n.out))
+	if len(n.filters) > 0 {
+		parts := make([]string, len(n.filters))
+		for i, f := range n.filters {
+			parts[i] = f.String()
+		}
+		fmt.Fprintf(sb, " filters[%s]", strings.Join(parts, " "))
+	}
+	sb.WriteString("\n")
+	for _, p := range n.positives {
+		p.explain(sb, d+1)
+	}
+	for _, f := range n.filters {
+		if f.sub != nil {
+			f.sub.explain(sb, d+1)
+		}
+	}
+}
+
+// --------------------------------------------------------------- nUnion
+
+// nUnion expands both children to the union of their variables over
+// the active domain, aligns columns and merges.
+type nUnion struct {
+	out          []logic.Var
+	l, r         node
+	lMiss, rMiss []logic.Var
+	lProj, rProj []int
+}
+
+func (n *nUnion) vars() []logic.Var { return n.out }
+
+func (n *nUnion) exec(x *exec) (*bset, error) {
+	out := newBset(n.out)
+	for _, side := range []struct {
+		child node
+		miss  []logic.Var
+		proj  []int
+	}{{n.l, n.lMiss, n.lProj}, {n.r, n.rMiss, n.rProj}} {
+		b, err := side.child.exec(x)
+		if err != nil {
+			return nil, err
+		}
+		if b, err = x.expand(b, side.miss); err != nil {
+			return nil, err
+		}
+		for _, t := range b.rows {
+			row := make(value.Tuple, len(side.proj))
+			for i, c := range side.proj {
+				row[i] = t[c]
+			}
+			out.add(x, row)
+		}
+	}
+	return out, nil
+}
+
+func (n *nUnion) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "union -> %s\n", varList(n.out))
+	n.l.explain(sb, d+1)
+	n.r.explain(sb, d+1)
+}
+
+// -------------------------------------------------------------- nProject
+
+// nProject drops existentially bound variables. vacuous marks an ∃
+// whose bound variables do not all occur in the child: those still
+// range over the active domain, so over an EMPTY domain the result is
+// empty even when the child holds (with a nonempty domain, expanding
+// the missing vars and dropping them again is the identity).
+type nProject struct {
+	out     []logic.Var
+	child   node
+	cols    []int
+	vacuous bool
+}
+
+func (n *nProject) vars() []logic.Var { return n.out }
+
+func (n *nProject) exec(x *exec) (*bset, error) {
+	b, err := n.child.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	if n.vacuous && len(x.adom) == 0 {
+		return newBset(n.out), nil
+	}
+	return x.project(b, n.cols, n.out), nil
+}
+
+func (n *nProject) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "project -> %s\n", varList(n.out))
+	n.child.explain(sb, d+1)
+}
+
+// ----------------------------------------------------------- nComplement
+
+// nComplement is adom^k minus the child — in NNF it appears only over
+// atoms and fixpoints, so k is an atom's variable count.
+type nComplement struct {
+	child node
+}
+
+func (n *nComplement) vars() []logic.Var { return n.child.vars() }
+
+func (n *nComplement) exec(x *exec) (*bset, error) {
+	b, err := n.child.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	return x.complement(b)
+}
+
+func (n *nComplement) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "complement -> %s\n", varList(n.vars()))
+	n.child.explain(sb, d+1)
+}
+
+// --------------------------------------------------------------- nForall
+
+// nForall computes ∀x̄ φ as ¬∃x̄ ¬φ: the inner operator is the compiled
+// NNF(¬φ), expanded so the bound variables range over the active domain
+// (the vacuous-quantification case over an empty domain), projected down
+// to the formula's free variables and complemented.
+type nForall struct {
+	out       []logic.Var
+	inner     node
+	boundMiss []logic.Var // bound vars absent from inner's bindings
+	exProj    []int       // drops the bound vars after expansion
+	exVars    []logic.Var
+	miss      []logic.Var // out vars absent after the ∃ projection
+	proj      []int
+}
+
+func (n *nForall) vars() []logic.Var { return n.out }
+
+func (n *nForall) exec(x *exec) (*bset, error) {
+	b, err := n.inner.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	if b, err = x.expand(b, n.boundMiss); err != nil {
+		return nil, err
+	}
+	b = x.project(b, n.exProj, n.exVars)
+	if b, err = x.expand(b, n.miss); err != nil {
+		return nil, err
+	}
+	b = x.project(b, n.proj, n.out)
+	return x.complement(b)
+}
+
+func (n *nForall) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "forall -> %s\n", varList(n.out))
+	n.inner.explain(sb, d+1)
+}
+
+// ------------------------------------------------------------- nFixpoint
+
+// nFixpoint iterates its compiled body against a growing stage relation
+// (inflationary µ⁺ semantics) and then scans the stage applied to the
+// fixpoint's argument terms. The body is compiled once; each iteration
+// re-executes it with the stage shadowing the recursion relation.
+type nFixpoint struct {
+	rel      string
+	fvars    []logic.Var
+	body     node
+	bodyMiss []logic.Var
+	bodyProj []int
+	apply    *nScan
+}
+
+func (n *nFixpoint) vars() []logic.Var { return n.apply.out }
+
+func (n *nFixpoint) exec(x *exec) (*bset, error) {
+	stage := relation.New(len(n.fvars))
+	saved, had := x.overlay[n.rel]
+	x.overlay[n.rel] = stage
+	defer func() {
+		if had {
+			x.overlay[n.rel] = saved
+		} else {
+			delete(x.overlay, n.rel)
+		}
+	}()
+	row := make(value.Tuple, len(n.fvars))
+	for iter := 1; ; iter++ {
+		// Termination over the finite active domain is guaranteed, but
+		// the iteration count is only bounded by |adom|^k — enforce the
+		// budget and the deadline here.
+		if err := x.ctl.FixpointIter(iter); err != nil {
+			return nil, err
+		}
+		b, err := n.body.exec(x)
+		if err != nil {
+			return nil, err
+		}
+		if b, err = x.expand(b, n.bodyMiss); err != nil {
+			return nil, err
+		}
+		grew := false
+		for _, t := range b.rows {
+			for i, c := range n.bodyProj {
+				row[i] = t[c]
+			}
+			if stage.Insert(row) {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return n.apply.exec(x)
+}
+
+func (n *nFixpoint) explain(sb *strings.Builder, d int) {
+	indent(sb, d)
+	fmt.Fprintf(sb, "fixpoint %s%s -> %s\n", n.rel, varList(n.fvars), varList(n.apply.out))
+	n.body.explain(sb, d+1)
+}
+
+func varsEqual(a, b []logic.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -66,6 +66,21 @@ type Options struct {
 	// cumulative counters, which with a shared memo include other runs'
 	// traffic.
 	Memo *eval.Memo
+	// NoPlan disables the compiled-query-plan fast path: every rule
+	// query runs on the optimized interpreter instead (eval.Env
+	// WithoutPlanner). Escape hatch surfaced as -plan=off in the CLIs;
+	// results are identical either way.
+	NoPlan bool
+}
+
+// baseEnv builds the run's root evaluation environment over inst,
+// honoring the NoPlan escape hatch.
+func (o Options) baseEnv(inst *relation.Instance, ctl *runctl.Controller) *eval.Env {
+	env := eval.NewEnv(inst).WithControl(ctl)
+	if o.NoPlan {
+		env = env.WithoutPlanner()
+	}
+	return env
 }
 
 // limits merges the flat Options fields into the optional Limits set.
@@ -213,7 +228,7 @@ func (t *Transducer) RunContext(ctx context.Context, inst *relation.Instance, op
 	}
 	r := &runner{
 		t:      t,
-		base:   eval.NewEnv(inst).WithControl(ctl),
+		base:   opts.baseEnv(inst, ctl),
 		opts:   opts,
 		ctl:    ctl,
 		cancel: cancel,

@@ -121,7 +121,7 @@ func (t *Transducer) restore(ctx context.Context, inst *relation.Instance, opts 
 	}
 	s := &StepRun{
 		t:        t,
-		base:     eval.NewEnv(inst).WithControl(ctl),
+		base:     opts.baseEnv(inst, ctl),
 		ctl:      ctl,
 		cancel:   cancel,
 		mode:     mode,

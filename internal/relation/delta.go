@@ -130,8 +130,9 @@ func (d *Delta) String() string {
 
 // Insert adds t to the relation and reports whether the relation changed
 // (false when the tuple was already present). A change invalidates the
-// cached fingerprint, so a post-mutation Key() never reuses a stale
-// rendering.
+// cached fingerprint, sorted order, active domain and columnar layout —
+// so a post-mutation Key() or Sorted() never reuses a stale rendering —
+// and incrementally maintains every built secondary index.
 func (r *Relation) Insert(t value.Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: arity mismatch: tuple %v into arity-%d relation", t, r.arity))
@@ -140,19 +141,23 @@ func (r *Relation) Insert(t value.Tuple) bool {
 	if _, ok := r.tuples[k]; ok {
 		return false
 	}
-	r.tuples[k] = t.Clone()
-	r.fp.Store(nil)
+	c := t.Clone()
+	r.tuples[k] = c
+	r.indexInsert(c)
+	r.touch()
 	return true
 }
 
 // Delete removes t from the relation and reports whether it was present.
 func (r *Relation) Delete(t value.Tuple) bool {
 	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
+	old, ok := r.tuples[k]
+	if !ok {
 		return false
 	}
 	delete(r.tuples, k)
-	r.fp.Store(nil)
+	r.indexDelete(old)
+	r.touch()
 	return true
 }
 

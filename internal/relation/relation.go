@@ -18,15 +18,51 @@ import (
 )
 
 // Relation is a finite set of tuples of a fixed arity.
+//
+// Alongside the tuple store the relation maintains four lazily built,
+// mutation-invalidated acceleration structures: the canonical
+// fingerprint (Key), the canonical sorted order (Sorted/Tuples/Each),
+// the active domain (ActiveDomain) and a columnar copy of the sorted
+// order (Columns). They are atomic so that concurrent READERS (e.g.
+// parallel transducer workers evaluating over a shared register) are
+// race-free; mutation is not concurrency-safe, as for the rest of the
+// type. Secondary column→tuples indexes (Lookup) follow the same
+// contract and are maintained incrementally by every mutator,
+// including deltas applied through Instance.Apply.
 type Relation struct {
 	arity  int
 	tuples map[string]value.Tuple
-	// fp caches the canonical fingerprint of Key. Mutators clear it; a
-	// nil pointer means "not computed". It is atomic so that concurrent
-	// READERS (e.g. parallel transducer workers fingerprinting a shared
-	// register) are race-free; mutation is not concurrency-safe, as for
-	// the rest of the type.
+	// fp caches the canonical fingerprint of Key; nil means "not
+	// computed". Mutators clear it.
 	fp atomic.Pointer[string]
+	// sorted caches the canonical iteration order so Tuples/Each stop
+	// re-sorting per call; the cached slice is shared and never mutated
+	// after publication.
+	sorted atomic.Pointer[[]value.Tuple]
+	// adom caches ActiveDomain.
+	adom atomic.Pointer[[]value.V]
+	// cols caches the columnar layout of the sorted order.
+	cols atomic.Pointer[[][]value.V]
+	// idx holds the per-column secondary indexes that have been built
+	// (nil slots = column not indexed yet). Readers build missing
+	// columns copy-on-write and publish with CompareAndSwap; mutators
+	// update built columns in place (mutation excludes readers).
+	idx atomic.Pointer[colIndex]
+}
+
+// colIndex is the secondary-index set: one value→tuples map per
+// indexed column.
+type colIndex struct {
+	cols []map[value.V][]value.Tuple
+}
+
+// touch invalidates every derived structure after a mutation except
+// the secondary indexes, which mutators maintain incrementally.
+func (r *Relation) touch() {
+	r.fp.Store(nil)
+	r.sorted.Store(nil)
+	r.adom.Store(nil)
+	r.cols.Store(nil)
 }
 
 // New returns an empty relation of the given arity.
@@ -73,13 +109,50 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // Empty reports whether the relation has no tuples.
 func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
 
-// Add inserts t, which must match the relation's arity.
+// Add inserts t, which must match the relation's arity. Adding a tuple
+// that is already present is a no-op and keeps every cached structure
+// valid.
 func (r *Relation) Add(t value.Tuple) {
-	if len(t) != r.arity {
-		panic(fmt.Sprintf("relation: arity mismatch: tuple %v into arity-%d relation", t, r.arity))
+	r.Insert(t)
+}
+
+// indexInsert appends t to every built column index.
+func (r *Relation) indexInsert(t value.Tuple) {
+	ix := r.idx.Load()
+	if ix == nil {
+		return
 	}
-	r.tuples[t.Key()] = t.Clone()
-	r.fp.Store(nil)
+	for c, m := range ix.cols {
+		if m != nil {
+			m[t[c]] = append(m[t[c]], t)
+		}
+	}
+}
+
+// indexDelete removes t from every built column index.
+func (r *Relation) indexDelete(t value.Tuple) {
+	ix := r.idx.Load()
+	if ix == nil {
+		return
+	}
+	for c, m := range ix.cols {
+		if m == nil {
+			continue
+		}
+		bucket := m[t[c]]
+		for i, bt := range bucket {
+			if value.Equal(bt, t) {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(m, t[c])
+		} else {
+			m[t[c]] = bucket
+		}
+	}
 }
 
 // Key returns a canonical fingerprint of the relation: an injective
@@ -125,26 +198,98 @@ func (r *Relation) Contains(t value.Tuple) bool {
 
 // Remove deletes t if present.
 func (r *Relation) Remove(t value.Tuple) {
-	delete(r.tuples, t.Key())
-	r.fp.Store(nil)
+	r.Delete(t)
 }
 
-// Tuples returns all tuples in the canonical sorted order.
-func (r *Relation) Tuples() []value.Tuple {
+// Sorted returns the tuples in the canonical sorted order. The slice
+// is cached until the next mutation and shared between callers: it
+// must be treated as immutable. Use Tuples for a private copy.
+func (r *Relation) Sorted() []value.Tuple {
+	if p := r.sorted.Load(); p != nil {
+		return *p
+	}
 	out := make([]value.Tuple, 0, len(r.tuples))
 	for _, t := range r.tuples {
 		out = append(out, t)
 	}
 	value.SortTuples(out)
+	r.sorted.Store(&out)
+	return out
+}
+
+// Tuples returns a fresh slice of all tuples in the canonical sorted
+// order. The sort itself is cached (see Sorted); only the slice header
+// array is copied, so callers may append or reorder freely.
+func (r *Relation) Tuples() []value.Tuple {
+	s := r.Sorted()
+	out := make([]value.Tuple, len(s))
+	copy(out, s)
 	return out
 }
 
 // Each calls f for every tuple in sorted order; it stops early if f
 // returns false.
 func (r *Relation) Each(f func(value.Tuple) bool) {
-	for _, t := range r.Tuples() {
+	for _, t := range r.Sorted() {
 		if !f(t) {
 			return
+		}
+	}
+}
+
+// Columns returns the relation's tuples in columnar layout: one slice
+// per column, rows aligned with Sorted. The layout is cached until the
+// next mutation and shared between callers; it must be treated as
+// immutable. Column-major scans touch only the bytes a predicate
+// needs, which is what the compiled-plan executor's constant filters
+// iterate.
+func (r *Relation) Columns() [][]value.V {
+	if p := r.cols.Load(); p != nil {
+		return *p
+	}
+	s := r.Sorted()
+	out := make([][]value.V, r.arity)
+	for c := range out {
+		col := make([]value.V, len(s))
+		for i, t := range s {
+			col[i] = t[c]
+		}
+		out[c] = col
+	}
+	r.cols.Store(&out)
+	return out
+}
+
+// Lookup returns the tuples whose column col equals v, backed by a
+// secondary column→tuples index. The index for col is built on first
+// use and maintained incrementally by every mutator (Add, Remove,
+// Insert, Delete, UnionWith — and therefore by deltas applied through
+// Instance.Apply), so repeated lookups after small deltas never
+// re-scan the relation. The returned slice is shared with the index
+// and must not be modified; its order is unspecified.
+func (r *Relation) Lookup(col int, v value.V) []value.Tuple {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation: lookup column %d out of range for arity %d", col, r.arity))
+	}
+	for {
+		ix := r.idx.Load()
+		if ix != nil && ix.cols[col] != nil {
+			return ix.cols[col][v]
+		}
+		// Build the missing column copy-on-write and publish; a racing
+		// reader building the same column loses the CAS and retries
+		// (the published index is immutable from a reader's view).
+		ni := &colIndex{cols: make([]map[value.V][]value.Tuple, r.arity)}
+		if ix != nil {
+			copy(ni.cols, ix.cols)
+		}
+		m := make(map[value.V][]value.Tuple, len(r.tuples))
+		for _, t := range r.tuples {
+			m[t[col]] = append(m[t[col]], t)
+		}
+		ni.cols[col] = m
+		if r.idx.CompareAndSwap(ix, ni) {
+			return m[v]
 		}
 	}
 }
@@ -202,12 +347,14 @@ func (r *Relation) UnionWith(o *Relation) bool {
 	grew := false
 	for k, t := range o.tuples {
 		if _, ok := r.tuples[k]; !ok {
-			r.tuples[k] = t.Clone()
+			c := t.Clone()
+			r.tuples[k] = c
+			r.indexInsert(c)
 			grew = true
 		}
 	}
 	if grew {
-		r.fp.Store(nil)
+		r.touch()
 	}
 	return grew
 }
@@ -295,8 +442,13 @@ func (r *Relation) SelectEqConst(i int, v value.V) *Relation {
 	return r.Select(func(t value.Tuple) bool { return t[i] == v })
 }
 
-// ActiveDomain returns the sorted set of values occurring in r.
+// ActiveDomain returns the sorted set of values occurring in r. The
+// result is cached until the next mutation and shared between callers;
+// it must be treated as immutable.
 func (r *Relation) ActiveDomain() []value.V {
+	if p := r.adom.Load(); p != nil {
+		return *p
+	}
 	seen := make(map[value.V]bool)
 	for _, t := range r.tuples {
 		for _, v := range t {
@@ -308,6 +460,7 @@ func (r *Relation) ActiveDomain() []value.V {
 		out = append(out, v)
 	}
 	value.SortValues(out)
+	r.adom.Store(&out)
 	return out
 }
 
