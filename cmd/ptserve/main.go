@@ -38,6 +38,12 @@
 // URL the coordinator should dial back, defaulting to the listen
 // address — set it when the node sits behind NAT or a hostname).
 //
+// -store-dir also makes mutations DURABLE (cluster or standalone): a
+// write-ahead log under DIR/wal records every accepted delta,
+// appended and fsynced before the /mutate ack, and a restart replays
+// it — acknowledged deltas survive the process. Startup prints the
+// recovery report; inspect a log offline with ptxml -delta DIR/wal.
+//
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
 package main
 
@@ -53,11 +59,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ptx/internal/serve"
 	"ptx/internal/supervise"
+	"ptx/internal/wal"
 )
 
 func main() {
@@ -111,6 +119,24 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			return 1
 		}
 		store = ds
+		// The durable mutation log lives beside the checkpoint store:
+		// every accepted delta is appended+fsynced before its ack, and a
+		// restart replays the log here so the first publish already
+		// serves post-delta bytes. Recovery is loud about damage — torn
+		// tails and bit-flips are healed by truncation but reported.
+		wlog, err := wal.Open(filepath.Join(*storeDir, "wal"), wal.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "ptserve:", err)
+			return 1
+		}
+		defer wlog.Close()
+		replayed := reg.AttachWAL(wlog)
+		rep := wlog.Report()
+		fmt.Fprintf(stdout, "ptserve: wal: %d records recovered (%d segments), %d replayed\n",
+			rep.Records, rep.Segments, replayed)
+		for _, c := range rep.Corruptions {
+			fmt.Fprintf(stderr, "ptserve: wal: recovered past corruption: %v\n", c)
+		}
 	}
 	s, err := serve.New(serve.Config{
 		Registry:       reg,

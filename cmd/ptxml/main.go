@@ -19,6 +19,16 @@
 // to a fresh run over the mutated database (the engine's differential
 // suite proves that equality). -stats adds a per-delta repair line.
 //
+// -delta also reads a server's write-ahead log directly: point it at a
+// WAL directory (ptserve -store-dir's wal/ subdirectory) or a single
+// segment file (sniffed by the "ptx-wal v1" magic) and the committed
+// records replay offline, one repair per record, in log order — the
+// same view of history a recovering server serves. -db filters the
+// replay to one database's records; deltas outside the spec's schema
+// are skipped either way, mirroring the server's replay. A corrupt
+// segment (bit-flip, torn tail) is a typed diagnosis and exit 1:
+// offline inspection fails loudly where the live recovery path heals.
+//
 // With -retries, -checkpoint or -resume the run goes through the
 // supervision layer (internal/supervise): transient failures — budget
 // exhaustion, deadline expiry, contained panics — are retried with
@@ -34,12 +44,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"ptx/internal/incr"
@@ -48,6 +60,7 @@ import (
 	"ptx/internal/relation"
 	"ptx/internal/runctl"
 	"ptx/internal/supervise"
+	"ptx/internal/wal"
 )
 
 func main() {
@@ -73,7 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpointPath := fs.String("checkpoint", "", "write a resumable checkpoint to FILE when the run fails")
 	resumePath := fs.String("resume", "", "resume from a checkpoint FILE instead of starting fresh")
 	inject := fs.String("inject", "", "test aid: fail the Nth operation; format op:N:transient|permanent|internal (ops: query, node, eval)")
-	deltaPath := fs.String("delta", "", "replay a delta script (+fact/-fact/commit lines) through the incremental engine and print the final document")
+	deltaPath := fs.String("delta", "", "replay a delta script (+fact/-fact/commit lines) or a WAL directory/segment through the incremental engine and print the final document")
+	deltaDB := fs.String("db", "", "with -delta on a WAL: replay only this database's records")
 	planFlag := fs.String("plan", "on", "compiled query plans: on or off (off = optimized interpreter, escape hatch)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,7 +147,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ptxml: -delta cannot be combined with -retries, -checkpoint or -resume")
 			return 2
 		}
-		return runDelta(tr, inst, opts, *deltaPath, *canonical, *stats, stdout, stderr)
+		return runDelta(tr, inst, opts, *deltaPath, *deltaDB, *canonical, *stats, stdout, stderr)
+	}
+	if *deltaDB != "" {
+		fmt.Fprintln(stderr, "ptxml: -db requires -delta")
+		return 2
 	}
 
 	var res *pt.Result
@@ -176,19 +194,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runDelta builds the document as a live view and replays a delta
-// script against it, one incremental repair per commit-separated
-// batch. The printed document is the view's final state, which the
-// incremental engine keeps byte-identical to a full rebuild of the
-// mutated database.
-func runDelta(tr *pt.Transducer, inst *relation.Instance, opts pt.Options, path string, canonical, stats bool, stdout, stderr io.Writer) int {
-	script, err := os.ReadFile(path)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	deltas, err := parser.ParseDeltaScript(string(script), tr.Schema)
-	if err != nil {
-		return fail(stderr, err)
+// runDelta builds the document as a live view and replays deltas
+// against it — from a +fact/-fact/commit script (one repair per
+// commit-separated batch) or straight from a server's WAL (one repair
+// per committed record). The printed document is the view's final
+// state, which the incremental engine keeps byte-identical to a full
+// rebuild of the mutated database.
+func runDelta(tr *pt.Transducer, inst *relation.Instance, opts pt.Options, path, dbFilter string, canonical, stats bool, stdout, stderr io.Writer) int {
+	deltas, code := loadDeltas(tr, path, dbFilter, stderr)
+	if code != 0 {
+		return code
 	}
 	start := time.Now()
 	v, err := incr.NewView(context.Background(), tr, inst, incr.Options{Run: opts})
@@ -221,6 +236,63 @@ func runDelta(tr *pt.Transducer, inst *relation.Instance, opts pt.Options, path 
 			len(deltas), version, s.Nodes, s.QueriesTotal, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// loadDeltas resolves the -delta argument: a WAL directory, a single
+// WAL segment (sniffed by magic), or a delta script. WAL records are
+// replayed in log order; schema-rejected deltas are skipped exactly
+// like the server's own recovery replay (they belong to relations this
+// spec does not publish), and -db narrows the replay to one database.
+// The nonzero return is the exit code on failure.
+func loadDeltas(tr *pt.Transducer, path, dbFilter string, stderr io.Writer) ([]*relation.Delta, int) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fail(stderr, err)
+	}
+	var recs []wal.Record
+	if fi.IsDir() {
+		var rep wal.RecoveryReport
+		recs, rep, err = wal.ReadDir(path)
+		if err != nil {
+			return nil, fail(stderr, err)
+		}
+		if len(rep.Corruptions) > 0 {
+			for _, c := range rep.Corruptions {
+				fmt.Fprintln(stderr, "ptxml: corrupt WAL:", c)
+			}
+			return nil, 1
+		}
+	} else {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fail(stderr, err)
+		}
+		if !bytes.HasPrefix(data, []byte(wal.Magic)) {
+			// Not a WAL segment: the original delta-script path.
+			deltas, err := parser.ParseDeltaScript(string(data), tr.Schema)
+			if err != nil {
+				return nil, fail(stderr, err)
+			}
+			return deltas, 0
+		}
+		var cerr *wal.CorruptError
+		recs, _, cerr = wal.DecodeSegment(filepath.Base(path), data)
+		if cerr != nil {
+			fmt.Fprintln(stderr, "ptxml: corrupt WAL:", cerr)
+			return nil, 1
+		}
+	}
+	deltas := make([]*relation.Delta, 0, len(recs))
+	for _, rec := range recs {
+		if dbFilter != "" && rec.DB != dbFilter {
+			continue
+		}
+		if rec.Delta.Validate(tr.Schema) != nil {
+			continue
+		}
+		deltas = append(deltas, rec.Delta)
+	}
+	return deltas, 0
 }
 
 // runSupervised routes the run through the supervision layer, loading

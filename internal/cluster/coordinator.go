@@ -9,6 +9,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -115,7 +116,18 @@ type Coordinator struct {
 	ring    *Ring
 	members map[string]*member
 	pairs   map[string][2]string // seen (spec, db) pairs, for warm hints
+	mutDBs  map[string]bool      // databases that have taken mutations
+	dbSeqs  map[string]uint64    // per-db ACKED sequence high-water marks
 	flights map[string]*coordFlight
+
+	// writeMu is the membership write barrier: mutations route under the
+	// read side, joins and up-transitions take the write side while the
+	// (re)joining node catches up on every mutated database's replicated
+	// log. No mutation can commit concurrently with a catch-up, so a
+	// node is only ever routable as a mutation owner when its log is a
+	// contiguous prefix of the cluster's — the invariant that keeps
+	// sequence numbers collision-free across failovers.
+	writeMu sync.RWMutex
 
 	// epoch is the cluster ownership epoch: bumped on every membership
 	// or health transition, stamped on every routed request, carried by
@@ -148,6 +160,8 @@ func New(cfg Config) *Coordinator {
 		ring:       NewRing(cfg.VNodes),
 		members:    make(map[string]*member),
 		pairs:      make(map[string][2]string),
+		mutDBs:     make(map[string]bool),
+		dbSeqs:     make(map[string]uint64),
 		flights:    make(map[string]*coordFlight),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -163,7 +177,13 @@ func New(cfg Config) *Coordinator {
 
 // Join registers (or re-registers) a worker node and probes it once
 // synchronously, so a node that joins ready serves the very next
-// request. Either way the epoch is bumped: membership changed.
+// request. A reachable node is caught up on every mutated database's
+// replicated log under the write barrier BEFORE it turns routable, and
+// only turns routable if the catch-up actually CONVERGED — its log must
+// reach the acked high-water mark of every mutated database, or it
+// stays down for the prober to retry (consistency over availability: a
+// stalled mutation beats a lost one). Either way the epoch is bumped:
+// membership changed.
 func (c *Coordinator) Join(id, url string) error {
 	if id == "" || url == "" {
 		return serve.Validationf("join", "missing id or url")
@@ -177,15 +197,133 @@ func (c *Coordinator) Join(id, url string) error {
 		c.ring.Add(id)
 	}
 	m.url = url
-	m.up = up
+	m.up = false
 	m.fails = 0
 	m.next = time.Time{}
-	c.epoch.Add(1)
 	c.mu.Unlock()
+	if up {
+		c.writeMu.Lock()
+		up = c.syncMember(id, url)
+		if up {
+			c.mu.Lock()
+			m.up = true
+			c.mu.Unlock()
+		}
+		c.writeMu.Unlock()
+	}
+	c.epoch.Add(1)
 	if up {
 		c.sendWarmHints(id, url)
 	}
 	return nil
+}
+
+// syncMember runs the join-time catch-up: for every database that has
+// taken mutations, the (re)joining node syncs bidirectionally (POST
+// node/sync) with EVERY up peer — the first peer in ring order may
+// itself be behind, so one pull is not convergence. The caller holds
+// writeMu, so no mutation commits while logs converge. It returns
+// whether the node's log reached every database's acked high-water
+// mark; a false return means some acked record is not yet on this node
+// (peers holding it unreachable, or the node's own WAL faulting) and
+// the node must NOT take ownership yet.
+func (c *Coordinator) syncMember(id, url string) bool {
+	c.mu.Lock()
+	want := make(map[string]uint64, len(c.mutDBs))
+	for db := range c.mutDBs {
+		want[db] = c.dbSeqs[db]
+	}
+	c.mu.Unlock()
+	converged := true
+	for db, hw := range want {
+		for _, m := range c.mutatePreference(db) {
+			if m.ID == id {
+				continue
+			}
+			c.postSync(url, db, m.URL)
+		}
+		if c.memberSeq(url, db) < hw {
+			converged = false
+		}
+	}
+	return converged
+}
+
+// postSync asks the node at url to run one bidirectional catch-up round
+// against peer for db. Best-effort: a failed round leaves convergence
+// to the remaining peers and the final high-water check.
+func (c *Coordinator) postSync(url, db, peer string) {
+	payload, err := json.Marshal(struct {
+		DB   string `json:"db"`
+		Peer string `json:"peer"`
+	}{db, peer})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, url+"/sync", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// memberSeq reads a node's committed sequence mark for db (0 on any
+// failure — an unreadable node is treated as maximally behind).
+func (c *Coordinator) memberSeq(nodeURL, db string) uint64 {
+	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodGet,
+		nodeURL+"/deltalog?db="+neturl.QueryEscape(db), nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var dl struct {
+		Seq uint64 `json:"seq"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&dl) != nil {
+		return 0
+	}
+	return dl.Seq
+}
+
+// recordAck advances a database's acked sequence high-water mark — the
+// convergence bar a rejoining node must clear before it can own
+// mutations again.
+func (c *Coordinator) recordAck(db string, seq uint64) {
+	c.mu.Lock()
+	if seq > c.dbSeqs[db] {
+		c.dbSeqs[db] = seq
+	}
+	c.mu.Unlock()
+}
+
+// mutatePreference snapshots the up members of a database's mutation
+// preference list. Mutations route by DATABASE alone — not (spec, db)
+// like publishes — so exactly one node assigns sequence numbers for a
+// database no matter how many specs publish it.
+func (c *Coordinator) mutatePreference(db string) []MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if db != "" && len(c.mutDBs) < 4096 {
+		c.mutDBs[db] = true
+	}
+	ids := c.ring.Prefer("mutate\x00"+db, len(c.members))
+	out := make([]MemberStatus, 0, len(ids))
+	for _, id := range ids {
+		if m := c.members[id]; m.up {
+			out = append(out, MemberStatus{ID: m.id, URL: m.url, Up: true})
+		}
+	}
+	return out
 }
 
 // Metrics snapshots the counters and membership.
@@ -243,8 +381,9 @@ func (c *Coordinator) Close() {
 }
 
 // Handler returns the coordinator's routes: POST /publish (routed),
-// POST /mutate (routed to the pair's owner, no failover — see
-// mutate.go), GET /watch (stream-proxied to the pair's owner),
+// POST /mutate (routed to the database's owner, which replicates to
+// its successors before acking — see mutate.go),
+// GET /watch (stream-proxied to the pair's owner),
 // POST /join ({"id":…,"url":…}), GET /healthz, GET /readyz.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -502,7 +641,13 @@ func (c *Coordinator) markDown(id string) {
 }
 
 // markUp transitions a member to up, bumps the epoch, and sends it
-// warm hints for the pairs it is about to own.
+// warm hints for the pairs it is about to own. The up-flip happens
+// under the write barrier AFTER the node catches up on the replicated
+// mutation logs — a recovered node re-enters rotation post-delta, never
+// with a stale log it could assign colliding sequence numbers from. A
+// node whose catch-up does not reach every database's acked high-water
+// mark stays down (with a probe backoff) and is retried: promoting it
+// would let it reassign sequence numbers acked deltas already hold.
 func (c *Coordinator) markUp(id string) {
 	c.mu.Lock()
 	m, ok := c.members[id]
@@ -518,13 +663,25 @@ func (c *Coordinator) markUp(id string) {
 		c.mu.Unlock()
 		return
 	}
-	m.up = true
-	m.fails = 0
-	m.next = time.Time{}
 	url := m.url
-	c.epoch.Add(1)
 	c.mu.Unlock()
-	c.sendWarmHints(id, url)
+
+	c.writeMu.Lock()
+	converged := c.syncMember(id, url)
+	c.mu.Lock()
+	if converged {
+		m.up = true
+		m.fails = 0
+		m.next = time.Time{}
+		c.epoch.Add(1)
+	} else {
+		m.next = time.Now().Add(c.cfg.ProbeInterval)
+	}
+	c.mu.Unlock()
+	c.writeMu.Unlock()
+	if converged {
+		c.sendWarmHints(id, url)
+	}
 }
 
 // sendWarmHints asynchronously primes a node's registry with every

@@ -1,0 +1,430 @@
+// The durability storm: the acceptance harness for "no acknowledged
+// delta is ever lost". Seeded mutators push unique two-op deltas
+// through the coordinator while a killer crashes worker nodes (WAL and
+// all) and restarts them from disk, and probabilistic crash points
+// inside the WAL fail appends before they become durable. Invariants:
+//
+//   - every delta acknowledged with 200 is present after every crash,
+//     restart, and failover — including a final rolling restart of the
+//     whole cluster from the on-disk logs alone;
+//   - a delta that only ever died at a pre-durable crash point
+//     (storage-kind errors on every attempt) is atomically absent;
+//   - no reader ever observes a torn delta: each two-op pair appears
+//     in a published document either whole or not at all;
+//   - the storm leaks zero goroutines.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ptx/internal/runctl"
+	"ptx/internal/serve"
+	"ptx/internal/testutil"
+	"ptx/internal/wal"
+)
+
+// durabilitySeeds is pinned at 120 even under the race detector — the
+// acceptance criterion is the full batch with -race on.
+const durabilitySeeds = 120
+
+// errInjectedMedia is the fault every WAL crash point raises; it
+// surfaces to clients as a storage-kind 503.
+var errInjectedMedia = errors.New("injected media fault")
+
+// durNode is a testNode whose registry commits through a real on-disk
+// WAL, so the node can be killed and rebuilt from that directory.
+type durNode struct {
+	*testNode
+	log *wal.Log
+	dir string
+}
+
+// openDurNode builds a worker whose WAL lives in dir (reusing whatever
+// records are already there) with seeded pre-durable crash points. A
+// faultSeed of 0 disables injection — that is the recovery
+// configuration.
+func openDurNode(t *testing.T, id, dir string, faultSeed int64) *durNode {
+	t.Helper()
+	var plan *runctl.FaultPlan
+	if faultSeed != 0 {
+		plan = runctl.SeededPlan(faultSeed, errInjectedMedia, map[runctl.Op]float64{
+			runctl.OpWALAppend: 0.10,
+			runctl.OpWALSync:   0.08,
+		})
+	}
+	var l *wal.Log
+	n := newTestNode(t, id, nil, func(cfg *serve.Config) {
+		var err error
+		l, err = wal.Open(dir, wal.Options{Faults: plan})
+		if err != nil {
+			t.Fatalf("open WAL %s: %v", dir, err)
+		}
+		cfg.Registry.AttachWAL(l)
+	})
+	d := &durNode{testNode: n, log: l, dir: dir}
+	t.Cleanup(func() { _ = l.Close() })
+	return d
+}
+
+// kill hard-stops the node: listener, server, and WAL handle. The only
+// thing that survives is the directory.
+func (d *durNode) kill() {
+	d.ts.Close()
+	d.srv.Close()
+	_ = d.log.Close()
+}
+
+// durSeed is one logical delta: a pair of tuples inserted atomically,
+// derived from the seed alone so failures replay by number.
+type durSeed struct {
+	Seed int64 `json:"seed"`
+}
+
+func (c durSeed) pair() (string, string) {
+	return fmt.Sprintf("s%da", c.Seed), fmt.Sprintf("s%db", c.Seed)
+}
+
+func (c durSeed) body() string {
+	a, b := c.pair()
+	return fmt.Sprintf(`{"spec":"tiny","db":"tinydb","ops":[{"op":"insert","rel":"R","tuple":[%q]},{"op":"insert","rel":"R","tuple":[%q]}]}`, a, b)
+}
+
+func dumpDurabilityArtifact(t *testing.T, c durSeed, violation string) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	desc := fmt.Sprintf("case=%+v\nrequest=%s\nviolation=%s\n", c, c.body(), violation)
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("durability-storm-%d.txt", c.Seed)), []byte(desc), 0o644); err != nil {
+		t.Logf("artifact write: %v", err)
+	}
+}
+
+// pairState classifies one seed's pair inside a published document:
+// whole, absent, or torn.
+func pairState(body []byte, c durSeed) string {
+	// Tuple values render as whitespace-delimited text lines inside
+	// <item>; every value starts with its only 's', so no value is a
+	// substring of another and a plain scan is exact.
+	a, b := c.pair()
+	hasA := bytes.Contains(body, []byte(a))
+	hasB := bytes.Contains(body, []byte(b))
+	switch {
+	case hasA && hasB:
+		return "whole"
+	case !hasA && !hasB:
+		return "absent"
+	default:
+		return "torn"
+	}
+}
+
+func TestDurabilityStorm(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const nNodes = 3
+	root := t.TempDir()
+	var mu sync.Mutex // guards nodes (killer and final restart swap entries)
+	nodes := make([]*durNode, nNodes)
+	dirs := make([]string, nNodes)
+	for i := range nodes {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("wal-%d", i+1))
+		nodes[i] = openDurNode(t, fmt.Sprintf("dur-%d", i+1), dirs[i], int64(1000+i))
+	}
+	coord := New(Config{ProbeInterval: 20 * time.Millisecond, ProbeSeed: 7})
+	t.Cleanup(coord.Close)
+	for _, n := range nodes {
+		if err := coord.Join(n.id, n.url()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	// The killer: crash one worker (listener + server + WAL handle),
+	// rebuild it from its directory, and re-join it under the same id.
+	// Join's write barrier replays the disk log and pulls the missed
+	// tail from a peer before the node can own mutations again.
+	stopKiller := make(chan struct{})
+	killerDone := make(chan struct{})
+	kills := 0
+	go func() {
+		defer close(killerDone)
+		rng := rand.New(rand.NewSource(4242))
+		gen := int64(0)
+		for {
+			select {
+			case <-stopKiller:
+				return
+			case <-time.After(time.Duration(20+rng.Intn(25)) * time.Millisecond):
+			}
+			i := rng.Intn(nNodes)
+			mu.Lock()
+			victim := nodes[i]
+			mu.Unlock()
+			victim.kill()
+			kills++
+			gen++
+			time.Sleep(time.Duration(10+rng.Intn(15)) * time.Millisecond)
+			replacement := openDurNode(t, victim.id, victim.dir, 2000+gen)
+			if err := coord.Join(replacement.id, replacement.url()); err != nil {
+				t.Errorf("re-join %s: %v", replacement.id, err)
+				return
+			}
+			mu.Lock()
+			nodes[i] = replacement
+			mu.Unlock()
+		}
+	}()
+
+	// Each seed retries its delta up to five times; the outcome is the
+	// seed's durability contract. "acked": some attempt returned 200 —
+	// the pair must survive everything. "lost": every attempt died at a
+	// pre-durable storage crash point — the pair must be absent.
+	// "unknown": a transport-path failure (dead owner, fence, overload)
+	// means the delta may or may not have landed; it must still be
+	// atomic.
+	outcomes := make([]string, durabilitySeeds+1)
+	var omu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	client := &http.Client{Timeout: 10 * time.Second}
+	torn := 0
+	for seed := int64(1); seed <= durabilitySeeds; seed++ {
+		c := durSeed{Seed: seed}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			time.Sleep(time.Duration(1+c.Seed%9) * time.Millisecond)
+			outcome := "lost"
+			for attempt := 0; attempt < 5; attempt++ {
+				resp, err := client.Post(cts.URL+"/mutate", "application/json", bytes.NewReader([]byte(c.body())))
+				if err != nil {
+					// The coordinator is never killed; this is a harness bug.
+					dumpDurabilityArtifact(t, c, "coordinator transport error: "+err.Error())
+					t.Errorf("seed %d: coordinator transport error: %v", c.Seed, err)
+					outcome = "unknown"
+					break
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					outcome = "unknown"
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					outcome = "acked"
+					break
+				}
+				var eb struct {
+					Error serve.ErrorInfo `json:"error"`
+				}
+				if err := json.Unmarshal(body, &eb); err != nil {
+					dumpDurabilityArtifact(t, c, fmt.Sprintf("untyped error (status %d): %s", resp.StatusCode, body))
+					t.Errorf("seed %d: untyped error (status %d): %s", c.Seed, resp.StatusCode, body)
+					outcome = "unknown"
+					break
+				}
+				switch eb.Error.Kind {
+				case serve.KindStorage:
+					// Pre-durable crash point: the WAL rolled the write
+					// back; this attempt provably left nothing behind.
+				case serve.KindTransient, serve.KindConflict, serve.KindOverloaded, serve.KindDraining:
+					// The delta may have landed without the ack reaching
+					// us; only atomicity is assertable for this seed.
+					outcome = "unknown"
+				default:
+					dumpDurabilityArtifact(t, c, "unexpected kind "+eb.Error.Kind)
+					t.Errorf("seed %d: unexpected error kind %q: %s", c.Seed, eb.Error.Kind, body)
+					outcome = "unknown"
+				}
+				time.Sleep(time.Duration(5*(attempt+1)) * time.Millisecond)
+			}
+			omu.Lock()
+			outcomes[c.Seed] = outcome
+			omu.Unlock()
+
+			// Every fourth seed doubles as a live reader: publish through
+			// the coordinator and scan for torn pairs mid-chaos.
+			if c.Seed%4 != 0 {
+				return
+			}
+			resp, err := client.Post(cts.URL+"/publish", "application/json", bytes.NewReader([]byte(`{"spec":"tiny","db":"tinydb","retries":2}`)))
+			if err != nil {
+				t.Errorf("seed %d: publish transport error: %v", c.Seed, err)
+				return
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				return // typed failures under chaos are fine; only 200 bodies are inspected
+			}
+			omu.Lock()
+			defer omu.Unlock()
+			for s := int64(1); s <= durabilitySeeds; s++ {
+				sc := durSeed{Seed: s}
+				if pairState(body, sc) == "torn" {
+					torn++
+					dumpDurabilityArtifact(t, sc, fmt.Sprintf("torn pair in live publish (reader seed %d)", c.Seed))
+					t.Errorf("seed %d: torn pair observed in live publish", s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopKiller)
+	<-killerDone
+	if kills == 0 {
+		t.Fatal("killer never fired; storm proved nothing")
+	}
+
+	// Recovery: rolling restart of the whole cluster with fault
+	// injection OFF. Each node comes back from its on-disk WAL alone,
+	// then heals any missed tail from a live peer under the join
+	// barrier.
+	mu.Lock()
+	final := append([]*durNode(nil), nodes...)
+	mu.Unlock()
+	for i, n := range final {
+		n.kill()
+		reborn := openDurNode(t, n.id, n.dir, 0)
+		if err := coord.Join(reborn.id, reborn.url()); err != nil {
+			t.Fatalf("final re-join %s: %v", reborn.id, err)
+		}
+		final[i] = reborn
+	}
+	waitFor(t, "post-recovery readiness", func() bool {
+		resp, err := http.Get(cts.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// After the rolling faultless restart every node's log must have
+	// converged to the same sequence mark: the coordinator refuses to
+	// promote a node that has not reached the acked high-water, so a
+	// divergent survivor here means the convergence gate leaked.
+	var seqs []uint64
+	for _, n := range final {
+		resp, err := http.Get(n.url() + "/deltalog?db=tinydb")
+		if err != nil {
+			t.Fatalf("deltalog %s: %v", n.id, err)
+		}
+		var dl struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dl); err != nil {
+			t.Fatalf("deltalog %s: %v", n.id, err)
+		}
+		resp.Body.Close()
+		seqs = append(seqs, dl.Seq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[0] {
+			t.Errorf("logs diverged after recovery: %s at seq %d, %s at seq %d",
+				final[0].id, seqs[0], final[i].id, seqs[i])
+		}
+	}
+
+	// Every restarted node must have replayed records from disk.
+	replayed := int64(0)
+	for _, n := range final {
+		var hz struct {
+			Metrics serve.Metrics `json:"metrics"`
+		}
+		resp, err := http.Get(n.url() + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz %s: %v", n.id, err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatalf("healthz %s: %v", n.id, err)
+		}
+		resp.Body.Close()
+		replayed += hz.Metrics.Recovered
+	}
+	if replayed == 0 {
+		t.Error("no node recovered any WAL record; the storm never exercised replay")
+	}
+
+	// The verdict: one publish from each node (direct, not proxied) —
+	// acked pairs present everywhere, storage-lost pairs absent
+	// everywhere, nothing torn anywhere.
+	acked, lost, unknown := 0, 0, 0
+	for _, n := range final {
+		resp, err := http.Post(n.url()+"/publish", "application/json", bytes.NewReader([]byte(`{"spec":"tiny","db":"tinydb"}`)))
+		if err != nil {
+			t.Fatalf("final publish on %s: %v", n.id, err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("final publish on %s: status %d: %s", n.id, resp.StatusCode, body)
+		}
+		for s := int64(1); s <= durabilitySeeds; s++ {
+			c := durSeed{Seed: s}
+			state := pairState(body, c)
+			switch outcomes[s] {
+			case "acked":
+				if state != "whole" {
+					dumpDurabilityArtifact(t, c, "acked delta "+state+" after recovery on "+n.id)
+					t.Errorf("seed %d: ACKED delta is %s on %s after recovery", s, state, n.id)
+				}
+			case "lost":
+				if state != "absent" {
+					dumpDurabilityArtifact(t, c, "storage-failed delta "+state+" after recovery on "+n.id)
+					t.Errorf("seed %d: storage-failed delta is %s on %s (rollback leaked)", s, state, n.id)
+				}
+			default:
+				if state == "torn" {
+					dumpDurabilityArtifact(t, c, "torn delta after recovery on "+n.id)
+					t.Errorf("seed %d: torn delta on %s after recovery", s, n.id)
+				}
+			}
+		}
+	}
+	for s := int64(1); s <= durabilitySeeds; s++ {
+		switch outcomes[s] {
+		case "acked":
+			acked++
+		case "lost":
+			lost++
+		default:
+			unknown++
+		}
+	}
+	if acked == 0 {
+		t.Error("no seed was ever acknowledged; the storm proved nothing about durability")
+	}
+
+	// Teardown: drain everything, then the goroutine ledger must
+	// balance.
+	for _, n := range final {
+		n.kill()
+	}
+	client.CloseIdleConnections()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	testutil.SettledGoroutines(t, base)
+	t.Logf("durability storm: %d kills; %d acked, %d lost, %d unknown of %d seeds; %d torn views; %d records replayed",
+		kills, acked, lost, unknown, durabilitySeeds, torn, replayed)
+}

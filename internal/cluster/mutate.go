@@ -3,10 +3,12 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"ptx/internal/runctl"
 	"ptx/internal/serve"
@@ -14,36 +16,52 @@ import (
 
 // Cluster mutations and watches.
 //
-// Deltas are node-local: each worker keeps its own registry delta log,
-// so a mutation is visible only on the node that applied it. The
-// coordinator therefore routes /mutate with the SAME preference list
-// /publish uses — the pair's owner sees both the writes and the reads,
-// and single-node coherence (every publish is pre- or post-delta bytes,
-// never torn) extends to the routed path. Two consequences are
-// deliberate, and documented rather than hidden:
+// Deltas are durable and replicated. Mutations route by DATABASE (not
+// the (spec, db) pair publishes use) to the db's ring owner, which is
+// the single sequence-number authority for that database. The
+// coordinator stamps each forwarded mutation with the cluster epoch
+// (fencing zombie owners at the worker's registry) and with the
+// database's up successors; the owner appends+fsyncs the delta to its
+// WAL, applies it, then synchronously replicates it to every named
+// successor BEFORE acknowledging. When the client hears 200 the delta
+// is durable on the owner and live on every reachable node.
 //
-//   - No automatic mutation failover. If the owner dies mid-request the
-//     coordinator cannot know whether the delta landed, and replaying
-//     it on a ring successor would fork the per-node logs. The owner is
-//     marked down (bumping the epoch, which re-homes the pair) and the
-//     client gets a transient, retryable error; its retry lands on the
-//     new owner and the log stays linear per serving node.
-//   - A failed-over pair serves PRE-delta state. The successor rebuilds
-//     from its own registry, which never saw the dead owner's delta
-//     log. Cross-node log replication is out of scope for this tier;
-//     the epoch bump at least makes the regression observable, and
-//     TestClusterMutateOwnerLossServesPreDelta pins the behavior.
+// Failover therefore serves POST-delta bytes: if the owner dies, it is
+// marked down (bumping the epoch, which re-homes the database), the
+// client gets a transient retryable error, and the retry lands on a
+// successor that already holds the replicated log — see
+// TestClusterMutateOwnerLossServesPostDelta. A successor that somehow
+// missed a record answers the replication protocol's gap reply and is
+// resent the tail; a rejoining node is caught up under the
+// coordinator's write barrier before it can own mutations again.
 //
-// Watches are read-only, so they DO fail over — but a successor's view
-// has its own version numbering, and a cursor taken on one node is
-// meaningless on another. The worker-side protocol already absorbs
-// this: a long-poll cursor beyond the new view's history returns
+// Watches are read-only and fail over freely — replication repairs the
+// live views on every node, so a watcher re-parked on a successor sees
+// the same change stream. A successor's view has its own version
+// numbering, and the worker-side protocol absorbs the cursor jump: a
+// long-poll cursor beyond the new view's history returns
 // complete=false, and SSE replies with a resync event.
 
 // ErrOwnerDown is returned for a mutation whose owning node could not
 // be reached. Transient and hence retryable: the failed attempt marked
-// the owner down, so a retry routes to the pair's new owner.
-var ErrOwnerDown = runctl.Transient(errors.New("cluster: pair owner unreachable; retry routes to its successor"))
+// the owner down, so a retry routes to the database's new owner — which
+// holds the replicated log and serves post-delta bytes.
+var ErrOwnerDown = runctl.Transient(errors.New("cluster: mutation owner unreachable; retry routes to its successor"))
+
+// replicasHeader renders the successor set (everything after the owner
+// in the preference list, capped by Replicas-1 when Replicas bounds the
+// write fan-out) in the id=url,... wire form.
+func (c *Coordinator) replicasHeader(prefs []MemberStatus) string {
+	reps := prefs[1:]
+	if c.cfg.Replicas > 0 && len(reps) > c.cfg.Replicas-1 {
+		reps = reps[:c.cfg.Replicas-1]
+	}
+	parts := make([]string, len(reps))
+	for i, m := range reps {
+		parts[i] = m.ID + "=" + m.URL
+	}
+	return strings.Join(parts, ",")
+}
 
 func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -65,8 +83,13 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, serve.Validationf("body", "%v", err))
 		return
 	}
-	spec, db := routingPair(body)
-	prefs := c.preference(spec + "\x00" + db)
+	// Mutations hold the membership read barrier: a join's catch-up
+	// sync (write side) never interleaves with a commit, so a rejoined
+	// node's log is complete before it can own a database.
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	_, db := routingPair(body)
+	prefs := c.mutatePreference(db)
 	if len(prefs) == 0 {
 		c.noReady.Add(1)
 		serve.WriteError(w, ErrNoReady)
@@ -74,7 +97,10 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mutations.Add(1)
 
-	// Owner only — no failover walk (see the package comment above).
+	// Owner only — never replay a possibly-landed delta on a successor
+	// ourselves; the owner's synchronous replication is what moves the
+	// delta, and the client's retry (post epoch bump) is what moves the
+	// ownership.
 	owner := prefs[0]
 	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, owner.URL+"/mutate", bytes.NewReader(body))
 	if err != nil {
@@ -83,6 +109,9 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.HeaderEpoch, strconv.FormatUint(c.epoch.Load(), 10))
+	if reps := c.replicasHeader(prefs); reps != "" {
+		req.Header.Set(serve.HeaderReplicas, reps)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		c.markDown(owner.ID)
@@ -98,11 +127,29 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.StatusCode == http.StatusServiceUnavailable && errorKind(respBody) == serve.KindDraining {
 		// The owner is shutting down and never applied the delta; its
-		// successor owns the pair now, so the retry story is the same as
-		// a transport death.
+		// successor owns the database now, so the retry story is the
+		// same as a transport death.
 		c.markDown(owner.ID)
 		serve.WriteError(w, ErrOwnerDown)
 		return
+	}
+	// A replica that failed to confirm is suspect: mark it down so the
+	// prober re-admits it only through the catch-up sync.
+	if failed := resp.Header.Get(serve.HeaderReplicaFailed); failed != "" {
+		for _, id := range strings.Split(failed, ",") {
+			c.markDown(id)
+		}
+	}
+	// A 200 means the delta is durable on the owner AND confirmed on
+	// every named successor: its sequence number becomes the database's
+	// acked high-water mark, the convergence bar for rejoining nodes.
+	if resp.StatusCode == http.StatusOK {
+		var ack struct {
+			Seq uint64 `json:"seq"`
+		}
+		if json.Unmarshal(respBody, &ack) == nil && ack.Seq > 0 {
+			c.recordAck(db, ack.Seq)
+		}
 	}
 	copyProxyHeaders(w.Header(), resp.Header)
 	w.Header().Set("X-Ptcoord-Attempts", "1")

@@ -1,9 +1,10 @@
 // Routed mutations and proxied watches: a delta POSTed at the
-// coordinator lands on the pair's ring owner — the same node its
-// publishes route to — so the single-node coherence story survives the
-// cluster tier; watches long-poll and stream through the proxy; and the
-// documented failover limitation (deltas are node-local) is pinned as a
-// test, not folklore.
+// coordinator lands on the database's ring owner, which replicates it
+// to every up successor before acking — so a publish anywhere in the
+// cluster serves post-delta bytes, watches long-poll and stream through
+// the proxy, and owner loss no longer loses acknowledged deltas
+// (TestClusterMutateOwnerLossServesPostDelta pins the durability
+// contract that replaced the old node-local-logs limitation).
 package cluster
 
 import (
@@ -15,12 +16,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"ptx/internal/parser"
 	"ptx/internal/pt"
+	"ptx/internal/testutil"
 )
 
 const (
@@ -89,22 +92,33 @@ type clusterWatchBody struct {
 	} `json:"changes"`
 }
 
-// TestClusterMutateRoutesToPairOwner: a routed mutation lands on the
-// ring owner of its (spec, db) — the node its publishes route to — and
-// subsequent routed publishes serve post-delta bytes, torn-free.
-func TestClusterMutateRoutesToPairOwner(t *testing.T) {
+// TestClusterMutateRoutesToDBOwner: a routed mutation lands on the
+// database's ring owner (the single sequence authority for that db),
+// is replicated to every other node before the ack, and subsequent
+// routed publishes serve post-delta bytes wherever they land.
+func TestClusterMutateRoutesToDBOwner(t *testing.T) {
 	coord, cts, nodes := newTestCluster(t, 3, Config{ProbeInterval: -1})
-	owner := coord.ring.Owner("tiny\x00tinydb")
+	owner := coord.ring.Owner("mutate\x00tinydb")
 
 	status, hdr, body := postMutate(t, cts, insertD)
 	if status != http.StatusOK {
 		t.Fatalf("mutate status %d: %s", status, body)
 	}
 	if got := hdr.Get("X-Ptserve-Node"); got != owner {
-		t.Fatalf("mutation applied by %q but ring owner is %q", got, owner)
+		t.Fatalf("mutation applied by %q but db ring owner is %q", got, owner)
 	}
 	if got := hdr.Get("X-Ptcoord-Attempts"); got != "1" {
 		t.Fatalf("X-Ptcoord-Attempts = %q, want 1", got)
+	}
+	var mr struct {
+		Seq        uint64 `json:"seq"`
+		Replicated int    `json:"replicated"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("mutate body: %v\n%s", err, body)
+	}
+	if mr.Seq != 1 || mr.Replicated != 2 {
+		t.Fatalf("mutate reported seq=%d replicated=%d, want seq=1 replicated=2 (both successors confirmed)", mr.Seq, mr.Replicated)
 	}
 	for _, n := range nodes {
 		want := int64(0)
@@ -112,18 +126,15 @@ func TestClusterMutateRoutesToPairOwner(t *testing.T) {
 			want = 1
 		}
 		if got := n.mhits.Load(); got != want {
-			t.Fatalf("node %s saw %d mutations, want %d (deltas are owner-only)", n.id, got, want)
+			t.Fatalf("node %s saw %d /mutate requests, want %d (replication uses /replicate, not /mutate)", n.id, got, want)
 		}
 	}
 
-	// Publishes for the pair route to the very node that holds the
-	// delta log, so they see post-delta bytes.
-	status, hdr, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
+	// Replication means ANY node serves post-delta bytes — including
+	// the (spec, db) publish owner, whoever that is.
+	status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
 	if status != http.StatusOK {
 		t.Fatalf("publish status %d: %s", status, body)
-	}
-	if got := hdr.Get("X-Ptserve-Node"); got != owner {
-		t.Fatalf("publish served by %q, want the mutation's owner %q", got, owner)
 	}
 	if want := goldenXMLWith(t, "R(d)\n"); !bytes.Equal(body, want) {
 		t.Fatalf("post-delta publish:\n got %q\nwant %q", body, want)
@@ -264,13 +275,12 @@ func TestClusterWatchSSEProxiedStreams(t *testing.T) {
 	cancel() // unwind the proxied stream before the servers tear down
 }
 
-// TestClusterMutateOwnerLossServesPreDelta pins the documented
-// limitation: delta logs are node-local. When the owner dies, the
-// mutation path refuses to guess (transient error, owner marked down,
-// epoch bumped), the RETRY lands on the successor, and the successor
-// serves PRE-crash-delta state because it never saw the dead owner's
-// log.
-func TestClusterMutateOwnerLossServesPreDelta(t *testing.T) {
+// TestClusterMutateOwnerLossServesPostDelta is the durability contract
+// across failover: the owner replicated the acknowledged insert to its
+// successor BEFORE the ack, so when the owner dies the successor serves
+// post-delta bytes, and the retried delete finds the insert there to
+// remove. No acknowledged delta is ever lost.
+func TestClusterMutateOwnerLossServesPostDelta(t *testing.T) {
 	coord, cts, nodes := newTestCluster(t, 2, Config{ProbeInterval: -1})
 
 	status, hdr, body := postMutate(t, cts, insertD)
@@ -297,15 +307,24 @@ func TestClusterMutateOwnerLossServesPreDelta(t *testing.T) {
 	status, _, body = postMutate(t, cts, deleteD)
 	kind := decodeClusterError(t, status, body)
 	if kind != "transient" {
-		t.Fatalf("mutate against dead owner: kind %q, want transient (retryable, never silent failover)", kind)
+		t.Fatalf("mutate against dead owner: kind %q, want transient (retryable, never silent replay)", kind)
 	}
 	if coord.Epoch() <= epochBefore {
 		t.Fatal("owner death did not bump the epoch")
 	}
 
-	// The retry routes to the successor and succeeds — but its delete
-	// is a no-op there: the insert only ever lived in the dead owner's
-	// node-local log.
+	// The surviving successor holds the replicated insert: it serves
+	// POST-delta bytes before the retry even lands.
+	status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
+	if status != http.StatusOK {
+		t.Fatalf("failover publish status %d: %s", status, body)
+	}
+	if want := goldenXMLWith(t, "R(d)\n"); !bytes.Equal(body, want) {
+		t.Fatalf("failed-over publish lost the acknowledged insert:\n got %q\nwant %q", body, want)
+	}
+
+	// The retried delete routes to the successor, applies against the
+	// replicated log, and returns the database to its base state.
 	status, hdr, body = postMutate(t, cts, deleteD)
 	if status != http.StatusOK {
 		t.Fatalf("retry mutate status %d: %s", status, body)
@@ -313,12 +332,55 @@ func TestClusterMutateOwnerLossServesPreDelta(t *testing.T) {
 	if got := hdr.Get("X-Ptserve-Node"); got == "" || got == owner {
 		t.Fatalf("retry served by %q, want the surviving successor", got)
 	}
-
 	status, _, body = postCluster(t, cts, `{"spec":"tiny","db":"tinydb"}`)
 	if status != http.StatusOK {
-		t.Fatalf("failover publish status %d: %s", status, body)
+		t.Fatalf("post-retry publish status %d: %s", status, body)
 	}
 	if want := goldenXML(t); !bytes.Equal(body, want) {
-		t.Fatalf("failed-over pair should serve PRE-delta base bytes (node-local logs):\n got %q\nwant %q", body, want)
+		t.Fatalf("post-retry publish differs from base golden:\n got %q\nwant %q", body, want)
 	}
+}
+
+// TestClusterWatchSSEProxyNoLeak: a proxied SSE watcher that hangs up
+// mid-stream must unwind BOTH halves of the proxy — the coordinator's
+// copy loop and the worker's parked stream — leaving no goroutine
+// behind.
+func TestClusterWatchSSEProxyNoLeak(t *testing.T) {
+	_, cts, nodes := newTestCluster(t, 2, Config{ProbeInterval: -1})
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cts.URL+"/watch?spec=tiny&db=tinydb", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatalf("GET SSE: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			cancel()
+			t.Fatalf("SSE status %d: %s", resp.StatusCode, b)
+		}
+		// Read the response headers' worth of stream, then vanish the
+		// client mid-stream.
+		buf := make([]byte, 1)
+		go func() { _, _ = resp.Body.Read(buf) }()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		resp.Body.Close()
+	}
+	// The keep-alive pools hold connection goroutines; drop them so the
+	// settle measures only proxy machinery.
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	for _, n := range nodes {
+		n.ts.Client().Transport.(*http.Transport).CloseIdleConnections()
+	}
+	testutil.SettledGoroutines(t, base)
 }

@@ -192,10 +192,26 @@ const (
 	// by wrapping the output io.Writer (see supervise/chaos), not by the
 	// controller.
 	OpSerialize Op = "serialize"
+	// OpWALAppend is one durable-log record write, checked BEFORE any
+	// bytes reach the segment: an injected fault is a pre-fsync crash
+	// and the record is atomically absent.
+	OpWALAppend Op = "wal-append"
+	// OpWALSync is the fsync sealing one durable-log record, checked
+	// after the bytes are written but before they are durable: the log
+	// rolls the write back, exactly what power loss between write and
+	// sync leaves after torn-tail recovery.
+	OpWALSync Op = "wal-sync"
+	// OpMutateAck is the acknowledgment of one accepted mutation,
+	// checked after the delta is durable but before the client sees the
+	// 200: a post-fsync/pre-ack crash — the client must treat the
+	// outcome as unknown and retry (deltas are idempotent).
+	OpMutateAck Op = "mutate-ack"
 )
 
 // Ops lists every operation kind, for iteration in tests and harnesses.
-func Ops() []Op { return []Op{OpQuery, OpNode, OpEval, OpSerialize} }
+func Ops() []Op {
+	return []Op{OpQuery, OpNode, OpEval, OpSerialize, OpWALAppend, OpWALSync, OpMutateAck}
+}
 
 // FaultPlan injects deterministic test-only failures. It has two
 // composable modes:

@@ -260,7 +260,10 @@ func TestObservedOpCounts(t *testing.T) {
 // TestOpsComplete: Ops() is the registry CLIs validate -inject against;
 // adding an Op without listing it there silently breaks the flag.
 func TestOpsComplete(t *testing.T) {
-	want := map[Op]bool{OpQuery: true, OpNode: true, OpEval: true, OpSerialize: true}
+	want := map[Op]bool{
+		OpQuery: true, OpNode: true, OpEval: true, OpSerialize: true,
+		OpWALAppend: true, OpWALSync: true, OpMutateAck: true,
+	}
 	got := Ops()
 	if len(got) != len(want) {
 		t.Fatalf("Ops() = %v, want the %d known kinds", got, len(want))

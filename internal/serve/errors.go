@@ -9,6 +9,7 @@ import (
 
 	"ptx/internal/runctl"
 	"ptx/internal/supervise"
+	"ptx/internal/wal"
 )
 
 // ValidationError reports a request or registry problem the CLIENT can
@@ -61,6 +62,7 @@ const (
 	KindOverloaded = "overloaded" // 429: shed at admission, retry later
 	KindDraining   = "draining"   // 503: shutting down
 	KindTransient  = "transient"  // 503: transient fault survived retries
+	KindStorage    = "storage"    // 503: durable append failed — the delta was NOT applied
 	KindInternal   = "internal"   // 500: contained panic or unclassified
 )
 
@@ -97,6 +99,7 @@ func Classify(err error) (int, ErrorInfo) {
 	var oe *ErrOverloaded
 	var mbe *http.MaxBytesError
 	var fe *supervise.ErrFenced
+	var se *wal.StorageError
 	var be *runctl.ErrBudget
 	var ce *runctl.ErrCanceled
 	var ie *runctl.ErrInternal
@@ -111,6 +114,12 @@ func Classify(err error) (int, ErrorInfo) {
 		return http.StatusConflict, ErrorInfo{Kind: KindConflict, Message: fe.Error()}
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, ErrorInfo{Kind: KindDraining, Message: ErrDraining.Error()}
+	case errors.As(err, &se):
+		// Before the transient check: a storage failure may WRAP an
+		// injected transient cause, but the contract the client needs is
+		// the storage one — the delta was not made durable, not applied,
+		// and a retry may succeed once the disk recovers.
+		return http.StatusServiceUnavailable, ErrorInfo{Kind: KindStorage, Message: se.Error()}
 	case errors.As(err, &be):
 		return http.StatusRequestEntityTooLarge, ErrorInfo{
 			Kind:    KindBudget,
@@ -143,7 +152,7 @@ func StatusForKind(kind string) (int, bool) {
 		return http.StatusConflict, true
 	case KindOverloaded:
 		return http.StatusTooManyRequests, true
-	case KindDraining, KindTransient:
+	case KindDraining, KindTransient, KindStorage:
 		return http.StatusServiceUnavailable, true
 	case KindInternal:
 		return http.StatusInternalServerError, true
@@ -169,6 +178,9 @@ func RetryAfter(err error) (seconds int, ok bool) {
 		return 5, true
 	case KindTransient:
 		return 1, true
+	case KindStorage:
+		// Disk pressure does not clear in a second; hint a real pause.
+		return 5, true
 	}
 	return 0, false
 }

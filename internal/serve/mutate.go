@@ -19,15 +19,20 @@ import (
 	"ptx/internal/incr"
 	"ptx/internal/pt"
 	"ptx/internal/relation"
+	"ptx/internal/runctl"
 )
 
 // liveView pairs a spec name with the incr.View maintaining its tree.
 // The view owns a cloned instance; repairs are serialized by the
 // server's liveMu, so mutation order IS the version order watchers see.
+// inst shadows the view's relational state so a log supersede (see
+// Registry.ApplyAt) can diff it against the reconciled history and
+// repair the view with one compensating delta.
 type liveView struct {
 	spec string
 	db   string
 	view *incr.View
+	inst *relation.Instance
 }
 
 // mutateRequest is the wire schema of POST /mutate. Unknown fields are
@@ -44,12 +49,16 @@ type mutateOp struct {
 	Tuple []string `json:"tuple"`
 }
 
-// mutateResponse reports what one mutation did: the registry refresh
-// plus one repair report per live view over the database.
+// mutateResponse reports what one mutation did: the sequence number the
+// delta committed at, the registry refresh, one repair report per live
+// view over the database, and (when the request named replicas) how
+// many of them confirmed the delta before the ack.
 type mutateResponse struct {
 	DB           string       `json:"db"`
+	Seq          uint64       `json:"seq"`
 	Delta        string       `json:"delta"`
 	PairsDropped int          `json:"pairs_dropped"`
+	Replicated   int          `json:"replicated,omitempty"`
 	Views        []viewRepair `json:"views"`
 }
 
@@ -139,9 +148,57 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, Validationf("ops", "%v", verr))
 		return
 	}
-
-	resp, err := s.mutate(req.DB, d)
+	// Cluster headers: the ownership epoch fencing this write (0 when
+	// absent — standalone servers bypass fencing) and the successor set
+	// the delta must reach before the ack.
+	epoch := uint64(0)
+	if e := r.Header.Get(HeaderEpoch); e != "" {
+		n, perr := strconv.ParseUint(e, 10, 64)
+		if perr != nil {
+			s.rejected.Add(1)
+			WriteError(w, Validationf("epoch", "malformed %s header %q", HeaderEpoch, e))
+			return
+		}
+		epoch = n
+	}
+	replicas, err := parseReplicas(r.Header.Get(HeaderReplicas))
 	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+
+	resp, err := s.mutate(req.DB, d, epoch)
+	if err != nil {
+		s.rejected.Add(1)
+		WriteError(w, err)
+		return
+	}
+	// Synchronous replication happens AFTER the local commit released
+	// liveMu (holding a lock across peer HTTP would let two owners
+	// deadlock each other) and BEFORE the ack: when the client hears 200
+	// the delta is durable here and on EVERY named successor. A replica
+	// that fails to confirm withholds the ack entirely — acknowledging a
+	// solo commit would let this node die as the record's only holder
+	// while a successor reuses its sequence number, which is exactly the
+	// silent loss the protocol exists to prevent. The commit itself
+	// stands (at-least-once); the client's retry re-replicates it.
+	var failed []string
+	if len(replicas) > 0 {
+		resp.Replicated, failed = s.replicateOut(r.Context(), req.DB, resp.Seq, replicas)
+		if len(failed) > 0 {
+			w.Header().Set(HeaderReplicaFailed, strings.Join(failed, ","))
+			s.rejected.Add(1)
+			WriteError(w, runctl.Transient(fmt.Errorf(
+				"serve: delta %s/%d is durable locally but unconfirmed on %d of %d replicas; retry to re-replicate",
+				req.DB, resp.Seq, len(failed), len(replicas))))
+			return
+		}
+	}
+	// Crash point 3: the delta is durable and applied, the client has
+	// not heard yet. A crash here is the at-least-once window — the
+	// client retries, the set-semantics delta makes the retry a no-op.
+	if err := s.cfg.MutateFaults.Check(runctl.OpMutateAck); err != nil {
 		s.rejected.Add(1)
 		WriteError(w, err)
 		return
@@ -153,15 +210,25 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 
 // mutate is the serialized mutation path: liveMu makes (registry swap,
 // view repairs) atomic with respect to view creation, so a view can
-// never be born pre-delta yet miss the repair pass.
-func (s *Server) mutate(db string, d *relation.Delta) (*mutateResponse, error) {
+// never be born pre-delta yet miss the repair pass. The registry commit
+// inside is durable-first — when MutateDB returns nil the delta is
+// already fsynced to the WAL (if one is attached).
+func (s *Server) mutate(db string, d *relation.Delta, epoch uint64) (*mutateResponse, error) {
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
-	dropped, err := s.reg.MutateDB(db, d)
+	dropped, seq, err := s.reg.MutateDB(db, d, epoch)
 	if err != nil {
 		return nil, err
 	}
-	resp := &mutateResponse{DB: db, Delta: d.String(), PairsDropped: dropped, Views: []viewRepair{}}
+	resp := &mutateResponse{DB: db, Seq: seq, Delta: d.String(), PairsDropped: dropped, Views: []viewRepair{}}
+	resp.Views = s.repairViews(db, d)
+	return resp, nil
+}
+
+// repairViews applies d to every live view over db and returns the
+// per-view reports. Caller holds liveMu.
+func (s *Server) repairViews(db string, d *relation.Delta) []viewRepair {
+	views := []viewRepair{}
 	for _, lv := range s.views {
 		if lv.db != db {
 			continue
@@ -171,7 +238,7 @@ func (s *Server) mutate(db string, d *relation.Delta) (*mutateResponse, error) {
 		// (the registry replay skips it for the same reason).
 		if lv.view != nil {
 			if verr := d.Validate(s.viewSchema(lv)); verr != nil {
-				resp.Views = append(resp.Views, vr)
+				views = append(views, vr)
 				continue
 			}
 			rep, aerr := lv.view.Apply(s.baseCtx, d)
@@ -182,10 +249,13 @@ func (s *Server) mutate(db string, d *relation.Delta) (*mutateResponse, error) {
 				s.repaired.Add(1)
 				vr.Report = rep
 			}
+			if lv.inst != nil {
+				_, _ = lv.inst.Apply(d)
+			}
 		}
-		resp.Views = append(resp.Views, vr)
+		views = append(views, vr)
 	}
-	return resp, nil
+	return views
 }
 
 func (s *Server) viewSchema(lv *liveView) *relation.Schema {
@@ -222,9 +292,78 @@ func (s *Server) liveViewFor(spec, db string) (*liveView, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv := &liveView{spec: spec, db: db, view: v}
+	lv := &liveView{spec: spec, db: db, view: v, inst: inst.Clone()}
 	s.views[key] = lv
 	return lv, nil
+}
+
+// resyncViews reconciles every live view over db with the registry's
+// delta log after a supersede rewrote its tail: the view applied deltas
+// that are no longer history, so the per-delta repair stream can't get
+// it there. Each view's shadow instance is diffed against a fresh
+// replay of the reconciled log and the difference is applied as ONE
+// compensating delta — watchers see a single coherent repair, never a
+// torn intermediate. Caller holds liveMu.
+func (s *Server) resyncViews(db string) {
+	for _, lv := range s.views {
+		if lv.db != db || lv.view == nil || lv.inst == nil {
+			continue
+		}
+		target, err := s.reg.replayInstance(lv.spec, db, s.reg.DeltaRecords(db))
+		if err != nil {
+			s.failed.Add(1)
+			continue
+		}
+		comp := diffDelta(lv.inst, target)
+		if comp.Empty() {
+			continue
+		}
+		if _, aerr := lv.view.Apply(s.baseCtx, comp); aerr != nil {
+			s.failed.Add(1)
+			continue
+		}
+		_, _ = lv.inst.Apply(comp)
+		s.repaired.Add(1)
+	}
+}
+
+// diffDelta returns the delta transforming instance old into target:
+// deletes for tuples old holds that target lacks, inserts for the
+// reverse. Relations are compared across both schemas' vocabularies
+// (a name absent from one side reads as empty).
+func diffDelta(old, target *relation.Instance) *relation.Delta {
+	d := &relation.Delta{}
+	names := map[string]bool{}
+	for _, n := range old.Schema().Names() {
+		names[n] = true
+	}
+	for _, n := range target.Schema().Names() {
+		names[n] = true
+	}
+	for n := range names {
+		var or, tr *relation.Relation
+		if old.Has(n) {
+			or = old.Rel(n)
+		}
+		if target.Has(n) {
+			tr = target.Rel(n)
+		}
+		if or != nil {
+			for _, t := range or.Sorted() {
+				if tr == nil || !tr.Contains(t) {
+					d.Ops = append(d.Ops, relation.DeltaOp{Rel: n, Tuple: t})
+				}
+			}
+		}
+		if tr != nil {
+			for _, t := range tr.Sorted() {
+				if or == nil || !or.Contains(t) {
+					d.Ops = append(d.Ops, relation.DeltaOp{Insert: true, Rel: n, Tuple: t})
+				}
+			}
+		}
+	}
+	return d
 }
 
 // watchResponse is the long-poll reply: the view's current version, the

@@ -13,6 +13,8 @@ import (
 	"ptx/internal/pt"
 	"ptx/internal/relation"
 	"ptx/internal/runctl"
+	"ptx/internal/supervise"
+	"ptx/internal/wal"
 )
 
 // Registry holds the compiled transducer specs and database sources a
@@ -32,10 +34,80 @@ type Registry struct {
 
 	pairs map[string]*pairEntry // spec\x00db → parsed instance + shared memo
 
-	// deltas is the per-database mutation log: every delta accepted by
-	// MutateDB, in order. A pair parsed AFTER mutations replays the log
-	// so all pairs over one database agree on its current contents.
-	deltas map[string][]*relation.Delta
+	// logs is the per-database mutation log: every delta accepted by
+	// MutateDB (or replicated in via ApplyAt), in sequence order. A pair
+	// parsed AFTER mutations replays the log so all pairs over one
+	// database agree on its current contents. Each log carries the
+	// database's sequence counter and its epoch high-water mark — the
+	// fencing state that rejects a zombie owner's stale writes.
+	log  *wal.Log
+	logs map[string]*dbLog
+}
+
+// dbLog is one database's sequenced mutation history.
+type dbLog struct {
+	seq   uint64 // last assigned sequence number (0 = pristine)
+	epoch uint64 // highest epoch observed on an accepted write
+	recs  []DeltaRecord
+}
+
+// indexOf locates the in-memory record holding seq (records are
+// contiguous, so the offset from the first record's seq is the index).
+func (lg *dbLog) indexOf(seq uint64) (int, bool) {
+	if len(lg.recs) == 0 || seq < lg.recs[0].Seq {
+		return 0, false
+	}
+	idx := int(seq - lg.recs[0].Seq)
+	if idx >= len(lg.recs) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// absorb folds one replayed record into the log: appends fresh records,
+// skips duplicates, and reconciles a same-seq record from a NEWER epoch
+// by truncating the superseded suffix — the shape a WAL takes when an
+// owner adopted a successor's regime after divergence. Returns whether
+// the record changed the log.
+func (lg *dbLog) absorb(rec DeltaRecord) bool {
+	if idx, ok := lg.indexOf(rec.Seq); ok {
+		if rec.Epoch <= lg.recs[idx].Epoch {
+			return false // duplicate of the same (or a newer) regime
+		}
+		lg.recs = append([]DeltaRecord(nil), lg.recs[:idx]...)
+		lg.seq = rec.Seq - 1
+	} else if rec.Seq <= lg.seq {
+		return false // before the log's first record: already folded
+	}
+	lg.recs = append(lg.recs, rec)
+	if rec.Seq > lg.seq {
+		lg.seq = rec.Seq
+	}
+	if rec.Epoch > lg.epoch {
+		lg.epoch = rec.Epoch
+	}
+	return true
+}
+
+// DeltaRecord is one committed mutation: its per-database sequence
+// number, the ownership epoch the write carried, and the delta itself.
+type DeltaRecord struct {
+	Seq   uint64
+	Epoch uint64
+	Delta *relation.Delta
+}
+
+// GapError reports a replicated record that arrived out of order: the
+// receiver holds Have, the record claims Got > Have+1. The sender
+// repairs by re-sending from Have+1 (deltas are idempotent, so overlap
+// is harmless).
+type GapError struct {
+	DB        string
+	Have, Got uint64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("serve: replication gap on %q: have seq %d, got %d", e.DB, e.Have, e.Got)
 }
 
 // pairEntry caches what one (spec, db) pair shares across requests: the
@@ -51,11 +123,54 @@ type pairEntry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		specs:  make(map[string]*pt.Transducer),
-		dbs:    make(map[string]string),
-		pairs:  make(map[string]*pairEntry),
-		deltas: make(map[string][]*relation.Delta),
+		specs: make(map[string]*pt.Transducer),
+		dbs:   make(map[string]string),
+		pairs: make(map[string]*pairEntry),
+		logs:  make(map[string]*dbLog),
 	}
+}
+
+// AttachWAL binds a durable log to the registry and replays its
+// recovered records into the in-memory mutation logs, so every pair
+// resolved afterwards serves post-delta bytes. From here on MutateDB
+// appends (and fsyncs) to the log BEFORE committing in memory — the
+// ack-after-durable contract. Returns the number of records replayed.
+func (r *Registry) AttachWAL(l *wal.Log) int {
+	recs := l.Records()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = l
+	n := 0
+	for _, rec := range recs {
+		if r.logsLocked(rec.DB).absorb(DeltaRecord{Seq: rec.Seq, Epoch: rec.Epoch, Delta: rec.Delta}) {
+			n++
+		}
+	}
+	// Replayed history invalidates anything parsed pre-attach.
+	for key := range r.pairs {
+		delete(r.pairs, key)
+	}
+	return n
+}
+
+// WALMetrics snapshots the attached log's counters (zero without one).
+func (r *Registry) WALMetrics() wal.Metrics {
+	r.mu.RLock()
+	l := r.log
+	r.mu.RUnlock()
+	if l == nil {
+		return wal.Metrics{}
+	}
+	return l.Metrics()
+}
+
+func (r *Registry) logsLocked(db string) *dbLog {
+	lg, ok := r.logs[db]
+	if !ok {
+		lg = &dbLog{}
+		r.logs[db] = lg
+	}
+	return lg
 }
 
 // RegisterSpec parses, validates and installs a transducer spec under
@@ -154,12 +269,9 @@ func (r *Registry) Pair(spec, db string) (*pt.Transducer, *relation.Instance, *e
 			// mutations agrees with pairs that lived through them. Deltas
 			// another spec's vocabulary rejects are skipped: they concern
 			// relations this schema does not publish.
-			r.mu.RLock()
-			log := append([]*relation.Delta(nil), r.deltas[db]...)
-			r.mu.RUnlock()
-			for _, d := range log {
-				if d.Validate(e.inst.Schema()) == nil {
-					_, _ = e.inst.Apply(d)
+			for _, rec := range r.DeltaRecords(db) {
+				if rec.Delta.Validate(e.inst.Schema()) == nil {
+					_, _ = e.inst.Apply(rec.Delta)
 				}
 			}
 			e.memo = eval.NewMemo(0)
@@ -183,28 +295,142 @@ func parseInstance(spec, db, src string, tr *pt.Transducer) (inst *relation.Inst
 }
 
 // MutateDB applies a delta to a registered database: the delta is
-// appended to the database's mutation log and every cached (spec, db)
-// pair over it is dropped, so the next Pair call re-parses the source
-// and replays the full log into a fresh instance with a fresh memo.
+// appended (durably first, when a WAL is attached — the record is
+// fsynced BEFORE anything in memory changes, so an acknowledged delta
+// survives a crash) to the database's mutation log and every cached
+// (spec, db) pair over it is dropped, so the next Pair call re-parses
+// the source and replays the full log into a fresh instance with a
+// fresh memo.
 //
 // Dropping instead of mutating in place is the concurrency contract:
 // a publish in flight keeps the (instance, memo) pair it resolved —
 // internally consistent, pre-delta — while every later resolution sees
 // post-delta state. Readers observe before-or-after, never torn.
 //
-// It returns the number of cached pairs refreshed. Unknown databases
-// are typed validation errors; per-schema validation happens at replay
+// epoch is the cluster ownership epoch the write carries (0 outside a
+// cluster, which bypasses fencing): a write whose epoch is BELOW the
+// database's high-water mark is a zombie owner's and is refused with a
+// typed *supervise.ErrFenced (HTTP 409) before any state is touched.
+//
+// It returns the number of cached pairs refreshed and the sequence
+// number assigned to the delta. Unknown databases are typed validation
+// errors; a WAL append failure is a typed *wal.StorageError and the
+// delta is atomically absent. Per-schema validation happens at replay
 // (and, for the caller's schema, before calling — see Server.mutate).
-func (r *Registry) MutateDB(db string, d *relation.Delta) (int, error) {
+func (r *Registry) MutateDB(db string, d *relation.Delta, epoch uint64) (int, uint64, error) {
 	if d == nil || d.Empty() {
-		return 0, Validationf("delta", "empty delta")
+		return 0, 0, Validationf("delta", "empty delta")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.dbs[db]; !ok {
-		return 0, Validationf("db", "unknown database %q (have: %s)", db, strings.Join(r.dbNamesLocked(), ", "))
+		return 0, 0, Validationf("db", "unknown database %q (have: %s)", db, strings.Join(r.dbNamesLocked(), ", "))
 	}
-	r.deltas[db] = append(r.deltas[db], d)
+	lg := r.logsLocked(db)
+	if epoch > 0 && epoch < lg.epoch {
+		return 0, 0, &supervise.ErrFenced{Key: "mutate\x00" + db, Epoch: epoch, Stored: lg.epoch}
+	}
+	seq := lg.seq + 1
+	dropped, err := r.commitLocked(db, lg, DeltaRecord{Seq: seq, Epoch: epoch, Delta: d})
+	if err != nil {
+		return 0, 0, err
+	}
+	return dropped, seq, nil
+}
+
+// ApplyAt installs a REPLICATED record at its original sequence number.
+// The acceptance rule is what makes duplicate and out-of-order delivery
+// safe: a record at or below the current sequence is a duplicate and is
+// skipped (applied=false, nil error — deltas are idempotent, so the
+// state already reflects it); the successor record commits exactly like
+// MutateDB; anything further ahead is a *GapError telling the sender
+// where to resume. Epoch fencing applies before any of it.
+//
+// One exception to the duplicate rule: a same-seq record carrying a
+// NEWER epoch supersedes the local suffix from that sequence on. Those
+// local records were written by a deposed owner and were never
+// acknowledged (an acknowledged record reaches every up member before
+// its ack, so its sequence number is never reassigned) — the new
+// regime's history wins, the stale suffix is truncated, and superseded
+// reports true so the caller can resynchronize live views against the
+// reconciled log.
+func (r *Registry) ApplyAt(db string, rec DeltaRecord) (dropped int, applied, superseded bool, err error) {
+	if rec.Delta == nil || rec.Delta.Empty() {
+		return 0, false, false, Validationf("delta", "empty delta")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dbs[db]; !ok {
+		return 0, false, false, Validationf("db", "unknown database %q (have: %s)", db, strings.Join(r.dbNamesLocked(), ", "))
+	}
+	lg := r.logsLocked(db)
+	if rec.Epoch > 0 && rec.Epoch < lg.epoch {
+		return 0, false, false, &supervise.ErrFenced{Key: "mutate\x00" + db, Epoch: rec.Epoch, Stored: lg.epoch}
+	}
+	switch {
+	case rec.Seq <= lg.seq:
+		idx, ok := lg.indexOf(rec.Seq)
+		if !ok || rec.Epoch <= lg.recs[idx].Epoch {
+			return 0, false, false, nil
+		}
+		lg.recs = append([]DeltaRecord(nil), lg.recs[:idx]...)
+		lg.seq = rec.Seq - 1
+		dropped, err = r.commitLocked(db, lg, rec)
+		if err != nil {
+			return 0, false, false, err
+		}
+		return dropped, true, true, nil
+	case rec.Seq > lg.seq+1:
+		return 0, false, false, &GapError{DB: db, Have: lg.seq, Got: rec.Seq}
+	}
+	dropped, err = r.commitLocked(db, lg, rec)
+	if err != nil {
+		return 0, false, false, err
+	}
+	return dropped, true, false, nil
+}
+
+// replayInstance parses db's base source against spec's schema and
+// replays recs into it (schema-rejected deltas skipped) — the same view
+// of history Pair serves, computed fresh and uncached. Used to rebuild
+// live-view state after a supersede rewrote the log's tail.
+func (r *Registry) replayInstance(spec, db string, recs []DeltaRecord) (*relation.Instance, error) {
+	tr, err := r.Spec(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	src, ok := r.dbs[db]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, Validationf("db", "unknown database %q", db)
+	}
+	inst, err := parseInstance(spec, db, src, tr)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.Delta.Validate(inst.Schema()) == nil {
+			_, _ = inst.Apply(rec.Delta)
+		}
+	}
+	return inst, nil
+}
+
+// commitLocked makes one record durable (WAL append + fsync first),
+// then commits it in memory and invalidates cached pairs. Caller holds
+// r.mu and has already fenced and sequenced the record.
+func (r *Registry) commitLocked(db string, lg *dbLog, rec DeltaRecord) (int, error) {
+	if r.log != nil {
+		if err := r.log.Append(wal.Record{DB: db, Seq: rec.Seq, Epoch: rec.Epoch, Delta: rec.Delta}); err != nil {
+			return 0, err
+		}
+	}
+	lg.recs = append(lg.recs, rec)
+	lg.seq = rec.Seq
+	if rec.Epoch > lg.epoch {
+		lg.epoch = rec.Epoch
+	}
 	dropped := 0
 	suffix := "\x00" + db
 	for key := range r.pairs {
@@ -216,11 +442,59 @@ func (r *Registry) MutateDB(db string, d *relation.Delta) (int, error) {
 	return dropped, nil
 }
 
-// DeltaLog returns the database's mutation log (most recent last).
-func (r *Registry) DeltaLog(db string) []*relation.Delta {
+// Seq returns the database's last committed sequence number.
+func (r *Registry) Seq(db string) uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return append([]*relation.Delta(nil), r.deltas[db]...)
+	if lg, ok := r.logs[db]; ok {
+		return lg.seq
+	}
+	return 0
+}
+
+// EpochHighWater returns the highest epoch observed on an accepted
+// write to the database.
+func (r *Registry) EpochHighWater(db string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if lg, ok := r.logs[db]; ok {
+		return lg.epoch
+	}
+	return 0
+}
+
+// DeltaRecords returns the database's full mutation history in
+// sequence order.
+func (r *Registry) DeltaRecords(db string) []DeltaRecord {
+	return r.RecordsSince(db, 0)
+}
+
+// RecordsSince returns the records with sequence numbers strictly
+// after `after` — the resend tail for replication gap repair.
+func (r *Registry) RecordsSince(db string, after uint64) []DeltaRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lg, ok := r.logs[db]
+	if !ok {
+		return nil
+	}
+	out := make([]DeltaRecord, 0, len(lg.recs))
+	for _, rec := range lg.recs {
+		if rec.Seq > after {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// DeltaLog returns the database's mutation log (most recent last).
+func (r *Registry) DeltaLog(db string) []*relation.Delta {
+	recs := r.DeltaRecords(db)
+	out := make([]*relation.Delta, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Delta
+	}
+	return out
 }
 
 // SpecNames lists the registered specs, sorted.

@@ -105,6 +105,18 @@ type Config struct {
 	// AllowInject enables the "inject" request field — seeded fault
 	// injection for chaos tests. Never enable in production.
 	AllowInject bool
+
+	// MutateFaults injects crash points on the mutation path (tests
+	// only): runctl.OpMutateAck fires after the delta is durable and
+	// applied but before the 200 reaches the client — the post-fsync,
+	// pre-ack crash. The WAL's own Options.Faults covers the pre-fsync
+	// points. Never set in production.
+	MutateFaults *runctl.FaultPlan
+
+	// ReplicateClient issues synchronous replication and sync requests
+	// to ring successors (default: a dedicated client with a 5s
+	// timeout — a dead successor must delay an ack, not hang it).
+	ReplicateClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 64
 	}
+	if c.ReplicateClient == nil {
+		c.ReplicateClient = &http.Client{Timeout: 5 * time.Second}
+	}
 	return c
 }
 
@@ -155,8 +170,18 @@ type Metrics struct {
 	Mutated   int64 `json:"mutated"`  // deltas accepted by /mutate
 	Repaired  int64 `json:"repaired"` // successful live-view repairs
 	Watched   int64 `json:"watched"`  // /watch requests served (poll + SSE)
-	InFlight  int   `json:"in_flight"`
-	Queued    int   `json:"queued"`
+
+	// Durability counters (zero without an attached WAL): Appended and
+	// Fsyncs come from the write-ahead log, Recovered is how many
+	// records startup replay restored, Replicated counts records this
+	// node accepted from peers over /replicate or pushed during /sync.
+	Appended   int64 `json:"appended"`
+	Fsyncs     int64 `json:"fsyncs"`
+	Recovered  int64 `json:"recovered"`
+	Replicated int64 `json:"replicated"`
+
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
 }
 
 // Server is the hardened concurrent publishing service. Create with
@@ -178,18 +203,19 @@ type Server struct {
 	liveMu sync.Mutex
 	views  map[string]*liveView
 
-	admitted  atomic.Int64
-	shed      atomic.Int64
-	rejected  atomic.Int64
-	succeeded atomic.Int64
-	failed    atomic.Int64
-	deduped   atomic.Int64
-	resumed   atomic.Int64
-	fenced    atomic.Int64
-	warmed    atomic.Int64
-	mutated   atomic.Int64
-	repaired  atomic.Int64
-	watched   atomic.Int64
+	admitted   atomic.Int64
+	shed       atomic.Int64
+	rejected   atomic.Int64
+	succeeded  atomic.Int64
+	failed     atomic.Int64
+	deduped    atomic.Int64
+	resumed    atomic.Int64
+	fenced     atomic.Int64
+	warmed     atomic.Int64
+	mutated    atomic.Int64
+	repaired   atomic.Int64
+	watched    atomic.Int64
+	replicated atomic.Int64
 }
 
 // New builds a server from cfg (cfg.Registry is required).
@@ -216,6 +242,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/publish", s.handlePublish)
 	mux.HandleFunc("/mutate", s.handleMutate)
+	mux.HandleFunc("/replicate", s.handleReplicate)
+	mux.HandleFunc("/deltalog", s.handleDeltaLog)
+	mux.HandleFunc("/sync", s.handleSync)
 	mux.HandleFunc("/watch", s.handleWatch)
 	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -225,6 +254,7 @@ func (s *Server) Handler() http.Handler {
 
 // Metrics snapshots the counters.
 func (s *Server) Metrics() Metrics {
+	wm := s.reg.WALMetrics()
 	return Metrics{
 		Admitted:  s.admitted.Load(),
 		Shed:      s.shed.Load(),
@@ -238,8 +268,13 @@ func (s *Server) Metrics() Metrics {
 		Mutated:   s.mutated.Load(),
 		Repaired:  s.repaired.Load(),
 		Watched:   s.watched.Load(),
-		InFlight:  s.adm.Active(),
-		Queued:    s.adm.Waiting(),
+		Appended:  wm.Appended,
+		Fsyncs:    wm.Fsyncs,
+		Recovered: wm.Recovered,
+
+		Replicated: s.replicated.Load(),
+		InFlight:   s.adm.Active(),
+		Queued:     s.adm.Waiting(),
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"ptx/internal/runctl"
 	"ptx/internal/supervise"
 	"ptx/internal/testutil"
+	"ptx/internal/wal"
 )
 
 func TestPublishGolden(t *testing.T) {
@@ -385,6 +386,7 @@ func TestErrorCodeTable(t *testing.T) {
 		{&ErrOverloaded{Queued: 16}, KindOverloaded, 429, 5},
 		{&ErrOverloaded{Queued: 1000}, KindOverloaded, 429, 30},
 		{ErrDraining, KindDraining, 503, 5},
+		{&wal.StorageError{Op: "fsync", Err: fmt.Errorf("disk full")}, KindStorage, 503, 5},
 		{runctl.Transient(fmt.Errorf("flaky disk")), KindTransient, 503, 1},
 		{&runctl.ErrInternal{Op: "x", Panic: "boom"}, KindInternal, 500, -1},
 		{fmt.Errorf("untyped"), KindInternal, 500, -1},
@@ -422,5 +424,12 @@ func TestErrorCodeTable(t *testing.T) {
 	code, info := Classify(runctl.Transient(&runctl.ErrBudget{Kind: runctl.BudgetQueries, Limit: 1, Observed: 2}))
 	if info.Kind != KindBudget || code != 413 {
 		t.Errorf("transient-wrapped budget = (%d, %q), want (413, budget)", code, info.Kind)
+	}
+	// A storage error wrapping a transient cause reports as storage —
+	// the client's contract is "not durable, not applied", regardless of
+	// what tripped the write path.
+	code, info = Classify(&wal.StorageError{Op: "append", Err: runctl.Transient(fmt.Errorf("injected"))})
+	if info.Kind != KindStorage || code != 503 {
+		t.Errorf("transient-wrapped storage = (%d, %q), want (503, storage)", code, info.Kind)
 	}
 }

@@ -1,0 +1,36 @@
+package wal
+
+import "fmt"
+
+// CorruptError reports a record that failed integrity checking during
+// recovery: a torn tail (the process died mid-write), a bit-flip (the
+// checksum disagrees with the payload), or a malformed frame. Recovery
+// truncates the log to the last valid record and carries on, so a
+// CorruptError is a REPORT, not a refusal — Open still succeeds and the
+// typed detail tells the operator exactly what was lost and where.
+type CorruptError struct {
+	File   string // segment file name
+	Offset int64  // byte offset of the first invalid frame
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt at offset %d: %s", e.File, e.Offset, e.Reason)
+}
+
+// StorageError reports a durability failure on the write path: a failed
+// append, a failed fsync, a full disk. The record it covers is NOT
+// durable — the log rolls the partial write back before returning, so
+// an appender that sees a StorageError knows the delta is atomically
+// absent and must not acknowledge it. The serve layer maps this to the
+// "storage" error kind (HTTP 503).
+type StorageError struct {
+	Op  string // "append", "fsync", "rotate", "compact"
+	Err error
+}
+
+func (e *StorageError) Error() string {
+	return fmt.Sprintf("wal: %s: %v", e.Op, e.Err)
+}
+
+func (e *StorageError) Unwrap() error { return e.Err }

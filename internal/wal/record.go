@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"ptx/internal/relation"
+	"ptx/internal/value"
+)
+
+// Magic is the first line of every segment file. ptxml sniffs it to
+// tell a WAL segment from a plain delta script.
+const Magic = "ptx-wal v1\n"
+
+// Record is one durable log entry: a delta against one database, with
+// the per-database sequence number and the ownership epoch the write
+// carried. Seq is assigned by the appender (the registry) and is
+// 1-based and strictly increasing per database; Epoch is the cluster
+// fencing token (0 outside a cluster).
+type Record struct {
+	DB    string
+	Seq   uint64
+	Epoch uint64
+	Delta *relation.Delta
+}
+
+// The segment format is line-oriented in the sealed-file style of
+// supervise's snapshots: a magic header line, then zero or more frames
+//
+//	rec <payloadLen> <sha256hex>\n
+//	<payload bytes>\n
+//
+// where the checksum covers exactly the payload bytes. The payload is
+// itself line-oriented with every caller-controlled string
+// percent-escaped, so arbitrary bytes (including newlines and spaces)
+// round-trip:
+//
+//	db <esc(db)> <seq> <epoch>
+//	+<esc(rel)> <esc(v1)> <esc(v2)> ...
+//	-<esc(rel)> ...
+//
+// A frame is valid iff the header parses, the payload is complete, the
+// terminator newline is present and the checksum matches; the first
+// invalid frame ends recovery for the file (torn-tail truncation).
+
+func encodePayload(rec Record) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "db %s %d %d", url.QueryEscape(rec.DB), rec.Seq, rec.Epoch)
+	if rec.Delta != nil {
+		for _, op := range rec.Delta.Ops {
+			sign := "-"
+			if op.Insert {
+				sign = "+"
+			}
+			b.WriteByte('\n')
+			b.WriteString(sign)
+			b.WriteString(url.QueryEscape(op.Rel))
+			for _, v := range op.Tuple {
+				b.WriteByte(' ')
+				b.WriteString(url.QueryEscape(string(v)))
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// encodeFrame renders the full frame (header + payload + terminator)
+// for one record.
+func encodeFrame(rec Record) []byte {
+	payload := encodePayload(rec)
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "rec %d %s\n", len(payload), hex.EncodeToString(sum[:]))
+	b.Write(payload)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	lines := strings.Split(string(payload), "\n")
+	head := strings.Split(lines[0], " ")
+	if len(head) != 4 || head[0] != "db" {
+		return Record{}, fmt.Errorf("malformed db line %q", lines[0])
+	}
+	db, err := url.QueryUnescape(head[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad db name escape: %v", err)
+	}
+	seq, err := strconv.ParseUint(head[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad seq %q", head[2])
+	}
+	epoch, err := strconv.ParseUint(head[3], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad epoch %q", head[3])
+	}
+	d := &relation.Delta{}
+	for i, ln := range lines[1:] {
+		if ln == "" || (ln[0] != '+' && ln[0] != '-') {
+			return Record{}, fmt.Errorf("op %d: malformed line %q", i, ln)
+		}
+		toks := strings.Split(ln[1:], " ")
+		rel, err := url.QueryUnescape(toks[0])
+		if err != nil || rel == "" {
+			return Record{}, fmt.Errorf("op %d: bad relation escape %q", i, toks[0])
+		}
+		tuple := make(value.Tuple, 0, len(toks)-1)
+		for _, tok := range toks[1:] {
+			v, err := url.QueryUnescape(tok)
+			if err != nil {
+				return Record{}, fmt.Errorf("op %d: bad value escape %q", i, tok)
+			}
+			tuple = append(tuple, value.V(v))
+		}
+		if ln[0] == '+' {
+			d.InsertTuple(rel, tuple)
+		} else {
+			d.DeleteTuple(rel, tuple)
+		}
+	}
+	return Record{DB: db, Seq: seq, Epoch: epoch, Delta: d}, nil
+}
+
+// DecodeSegment parses one segment's bytes, returning every record up
+// to the first invalid frame, the number of valid bytes from the start
+// (the truncation point recovery uses), and a *CorruptError describing
+// the first invalid frame (nil for a clean segment). It never panics on
+// arbitrary input — FuzzWALDecode pins that.
+func DecodeSegment(name string, data []byte) ([]Record, int64, *CorruptError) {
+	if !bytes.HasPrefix(data, []byte(Magic)) {
+		return nil, 0, &CorruptError{File: name, Offset: 0, Reason: "missing magic header"}
+	}
+	off := int64(len(Magic))
+	var recs []Record
+	for off < int64(len(data)) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: "torn record header"}
+		}
+		fields := strings.Split(string(rest[:nl]), " ")
+		if len(fields) != 3 || fields[0] != "rec" || len(fields[2]) != 2*sha256.Size {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: fmt.Sprintf("malformed record header %q", string(rest[:nl]))}
+		}
+		plen, err := strconv.Atoi(fields[1])
+		if err != nil || plen < 0 {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: fmt.Sprintf("bad payload length %q", fields[1])}
+		}
+		body := rest[nl+1:]
+		if plen >= len(body) { // needs plen payload bytes plus the terminator
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: "torn record payload"}
+		}
+		payload := body[:plen]
+		if body[plen] != '\n' {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: "missing record terminator"}
+		}
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != fields[2] {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: "checksum mismatch"}
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return recs, off, &CorruptError{File: name, Offset: off, Reason: fmt.Sprintf("bad payload: %v", derr)}
+		}
+		recs = append(recs, rec)
+		off += int64(nl) + 1 + int64(plen) + 1
+	}
+	return recs, off, nil
+}
