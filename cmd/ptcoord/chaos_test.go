@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptx/internal/supervise"
+)
+
+// TestCoordChaosGating pins the double opt-in on the coordinator side.
+func TestCoordChaosGating(t *testing.T) {
+	var out, errOut bytes.Buffer
+	sigs := make(chan os.Signal)
+	if code := run([]string{"-chaos", "refuse=1"}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("-chaos without -allow-inject: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-allow-inject") {
+		t.Fatalf("gating error not surfaced: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-allow-inject", "-chaos", "partition=oneway"}, &out, &errOut, sigs); code != 2 {
+		t.Fatalf("malformed -chaos spec: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "partition") {
+		t.Fatalf("spec error not surfaced: %s", errOut.String())
+	}
+}
+
+// TestCoordChaosRefusesEgress proves the -chaos mesh really sits on
+// the coordinator's outbound client: with refuse=1 a perfectly healthy
+// worker is unreachable — its join probe fails, it registers down, and
+// a routed publish gets the typed no-ready error instead of bytes.
+func TestCoordChaosRefusesEgress(t *testing.T) {
+	store, err := supervise.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorker(t, "refused-1", store)
+	url, sigs, exit, stdout := startCoord(t,
+		"-probe-interval", "-1ms",
+		"-allow-inject", "-chaos", "seed=3,refuse=1")
+	if !strings.Contains(stdout.String(), "chaos mesh active") {
+		t.Fatalf("chaos mesh not narrated:\n%s", stdout.String())
+	}
+	joinWire(t, url, w)
+
+	resp, err := http.Post(url+"/publish", "application/json",
+		strings.NewReader(`{"spec":"tau1","db":"registrar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("publish succeeded through a refuse-all mesh: %.120s", body)
+	}
+	if !bytes.Contains(body, []byte(`"error"`)) {
+		t.Fatalf("failure is not a typed error body: %d %.200s", resp.StatusCode, body)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ptcoord did not exit")
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	ptcoord [-addr :8070] [-node id=url ...] [-vnodes N] [-replicas N]
 //	        [-probe-interval D] [-fail-threshold N] [-drain D]
+//	        [-allow-inject] [-chaos SPEC]
 //
 // Endpoints:
 //
@@ -19,6 +20,12 @@
 // Workers can be listed statically with repeated -node flags, register
 // themselves with ptserve's -join flag, or both. SIGTERM/SIGINT drains:
 // readiness flips, the prober stops, in-flight forwards are canceled.
+//
+// -chaos injects deterministic faults into the coordinator's OUTBOUND
+// client — every forward, probe, and catch-up sync crosses the chaotic
+// link (spec syntax as in ptserve; the local peer is named "coord").
+// Chaos testing only: it requires the explicit -allow-inject
+// acknowledgement. Watch the circuit breakers react on /healthz.
 //
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
 package main
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"ptx/internal/cluster"
+	"ptx/internal/netchaos"
 )
 
 // nodeFlags collects repeated -node id=url arguments.
@@ -74,16 +82,35 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "health-probe cadence (negative disables probing)")
 	failThreshold := fs.Int("fail-threshold", 0, "consecutive probe failures before a worker is marked down (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "how long a SIGTERM drain waits for in-flight forwards")
+	allowInject := fs.Bool("allow-inject", false, "allow the -chaos fault-injection flag (chaos testing only)")
+	chaos := fs.String("chaos", "", "network fault spec for the outbound client, e.g. seed=7,partition=coord->n1 (requires -allow-inject)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	coord := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		VNodes:        *vnodes,
 		Replicas:      *replicas,
 		ProbeInterval: *probeInterval,
 		FailThreshold: *failThreshold,
-	})
+	}
+	if *chaos != "" {
+		if !*allowInject {
+			fmt.Fprintln(stderr, "ptcoord: -chaos requires -allow-inject (fault injection is for chaos testing only)")
+			return 2
+		}
+		mesh, err := netchaos.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintln(stderr, "ptcoord:", err)
+			return 2
+		}
+		// All coordinator egress — forwards, probes, syncs — rides this
+		// client, so the whole control plane feels the injected faults
+		// and the breakers/hedging have something real to absorb.
+		cfg.Client = &http.Client{Transport: mesh.Transport("coord", nil)}
+		fmt.Fprintf(stdout, "ptcoord: chaos mesh active (%s)\n", *chaos)
+	}
+	coord := cluster.New(cfg)
 	// A dead static node joins down, not fatally: the prober brings it
 	// into rotation when it comes up. Join only errors on bad flags.
 	for _, n := range nodes {

@@ -8,6 +8,7 @@
 //	        [-max-body BYTES] [-timeout D] [-max-timeout D]
 //	        [-drain D] [-checkpoint-dir DIR] [-allow-inject]
 //	        [-node-id ID] [-store-dir DIR] [-join URL] [-advertise URL]
+//	        [-chaos SPEC]
 //
 // Endpoints:
 //
@@ -38,6 +39,13 @@
 // URL the coordinator should dial back, defaulting to the listen
 // address — set it when the node sits behind NAT or a hostname).
 //
+// -chaos injects deterministic network faults (chaos testing only;
+// requires -allow-inject): the spec is a comma-separated key=value list
+// — seed=N, latency=D, drop=P, refuse=P, reset=P, corrupt=P,
+// truncate=P, slowloris=P, pace=D, partition=a->b — applied to this
+// node's inbound listener and its outbound replication client. See
+// internal/netchaos for the full fault model.
+//
 // -store-dir also makes mutations DURABLE (cluster or standalone): a
 // write-ahead log under DIR/wal records every accepted delta,
 // appended and fsynced before the /mutate ack, and a restart replays
@@ -63,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"ptx/internal/netchaos"
 	"ptx/internal/serve"
 	"ptx/internal/supervise"
 	"ptx/internal/wal"
@@ -94,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	storeDir := fs.String("store-dir", "", "shared checkpoint-handoff store directory (cluster mode; all workers point at the same one)")
 	join := fs.String("join", "", "coordinator base URL to self-register with at startup")
 	advertise := fs.String("advertise", "", "base URL the coordinator dials this node at (default: the listen address)")
+	chaos := fs.String("chaos", "", "network fault spec, e.g. seed=7,latency=50ms,reset=0.1 (requires -allow-inject; see internal/netchaos)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +114,22 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	if *join != "" && *nodeID == "" {
 		fmt.Fprintln(stderr, "ptserve: -join requires -node-id (the coordinator fences checkpoints by node identity)")
 		return 2
+	}
+	var mesh *netchaos.Mesh
+	if *chaos != "" {
+		// Fault injection is opt-in twice over: the spec AND the explicit
+		// -allow-inject acknowledgement, so a copy-pasted chaos command
+		// can never degrade a production node by accident.
+		if !*allowInject {
+			fmt.Fprintln(stderr, "ptserve: -chaos requires -allow-inject (fault injection is for chaos testing only)")
+			return 2
+		}
+		m, err := netchaos.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintln(stderr, "ptserve:", err)
+			return 2
+		}
+		mesh = m
 	}
 
 	reg := serve.NewRegistry()
@@ -138,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			fmt.Fprintf(stderr, "ptserve: wal: recovered past corruption: %v\n", c)
 		}
 	}
-	s, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Registry:       reg,
 		NodeID:         *nodeID,
 		Store:          store,
@@ -149,7 +175,21 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		MaxTimeout:     *maxTimeout,
 		CheckpointDir:  *checkpointDir,
 		AllowInject:    *allowInject,
-	})
+	}
+	meshName := *nodeID
+	if meshName == "" {
+		meshName = "node"
+	}
+	if mesh != nil {
+		// Outbound replication pushes cross the chaotic link too — a
+		// partition must be able to withhold mutation acks, not just
+		// garble publishes.
+		cfg.ReplicateClient = &http.Client{
+			Transport: mesh.Transport(meshName, nil),
+			Timeout:   5 * time.Second,
+		}
+	}
+	s, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "ptserve:", err)
 		return 1
@@ -159,6 +199,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "ptserve:", err)
 		return 1
+	}
+	if mesh != nil {
+		ln = mesh.Listener(meshName, ln)
+		fmt.Fprintf(stdout, "ptserve: chaos mesh active (%s)\n", *chaos)
 	}
 	fmt.Fprintf(stdout, "ptserve: listening on %s (specs: %v, dbs: %v)\n",
 		ln.Addr(), reg.SpecNames(), reg.DBNames())

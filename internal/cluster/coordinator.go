@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ptx/internal/breaker"
 	"ptx/internal/runctl"
 	"ptx/internal/serve"
 )
@@ -47,9 +48,43 @@ type Config struct {
 	// MaxBodyBytes caps proxied request bodies (default 1 MiB).
 	MaxBodyBytes int64
 
-	// Client issues the forwarded requests and probes (default: a
-	// dedicated client with a 90s overall timeout).
+	// Client issues the forwarded requests and probes. The default has
+	// NO flat timeout: every forwarded request runs under a per-request
+	// context derived from its propagated deadline budget instead (a
+	// flat client timeout both stalled short-deadline requests for the
+	// full flat window and killed legitimately long watch streams).
 	Client *http.Client
+
+	// ForwardBudget is the time budget for a request that brings no
+	// budget of its own — no limits.timeout_ms in the body and no
+	// upstream X-Ptx-Deadline header (default 30s).
+	ForwardBudget time.Duration
+	// DeadlineGrace is the slack the coordinator grants itself beyond
+	// the budget it propagates downstream (default 250ms): the worker
+	// gets the budget, the coordinator waits budget+grace, so a worker
+	// that answers typed at the wire still gets its answer relayed.
+	DeadlineGrace time.Duration
+
+	// HedgeDelay is how long an idempotent read (publish, watch
+	// connect) waits on its primary before firing one hedged attempt at
+	// the next preference-list member — first success wins, the loser
+	// is canceled. 0 = auto (a quarter of the remaining budget, clamped
+	// to [20ms, 2s]); negative disables hedging. Mutations are NEVER
+	// hedged: a hedge duplicates work, and duplicated mutations would
+	// race for sequence numbers on two nodes at once.
+	HedgeDelay time.Duration
+
+	// SyncTimeout bounds each join/catch-up control call — /sync,
+	// /deltalog, /warm (default 5s). These run under the membership
+	// write barrier, so without a bound a partitioned peer could stall
+	// every mutation in the cluster.
+	SyncTimeout time.Duration
+
+	// Breaker parameterizes the per-member circuit breakers shared by
+	// the forward path, the health prober and the mutation route. The
+	// zero value picks defaults, with Cooldown tied to the probe
+	// cadence (4×ProbeInterval, or 2s when probing is disabled).
+	Breaker breaker.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -69,7 +104,26 @@ func (c Config) withDefaults() Config {
 		c.MaxBodyBytes = 1 << 20
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 90 * time.Second}
+		c.Client = &http.Client{}
+	}
+	if c.ForwardBudget <= 0 {
+		c.ForwardBudget = 30 * time.Second
+	}
+	if c.DeadlineGrace <= 0 {
+		c.DeadlineGrace = 250 * time.Millisecond
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 5 * time.Second
+	}
+	if c.Breaker.Cooldown == 0 {
+		if c.ProbeInterval > 0 {
+			c.Breaker.Cooldown = 4 * c.ProbeInterval
+		} else {
+			c.Breaker.Cooldown = 2 * time.Second
+		}
+	}
+	if c.Breaker.Seed == 0 {
+		c.Breaker.Seed = c.ProbeSeed
 	}
 	return c
 }
@@ -87,6 +141,9 @@ type MemberStatus struct {
 	ID  string `json:"id"`
 	URL string `json:"url"`
 	Up  bool   `json:"up"`
+	// Breaker is the member's circuit-breaker state ("closed", "open",
+	// "half-open"); filled in Metrics snapshots only.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Metrics is a point-in-time snapshot of the coordinator's counters.
@@ -100,6 +157,11 @@ type Metrics struct {
 	Warms     int64          `json:"warms"`     // warm-hint batches sent
 	Mutations int64          `json:"mutations"` // mutations routed to a pair's owner
 	Watches   int64          `json:"watches"`   // watch requests proxied
+
+	Hedges       int64    `json:"hedges"`                 // hedged second attempts fired
+	HedgeWins    int64    `json:"hedge_wins"`             // requests won by the hedged attempt
+	BreakerOpens int64    `json:"breaker_opens"`          // closed→open breaker transitions
+	BreakerOpen  []string `json:"breaker_open,omitempty"` // members currently open/half-open
 }
 
 // ErrNoReady is returned (as a transient, hence retryable, rejection)
@@ -141,6 +203,13 @@ type Coordinator struct {
 	probeDone  chan struct{}
 	warmWG     sync.WaitGroup
 
+	// breakers holds one circuit breaker per member, shared by the
+	// publish forward path, the mutation route, the watch proxy and the
+	// health prober: every path contributes evidence, every path honors
+	// the verdict (except mutations, which must reach their one owner
+	// and therefore only FEED the breaker, never skip on it).
+	breakers *breaker.Set
+
 	routed    atomic.Int64
 	failovers atomic.Int64
 	deduped   atomic.Int64
@@ -148,6 +217,8 @@ type Coordinator struct {
 	warms     atomic.Int64
 	mutations atomic.Int64
 	watches   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 }
 
 // New builds a coordinator and starts its health prober (unless
@@ -166,6 +237,7 @@ func New(cfg Config) *Coordinator {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		probeDone:  make(chan struct{}),
+		breakers:   breaker.NewSet(cfg.Breaker),
 	}
 	if cfg.ProbeInterval > 0 {
 		go c.probeLoop()
@@ -201,6 +273,9 @@ func (c *Coordinator) Join(id, url string) error {
 	m.fails = 0
 	m.next = time.Time{}
 	c.mu.Unlock()
+	// An explicit (re)join is an operator-grade signal: reset whatever
+	// breaker history the previous incarnation accumulated.
+	c.breakers.Success(id)
 	if up {
 		c.writeMu.Lock()
 		up = c.syncMember(id, url)
@@ -260,7 +335,11 @@ func (c *Coordinator) postSync(url, db, peer string) {
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, url+"/sync", bytes.NewReader(payload))
+	// Bounded: this runs under the membership write barrier, and an
+	// unbounded call to a partitioned peer would stall every mutation.
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.SyncTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/sync", bytes.NewReader(payload))
 	if err != nil {
 		return
 	}
@@ -276,7 +355,9 @@ func (c *Coordinator) postSync(url, db, peer string) {
 // memberSeq reads a node's committed sequence mark for db (0 on any
 // failure — an unreadable node is treated as maximally behind).
 func (c *Coordinator) memberSeq(nodeURL, db string) uint64 {
-	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodGet,
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.SyncTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		nodeURL+"/deltalog?db="+neturl.QueryEscape(db), nil)
 	if err != nil {
 		return 0
@@ -332,19 +413,26 @@ func (c *Coordinator) Metrics() Metrics {
 	members := make([]MemberStatus, 0, len(c.members))
 	for _, id := range c.ring.Members() {
 		m := c.members[id]
-		members = append(members, MemberStatus{ID: m.id, URL: m.url, Up: m.up})
+		members = append(members, MemberStatus{
+			ID: m.id, URL: m.url, Up: m.up,
+			Breaker: c.breakers.State(m.id).String(),
+		})
 	}
 	c.mu.Unlock()
 	return Metrics{
-		Epoch:     c.epoch.Load(),
-		Members:   members,
-		Routed:    c.routed.Load(),
-		Failovers: c.failovers.Load(),
-		Deduped:   c.deduped.Load(),
-		NoReady:   c.noReady.Load(),
-		Warms:     c.warms.Load(),
-		Mutations: c.mutations.Load(),
-		Watches:   c.watches.Load(),
+		Epoch:        c.epoch.Load(),
+		Members:      members,
+		Routed:       c.routed.Load(),
+		Failovers:    c.failovers.Load(),
+		Deduped:      c.deduped.Load(),
+		NoReady:      c.noReady.Load(),
+		Warms:        c.warms.Load(),
+		Mutations:    c.mutations.Load(),
+		Watches:      c.watches.Load(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		BreakerOpens: c.breakers.Opens(),
+		BreakerOpen:  c.breakers.OpenPeers(),
 	}
 }
 
@@ -499,6 +587,23 @@ func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 	sum := sha256.Sum256(body)
 	runKey := hex.EncodeToString(sum[:])
 
+	// Resolve the request's time budget BEFORE routing: an upstream
+	// hop's X-Ptx-Deadline wins (we are mid-chain and must only ever
+	// shrink), then the body's own limits.timeout_ms, then the default.
+	hdrBudget, hasHdr, derr := serve.ParseDeadline(r.Header)
+	if derr != nil {
+		serve.WriteError(w, derr)
+		return
+	}
+	_, _, bodyMS := routingPair(body)
+	budget := c.cfg.ForwardBudget
+	switch {
+	case hasHdr:
+		budget = hdrBudget
+	case bodyMS > 0:
+		budget = time.Duration(bodyMS) * time.Millisecond
+	}
+
 	c.mu.Lock()
 	if f, ok := c.flights[runKey]; ok {
 		c.mu.Unlock()
@@ -515,7 +620,12 @@ func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 	c.flights[runKey] = f
 	c.mu.Unlock()
 
-	f.status, f.header, f.body = c.forward(body, runKey)
+	// The leader of a dedup flight forwards under budget+grace: the
+	// worker gets the budget (via the propagated deadline header), the
+	// extra grace covers relaying an answer that was typed at the wire.
+	ctx, cancel := context.WithDeadline(c.baseCtx, time.Now().Add(budget+c.cfg.DeadlineGrace))
+	f.status, f.header, f.body = c.forward(ctx, time.Now().Add(budget), body, runKey)
+	cancel()
 	c.mu.Lock()
 	delete(c.flights, runKey)
 	c.mu.Unlock()
@@ -532,63 +642,24 @@ func (c *Coordinator) reply(w http.ResponseWriter, f *coordFlight, shared bool) 
 	_, _ = w.Write(f.body)
 }
 
-// forward routes one body along its preference list: the key's owner
-// first, then ring successors. A transport failure or a draining
-// response marks the node down (bumping the epoch) and moves on — the
-// NEXT attempt carries the bumped epoch, which is exactly the authority
-// the successor needs to overwrite the dead node's checkpoints. Any
-// other response, success or typed error, is returned verbatim: the
-// single-node error schema survives the cluster tier untouched.
-func (c *Coordinator) forward(body []byte, runKey string) (int, http.Header, []byte) {
-	spec, db := routingPair(body)
-	prefs := c.preference(spec + "\x00" + db)
-	if len(prefs) == 0 {
-		c.noReady.Add(1)
-		return buffered(ErrNoReady)
-	}
-	c.routed.Add(1)
-	tried := 0
-	for _, m := range prefs {
-		if c.cfg.Replicas > 0 && tried >= c.cfg.Replicas {
-			break
-		}
-		tried++
-		status, header, respBody, err := c.attempt(m, body, runKey)
-		if err != nil {
-			// Transport-level death: fail over now; the prober's backoff
-			// handles recovery.
-			c.markDown(m.ID)
-			c.failovers.Add(1)
-			continue
-		}
-		if status == http.StatusServiceUnavailable && errorKind(respBody) == serve.KindDraining {
-			// The node is shutting down; its successors own its keys now.
-			c.markDown(m.ID)
-			c.failovers.Add(1)
-			continue
-		}
-		if tried > 1 {
-			header.Set("X-Ptcoord-Failover", "true")
-		}
-		header.Set("X-Ptcoord-Attempts", strconv.Itoa(tried))
-		return status, header, respBody
-	}
-	c.noReady.Add(1)
-	return buffered(ErrNoReady)
-}
-
 // attempt forwards the body to one member, stamping the handoff
 // coordinates. The epoch is read per-attempt: a failover bumps it, so
 // the successor's request carries strictly more authority than the
-// attempt that just failed.
-func (c *Coordinator) attempt(m MemberStatus, body []byte, runKey string) (int, http.Header, []byte, error) {
-	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, m.URL+"/publish", bytes.NewReader(body))
+// attempt that just failed. The remaining budget rides along as the
+// propagated deadline, and the response is integrity-checked against
+// the worker's checksum trailer — corruption or truncation surfaces
+// here as a transport error, which is precisely what lets the caller
+// fail over instead of relaying wrong bytes.
+func (c *Coordinator) attempt(ctx context.Context, m MemberStatus, body []byte, runKey string, budgetDeadline time.Time) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+"/publish", bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.HeaderRunKey, runKey)
 	req.Header.Set(serve.HeaderEpoch, strconv.FormatUint(c.epoch.Load(), 10))
+	req.Header.Set(serve.HeaderDeadline, serve.FormatDeadline(time.Until(budgetDeadline)))
+	req.Header.Set(serve.HeaderWantSum, "1")
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -598,7 +669,36 @@ func (c *Coordinator) attempt(m MemberStatus, body []byte, runKey string) (int, 
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	if err := serve.VerifySum(resp, respBody); err != nil {
+		return 0, nil, nil, err
+	}
 	return resp.StatusCode, resp.Header.Clone(), respBody, nil
+}
+
+// rlockWithin acquires the membership write barrier's read side, but
+// gives up when ctx dies first: a mutation that cannot get past a
+// stalled catch-up within its deadline budget fails typed instead of
+// queueing forever. The helper goroutine unlocks on abandonment, so
+// the barrier is never left held.
+func (c *Coordinator) rlockWithin(ctx context.Context) bool {
+	got := make(chan struct{}, 1)
+	go func() {
+		c.writeMu.RLock()
+		got <- struct{}{}
+	}()
+	select {
+	case <-got:
+		return true
+	case <-ctx.Done():
+		// The acquisition may still land after we give up; hand the
+		// lock straight back when it does. Bounded: every writer holds
+		// the barrier for at most the SyncTimeout-bounded catch-up.
+		go func() {
+			<-got
+			c.writeMu.RUnlock()
+		}()
+		return false
+	}
 }
 
 // preference snapshots the up members of a key's preference list and
@@ -707,7 +807,9 @@ func (c *Coordinator) sendWarmHints(id, url string) {
 		if err != nil {
 			return
 		}
-		req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, url+"/warm", bytes.NewReader(payload))
+		ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.SyncTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/warm", bytes.NewReader(payload))
 		if err != nil {
 			return
 		}
@@ -722,18 +824,22 @@ func (c *Coordinator) sendWarmHints(id, url string) {
 	}()
 }
 
-// routingPair extracts the (spec, db) routing key from a request body.
+// routingPair extracts the (spec, db) routing key and the request's own
+// timeout_ms (the seed of its deadline budget) from a request body.
 // The parse is deliberately loose — a malformed body still routes (by
 // empty pair) to SOME node, whose strict validator then produces the
 // typed 400 the client expects; the coordinator never duplicates the
 // worker's validation logic.
-func routingPair(body []byte) (spec, db string) {
+func routingPair(body []byte) (spec, db string, timeoutMS int64) {
 	var req struct {
-		Spec string `json:"spec"`
-		DB   string `json:"db"`
+		Spec   string `json:"spec"`
+		DB     string `json:"db"`
+		Limits struct {
+			TimeoutMS int64 `json:"timeout_ms"`
+		} `json:"limits"`
 	}
 	_ = json.Unmarshal(body, &req)
-	return req.Spec, req.DB
+	return req.Spec, req.DB, req.Limits.TimeoutMS
 }
 
 // errorKind extracts the wire-schema kind from an error body ("" when

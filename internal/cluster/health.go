@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"ptx/internal/breaker"
 )
 
 // probeLoop is the coordinator's health prober: every ProbeInterval
@@ -58,9 +60,21 @@ func (c *Coordinator) probeAll() {
 		wg.Add(1)
 		go func(m MemberStatus) {
 			defer wg.Done()
+			// Breaker-aware cadence: a peer with an open breaker is
+			// probed on the breaker's half-open schedule, not hammered
+			// every interval — Allow consumes the single half-open probe
+			// slot, so the prober and the forward path never double-probe
+			// a recovering node.
+			if st := c.breakers.State(m.ID); st != breaker.Closed {
+				if !c.breakers.Allow(m.ID) {
+					return
+				}
+			}
 			if c.probeOne(m.URL) {
+				c.breakers.Success(m.ID)
 				c.markUp(m.ID) // no-op if already up
 			} else {
+				c.breakers.Failure(m.ID)
 				c.probeFailed(m.ID)
 			}
 		}(m)

@@ -1,0 +1,281 @@
+// Hedged failover for idempotent reads. A publish (deduped by run key
+// at every layer) and a watch CONNECT are safe to issue twice, so the
+// coordinator fires one delayed second attempt at the next
+// preference-list member when the primary dawdles: first success wins,
+// the loser is canceled. Mutations never come through here — a
+// duplicated mutation would race for sequence numbers on two nodes.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ptx/internal/runctl"
+	"ptx/internal/serve"
+)
+
+// attemptResult is one member's answer in a hedged forward race.
+type attemptResult struct {
+	m      MemberStatus
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	hedged bool
+}
+
+// hedgeAfter resolves the hedge delay for a request whose budget runs
+// out at budgetDeadline: configured value, or a quarter of the
+// remaining budget clamped to [20ms, 2s]. Negative config disables
+// hedging (returns -1).
+func (c *Coordinator) hedgeAfter(budgetDeadline time.Time) time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	if c.cfg.HedgeDelay < 0 {
+		return -1
+	}
+	d := time.Until(budgetDeadline) / 4
+	if d < 20*time.Millisecond {
+		d = 20 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// forward routes one body along its preference list: the key's owner
+// first, then ring successors. Members whose circuit breaker is open
+// are skipped — a request's deadline budget is too precious to spend
+// re-proving a known-bad peer. A transport failure (including an
+// integrity-check failure on the response body) marks the node down,
+// feeds its breaker, and moves on — the NEXT attempt carries the
+// bumped epoch, which is exactly the authority the successor needs to
+// overwrite the dead node's checkpoints. While the primary attempt is
+// in flight, one hedged attempt may fire at the next member after the
+// hedge delay; the first usable answer wins and every other attempt is
+// canceled. Any real response, success or typed error, is returned
+// verbatim: the single-node error schema survives the cluster tier
+// untouched.
+func (c *Coordinator) forward(ctx context.Context, budgetDeadline time.Time, body []byte, runKey string) (int, http.Header, []byte) {
+	spec, db, _ := routingPair(body)
+	prefs := c.preference(spec + "\x00" + db)
+	if len(prefs) == 0 {
+		c.noReady.Add(1)
+		return buffered(ErrNoReady)
+	}
+	c.routed.Add(1)
+	if c.cfg.Replicas > 0 && c.cfg.Replicas < len(prefs) {
+		prefs = prefs[:c.cfg.Replicas]
+	}
+
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	results := make(chan attemptResult, len(prefs))
+	next, inflight, fails := 0, 0, 0
+	launch := func(hedged bool) bool {
+		for next < len(prefs) {
+			m := prefs[next]
+			next++
+			if !c.breakers.Allow(m.ID) {
+				continue
+			}
+			inflight++
+			if hedged {
+				c.hedges.Add(1)
+			}
+			go func(m MemberStatus, hedged bool) {
+				status, header, respBody, err := c.attempt(actx, m, body, runKey, budgetDeadline)
+				results <- attemptResult{m: m, status: status, header: header, body: respBody, err: err, hedged: hedged}
+			}(m, hedged)
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		c.noReady.Add(1)
+		return buffered(ErrNoReady)
+	}
+	var hedgeC <-chan time.Time
+	if d := c.hedgeAfter(budgetDeadline); d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			// One hedge per request: a storm of speculative retries is
+			// its own outage.
+			hedgeC = nil
+			launch(true)
+		case res := <-results:
+			inflight--
+			if res.err != nil {
+				if ctx.Err() != nil {
+					// The BUDGET died, not the node: this is not
+					// evidence against the member, it is the request
+					// outliving its deadline. Fail typed.
+					return buffered(&runctl.ErrCanceled{Cause: context.DeadlineExceeded})
+				}
+				fails++
+				c.breakers.Failure(res.m.ID)
+				c.markDown(res.m.ID)
+				c.failovers.Add(1)
+				if inflight == 0 && !launch(false) {
+					c.noReady.Add(1)
+					return buffered(ErrNoReady)
+				}
+				continue
+			}
+			c.breakers.Success(res.m.ID)
+			if res.status == http.StatusServiceUnavailable && errorKind(res.body) == serve.KindDraining {
+				// The node is shutting down; its successors own its
+				// keys now. The network is fine, so the breaker heard
+				// a success — only membership changes.
+				fails++
+				c.markDown(res.m.ID)
+				c.failovers.Add(1)
+				if inflight == 0 && !launch(false) {
+					c.noReady.Add(1)
+					return buffered(ErrNoReady)
+				}
+				continue
+			}
+			if res.hedged {
+				c.hedgeWins.Add(1)
+				res.header.Set("X-Ptcoord-Hedged", "true")
+			}
+			if fails > 0 {
+				res.header.Set("X-Ptcoord-Failover", "true")
+			}
+			res.header.Set("X-Ptcoord-Attempts", strconv.Itoa(fails+1))
+			return res.status, res.header, res.body
+		case <-ctx.Done():
+			return buffered(&runctl.ErrCanceled{Cause: context.DeadlineExceeded})
+		}
+	}
+	c.noReady.Add(1)
+	return buffered(ErrNoReady)
+}
+
+// errWatchDraining marks a watch connect that reached a draining node:
+// a routing fact, not a network failure, so it moves to the next member
+// without feeding the breaker.
+var errWatchDraining = errors.New("cluster: watch target draining")
+
+// watchResult is one member's answer in a hedged watch-connect race.
+// The winner's resp is a live stream; cancel must outlive the proxying.
+type watchResult struct {
+	m      MemberStatus
+	idx    int
+	resp   *http.Response
+	cancel context.CancelFunc
+	err    error
+	hedged bool
+}
+
+// hedgedWatch races the CONNECT phase of a watch proxy across prefs:
+// the stream itself cannot be hedged (it is long-lived and stateful),
+// but the connect is idempotent until the first byte is relayed.
+// connect must honor its context and return a response ready to
+// stream. Returns the winning result, the attempt count for the
+// X-Ptcoord-Attempts stamp, and ok=false when no member connected.
+func (c *Coordinator) hedgedWatch(ctx context.Context, prefs []MemberStatus, connect func(context.Context, MemberStatus) (*http.Response, error)) (watchResult, int, bool) {
+	results := make(chan watchResult, len(prefs))
+	var cancels []context.CancelFunc // mutated only by the loop below
+	next, inflight, fails := 0, 0, 0
+	launch := func(hedged bool) bool {
+		for next < len(prefs) {
+			m := prefs[next]
+			next++
+			if !c.breakers.Allow(m.ID) {
+				continue
+			}
+			inflight++
+			if hedged {
+				c.hedges.Add(1)
+			}
+			cctx, cancel := context.WithCancel(ctx)
+			cancels = append(cancels, cancel)
+			idx := len(cancels) - 1
+			go func(m MemberStatus, hedged bool) {
+				resp, err := connect(cctx, m)
+				results <- watchResult{m: m, idx: idx, resp: resp, cancel: cancel, err: err, hedged: hedged}
+			}(m, hedged)
+			return true
+		}
+		return false
+	}
+	// abandon cancels every launched attempt except keep (-1 = none)
+	// and drains their results async, closing any stream that raced in.
+	abandon := func(keep, inflight int) {
+		for i, cancel := range cancels {
+			if i != keep {
+				cancel()
+			}
+		}
+		if inflight == 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < inflight; i++ {
+				if res := <-results; res.resp != nil {
+					res.resp.Body.Close()
+				}
+			}
+		}()
+	}
+	if !launch(false) {
+		return watchResult{}, fails, false
+	}
+	var hedgeC <-chan time.Time
+	if d := c.hedgeAfter(time.Now().Add(c.cfg.ForwardBudget)); d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			launch(true)
+		case res := <-results:
+			inflight--
+			if res.err != nil {
+				res.cancel()
+				if ctx.Err() != nil {
+					// The watcher hung up (or the coordinator is
+					// draining); stop quietly.
+					abandon(-1, inflight)
+					return watchResult{}, fails, false
+				}
+				fails++
+				if !errors.Is(res.err, errWatchDraining) {
+					c.breakers.Failure(res.m.ID)
+				}
+				c.markDown(res.m.ID)
+				c.failovers.Add(1)
+				if inflight == 0 && !launch(false) {
+					return watchResult{}, fails, false
+				}
+				continue
+			}
+			c.breakers.Success(res.m.ID)
+			if res.hedged {
+				c.hedgeWins.Add(1)
+			}
+			abandon(res.idx, inflight)
+			return res, fails, true
+		case <-ctx.Done():
+			abandon(-1, inflight)
+			return watchResult{}, fails, false
+		}
+	}
+	return watchResult{}, fails, false
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ptx/internal/runctl"
 	"ptx/internal/serve"
@@ -83,12 +84,31 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, serve.Validationf("body", "%v", err))
 		return
 	}
+	// Resolve the mutation's deadline budget: the upstream hop's header
+	// if it sent one, else the configured default. The coordinator
+	// waits budget+grace; the owner hears the raw budget.
+	budget := c.cfg.ForwardBudget
+	if d, ok, derr := serve.ParseDeadline(r.Header); derr != nil {
+		serve.WriteError(w, derr)
+		return
+	} else if ok {
+		budget = d
+	}
+	budgetDeadline := time.Now().Add(budget)
+	ctx, cancel := context.WithDeadline(c.baseCtx, budgetDeadline.Add(c.cfg.DeadlineGrace))
+	defer cancel()
+
 	// Mutations hold the membership read barrier: a join's catch-up
 	// sync (write side) never interleaves with a commit, so a rejoined
-	// node's log is complete before it can own a database.
-	c.writeMu.RLock()
+	// node's log is complete before it can own a database. The
+	// acquisition itself is deadline-bounded — a stalled catch-up must
+	// stall this mutation only as long as its budget allows.
+	if !c.rlockWithin(ctx) {
+		serve.WriteError(w, &runctl.ErrCanceled{Cause: context.DeadlineExceeded})
+		return
+	}
 	defer c.writeMu.RUnlock()
-	_, db := routingPair(body)
+	_, db, _ := routingPair(body)
 	prefs := c.mutatePreference(db)
 	if len(prefs) == 0 {
 		c.noReady.Add(1)
@@ -100,31 +120,51 @@ func (c *Coordinator) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// Owner only — never replay a possibly-landed delta on a successor
 	// ourselves; the owner's synchronous replication is what moves the
 	// delta, and the client's retry (post epoch bump) is what moves the
-	// ownership.
+	// ownership. The owner's breaker is FED here but never consulted to
+	// skip: there is no second node a mutation may safely try.
 	owner := prefs[0]
-	req, err := http.NewRequestWithContext(c.baseCtx, http.MethodPost, owner.URL+"/mutate", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner.URL+"/mutate", bytes.NewReader(body))
 	if err != nil {
 		serve.WriteError(w, err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.HeaderEpoch, strconv.FormatUint(c.epoch.Load(), 10))
+	req.Header.Set(serve.HeaderDeadline, serve.FormatDeadline(time.Until(budgetDeadline)))
+	req.Header.Set(serve.HeaderWantSum, "1")
 	if reps := c.replicasHeader(prefs); reps != "" {
 		req.Header.Set(serve.HeaderReplicas, reps)
 	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The budget died, not the owner: no evidence against the
+			// node, and the delta's fate is unknown — fail typed so the
+			// client decides whether to retry.
+			serve.WriteError(w, &runctl.ErrCanceled{Cause: context.DeadlineExceeded})
+			return
+		}
+		c.breakers.Failure(owner.ID)
 		c.markDown(owner.ID)
 		serve.WriteError(w, ErrOwnerDown)
 		return
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
+	if err == nil {
+		err = serve.VerifySum(resp, respBody)
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			serve.WriteError(w, &runctl.ErrCanceled{Cause: context.DeadlineExceeded})
+			return
+		}
+		c.breakers.Failure(owner.ID)
 		c.markDown(owner.ID)
 		serve.WriteError(w, ErrOwnerDown)
 		return
 	}
+	c.breakers.Success(owner.ID)
 	if resp.StatusCode == http.StatusServiceUnavailable && errorKind(respBody) == serve.KindDraining {
 		// The owner is shutting down and never applied the delta; its
 		// successor owns the database now, so the retry story is the
@@ -185,50 +225,52 @@ func (c *Coordinator) handleWatch(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(c.baseCtx, cancel)
 	defer stop()
 
-	tried := 0
-	for _, m := range prefs {
-		if c.cfg.Replicas > 0 && tried >= c.cfg.Replicas {
-			break
-		}
-		tried++
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/watch?"+r.URL.RawQuery, nil)
+	if c.cfg.Replicas > 0 && c.cfg.Replicas < len(prefs) {
+		prefs = prefs[:c.cfg.Replicas]
+	}
+	// The CONNECT phase is hedged (idempotent until the first byte is
+	// relayed); the stream itself is not. A draining node is reported
+	// through errWatchDraining so the race moves on without blaming the
+	// network; any other 503 is a real answer the watcher should see.
+	connect := func(cctx context.Context, m MemberStatus) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet, m.URL+"/watch?"+r.URL.RawQuery, nil)
 		if err != nil {
-			serve.WriteError(w, err)
-			return
+			return nil, err
 		}
 		if a := r.Header.Get("Accept"); a != "" {
 			req.Header.Set("Accept", a)
 		}
 		resp, err := c.cfg.Client.Do(req)
 		if err != nil {
-			if ctx.Err() != nil {
-				// The watcher hung up or the coordinator is draining; the
-				// node did nothing wrong.
-				return
-			}
-			c.markDown(m.ID)
-			c.failovers.Add(1)
-			continue
+			return nil, err
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 			resp.Body.Close()
 			if errorKind(b) == serve.KindDraining {
-				c.markDown(m.ID)
-				c.failovers.Add(1)
-				continue
+				return nil, errWatchDraining
 			}
-			copyProxyHeaders(w.Header(), resp.Header)
-			c.stampAttempts(w.Header(), tried)
-			w.WriteHeader(resp.StatusCode)
-			_, _ = w.Write(b)
+			resp.Body = io.NopCloser(bytes.NewReader(b))
+			resp.ContentLength = int64(len(b))
+		}
+		return resp, nil
+	}
+	res, fails, ok := c.hedgedWatch(ctx, prefs, connect)
+	if !ok {
+		if ctx.Err() != nil {
+			// The watcher hung up or the coordinator is draining; the
+			// nodes did nothing wrong.
 			return
 		}
-		c.streamReply(w, resp, tried)
+		c.noReady.Add(1)
+		serve.WriteError(w, ErrNoReady)
 		return
 	}
-	c.noReady.Add(1)
-	serve.WriteError(w, ErrNoReady)
+	defer res.cancel()
+	if res.hedged {
+		w.Header().Set("X-Ptcoord-Hedged", "true")
+	}
+	c.streamReply(w, res.resp, fails+1)
 }
 
 // streamReply proxies an upstream response without buffering, flushing
@@ -270,11 +312,15 @@ func (c *Coordinator) stampAttempts(h http.Header, attempts int) {
 }
 
 // copyProxyHeaders forwards upstream headers minus the hop-by-hop and
-// length-bearing ones the proxy must own.
+// length-bearing ones the proxy must own — including the integrity
+// trailer machinery, which is a per-hop contract: the coordinator
+// verified the worker's sum; advertising it onward would promise a
+// trailer this hop never sends.
 func copyProxyHeaders(dst, src http.Header) {
 	for k, vs := range src {
 		switch k {
-		case "Content-Length", "Connection", "Transfer-Encoding", "Date":
+		case "Content-Length", "Connection", "Transfer-Encoding", "Date",
+			"Trailer", serve.HeaderBodySum, serve.HeaderWantSum:
 		default:
 			dst[k] = vs
 		}

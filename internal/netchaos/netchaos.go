@@ -1,0 +1,499 @@
+// Package netchaos is a deterministic, seed-driven network fault
+// injector for the cluster's inter-node HTTP traffic. It wraps an
+// http.RoundTripper (outbound) or a net.Listener (inbound) and makes
+// links between named peers misbehave in the ways real networks do:
+//
+//	latency    — per-link delay with jitter before the request is sent
+//	drop       — black hole: the request never arrives, the caller
+//	             blocks until its OWN deadline fires (the defining
+//	             partition experience; side effects never happen)
+//	refuse     — immediate connection error (fast-fail partition)
+//	replydrop  — the request IS delivered and the peer's side effects
+//	             happen, but the response vanishes: the asymmetric
+//	             partition that turns "did my write land?" into a
+//	             genuinely unknowable question
+//	reset      — the response body is severed mid-read
+//	corrupt    — response bytes are flipped in flight
+//	truncate   — the response body ends early with a CLEAN EOF (the
+//	             nastiest one: without an integrity check it looks
+//	             like a complete response)
+//	slowloris  — the response body trickles out a byte at a time
+//
+// Links are DIRECTIONAL — (from, to) — so one-way and asymmetric
+// partitions are first-class: Partition("a", "b") black-holes a→b
+// while b→a still flows. "*" wildcards either side.
+//
+// Every probabilistic draw comes from one seeded PRNG, so a fault
+// schedule is reproducible from a single integer (concurrent requests
+// may interleave draws, the same caveat runctl.SeededPlan documents).
+// A *runctl.FaultPlan can be attached and is consulted as
+// runctl.OpNetRequest before each request, composing the cluster's
+// existing Nth-op fault schedules with the mesh's link faults.
+package netchaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"ptx/internal/runctl"
+)
+
+// Faults describes what one directional link does to traffic. The zero
+// value is a perfect link.
+type Faults struct {
+	// Latency delays each request by Latency ± Jitter (uniform) before
+	// it is sent.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Probabilities in [0,1], drawn per request (Drop, Refuse,
+	// ReplyDrop — mutually exclusive, checked in that order) or per
+	// response body (Reset, Corrupt, Truncate, SlowLoris — first match
+	// wins).
+	Drop      float64
+	Refuse    float64
+	ReplyDrop float64
+	Reset     float64
+	Corrupt   float64
+	Truncate  float64
+	SlowLoris float64
+
+	// SlowPace is the per-byte delay of a slow-loris body (default
+	// 100ms — small bodies still outlive any sane request deadline).
+	SlowPace time.Duration
+}
+
+func (f Faults) active() bool {
+	return f.Latency > 0 || f.Drop > 0 || f.Refuse > 0 || f.ReplyDrop > 0 ||
+		f.Reset > 0 || f.Corrupt > 0 || f.Truncate > 0 || f.SlowLoris > 0
+}
+
+// link keys are (from, to) peer names; "*" matches anything.
+type linkKey struct{ from, to string }
+
+// Mesh is the shared fault authority a set of Transports and Listeners
+// consult. Safe for concurrent use; faults and partitions can be
+// changed while traffic is in flight (that is the point).
+type Mesh struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	links       map[linkKey]Faults
+	partitioned map[linkKey]bool
+	plan        *runctl.FaultPlan
+	injected    map[string]int64
+}
+
+// NewMesh builds a mesh whose probabilistic draws are driven by seed.
+func NewMesh(seed int64) *Mesh {
+	return &Mesh{
+		rng:         rand.New(rand.NewSource(seed)),
+		links:       make(map[linkKey]Faults),
+		partitioned: make(map[linkKey]bool),
+		injected:    make(map[string]int64),
+	}
+}
+
+// SetPlan attaches a runctl fault plan, consulted as OpNetRequest
+// before every outbound request; an injected error becomes an
+// immediate connection refusal.
+func (m *Mesh) SetPlan(p *runctl.FaultPlan) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plan = p
+}
+
+// SetLink configures the fault profile of the directional link
+// from → to. Either side may be "*".
+func (m *Mesh) SetLink(from, to string, f Faults) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links[linkKey{from, to}] = f
+}
+
+// Partition hard-blocks the directional link from → to: requests
+// black-hole until the caller's deadline. One-way by design; call
+// PartitionBoth for a symmetric cut.
+func (m *Mesh) Partition(from, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partitioned[linkKey{from, to}] = true
+}
+
+// PartitionBoth cuts both directions between a and b.
+func (m *Mesh) PartitionBoth(a, b string) {
+	m.Partition(a, b)
+	m.Partition(b, a)
+}
+
+// ClearLink deletes the fault profile of from → to entirely. Distinct
+// from SetLink(from, to, Faults{}): a zero-value entry still EXISTS and
+// shadows any wildcard profile during resolution; ClearLink restores
+// the wildcard fallback.
+func (m *Mesh) ClearLink(from, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.links, linkKey{from, to})
+}
+
+// Heal removes the hard partition on from → to (configured link faults
+// are untouched).
+func (m *Mesh) Heal(from, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.partitioned, linkKey{from, to})
+}
+
+// HealAll removes every hard partition.
+func (m *Mesh) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partitioned = make(map[linkKey]bool)
+}
+
+// Partitioned reports whether from → to is currently hard-blocked.
+func (m *Mesh) Partitioned(from, to string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.partitioned[linkKey{from, to}] || m.partitioned[linkKey{from, "*"}] ||
+		m.partitioned[linkKey{"*", to}] || m.partitioned[linkKey{"*", "*"}]
+}
+
+// Injected returns a snapshot of how many faults of each kind the mesh
+// has injected — the storm tests' "chaos actually happened" check.
+func (m *Mesh) Injected() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.injected))
+	for k, v := range m.injected {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *Mesh) count(kind string) {
+	m.injected[kind]++
+}
+
+// faultsFor resolves the directional link profile with wildcard
+// fallback: exact, then (from,*), (*,to), (*,*).
+func (m *Mesh) faultsFor(from, to string) Faults {
+	if f, ok := m.links[linkKey{from, to}]; ok {
+		return f
+	}
+	if f, ok := m.links[linkKey{from, "*"}]; ok {
+		return f
+	}
+	if f, ok := m.links[linkKey{"*", to}]; ok {
+		return f
+	}
+	return m.links[linkKey{"*", "*"}]
+}
+
+// decision is one request's drawn fate.
+type decision struct {
+	latency   time.Duration
+	drop      bool
+	refuse    bool
+	replyDrop bool
+	bodyFault string // "", "reset", "corrupt", "truncate", "slowloris"
+	bodyArg   int    // drawn offset/length parameter for the body fault
+	pace      time.Duration
+	planErr   error
+}
+
+// decide draws one request's fate under the mesh lock so the seeded
+// schedule is well-defined.
+func (m *Mesh) decide(from, to string) decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var d decision
+	if m.plan != nil {
+		if err := m.plan.Check(runctl.OpNetRequest); err != nil {
+			d.planErr = err
+			m.count("plan")
+			return d
+		}
+	}
+	if m.partitioned[linkKey{from, to}] || m.partitioned[linkKey{from, "*"}] ||
+		m.partitioned[linkKey{"*", to}] || m.partitioned[linkKey{"*", "*"}] {
+		d.drop = true
+		m.count("partition")
+		return d
+	}
+	f := m.faultsFor(from, to)
+	if !f.active() {
+		return d
+	}
+	if f.Latency > 0 {
+		d.latency = f.Latency
+		if f.Jitter > 0 {
+			d.latency += time.Duration(m.rng.Int63n(int64(2*f.Jitter))) - f.Jitter
+			if d.latency < 0 {
+				d.latency = 0
+			}
+		}
+		m.count("latency")
+	}
+	switch {
+	case f.Drop > 0 && m.rng.Float64() < f.Drop:
+		d.drop = true
+		m.count("drop")
+		return d
+	case f.Refuse > 0 && m.rng.Float64() < f.Refuse:
+		d.refuse = true
+		m.count("refuse")
+		return d
+	case f.ReplyDrop > 0 && m.rng.Float64() < f.ReplyDrop:
+		d.replyDrop = true
+		m.count("replydrop")
+		return d
+	}
+	switch {
+	case f.Reset > 0 && m.rng.Float64() < f.Reset:
+		d.bodyFault, d.bodyArg = "reset", 1+m.rng.Intn(64)
+		m.count("reset")
+	case f.Corrupt > 0 && m.rng.Float64() < f.Corrupt:
+		d.bodyFault, d.bodyArg = "corrupt", m.rng.Intn(64)
+		m.count("corrupt")
+	case f.Truncate > 0 && m.rng.Float64() < f.Truncate:
+		d.bodyFault, d.bodyArg = "truncate", 1+m.rng.Intn(64)
+		m.count("truncate")
+	case f.SlowLoris > 0 && m.rng.Float64() < f.SlowLoris:
+		d.bodyFault = "slowloris"
+		d.pace = f.SlowPace
+		if d.pace <= 0 {
+			d.pace = 100 * time.Millisecond
+		}
+		m.count("slowloris")
+	}
+	return d
+}
+
+// Transport wraps base so every request from the named peer crosses
+// the mesh. The destination peer name is the request URL's host, which
+// is how httptest-backed clusters (distinct ports) and named links
+// both work: either register links by host:port, or use "*" wildcards
+// and hard Partition calls keyed the same way the Transport was built.
+func (m *Mesh) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{mesh: m, from: from, base: base}
+}
+
+type transport struct {
+	mesh *Mesh
+	from string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	d := t.mesh.decide(t.from, req.URL.Host)
+	if d.planErr != nil {
+		return nil, fmt.Errorf("netchaos: %s -> %s: %w", t.from, req.URL.Host, d.planErr)
+	}
+	if d.latency > 0 {
+		select {
+		case <-time.After(d.latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if d.drop {
+		// Black hole: the bytes never arrive anywhere. The caller's own
+		// deadline is the only way out — exactly what a partition feels
+		// like from inside.
+		<-ctx.Done()
+		return nil, fmt.Errorf("netchaos: partition %s -> %s: %w", t.from, req.URL.Host, ctx.Err())
+	}
+	if d.refuse {
+		return nil, fmt.Errorf("netchaos: connection refused %s -> %s", t.from, req.URL.Host)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.replyDrop {
+		// The peer processed the request (side effects and all); only
+		// the response is lost. Drain it so the peer observes a
+		// completed exchange, then strand the caller until deadline.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		<-ctx.Done()
+		return nil, fmt.Errorf("netchaos: reply dropped %s -> %s: %w", t.from, req.URL.Host, ctx.Err())
+	}
+	switch d.bodyFault {
+	case "reset":
+		resp.Body = &resetBody{rc: resp.Body, after: d.bodyArg}
+	case "corrupt":
+		resp.Body = &corruptBody{rc: resp.Body, offset: d.bodyArg}
+	case "truncate":
+		resp.Body = &truncateBody{rc: resp.Body, after: d.bodyArg}
+	case "slowloris":
+		resp.Body = &slowBody{rc: resp.Body, pace: d.pace, ctx: ctx}
+	}
+	return resp, nil
+}
+
+// resetBody severs the stream with an error after `after` bytes — a
+// connection reset mid-body.
+type resetBody struct {
+	rc    io.ReadCloser
+	after int
+	read  int
+}
+
+func (b *resetBody) Read(p []byte) (int, error) {
+	if b.read >= b.after {
+		return 0, fmt.Errorf("netchaos: connection reset mid-body after %d bytes", b.read)
+	}
+	if rem := b.after - b.read; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := b.rc.Read(p)
+	b.read += n
+	return n, err
+}
+
+func (b *resetBody) Close() error { return b.rc.Close() }
+
+// corruptBody flips one byte out of every 64 starting at a drawn
+// offset. The peer's trailer checksum (computed over the ORIGINAL
+// bytes) no longer matches what the caller read.
+type corruptBody struct {
+	rc     io.ReadCloser
+	offset int
+	pos    int
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	for i := 0; i < n; i++ {
+		if (b.pos+i)%64 == b.offset%64 {
+			p[i] ^= 0xFF
+		}
+	}
+	b.pos += n
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }
+
+// truncateBody ends the stream with a CLEAN io.EOF after `after`
+// bytes. On a chunked response this also swallows the trailers, which
+// is what the integrity check catches.
+type truncateBody struct {
+	rc    io.ReadCloser
+	after int
+	read  int
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.read >= b.after {
+		return 0, io.EOF
+	}
+	if rem := b.after - b.read; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := b.rc.Read(p)
+	b.read += n
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.rc.Close() }
+
+// slowBody trickles the stream one byte per pace tick; the caller's
+// context is the only escape.
+type slowBody struct {
+	rc   io.ReadCloser
+	pace time.Duration
+	ctx  context.Context
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	select {
+	case <-time.After(b.pace):
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	}
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return b.rc.Read(p)
+}
+
+func (b *slowBody) Close() error { return b.rc.Close() }
+
+// Listener wraps ln so INBOUND connections to the named peer suffer
+// the mesh's (*, name) link faults: accept latency, reset after N
+// bytes, and slow-loris read pacing. It is deliberately a smaller
+// surface than Transport — inbound chaos at the byte level; the rich
+// per-request faults live client-side where requests are visible.
+func (m *Mesh) Listener(name string, ln net.Listener) net.Listener {
+	return &chaosListener{mesh: m, name: name, Listener: ln}
+}
+
+type chaosListener struct {
+	net.Listener
+	mesh *Mesh
+	name string
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	d := l.mesh.decide("*", l.name)
+	if d.drop || d.refuse || d.planErr != nil {
+		// Inbound partition: the TCP handshake succeeded at the kernel,
+		// but the application never hears from this connection.
+		conn.Close()
+		return l.Accept()
+	}
+	if d.latency > 0 || d.bodyFault == "reset" || d.bodyFault == "slowloris" {
+		return &chaosConn{Conn: conn, d: d}, nil
+	}
+	return conn, nil
+}
+
+// chaosConn applies the drawn faults to one accepted connection's read
+// side (what the server sees of the client).
+type chaosConn struct {
+	net.Conn
+	d      decision
+	read   int
+	waited bool
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if !c.waited && c.d.latency > 0 {
+		c.waited = true
+		time.Sleep(c.d.latency)
+	}
+	switch c.d.bodyFault {
+	case "reset":
+		if c.read >= c.d.bodyArg {
+			c.Conn.Close()
+			return 0, fmt.Errorf("netchaos: inbound reset after %d bytes", c.read)
+		}
+		if rem := c.d.bodyArg - c.read; len(p) > rem {
+			p = p[:rem]
+		}
+	case "slowloris":
+		time.Sleep(c.d.pace)
+		if len(p) > 1 {
+			p = p[:1]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read += n
+	return n, err
+}

@@ -1,0 +1,289 @@
+package netchaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ptx/internal/runctl"
+)
+
+func chaosClient(m *Mesh, from string) *http.Client {
+	return &http.Client{Transport: m.Transport(from, http.DefaultTransport)}
+}
+
+func get(t *testing.T, c *http.Client, url string, timeout time.Duration) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestMeshCleanLinkPassesThrough(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello world")
+	}))
+	defer ts.Close()
+	m := NewMesh(1)
+	body, err := get(t, chaosClient(m, "a"), ts.URL, time.Second)
+	if err != nil || body != "hello world" {
+		t.Fatalf("clean link: got (%q, %v)", body, err)
+	}
+}
+
+func TestMeshPartitionBlocksUntilDeadline(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer ts.Close()
+	m := NewMesh(1)
+	m.Partition("a", "*")
+	start := time.Now()
+	_, err := get(t, chaosClient(m, "a"), ts.URL, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("partitioned request must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("partition should strand the caller until ITS deadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("black hole returned too early: %v", elapsed)
+	}
+	if hits != 0 {
+		t.Fatal("a dropped request must never reach the server")
+	}
+	if !m.Partitioned("a", "x") {
+		t.Fatal("Partitioned(a, *) must report true")
+	}
+	// The partition is one-way: traffic from another peer still flows.
+	if _, err := get(t, chaosClient(m, "b"), ts.URL, time.Second); err != nil {
+		t.Fatalf("asymmetric partition leaked to b: %v", err)
+	}
+	m.HealAll()
+	if _, err := get(t, chaosClient(m, "a"), ts.URL, time.Second); err != nil {
+		t.Fatalf("healed link must flow: %v", err)
+	}
+}
+
+func TestMeshReplyDropDeliversSideEffects(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	m := NewMesh(1)
+	m.SetLink("a", "*", Faults{ReplyDrop: 1})
+	_, err := get(t, chaosClient(m, "a"), ts.URL, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("reply-dropped request must fail at the caller")
+	}
+	if hits != 1 {
+		t.Fatalf("reply-drop must DELIVER the request (hits=%d): that asymmetry is the whole point", hits)
+	}
+}
+
+func TestMeshRefuseIsImmediate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	m := NewMesh(1)
+	m.SetLink("*", "*", Faults{Refuse: 1})
+	start := time.Now()
+	_, err := get(t, chaosClient(m, "a"), ts.URL, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("want refusal, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("refusal must be immediate, not deadline-bound")
+	}
+}
+
+func TestMeshBodyFaults(t *testing.T) {
+	const payload = "the quick brown fox jumps over the lazy dog, repeatedly and at length, until the body is long enough to fault"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	t.Run("reset", func(t *testing.T) {
+		m := NewMesh(3)
+		m.SetLink("*", "*", Faults{Reset: 1})
+		body, err := get(t, chaosClient(m, "a"), ts.URL, time.Second)
+		if err == nil || !strings.Contains(err.Error(), "reset") {
+			t.Fatalf("want mid-body reset, got (%q, %v)", body, err)
+		}
+		if m.Injected()["reset"] == 0 {
+			t.Fatal("reset not counted")
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		m := NewMesh(3)
+		m.SetLink("*", "*", Faults{Corrupt: 1})
+		body, err := get(t, chaosClient(m, "a"), ts.URL, time.Second)
+		if err != nil {
+			t.Fatalf("corruption is silent at transport level: %v", err)
+		}
+		if body == payload {
+			t.Fatal("body survived a corrupting link unchanged")
+		}
+		if len(body) != len(payload) {
+			t.Fatalf("corruption must not change length: %d vs %d", len(body), len(payload))
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		m := NewMesh(3)
+		m.SetLink("*", "*", Faults{Truncate: 1})
+		body, err := get(t, chaosClient(m, "a"), ts.URL, time.Second)
+		if err != nil {
+			t.Fatalf("truncation must look like a CLEAN eof: %v", err)
+		}
+		if len(body) >= len(payload) {
+			t.Fatal("truncated body not shorter than the original")
+		}
+	})
+	t.Run("slowloris", func(t *testing.T) {
+		m := NewMesh(3)
+		m.SetLink("*", "*", Faults{SlowLoris: 1, SlowPace: 50 * time.Millisecond})
+		_, err := get(t, chaosClient(m, "a"), ts.URL, 200*time.Millisecond)
+		if err == nil {
+			t.Fatal("slow-loris body must outlive a short deadline")
+		}
+	})
+}
+
+func TestMeshLatencyDelays(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	m := NewMesh(9)
+	m.SetLink("a", "*", Faults{Latency: 60 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := get(t, chaosClient(m, "a"), ts.URL, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestMeshDeterministicSchedule(t *testing.T) {
+	draw := func(seed int64) []string {
+		m := NewMesh(seed)
+		m.SetLink("*", "*", Faults{Drop: 0.3, Refuse: 0.3, Corrupt: 0.3})
+		var kinds []string
+		for i := 0; i < 64; i++ {
+			d := m.decide("a", "b")
+			switch {
+			case d.drop:
+				kinds = append(kinds, "drop")
+			case d.refuse:
+				kinds = append(kinds, "refuse")
+			default:
+				kinds = append(kinds, d.bodyFault)
+			}
+		}
+		return kinds
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must give the same schedule; diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical 64-draw schedules")
+	}
+}
+
+func TestMeshComposesFaultPlan(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	m := NewMesh(1)
+	m.SetPlan(&runctl.FaultPlan{Op: runctl.OpNetRequest, N: 2, Err: runctl.Transient(errors.New("injected"))})
+	c := chaosClient(m, "a")
+	if _, err := get(t, c, ts.URL, time.Second); err != nil {
+		t.Fatalf("1st request should pass: %v", err)
+	}
+	if _, err := get(t, c, ts.URL, time.Second); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("2nd request should hit the plan, got %v", err)
+	}
+	if _, err := get(t, c, ts.URL, time.Second); err != nil {
+		t.Fatalf("3rd request should pass: %v", err)
+	}
+}
+
+func TestMeshListenerInboundFaults(t *testing.T) {
+	m := NewMesh(5)
+	m.SetLink("*", "srv", Faults{Latency: 40 * time.Millisecond})
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	ts.Listener = m.Listener("srv", ts.Listener)
+	ts.Start()
+	defer ts.Close()
+	start := time.Now()
+	body, err := get(t, &http.Client{}, ts.URL, time.Second)
+	if err != nil || body != "ok" {
+		t.Fatalf("latency-only inbound link must still answer: (%q, %v)", body, err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("inbound latency not applied")
+	}
+}
+
+func TestParse(t *testing.T) {
+	m, err := Parse("seed=7,latency=20ms,jitter=5ms,drop=0.25,partition=a->b,partition=c<->d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Partitioned("a", "b") || m.Partitioned("b", "a") {
+		t.Fatal("a->b must be one-way")
+	}
+	if !m.Partitioned("c", "d") || !m.Partitioned("d", "c") {
+		t.Fatal("c<->d must cut both ways")
+	}
+	f := m.faultsFor("x", "y")
+	if f.Latency != 20*time.Millisecond || f.Drop != 0.25 {
+		t.Fatalf("wildcard faults not installed: %+v", f)
+	}
+
+	for _, bad := range []string{
+		"nope",
+		"seed=x",
+		"drop=1.5",
+		"latency=fast",
+		"partition=a",
+		"partition=->b",
+		"wat=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+	if _, err := Parse(""); err != nil {
+		t.Fatalf("empty spec is a valid no-op mesh: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package netchaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a mesh from the CLI spelling used by the daemons'
+// -chaos flag: a comma-separated list of key=value pairs.
+//
+//	seed=N           PRNG seed (default 1)
+//	latency=D        per-request delay (Go duration)
+//	jitter=D         ± jitter on latency
+//	drop=P           black-hole probability in [0,1]
+//	refuse=P         immediate-refusal probability
+//	replydrop=P      deliver-request-drop-response probability
+//	reset=P          mid-body connection-reset probability
+//	corrupt=P        byte-corruption probability
+//	truncate=P       clean-early-EOF probability
+//	slowloris=P      trickled-response probability
+//	pace=D           slow-loris per-byte delay (default 100ms)
+//	partition=a->b   hard one-way partition (repeatable); a<->b cuts
+//	                 both directions; either side may be "*"
+//
+// The probabilistic faults apply to the wildcard link (*, *) — every
+// peer pair — which is the useful default for a single-process daemon
+// wrapping one client. Partitions compose on top.
+func Parse(spec string) (*Mesh, error) {
+	seed := int64(1)
+	var f Faults
+	type cut struct {
+		from, to string
+		both     bool
+	}
+	var cuts []cut
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("netchaos: bad -chaos entry %q: want key=value", part)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netchaos: bad seed %q", v)
+			}
+			seed = n
+		case "latency", "jitter", "pace":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("netchaos: bad %s %q: want a Go duration", k, v)
+			}
+			switch k {
+			case "latency":
+				f.Latency = d
+			case "jitter":
+				f.Jitter = d
+			case "pace":
+				f.SlowPace = d
+			}
+		case "drop", "refuse", "replydrop", "reset", "corrupt", "truncate", "slowloris":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("netchaos: bad %s %q: want a probability in [0,1]", k, v)
+			}
+			switch k {
+			case "drop":
+				f.Drop = p
+			case "refuse":
+				f.Refuse = p
+			case "replydrop":
+				f.ReplyDrop = p
+			case "reset":
+				f.Reset = p
+			case "corrupt":
+				f.Corrupt = p
+			case "truncate":
+				f.Truncate = p
+			case "slowloris":
+				f.SlowLoris = p
+			}
+		case "partition":
+			if from, to, ok := strings.Cut(v, "<->"); ok {
+				cuts = append(cuts, cut{strings.TrimSpace(from), strings.TrimSpace(to), true})
+			} else if from, to, ok := strings.Cut(v, "->"); ok {
+				cuts = append(cuts, cut{strings.TrimSpace(from), strings.TrimSpace(to), false})
+			} else {
+				return nil, fmt.Errorf("netchaos: bad partition %q: want a->b or a<->b", v)
+			}
+		default:
+			return nil, fmt.Errorf("netchaos: unknown -chaos key %q", k)
+		}
+	}
+	m := NewMesh(seed)
+	if f.active() {
+		m.SetLink("*", "*", f)
+	}
+	for _, c := range cuts {
+		if c.from == "" || c.to == "" {
+			return nil, fmt.Errorf("netchaos: bad partition: empty peer name")
+		}
+		if c.both {
+			m.PartitionBoth(c.from, c.to)
+		} else {
+			m.Partition(c.from, c.to)
+		}
+	}
+	return m, nil
+}

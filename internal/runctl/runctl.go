@@ -206,11 +206,16 @@ const (
 	// 200: a post-fsync/pre-ack crash — the client must treat the
 	// outcome as unknown and retry (deltas are idempotent).
 	OpMutateAck Op = "mutate-ack"
+	// OpNetRequest is one inter-node HTTP request leaving a process,
+	// checked by the netchaos mesh before the dial: an injected fault is
+	// an immediate connection refusal, composing the Nth-op and seeded
+	// modes with the mesh's own link faults.
+	OpNetRequest Op = "net-request"
 )
 
 // Ops lists every operation kind, for iteration in tests and harnesses.
 func Ops() []Op {
-	return []Op{OpQuery, OpNode, OpEval, OpSerialize, OpWALAppend, OpWALSync, OpMutateAck}
+	return []Op{OpQuery, OpNode, OpEval, OpSerialize, OpWALAppend, OpWALSync, OpMutateAck, OpNetRequest}
 }
 
 // FaultPlan injects deterministic test-only failures. It has two

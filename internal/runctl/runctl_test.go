@@ -263,6 +263,7 @@ func TestOpsComplete(t *testing.T) {
 	want := map[Op]bool{
 		OpQuery: true, OpNode: true, OpEval: true, OpSerialize: true,
 		OpWALAppend: true, OpWALSync: true, OpMutateAck: true,
+		OpNetRequest: true,
 	}
 	got := Ops()
 	if len(got) != len(want) {

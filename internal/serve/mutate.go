@@ -8,6 +8,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -167,6 +168,19 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, err)
 		return
 	}
+	// Deadline propagation: the replication fan-out below must finish
+	// inside the budget the coordinator forwarded, not inside the
+	// replication client's own flat timeout.
+	repCtx := r.Context()
+	if budget, ok, derr := ParseDeadline(r.Header); derr != nil {
+		s.rejected.Add(1)
+		WriteError(w, derr)
+		return
+	} else if ok {
+		var cancel context.CancelFunc
+		repCtx, cancel = context.WithTimeout(repCtx, budget)
+		defer cancel()
+	}
 
 	resp, err := s.mutate(req.DB, d, epoch)
 	if err != nil {
@@ -185,7 +199,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// stands (at-least-once); the client's retry re-replicates it.
 	var failed []string
 	if len(replicas) > 0 {
-		resp.Replicated, failed = s.replicateOut(r.Context(), req.DB, resp.Seq, replicas)
+		resp.Replicated, failed = s.replicateOut(repCtx, req.DB, resp.Seq, replicas)
 		if len(failed) > 0 {
 			w.Header().Set(HeaderReplicaFailed, strings.Join(failed, ","))
 			s.rejected.Add(1)

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFormatDeadline(t *testing.T) {
+	h := http.Header{}
+	if _, ok, err := ParseDeadline(h); ok || err != nil {
+		t.Fatalf("absent header: ok=%v err=%v, want absent and nil", ok, err)
+	}
+	h.Set(HeaderDeadline, FormatDeadline(1500*time.Millisecond))
+	if d, ok, err := ParseDeadline(h); !ok || err != nil || d != 1500*time.Millisecond {
+		t.Fatalf("roundtrip: d=%v ok=%v err=%v", d, ok, err)
+	}
+	// An exhausted budget still propagates as the 1ms floor — it must
+	// fail typed at the receiver, not vanish from the wire.
+	if got := FormatDeadline(-5 * time.Second); got != "1" {
+		t.Fatalf("FormatDeadline(-5s) = %q, want floor \"1\"", got)
+	}
+	for _, bad := range []string{"0", "-3", "soon", "1.5"} {
+		h.Set(HeaderDeadline, bad)
+		if _, _, err := ParseDeadline(h); err == nil {
+			t.Errorf("ParseDeadline(%q) accepted a malformed budget", bad)
+		}
+	}
+}
+
+// TestSumTrailerRoundTrip: a caller that asks for the integrity sum
+// gets the body's SHA-256 as a trailer; a caller that does not ask
+// pays nothing and VerifySum stays lenient.
+func TestSumTrailerRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/publish",
+		strings.NewReader(`{"spec":"tiny","db":"tinydb"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderWantSum, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	got := resp.Trailer.Get(HeaderBodySum)
+	if got == "" {
+		t.Fatalf("no %s trailer on a want-sum response (trailers %v)", HeaderBodySum, resp.Trailer)
+	}
+	if want := BodySum(body); got != want {
+		t.Fatalf("trailer sum %s != body sum %s", got, want)
+	}
+	if err := VerifySum(resp, body); err != nil {
+		t.Fatalf("VerifySum on an intact response: %v", err)
+	}
+
+	// Without the ask: no trailer, and VerifySum does not bind.
+	status, _, _ := post(t, ts, `{"spec":"tiny","db":"tinydb"}`)
+	if status != http.StatusOK {
+		t.Fatalf("plain publish status %d", status)
+	}
+}
+
+// TestVerifySumDetectsTamper: a declared-but-wrong sum is corruption, a
+// declared-but-missing sum is truncation; both must fail so the caller
+// treats them as transport errors and fails over.
+func TestVerifySumDetectsTamper(t *testing.T) {
+	body := []byte("<db>intact</db>")
+	mk := func() *http.Response {
+		return &http.Response{Header: http.Header{}, Trailer: http.Header{}}
+	}
+
+	resp := mk()
+	resp.Trailer.Set(HeaderBodySum, BodySum(body))
+	corrupted := append([]byte(nil), body...)
+	corrupted[3] ^= 0xFF
+	if err := VerifySum(resp, corrupted); err == nil {
+		t.Error("corrupted body passed its integrity sum")
+	}
+
+	// The sender promised a trailer (Trailer header names it) but the
+	// stream ended before it arrived — truncation.
+	resp = mk()
+	resp.Header.Set("Trailer", HeaderBodySum)
+	if err := VerifySum(resp, body[:4]); err == nil {
+		t.Error("truncated stream with a promised sum passed verification")
+	}
+
+	// No declaration anywhere: a pre-protocol peer; lenient.
+	if err := VerifySum(mk(), body); err != nil {
+		t.Errorf("undeclared sum must be lenient, got %v", err)
+	}
+}
+
+// TestPublishDeadlineHeader: the propagated deadline clamps the run's
+// timeout budget — a 1ms budget on a non-trivial database ends typed,
+// and a malformed header is a validation error, not a silent default.
+func TestPublishDeadlineHeader(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RegisterSpec("tiny", tinySpec); err != nil {
+		t.Fatal(err)
+	}
+	var big strings.Builder
+	for i := 0; i < 8000; i++ {
+		fmt.Fprintf(&big, "R(r%04d)\n", i)
+	}
+	if err := reg.RegisterDB("bigdb", big.String()); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Registry: reg})
+
+	do := func(deadline string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/publish",
+			strings.NewReader(`{"spec":"tiny","db":"bigdb","limits":{"timeout_ms":60000}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderDeadline, deadline)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	status, body := do("1")
+	if status == http.StatusOK {
+		t.Fatalf("1ms propagated budget finished an 8000-row publish: %d bytes", len(body))
+	}
+	info := decodeError(t, status, body)
+	if info.Kind != KindBudget && info.Kind != KindCanceled {
+		t.Fatalf("clamped run ended with kind %q, want budget or canceled", info.Kind)
+	}
+
+	status, body = do("not-a-number")
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed deadline header: status %d: %s", status, body)
+	}
+	if info := decodeError(t, status, body); info.Kind != KindValidation {
+		t.Fatalf("malformed deadline kind %q, want validation", info.Kind)
+	}
+}

@@ -396,16 +396,29 @@ func (s *Server) pushRecords(ctx context.Context, peer, db string, recs []DeltaR
 // sender resends the tail from there. A replica counts as confirmed
 // only when its mark reaches seq. Runs AFTER liveMu is released —
 // never hold a local lock across a peer round-trip.
+//
+// Each replica sits behind a circuit breaker: once a replica fails
+// Threshold consecutive pushes (a partition, not just a crash), new
+// mutations fail it FAST instead of each paying the replication
+// timeout — the ack is still withheld, so safety is untouched; only
+// the latency of learning "this replica is gone" changes. The breaker
+// re-admits the replica through its half-open probe schedule.
 func (s *Server) replicateOut(ctx context.Context, db string, seq uint64, replicas []replica) (ok int, failed []string) {
 	for _, rep := range replicas {
+		if !s.repBreakers.Allow(rep.id) {
+			failed = append(failed, rep.id)
+			continue
+		}
 		resp, err := s.pushRecords(ctx, rep.url, db, s.reg.RecordsSince(db, seq-1))
 		if err == nil && resp.Gap {
 			resp, err = s.pushRecords(ctx, rep.url, db, s.reg.RecordsSince(db, resp.Have))
 		}
 		if err != nil || resp.Have < seq {
+			s.repBreakers.Failure(rep.id)
 			failed = append(failed, rep.id)
 			continue
 		}
+		s.repBreakers.Success(rep.id)
 		ok++
 	}
 	return ok, failed

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ptx/internal/breaker"
 	"ptx/internal/pt"
 	"ptx/internal/relation"
 	"ptx/internal/runctl"
@@ -117,6 +118,12 @@ type Config struct {
 	// to ring successors (default: a dedicated client with a 5s
 	// timeout — a dead successor must delay an ack, not hang it).
 	ReplicateClient *http.Client
+
+	// ReplicaBreaker parameterizes the per-replica circuit breakers on
+	// the replication push path: a replica that keeps failing is
+	// fail-fasted (still withholding the ack) instead of charging every
+	// mutation a full replication timeout. Zero value = defaults.
+	ReplicaBreaker breaker.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +187,11 @@ type Metrics struct {
 	Recovered  int64 `json:"recovered"`
 	Replicated int64 `json:"replicated"`
 
+	// Replica circuit-breaker observables: total open transitions and
+	// the replicas currently open or half-open.
+	BreakerOpens int64    `json:"breaker_opens"`
+	BreakerOpen  []string `json:"breaker_open,omitempty"`
+
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
 }
@@ -197,6 +209,10 @@ type Server struct {
 	// at the end of a drain.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// repBreakers holds one circuit breaker per replica id; the
+	// replication push path (replicateOut) feeds and respects them.
+	repBreakers *breaker.Set
 
 	// liveMu serializes mutations and live-view creation; views maps
 	// spec\x00db to the live view serving its change feed (mutate.go).
@@ -226,13 +242,14 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:        cfg,
-		reg:        cfg.Registry,
-		adm:        NewAdmission(cfg.Workers, cfg.Queue),
-		flights:    newFlightGroup(),
-		views:      make(map[string]*liveView),
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		adm:         NewAdmission(cfg.Workers, cfg.Queue),
+		flights:     newFlightGroup(),
+		views:       make(map[string]*liveView),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		repBreakers: breaker.NewSet(cfg.ReplicaBreaker),
 	}, nil
 }
 
@@ -249,7 +266,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return mux
+	// Callers that buffer responses (the coordinator) ask for the
+	// body-integrity trailer via HeaderWantSum; everyone else pays
+	// nothing.
+	return sumResponses(mux)
 }
 
 // Metrics snapshots the counters.
@@ -272,9 +292,11 @@ func (s *Server) Metrics() Metrics {
 		Fsyncs:    wm.Fsyncs,
 		Recovered: wm.Recovered,
 
-		Replicated: s.replicated.Load(),
-		InFlight:   s.adm.Active(),
-		Queued:     s.adm.Waiting(),
+		Replicated:   s.replicated.Load(),
+		BreakerOpens: s.repBreakers.Opens(),
+		BreakerOpen:  s.repBreakers.OpenPeers(),
+		InFlight:     s.adm.Active(),
+		Queued:       s.adm.Waiting(),
 	}
 }
 
@@ -485,6 +507,27 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		}
 		WriteError(w, Validationf("body", "%v", err))
 		return
+	}
+	// Deadline propagation: an upstream hop's remaining budget clamps
+	// this run's wall clock DOWN (never up), and it must land before
+	// validate — the dedup key bakes in the effective timeout, so two
+	// requests with different budgets are different flights.
+	if budget, ok, derr := ParseDeadline(r.Header); derr != nil {
+		s.rejected.Add(1)
+		WriteError(w, derr)
+		return
+	} else if ok {
+		ms := int64(budget / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		cur := req.Limits.TimeoutMS
+		if cur == 0 {
+			cur = int64(s.cfg.DefaultTimeout / time.Millisecond)
+		}
+		if ms < cur {
+			req.Limits.TimeoutMS = ms
+		}
 	}
 	adm, err := s.validate(req)
 	if err != nil {
